@@ -1,0 +1,109 @@
+// Ablations: the streaming-client knobs (DESIGN.md §5, decisions 2 & 3).
+//
+//  (a) in-flight window — streams keep K operations outstanding ("keep a
+//      data operation always in flight", §6.1). K=1 degenerates to
+//      synchronous request/response.
+//  (b) transport — the same transfer over the shaped in-process transport
+//      vs real TCP loopback.
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "common/stopwatch.h"
+#include "glider/client/action_node.h"
+#include "workloads/actions.h"
+
+using namespace glider;          // NOLINT
+using namespace glider::bench;   // NOLINT
+
+namespace {
+
+constexpr std::uint64_t kBytes = 24ull << 20;
+
+// Writes kBytes into a noop action and reads kBytes back; returns seconds.
+Result<std::pair<double, double>> StreamOnce(testing::MiniCluster& cluster,
+                                             std::size_t window,
+                                             std::size_t chunk_size) {
+  workloads::RegisterWorkloadActions();
+  nk::StoreClient::Options copts;
+  copts.transport = &cluster.transport();
+  copts.metadata_address = cluster.metadata_address();
+  copts.data_link = std::make_shared<net::LinkModel>(
+      LinkClass::kFaas, 0, std::chrono::microseconds(1500), cluster.metrics());
+  copts.chunk_size = chunk_size;
+  copts.inflight_window = window;
+  GLIDER_ASSIGN_OR_RETURN(auto client, nk::StoreClient::Connect(copts));
+
+  (void)core::ActionNode::Delete(*client, "/ab_noop");
+  GLIDER_ASSIGN_OR_RETURN(
+      auto node, core::ActionNode::Create(*client, "/ab_noop", "glider.noop",
+                                          false, AsBytes(std::to_string(kBytes))));
+  const Buffer chunk(chunk_size);
+  Stopwatch wtimer;
+  {
+    GLIDER_ASSIGN_OR_RETURN(auto writer, node.OpenWriter());
+    for (std::uint64_t done = 0; done < kBytes; done += chunk_size) {
+      GLIDER_RETURN_IF_ERROR(writer->Write(chunk.span()));
+    }
+    GLIDER_RETURN_IF_ERROR(writer->Close());
+  }
+  const double write_s = wtimer.Seconds();
+  Stopwatch rtimer;
+  {
+    GLIDER_ASSIGN_OR_RETURN(auto reader, node.OpenReader());
+    while (true) {
+      GLIDER_ASSIGN_OR_RETURN(auto data, reader->ReadChunk());
+      if (data.empty()) break;
+    }
+    GLIDER_RETURN_IF_ERROR(reader->Close());
+  }
+  return std::pair<double, double>(write_s, rtimer.Seconds());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Ablation: in-flight op window (per-op latency 1.5 ms, "
+              "%s stream, 256 KiB ops) ==\n\n", FmtBytes(kBytes).c_str());
+  {
+    auto options = PaperClusterOptions();
+    options.faas_bandwidth_bps = 0;  // latency-bound regime
+    auto cluster = testing::MiniCluster::Start(options);
+    if (!cluster.ok()) return 1;
+    Table table({"Window", "Write (s)", "Read (s)"});
+    for (const std::size_t window : {1u, 2u, 4u, 8u}) {
+      auto result = StreamOnce(**cluster, window, 256 * 1024);
+      if (!result.ok()) {
+        std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+        return 1;
+      }
+      table.AddRow({std::to_string(window), Fmt(result->first, 3),
+                    Fmt(result->second, 3)});
+    }
+    table.Print();
+    std::printf("\nExpected: window 1 pays one round-trip latency per op; "
+                "larger windows hide it.\n");
+  }
+
+  std::printf("\n== Ablation: transport (same stream, window 4) ==\n\n");
+  {
+    Table table({"Transport", "Write (s)", "Read (s)"});
+    for (const bool tcp : {false, true}) {
+      auto options = PaperClusterOptions();
+      options.use_tcp = tcp;
+      options.faas_bandwidth_bps = 0;
+      auto cluster = testing::MiniCluster::Start(options);
+      if (!cluster.ok()) return 1;
+      auto result = StreamOnce(**cluster, 4, 256 * 1024);
+      if (!result.ok()) {
+        std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+        return 1;
+      }
+      table.AddRow({tcp ? "TCP (loopback)" : "in-process",
+                    Fmt(result->first, 3), Fmt(result->second, 3)});
+    }
+    table.Print();
+    std::printf("\nExpected: TCP adds kernel socket + framing cost; the "
+                "in-process transport isolates the protocol overhead.\n");
+  }
+  return 0;
+}

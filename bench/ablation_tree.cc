@@ -1,0 +1,120 @@
+// Ablation: single merge action vs a reduction tree (paper §6.3: "if the
+// application requires a single dictionary, the results may be further
+// combined in a reduction tree ... through concatenating actions, instead
+// of requiring additional workers and temporary files").
+//
+// Many workers aggregate into (a) one action or (b) L leaf actions whose
+// dictionaries are pushed into a root action inside the storage system.
+// The tree spreads the hot receive path over more actions (and active
+// servers), at the price of one in-storage combine step.
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "common/stopwatch.h"
+#include "faas/invoker.h"
+#include "glider/client/action_node.h"
+#include "workloads/actions.h"
+#include "workloads/generators.h"
+
+using namespace glider;          // NOLINT
+using namespace glider::bench;   // NOLINT
+
+namespace {
+
+constexpr std::size_t kPairsPerWorker = 120'000;
+
+Status WriteWorkerPairs(faas::WorkerContext& ctx, const std::string& path) {
+  GLIDER_ASSIGN_OR_RETURN(auto node, core::ActionNode::Lookup(*ctx.store, path));
+  GLIDER_ASSIGN_OR_RETURN(auto writer, node.OpenWriter());
+  workloads::PairGenerator gen(ctx.worker_id, 1024);
+  std::string batch;
+  std::size_t produced = 0;
+  while (produced < kPairsPerWorker) {
+    batch.clear();
+    const std::size_t step =
+        std::min<std::size_t>(8192, kPairsPerWorker - produced);
+    gen.Generate(step, batch);
+    produced += step;
+    GLIDER_RETURN_IF_ERROR(writer->Write(batch));
+  }
+  return writer->Close();
+}
+
+Result<double> RunSingle(std::size_t workers) {
+  workloads::RegisterWorkloadActions();
+  auto options = PaperClusterOptions();
+  options.active_servers = 2;
+  auto cluster = testing::MiniCluster::Start(options);
+  if (!cluster.ok()) return cluster.status();
+  GLIDER_ASSIGN_OR_RETURN(auto driver, (*cluster)->NewInternalClient());
+  GLIDER_RETURN_IF_ERROR(
+      core::ActionNode::Create(*driver, "/single", "glider.merge", true)
+          .status());
+  faas::Invoker invoker(**cluster);
+  Stopwatch timer;
+  GLIDER_RETURN_IF_ERROR(invoker.RunStage(
+      workers,
+      [&](faas::WorkerContext& ctx) { return WriteWorkerPairs(ctx, "/single"); }));
+  return timer.Seconds();
+}
+
+Result<double> RunTree(std::size_t workers, std::size_t leaves) {
+  workloads::RegisterWorkloadActions();
+  auto options = PaperClusterOptions();
+  options.active_servers = 2;
+  auto cluster = testing::MiniCluster::Start(options);
+  if (!cluster.ok()) return cluster.status();
+  GLIDER_ASSIGN_OR_RETURN(auto driver, (*cluster)->NewInternalClient());
+  GLIDER_RETURN_IF_ERROR(
+      core::ActionNode::Create(*driver, "/root", "glider.tree-merge", true)
+          .status());
+  for (std::size_t l = 0; l < leaves; ++l) {
+    GLIDER_RETURN_IF_ERROR(
+        core::ActionNode::Create(*driver, "/leaf" + std::to_string(l),
+                                 "glider.tree-merge", true, AsBytes("/root"))
+            .status());
+  }
+  faas::Invoker invoker(**cluster);
+  Stopwatch timer;
+  GLIDER_RETURN_IF_ERROR(
+      invoker.RunStage(workers, [&](faas::WorkerContext& ctx) {
+        return WriteWorkerPairs(
+            ctx, "/leaf" + std::to_string(ctx.worker_id % leaves));
+      }));
+  // Combine: trigger every leaf to flush into the root (in-storage).
+  for (std::size_t l = 0; l < leaves; ++l) {
+    GLIDER_ASSIGN_OR_RETURN(
+        auto node, core::ActionNode::Lookup(*driver, "/leaf" + std::to_string(l)));
+    GLIDER_ASSIGN_OR_RETURN(auto reader, node.OpenReader());
+    while (true) {
+      GLIDER_ASSIGN_OR_RETURN(auto chunk, reader->ReadChunk());
+      if (chunk.empty()) break;
+    }
+    GLIDER_RETURN_IF_ERROR(reader->Close());
+  }
+  return timer.Seconds();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Ablation: single merge action vs reduction tree "
+              "(%zu pairs/worker) ==\n\n", kPairsPerWorker);
+  Table table({"Workers", "Single action (s)", "Tree 4 leaves (s)"});
+  for (const std::size_t workers : {4u, 8u, 16u}) {
+    auto single = RunSingle(workers);
+    auto tree = RunTree(workers, 4);
+    if (!single.ok() || !tree.ok()) {
+      std::fprintf(stderr, "failed: %s %s\n",
+                   single.status().ToString().c_str(),
+                   tree.status().ToString().c_str());
+      return 1;
+    }
+    table.AddRow({std::to_string(workers), Fmt(*single, 3), Fmt(*tree, 3)});
+  }
+  table.Print();
+  std::printf("\nExpected: with few writers the single action wins (no "
+              "combine step); as writers contend on one action, the tree's "
+              "parallel leaves pay off.\n");
+  return 0;
+}

@@ -1,0 +1,233 @@
+// Regenerates Figure 6 (§7.2 micro-benchmarks):
+//   top — read/write bandwidth to a file vs an (empty) action for buffer
+//         sizes 128..1024 KiB;
+//   bottom — aggregate bandwidth with 1/2/4/8 concurrent actions at 1 MiB
+//         operations, vs the same with files.
+//
+// Links are unshaped here (the paper measures raw achievable bandwidth);
+// on this host the ceiling is memory/CPU-bound rather than a 100 Gbps NIC,
+// so absolute Gbps differ — the target shape is: actions within ~±12% of
+// files, and scaling with concurrency until the substrate saturates.
+#include <cstdio>
+#include <thread>
+
+#include "bench/harness.h"
+#include "common/stopwatch.h"
+#include "glider/client/action_node.h"
+#include "workloads/actions.h"
+
+using namespace glider;          // NOLINT
+using namespace glider::bench;   // NOLINT
+
+namespace {
+
+constexpr std::uint64_t kBytesPerRun = 48ull << 20;  // per stream
+
+struct Rates {
+  double write_gbps = 0;
+  double read_gbps = 0;
+};
+
+double Gbps(std::uint64_t bytes, double seconds) {
+  return static_cast<double>(bytes) * 8 / seconds / 1e9;
+}
+
+Result<Rates> FileBandwidth(testing::MiniCluster& cluster,
+                            std::size_t buffer_size, std::size_t parallel) {
+  std::vector<std::unique_ptr<nk::StoreClient>> clients;
+  for (std::size_t p = 0; p < parallel; ++p) {
+    nk::StoreClient::Options copts;
+    copts.transport = &cluster.transport();
+    copts.metadata_address = cluster.metadata_address();
+    copts.data_link = net::LinkModel::Unshaped(LinkClass::kFaas,
+                                               cluster.metrics());
+    copts.chunk_size = buffer_size;
+    copts.inflight_window = 8;
+    GLIDER_ASSIGN_OR_RETURN(auto client, nk::StoreClient::Connect(copts));
+    const std::string path = "/bw_file_" + std::to_string(p);
+    (void)client->Delete(path);
+    GLIDER_RETURN_IF_ERROR(
+        client->CreateNode(path, nk::NodeType::kFile).status());
+    clients.push_back(std::move(client));
+  }
+
+  Rates rates;
+  const Buffer chunk(buffer_size);
+  // Write phase.
+  {
+    Stopwatch timer;
+    std::vector<std::thread> threads;
+    std::vector<Status> statuses(parallel);
+    for (std::size_t p = 0; p < parallel; ++p) {
+      threads.emplace_back([&, p] {
+        statuses[p] = [&]() -> Status {
+          GLIDER_ASSIGN_OR_RETURN(
+              auto writer, nk::FileWriter::Open(
+                               *clients[p], "/bw_file_" + std::to_string(p)));
+          for (std::uint64_t done = 0; done < kBytesPerRun;
+               done += buffer_size) {
+            GLIDER_RETURN_IF_ERROR(writer->Write(chunk.span()));
+          }
+          return writer->Close();
+        }();
+      });
+    }
+    for (auto& t : threads) t.join();
+    for (const auto& s : statuses) GLIDER_RETURN_IF_ERROR(s);
+    rates.write_gbps = Gbps(kBytesPerRun * parallel, timer.Seconds());
+  }
+  // Read phase.
+  {
+    Stopwatch timer;
+    std::vector<std::thread> threads;
+    std::vector<Status> statuses(parallel);
+    for (std::size_t p = 0; p < parallel; ++p) {
+      threads.emplace_back([&, p] {
+        statuses[p] = [&]() -> Status {
+          GLIDER_ASSIGN_OR_RETURN(
+              auto reader, nk::FileReader::Open(
+                               *clients[p], "/bw_file_" + std::to_string(p)));
+          while (true) {
+            GLIDER_ASSIGN_OR_RETURN(auto data, reader->ReadChunk());
+            if (data.empty()) break;
+          }
+          return Status::Ok();
+        }();
+      });
+    }
+    for (auto& t : threads) t.join();
+    for (const auto& s : statuses) GLIDER_RETURN_IF_ERROR(s);
+    rates.read_gbps = Gbps(kBytesPerRun * parallel, timer.Seconds());
+  }
+  for (std::size_t p = 0; p < parallel; ++p) {
+    (void)clients[p]->Delete("/bw_file_" + std::to_string(p));
+  }
+  return rates;
+}
+
+Result<Rates> ActionBandwidth(testing::MiniCluster& cluster,
+                              std::size_t buffer_size, std::size_t parallel) {
+  workloads::RegisterWorkloadActions();
+  std::vector<std::unique_ptr<nk::StoreClient>> clients;
+  std::vector<std::unique_ptr<core::ActionNode>> nodes;
+  for (std::size_t p = 0; p < parallel; ++p) {
+    nk::StoreClient::Options copts;
+    copts.transport = &cluster.transport();
+    copts.metadata_address = cluster.metadata_address();
+    copts.data_link = net::LinkModel::Unshaped(LinkClass::kFaas,
+                                               cluster.metrics());
+    copts.chunk_size = buffer_size;
+    copts.inflight_window = 8;
+    GLIDER_ASSIGN_OR_RETURN(auto client, nk::StoreClient::Connect(copts));
+    const std::string path = "/bw_action_" + std::to_string(p);
+    GLIDER_ASSIGN_OR_RETURN(
+        auto node, core::ActionNode::Create(
+                       *client, path, "glider.noop", /*interleave=*/false,
+                       AsBytes(std::to_string(kBytesPerRun))));
+    clients.push_back(std::move(client));
+    nodes.push_back(std::make_unique<core::ActionNode>(std::move(node)));
+  }
+
+  Rates rates;
+  const Buffer chunk(buffer_size);
+  {
+    Stopwatch timer;
+    std::vector<std::thread> threads;
+    std::vector<Status> statuses(parallel);
+    for (std::size_t p = 0; p < parallel; ++p) {
+      threads.emplace_back([&, p] {
+        statuses[p] = [&]() -> Status {
+          GLIDER_ASSIGN_OR_RETURN(auto writer, nodes[p]->OpenWriter());
+          for (std::uint64_t done = 0; done < kBytesPerRun;
+               done += buffer_size) {
+            GLIDER_RETURN_IF_ERROR(writer->Write(chunk.span()));
+          }
+          return writer->Close();
+        }();
+      });
+    }
+    for (auto& t : threads) t.join();
+    for (const auto& s : statuses) GLIDER_RETURN_IF_ERROR(s);
+    rates.write_gbps = Gbps(kBytesPerRun * parallel, timer.Seconds());
+  }
+  {
+    Stopwatch timer;
+    std::vector<std::thread> threads;
+    std::vector<Status> statuses(parallel);
+    for (std::size_t p = 0; p < parallel; ++p) {
+      threads.emplace_back([&, p] {
+        statuses[p] = [&]() -> Status {
+          GLIDER_ASSIGN_OR_RETURN(auto reader, nodes[p]->OpenReader());
+          while (true) {
+            GLIDER_ASSIGN_OR_RETURN(auto data, reader->ReadChunk());
+            if (data.empty()) break;
+          }
+          return reader->Close();
+        }();
+      });
+    }
+    for (auto& t : threads) t.join();
+    for (const auto& s : statuses) GLIDER_RETURN_IF_ERROR(s);
+    rates.read_gbps = Gbps(kBytesPerRun * parallel, timer.Seconds());
+  }
+  for (std::size_t p = 0; p < parallel; ++p) {
+    (void)core::ActionNode::Delete(*clients[p], "/bw_action_" + std::to_string(p));
+  }
+  return rates;
+}
+
+}  // namespace
+
+int main() {
+  auto options = PaperClusterOptions();
+  // Raw-bandwidth measurement: no link shaping, generous block supply.
+  options.faas_bandwidth_bps = 0;
+  options.faas_latency = std::chrono::microseconds(0);
+  options.internal_bandwidth_bps = 0;
+  options.blocks_per_server = 1024;
+  auto cluster = testing::MiniCluster::Start(options);
+  if (!cluster.ok()) {
+    std::fprintf(stderr, "cluster: %s\n", cluster.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("== Figure 6 (top): access bandwidth vs buffer size (%s per "
+              "stream) ==\n\n", FmtBytes(kBytesPerRun).c_str());
+  Table top({"Buffer (KiB)", "File write (Gbps)", "Action write (Gbps)",
+             "File read (Gbps)", "Action read (Gbps)"});
+  for (const std::size_t kib : {128u, 256u, 512u, 1024u}) {
+    auto file = FileBandwidth(**cluster, kib * 1024, 1);
+    auto action = ActionBandwidth(**cluster, kib * 1024, 1);
+    if (!file.ok() || !action.ok()) {
+      std::fprintf(stderr, "bw run failed: %s %s\n",
+                   file.status().ToString().c_str(),
+                   action.status().ToString().c_str());
+      return 1;
+    }
+    top.AddRow({std::to_string(kib), Fmt(file->write_gbps),
+                Fmt(action->write_gbps), Fmt(file->read_gbps),
+                Fmt(action->read_gbps)});
+  }
+  top.Print();
+
+  std::printf("\n== Figure 6 (bottom): aggregate bandwidth vs concurrent "
+              "actions (1 MiB ops) ==\n\n");
+  Table bottom({"Parallel", "File write (Gbps)", "Action write (Gbps)",
+                "File read (Gbps)", "Action read (Gbps)"});
+  for (const std::size_t parallel : {1u, 2u, 4u, 8u}) {
+    auto file = FileBandwidth(**cluster, 1 << 20, parallel);
+    auto action = ActionBandwidth(**cluster, 1 << 20, parallel);
+    if (!file.ok() || !action.ok()) return 1;
+    bottom.AddRow({std::to_string(parallel), Fmt(file->write_gbps),
+                   Fmt(action->write_gbps), Fmt(file->read_gbps),
+                   Fmt(action->read_gbps)});
+  }
+  bottom.Print();
+
+  std::printf(
+      "\nPaper shape: action bandwidth within ~±12%% of files (reads "
+      "slightly lower, writes slightly higher — no per-block metadata "
+      "round-trips); concurrent actions scale until the substrate "
+      "saturates.\n");
+  return 0;
+}

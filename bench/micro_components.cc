@@ -1,0 +1,117 @@
+// google-benchmark micro-benchmarks of the building blocks: message
+// framing, serde, blocking queue, stream channel, and RPC round-trips over
+// both transports.
+#include <benchmark/benchmark.h>
+
+#include "common/blocking_queue.h"
+#include "common/serde.h"
+#include "glider/stream_channel.h"
+#include "net/inproc_transport.h"
+#include "net/tcp_transport.h"
+
+namespace glider {
+namespace {
+
+// ---- serde / framing ---------------------------------------------------------
+
+void BM_MessageEncodeDecode(benchmark::State& state) {
+  net::Message m;
+  m.opcode = 7;
+  m.payload = Buffer(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    Buffer frame = m.Encode();
+    auto decoded = net::Message::Decode(frame.span());
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MessageEncodeDecode)->Arg(256)->Arg(4096)->Arg(65536)->Arg(1 << 20);
+
+void BM_SerdeWriteRead(benchmark::State& state) {
+  for (auto _ : state) {
+    BinaryWriter w;
+    for (int i = 0; i < 16; ++i) {
+      w.PutU64(i);
+      w.PutString("field");
+    }
+    Buffer buf = std::move(w).Finish();
+    BinaryReader r(buf.span());
+    for (int i = 0; i < 16; ++i) {
+      benchmark::DoNotOptimize(r.U64());
+      benchmark::DoNotOptimize(r.String());
+    }
+  }
+}
+BENCHMARK(BM_SerdeWriteRead);
+
+// ---- queues -------------------------------------------------------------------
+
+void BM_BlockingQueuePingPong(benchmark::State& state) {
+  BlockingQueue<int> q(64);
+  for (auto _ : state) {
+    (void)q.Push(1);
+    benchmark::DoNotOptimize(q.Pop());
+  }
+}
+BENCHMARK(BM_BlockingQueuePingPong);
+
+void BM_StreamChannelPushPop(benchmark::State& state) {
+  core::StreamChannel channel(64);
+  std::uint64_t seq = 0;
+  for (auto _ : state) {
+    core::DataTask task;
+    task.data = Buffer(64);
+    channel.AsyncPush(seq++, std::move(task), [](Status) {});
+    benchmark::DoNotOptimize(channel.BlockingPop(nullptr));
+  }
+}
+BENCHMARK(BM_StreamChannelPushPop);
+
+// ---- RPC round-trips -----------------------------------------------------------
+
+class EchoService : public net::Service {
+ public:
+  void Handle(net::Message request, net::Responder responder) override {
+    responder.SendOk(request, std::move(request.payload));
+  }
+};
+
+void RpcRoundTrip(benchmark::State& state, net::Transport& transport) {
+  auto service = std::make_shared<EchoService>();
+  auto listener = transport.Listen("", service);
+  if (!listener.ok()) {
+    state.SkipWithError("listen failed");
+    return;
+  }
+  auto conn = transport.Connect((*listener)->address(), nullptr);
+  if (!conn.ok()) {
+    state.SkipWithError("connect failed");
+    return;
+  }
+  const std::size_t payload = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto result = (*conn)->CallSync(1, Buffer(payload));
+    if (!result.ok()) {
+      state.SkipWithError("call failed");
+      return;
+    }
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+
+void BM_InProcRpc(benchmark::State& state) {
+  net::InProcTransport transport(2);
+  RpcRoundTrip(state, transport);
+}
+BENCHMARK(BM_InProcRpc)->Arg(64)->Arg(4096)->Arg(262144);
+
+void BM_TcpRpc(benchmark::State& state) {
+  net::TcpTransport transport(2);
+  RpcRoundTrip(state, transport);
+}
+BENCHMARK(BM_TcpRpc)->Arg(64)->Arg(4096)->Arg(262144);
+
+}  // namespace
+}  // namespace glider
+
+BENCHMARK_MAIN();

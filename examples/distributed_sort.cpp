@@ -1,0 +1,62 @@
+// Example: the distributed sort of the paper's §7.3, end to end.
+//
+// Baseline: two serverless stages shuffle through intermediate files — the
+// whole dataset crosses the compute<->storage link four times. Glider: the
+// map stage streams straight into sorter actions, which sort and write the
+// output from inside the storage system — the dataset crosses twice.
+//
+// Build & run:  ./build/examples/distributed_sort
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "workloads/sort.h"
+
+using namespace glider;  // NOLINT
+
+int main() {
+  workloads::SortParams params;
+  params.workers = 4;
+  params.bytes_per_partition = 1 << 20;
+
+  auto options = bench::PaperClusterOptions();
+  options.active_servers = 2;
+  options.blocks_per_server = 4096;
+  auto cluster = testing::MiniCluster::Start(options);
+  if (!cluster.ok()) return 1;
+  if (!SetupSortInput(**cluster, params).ok()) return 1;
+  std::printf("sorting %zu x %.1f MiB partitions with %zu workers\n\n",
+              params.workers,
+              static_cast<double>(params.bytes_per_partition) / (1 << 20),
+              params.workers);
+
+  auto baseline = RunSortBaseline(**cluster, params);
+  if (!baseline.ok()) {
+    std::fprintf(stderr, "%s\n", baseline.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("baseline: P1 %.3f s + P2 %.3f s = %.3f s | transferred "
+              "%.1f MiB | sorted=%s (%llu records)\n",
+              baseline->p1_seconds, baseline->p2_seconds,
+              baseline->total_seconds,
+              static_cast<double>(baseline->transfer_bytes) / (1 << 20),
+              baseline->verified ? "yes" : "NO",
+              static_cast<unsigned long long>(baseline->records));
+
+  auto glider = RunSortGlider(**cluster, params);
+  if (!glider.ok()) {
+    std::fprintf(stderr, "%s\n", glider.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("glider:   P1 %.3f s + P2 %.3f s = %.3f s | transferred "
+              "%.1f MiB | sorted=%s (%llu records)\n",
+              glider->p1_seconds, glider->p2_seconds, glider->total_seconds,
+              static_cast<double>(glider->transfer_bytes) / (1 << 20),
+              glider->verified ? "yes" : "NO",
+              static_cast<unsigned long long>(glider->records));
+
+  std::printf("\nrun time reduced %.1f%%, data movement reduced %.1f%%\n",
+              100.0 * (1.0 - glider->total_seconds / baseline->total_seconds),
+              100.0 * (1.0 - static_cast<double>(glider->transfer_bytes) /
+                                 static_cast<double>(baseline->transfer_bytes)));
+  return 0;
+}

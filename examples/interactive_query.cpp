@@ -1,0 +1,64 @@
+// Example: interactive queries on stateful near-data computation (the
+// paper's §3.1 names "indexing, or interactive queries" as data-bound tasks
+// that belong in storage).
+//
+// Workers bulk-load records into an index action; a consumer then issues
+// point lookups without ever shipping the dataset out of storage.
+//
+// Build & run:  ./build/examples/interactive_query
+#include <cstdio>
+
+#include "glider/client/action_node.h"
+#include "testing/cluster.h"
+#include "workloads/actions.h"
+
+using namespace glider;  // NOLINT
+
+int main() {
+  workloads::RegisterWorkloadActions();
+  auto cluster = testing::MiniCluster::Start({});
+  if (!cluster.ok()) return 1;
+  auto client_or = (*cluster)->NewInternalClient();
+  if (!client_or.ok()) return 1;
+  auto& client = **client_or;
+
+  auto index = core::ActionNode::Create(client, "/index", "glider.index",
+                                        /*interleave=*/true);
+  if (!index.ok()) return 1;
+
+  // Bulk load: 10k records streamed in, stored only inside the action.
+  {
+    auto writer = index->OpenWriter();
+    std::string batch;
+    for (int i = 0; i < 10'000; ++i) {
+      batch += "put user" + std::to_string(i) + " balance=" +
+               std::to_string(i * 7 % 1000) + "\n";
+      if (batch.size() > 32 * 1024) {
+        (void)(*writer)->Write(batch);
+        batch.clear();
+      }
+    }
+    (void)(*writer)->Write(batch);
+    (void)(*writer)->Close();
+  }
+  auto state = index->StateBytes();
+  std::printf("loaded 10000 records; index holds ~%llu bytes in storage\n",
+              static_cast<unsigned long long>(*state));
+
+  // Interactive phase: tiny queries, tiny answers.
+  {
+    auto writer = index->OpenWriter();
+    (void)(*writer)->Write("get user42\nget user9999\nget nobody\ncount\n");
+    (void)(*writer)->Close();
+  }
+  auto reader = index->OpenReader();
+  std::printf("answers:\n");
+  while (true) {
+    auto chunk = (*reader)->ReadChunk();
+    if (!chunk.ok() || chunk->empty()) break;
+    std::printf("%s", chunk->ToString().c_str());
+  }
+  (void)(*reader)->Close();
+  (void)core::ActionNode::Delete(client, "/index");
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Bounded MPMC blocking queue with close semantics.
+//
+// This is the backbone of the active server: per-stream task queues and the
+// read-side output queues are BlockingQueues. Close() lets producers signal
+// end-of-stream; consumers drain remaining items and then observe kClosed.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <limits>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace glider {
+
+template <typename T>
+class BlockingQueue {
+ public:
+  explicit BlockingQueue(
+      std::size_t capacity = std::numeric_limits<std::size_t>::max())
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BlockingQueue(const BlockingQueue&) = delete;
+  BlockingQueue& operator=(const BlockingQueue&) = delete;
+
+  // Blocks while full. Returns kClosed if the queue was closed.
+  Status Push(T item) {
+    std::unique_lock lock(mu_);
+    not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return Status::Closed("queue closed");
+    items_.push_back(std::move(item));
+    not_empty_.notify_one();
+    return Status::Ok();
+  }
+
+  // Non-blocking push; kResourceExhausted when full.
+  Status TryPush(T item) {
+    std::scoped_lock lock(mu_);
+    if (closed_) return Status::Closed("queue closed");
+    if (items_.size() >= capacity_) {
+      return Status::ResourceExhausted("queue full");
+    }
+    items_.push_back(std::move(item));
+    not_empty_.notify_one();
+    return Status::Ok();
+  }
+
+  // Blocks while empty. After Close(), drains remaining items, then kClosed.
+  Result<T> Pop() {
+    std::unique_lock lock(mu_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return Status::Closed("queue closed");
+    T item = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return item;
+  }
+
+  // Non-blocking pop; kUnavailable when currently empty but open.
+  Result<T> TryPop() {
+    std::scoped_lock lock(mu_);
+    if (items_.empty()) {
+      return closed_ ? Status::Closed("queue closed")
+                     : Status::Unavailable("queue empty");
+    }
+    T item = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return item;
+  }
+
+  // After Close, pushes fail; pops drain then report kClosed.
+  void Close() {
+    std::scoped_lock lock(mu_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::scoped_lock lock(mu_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::scoped_lock lock(mu_);
+    return items_.size();
+  }
+
+  bool empty() const { return size() == 0; }
+  std::size_t capacity() const { return capacity_; }
+
+  // True when a Pop() would block: queue open and empty. Used by the active
+  // server to decide whether an interleaved action method should yield.
+  bool WouldBlockOnPop() const {
+    std::scoped_lock lock(mu_);
+    return !closed_ && items_.empty();
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace glider

@@ -1,0 +1,76 @@
+// Byte buffer vocabulary types.
+//
+// Buffer owns a contiguous byte payload; it is cheap to move and is the unit
+// that travels through RPC messages and stream task queues. Views into
+// buffers use std::span (no ownership).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace glider {
+
+using ByteSpan = std::span<const std::uint8_t>;
+using MutableByteSpan = std::span<std::uint8_t>;
+
+class Buffer {
+ public:
+  Buffer() = default;
+  explicit Buffer(std::size_t size) : data_(size) {}
+  explicit Buffer(std::vector<std::uint8_t> data) : data_(std::move(data)) {}
+  explicit Buffer(std::string_view text)
+      : data_(text.begin(), text.end()) {}
+  Buffer(const std::uint8_t* data, std::size_t size)
+      : data_(data, data + size) {}
+
+  static Buffer FromString(std::string_view s) { return Buffer(s); }
+
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  const std::uint8_t* data() const { return data_.data(); }
+  std::uint8_t* data() { return data_.data(); }
+
+  ByteSpan span() const { return {data_.data(), data_.size()}; }
+  MutableByteSpan mutable_span() { return {data_.data(), data_.size()}; }
+
+  std::string_view AsStringView() const {
+    return {reinterpret_cast<const char*>(data_.data()), data_.size()};
+  }
+  std::string ToString() const { return std::string(AsStringView()); }
+
+  void Append(ByteSpan bytes) {
+    data_.insert(data_.end(), bytes.begin(), bytes.end());
+  }
+  void Append(std::string_view text) {
+    data_.insert(data_.end(), text.begin(), text.end());
+  }
+
+  void Resize(std::size_t size) { data_.resize(size); }
+  void Reserve(std::size_t size) { data_.reserve(size); }
+  void Clear() { data_.clear(); }
+
+  std::vector<std::uint8_t>& vec() { return data_; }
+  const std::vector<std::uint8_t>& vec() const { return data_; }
+
+  friend bool operator==(const Buffer& a, const Buffer& b) {
+    return a.data_ == b.data_;
+  }
+
+ private:
+  std::vector<std::uint8_t> data_;
+};
+
+inline ByteSpan AsBytes(std::string_view s) {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+inline std::string_view AsText(ByteSpan b) {
+  return {reinterpret_cast<const char*>(b.data()), b.size()};
+}
+
+}  // namespace glider

@@ -1,0 +1,33 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <string_view>
+
+namespace glider {
+namespace {
+
+LogLevel InitialLevel() {
+  const char* env = std::getenv("GLIDER_LOG");
+  if (env == nullptr) return LogLevel::kWarn;
+  const std::string_view v(env);
+  if (v == "debug") return LogLevel::kDebug;
+  if (v == "info") return LogLevel::kInfo;
+  if (v == "warn") return LogLevel::kWarn;
+  if (v == "error") return LogLevel::kError;
+  return LogLevel::kWarn;
+}
+
+std::atomic<int>& LevelRef() {
+  static std::atomic<int> level{static_cast<int>(InitialLevel())};
+  return level;
+}
+
+}  // namespace
+
+LogLevel GlobalLogLevel() { return static_cast<LogLevel>(LevelRef().load()); }
+void SetGlobalLogLevel(LogLevel level) {
+  LevelRef().store(static_cast<int>(level));
+}
+
+}  // namespace glider

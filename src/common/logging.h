@@ -1,0 +1,56 @@
+// Minimal leveled logger. Defaults to warnings-and-up so tests and benches
+// stay quiet; set GLIDER_LOG=debug|info|warn|error to change.
+#pragma once
+
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string_view>
+
+namespace glider {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+LogLevel GlobalLogLevel();
+void SetGlobalLogLevel(LogLevel level);
+
+namespace internal {
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string_view tag) : level_(level) {
+    stream_ << "[" << Name(level) << "] " << tag << ": ";
+  }
+  ~LogLine() {
+    if (level_ >= GlobalLogLevel()) {
+      static std::mutex mu;
+      std::scoped_lock lock(mu);
+      std::cerr << stream_.str() << "\n";
+    }
+  }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  static std::string_view Name(LogLevel level) {
+    switch (level) {
+      case LogLevel::kDebug: return "DEBUG";
+      case LogLevel::kInfo: return "INFO";
+      case LogLevel::kWarn: return "WARN";
+      case LogLevel::kError: return "ERROR";
+    }
+    return "?";
+  }
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define GLIDER_LOG(level, tag) \
+  ::glider::internal::LogLine(::glider::LogLevel::level, tag)
+
+}  // namespace glider

@@ -1,0 +1,94 @@
+// Metrics registry for the paper's evaluation indicators (§7 "Goals"):
+//   (i)  bytes transferred between compute (FaaS) and storage,
+//   (ii) number of storage accesses,
+//   (iii) storage utilization (bytes resident in the store),
+//   (iv) wall-clock time (measured by the benches directly).
+//
+// Transfers are attributed to a link class so the harness can separate
+// compute<->storage traffic (what the paper counts) from storage-internal
+// traffic (actions talking to data servers, which the paper's whole point is
+// to keep inside the storage system).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace glider {
+
+enum class LinkClass : std::uint8_t {
+  kFaas = 0,      // serverless worker <-> storage system (the paper's metric)
+  kInternal = 1,  // storage-internal (action <-> data server)
+  kRdma = 2,      // storage-internal over the fast network (§7.1 RDMA row)
+  kControl = 3,   // metadata lookups
+};
+inline constexpr std::size_t kNumLinkClasses = 4;
+
+struct LinkCounters {
+  std::atomic<std::uint64_t> bytes_sent{0};
+  std::atomic<std::uint64_t> bytes_received{0};
+  std::atomic<std::uint64_t> operations{0};
+};
+
+class Metrics {
+ public:
+  void RecordSend(LinkClass link, std::uint64_t bytes) {
+    auto& c = links_[static_cast<std::size_t>(link)];
+    c.bytes_sent.fetch_add(bytes, std::memory_order_relaxed);
+    c.operations.fetch_add(1, std::memory_order_relaxed);
+  }
+  void RecordReceive(LinkClass link, std::uint64_t bytes) {
+    links_[static_cast<std::size_t>(link)].bytes_received.fetch_add(
+        bytes, std::memory_order_relaxed);
+  }
+  void RecordStorageAccess() {
+    storage_accesses_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void RecordStoredBytes(std::int64_t delta) {
+    const std::int64_t now =
+        stored_bytes_.fetch_add(delta, std::memory_order_relaxed) + delta;
+    // Track the high-water mark; races only under-report by one update.
+    std::int64_t peak = peak_stored_bytes_.load(std::memory_order_relaxed);
+    while (now > peak && !peak_stored_bytes_.compare_exchange_weak(
+                             peak, now, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::uint64_t BytesSent(LinkClass link) const {
+    return links_[static_cast<std::size_t>(link)].bytes_sent.load();
+  }
+  std::uint64_t BytesReceived(LinkClass link) const {
+    return links_[static_cast<std::size_t>(link)].bytes_received.load();
+  }
+  std::uint64_t Operations(LinkClass link) const {
+    return links_[static_cast<std::size_t>(link)].operations.load();
+  }
+  // Total compute<->storage traffic, both directions: the paper's "data
+  // transferred between the compute and storage tiers".
+  std::uint64_t FaasTransferBytes() const {
+    return BytesSent(LinkClass::kFaas) + BytesReceived(LinkClass::kFaas);
+  }
+  std::uint64_t StorageAccesses() const { return storage_accesses_.load(); }
+  std::int64_t StoredBytes() const { return stored_bytes_.load(); }
+  std::int64_t PeakStoredBytes() const { return peak_stored_bytes_.load(); }
+
+  void Reset() {
+    for (auto& c : links_) {
+      c.bytes_sent = 0;
+      c.bytes_received = 0;
+      c.operations = 0;
+    }
+    storage_accesses_ = 0;
+    stored_bytes_ = 0;
+    peak_stored_bytes_ = 0;
+  }
+
+ private:
+  std::array<LinkCounters, kNumLinkClasses> links_;
+  std::atomic<std::uint64_t> storage_accesses_{0};
+  std::atomic<std::int64_t> stored_bytes_{0};
+  std::atomic<std::int64_t> peak_stored_bytes_{0};
+};
+
+}  // namespace glider

@@ -1,0 +1,69 @@
+// Deterministic random generators for workload synthesis.
+//
+// SplitMix64 gives fast, seedable streams; ZipfGenerator models skewed word
+// frequencies (the Wikipedia-corpus substitute in Table 2's workload).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace glider {
+
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t Next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  std::uint64_t NextBelow(std::uint64_t bound) { return Next() % bound; }
+
+  double NextDouble() {  // [0, 1)
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// Zipf-distributed integers in [0, n) with exponent s, via inverse-CDF over a
+// precomputed table. Deterministic given the seed.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(std::uint64_t n, double s, std::uint64_t seed)
+      : rng_(seed), cdf_(n) {
+    double sum = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      cdf_[i] = sum;
+    }
+    for (auto& v : cdf_) v /= sum;
+  }
+
+  std::uint64_t Next() {
+    const double u = rng_.NextDouble();
+    // Binary search the CDF.
+    std::size_t lo = 0, hi = cdf_.size() - 1;
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+ private:
+  SplitMix64 rng_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace glider

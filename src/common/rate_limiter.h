@@ -1,0 +1,65 @@
+// Reservation-based rate limiter used to shape link bandwidth.
+//
+// The evaluation's link model (FaaS-grade vs storage-internal "RDMA-grade"
+// links) is built on this: Acquire(bytes) blocks the caller for the time
+// the modelled link would need to carry those bytes.
+//
+// Reservation semantics (rather than a classic token bucket) keep the
+// aggregate rate correct under concurrency: each acquisition reserves the
+// next slice of link time under a lock and sleeps until its slice starts,
+// so N concurrent streams share one link instead of each enjoying the full
+// rate. A small burst window lets short transfers through unthrottled.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+namespace glider {
+
+class RateLimiter {
+ public:
+  // bytes_per_second == 0 means unlimited.
+  explicit RateLimiter(std::uint64_t bytes_per_second,
+                       std::uint64_t burst_bytes = 256 * 1024)
+      : rate_(bytes_per_second),
+        burst_(std::chrono::duration_cast<Clock::duration>(
+            std::chrono::duration<double>(
+                rate_ == 0 ? 0.0
+                           : static_cast<double>(std::max<std::uint64_t>(
+                                 burst_bytes, 1)) /
+                                 static_cast<double>(bytes_per_second)))),
+        reserved_until_(Clock::now() - burst_) {}
+
+  // Blocks until the link has carried `bytes` at the configured rate.
+  void Acquire(std::uint64_t bytes) {
+    if (rate_ == 0 || bytes == 0) return;
+    const auto cost = std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(static_cast<double>(bytes) /
+                                      static_cast<double>(rate_)));
+    Clock::time_point wait_until;
+    {
+      std::scoped_lock lock(mu_);
+      const auto now = Clock::now();
+      // An idle link accumulates at most `burst_` of credit.
+      reserved_until_ = std::max(reserved_until_, now - burst_);
+      reserved_until_ += cost;
+      wait_until = reserved_until_;
+    }
+    std::this_thread::sleep_until(wait_until);
+  }
+
+  std::uint64_t bytes_per_second() const { return rate_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  const std::uint64_t rate_;
+  const Clock::duration burst_;
+  std::mutex mu_;
+  Clock::time_point reserved_until_;
+};
+
+}  // namespace glider

@@ -1,0 +1,134 @@
+// Binary serialization helpers used by the wire protocol.
+//
+// Little-endian, length-prefixed strings/blobs, bounds-checked reads. These
+// are deliberately simple: every RPC payload in the system is encoded and
+// decoded with BinaryWriter / BinaryReader so the framing is uniform and
+// testable in one place.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace glider {
+
+class BinaryWriter {
+ public:
+  BinaryWriter() = default;
+
+  void PutU8(std::uint8_t v) { out_.push_back(v); }
+  void PutU16(std::uint16_t v) { PutLittleEndian(v); }
+  void PutU32(std::uint32_t v) { PutLittleEndian(v); }
+  void PutU64(std::uint64_t v) { PutLittleEndian(v); }
+  void PutI64(std::int64_t v) { PutLittleEndian(static_cast<std::uint64_t>(v)); }
+  void PutBool(bool v) { PutU8(v ? 1 : 0); }
+  void PutDouble(double v) {
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    PutU64(bits);
+  }
+
+  // Length-prefixed string / blob.
+  void PutString(std::string_view s) {
+    PutU32(static_cast<std::uint32_t>(s.size()));
+    out_.insert(out_.end(), s.begin(), s.end());
+  }
+  void PutBytes(ByteSpan b) {
+    PutU32(static_cast<std::uint32_t>(b.size()));
+    out_.insert(out_.end(), b.begin(), b.end());
+  }
+  // Raw append without a length prefix (caller handles framing).
+  void PutRaw(ByteSpan b) { out_.insert(out_.end(), b.begin(), b.end()); }
+
+  Buffer Finish() && { return Buffer(std::move(out_)); }
+  std::size_t size() const { return out_.size(); }
+
+ private:
+  template <typename T>
+  void PutLittleEndian(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  std::vector<std::uint8_t> out_;
+};
+
+class BinaryReader {
+ public:
+  explicit BinaryReader(ByteSpan data) : data_(data) {}
+
+  Result<std::uint8_t> U8() { return Fixed<std::uint8_t>(); }
+  Result<std::uint16_t> U16() { return Fixed<std::uint16_t>(); }
+  Result<std::uint32_t> U32() { return Fixed<std::uint32_t>(); }
+  Result<std::uint64_t> U64() { return Fixed<std::uint64_t>(); }
+  Result<std::int64_t> I64() {
+    GLIDER_ASSIGN_OR_RETURN(auto v, U64());
+    return static_cast<std::int64_t>(v);
+  }
+  Result<bool> Bool() {
+    GLIDER_ASSIGN_OR_RETURN(auto v, U8());
+    return v != 0;
+  }
+  Result<double> Double() {
+    GLIDER_ASSIGN_OR_RETURN(auto bits, U64());
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  Result<std::string> String() {
+    GLIDER_ASSIGN_OR_RETURN(auto len, U32());
+    if (len > Remaining()) {
+      return Status::OutOfRange("string length exceeds payload");
+    }
+    std::string s(AsText(data_.subspan(pos_, len)));
+    pos_ += len;
+    return s;
+  }
+
+  Result<ByteSpan> Bytes() {
+    GLIDER_ASSIGN_OR_RETURN(auto len, U32());
+    if (len > Remaining()) {
+      return Status::OutOfRange("blob length exceeds payload");
+    }
+    ByteSpan b = data_.subspan(pos_, len);
+    pos_ += len;
+    return b;
+  }
+
+  // Rest of the payload, unprefixed.
+  ByteSpan Rest() {
+    ByteSpan b = data_.subspan(pos_);
+    pos_ = data_.size();
+    return b;
+  }
+
+  std::size_t Remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return Remaining() == 0; }
+
+ private:
+  template <typename T>
+  Result<T> Fixed() {
+    if (Remaining() < sizeof(T)) {
+      return Status::OutOfRange("payload truncated");
+    }
+    T v = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v |= static_cast<T>(static_cast<T>(data_[pos_ + i]) << (8 * i));
+    }
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  ByteSpan data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace glider

@@ -1,0 +1,126 @@
+// Status and Result<T>: the error-handling vocabulary of the whole code base.
+//
+// Remote operations in a distributed store fail for recoverable reasons
+// (missing node, closed stream, full queue). Those travel as Status values;
+// exceptions are reserved for programming errors (see CppCoreGuidelines E.*).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace glider {
+
+enum class StatusCode : std::uint16_t {
+  kOk = 0,
+  kNotFound = 1,
+  kAlreadyExists = 2,
+  kInvalidArgument = 3,
+  kOutOfRange = 4,
+  kResourceExhausted = 5,
+  kFailedPrecondition = 6,
+  kUnavailable = 7,
+  kInternal = 8,
+  kClosed = 9,        // stream or connection closed
+  kUnimplemented = 10,
+  kTimeout = 11,
+  kWrongNodeType = 12,
+};
+
+std::string_view StatusCodeName(StatusCode code);
+
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // OK
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status NotFound(std::string m) { return {StatusCode::kNotFound, std::move(m)}; }
+  static Status AlreadyExists(std::string m) { return {StatusCode::kAlreadyExists, std::move(m)}; }
+  static Status InvalidArgument(std::string m) { return {StatusCode::kInvalidArgument, std::move(m)}; }
+  static Status OutOfRange(std::string m) { return {StatusCode::kOutOfRange, std::move(m)}; }
+  static Status ResourceExhausted(std::string m) { return {StatusCode::kResourceExhausted, std::move(m)}; }
+  static Status FailedPrecondition(std::string m) { return {StatusCode::kFailedPrecondition, std::move(m)}; }
+  static Status Unavailable(std::string m) { return {StatusCode::kUnavailable, std::move(m)}; }
+  static Status Internal(std::string m) { return {StatusCode::kInternal, std::move(m)}; }
+  static Status Closed(std::string m) { return {StatusCode::kClosed, std::move(m)}; }
+  static Status Unimplemented(std::string m) { return {StatusCode::kUnimplemented, std::move(m)}; }
+  static Status Timeout(std::string m) { return {StatusCode::kTimeout, std::move(m)}; }
+  static Status WrongNodeType(std::string m) { return {StatusCode::kWrongNodeType, std::move(m)}; }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+// Result<T> holds either a value or a non-OK Status.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}        // NOLINT(google-explicit-constructor)
+  Result(Status status) : v_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    // An OK status carries no value; that is a caller bug.
+    if (std::get<Status>(v_).ok()) {
+      std::get<Status>(v_) = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& { return std::get<T>(v_); }
+  T& value() & { return std::get<T>(v_); }
+  T&& value() && { return std::get<T>(std::move(v_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(v_);
+  }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+}  // namespace glider
+
+#define GLIDER_CONCAT_INNER(a, b) a##b
+#define GLIDER_CONCAT(a, b) GLIDER_CONCAT_INNER(a, b)
+
+// Propagate a non-OK Status from an expression, in the style of
+// absl's RETURN_IF_ERROR. The temporary gets a per-line name so uses
+// nested inside lambda arguments don't shadow the outer use.
+#define GLIDER_RETURN_IF_ERROR_IMPL(tmp, expr) \
+  do {                                         \
+    ::glider::Status tmp = (expr);             \
+    if (!tmp.ok()) return tmp;                 \
+  } while (false)
+
+#define GLIDER_RETURN_IF_ERROR(expr) \
+  GLIDER_RETURN_IF_ERROR_IMPL(GLIDER_CONCAT(gl_status_, __LINE__), expr)
+
+#define GLIDER_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+
+// GLIDER_ASSIGN_OR_RETURN(auto x, SomeResultExpr());
+#define GLIDER_ASSIGN_OR_RETURN(lhs, expr) \
+  GLIDER_ASSIGN_OR_RETURN_IMPL(GLIDER_CONCAT(gl_result_, __LINE__), lhs, expr)

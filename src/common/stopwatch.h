@@ -1,0 +1,52 @@
+// Wall-clock stopwatch and simple streaming statistics for the bench harness.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+namespace glider {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+// Collects samples; reports min/max/mean/percentiles. Not thread-safe.
+class SampleStats {
+ public:
+  void Add(double v) { samples_.push_back(v); }
+
+  std::size_t count() const { return samples_.size(); }
+  double Min() const { return *std::min_element(samples_.begin(), samples_.end()); }
+  double Max() const { return *std::max_element(samples_.begin(), samples_.end()); }
+  double Mean() const {
+    double sum = 0;
+    for (double v : samples_) sum += v;
+    return samples_.empty() ? 0 : sum / static_cast<double>(samples_.size());
+  }
+  double Percentile(double p) {
+    if (samples_.empty()) return 0;
+    std::sort(samples_.begin(), samples_.end());
+    const auto idx = static_cast<std::size_t>(
+        p / 100.0 * static_cast<double>(samples_.size() - 1));
+    return samples_[idx];
+  }
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace glider

@@ -1,0 +1,57 @@
+// Fixed-size thread pool. Used for RPC server network workers, action
+// threads, and the FaaS invoker.
+#pragma once
+
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "common/blocking_queue.h"
+
+namespace glider {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads)
+      : queue_(/*capacity=*/4096) {
+    threads_.reserve(num_threads);
+    for (std::size_t i = 0; i < num_threads; ++i) {
+      threads_.emplace_back([this] { RunWorker(); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() { Shutdown(); }
+
+  // Enqueue a task; blocks if the internal queue is full. Returns kClosed
+  // after Shutdown().
+  Status Submit(std::function<void()> task) {
+    return queue_.Push(std::move(task));
+  }
+
+  // Drains queued tasks, then joins all workers. Idempotent.
+  void Shutdown() {
+    queue_.Close();
+    for (auto& t : threads_) {
+      if (t.joinable()) t.join();
+    }
+  }
+
+  std::size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void RunWorker() {
+    while (true) {
+      auto task = queue_.Pop();
+      if (!task.ok()) return;
+      (*task)();
+    }
+  }
+
+  BlockingQueue<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace glider

@@ -1,0 +1,42 @@
+#include "faas/invoker.h"
+
+#include <mutex>
+
+#include "common/logging.h"
+
+namespace glider::faas {
+
+Status Invoker::RunStage(std::size_t n, const WorkerFn& body) {
+  std::vector<std::thread> threads;
+  threads.reserve(n);
+  std::mutex status_mu;
+  Status first_error;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    threads.emplace_back([&, i] {
+      auto client = cluster_.NewFaasClient();
+      if (!client.ok()) {
+        std::scoped_lock lock(status_mu);
+        if (first_error.ok()) first_error = client.status();
+        return;
+      }
+      WorkerContext ctx;
+      ctx.worker_id = i;
+      ctx.num_workers = n;
+      ctx.store = client->get();
+      ctx.s3 = s3_;
+      ctx.link = (*client)->options().data_link;
+      const Status status = body(ctx);
+      if (!status.ok()) {
+        GLIDER_LOG(kWarn, "faas")
+            << "worker " << i << " failed: " << status.ToString();
+        std::scoped_lock lock(status_mu);
+        if (first_error.ok()) first_error = status;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  return first_error;
+}
+
+}  // namespace glider::faas

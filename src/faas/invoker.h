@@ -1,0 +1,49 @@
+// FaaS execution environment substitute (DESIGN.md §2).
+//
+// The paper evaluates Glider as a companion to serverless functions: many
+// short-lived workers, no direct communication, per-function bandwidth caps.
+// Invoker reproduces those properties: each invocation runs a user function
+// body on its own thread with a fresh StoreClient whose link is shaped to
+// FaaS-grade bandwidth/latency. Stages are invoked as a gang and awaited,
+// matching the map/reduce stage barriers of PyWren-style frameworks.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "testing/cluster.h"
+
+namespace glider::faas {
+
+class S3Like;
+
+// Everything one serverless worker may touch.
+struct WorkerContext {
+  std::size_t worker_id = 0;
+  std::size_t num_workers = 1;
+  nk::StoreClient* store = nullptr;  // FaaS-shaped client to the Glider store
+  S3Like* s3 = nullptr;              // object storage (may be nullptr)
+  std::shared_ptr<net::LinkModel> link;  // this worker's network link
+};
+
+using WorkerFn = std::function<Status(WorkerContext&)>;
+
+class Invoker {
+ public:
+  // `s3` may be nullptr when a workload only uses the ephemeral store.
+  Invoker(testing::MiniCluster& cluster, S3Like* s3 = nullptr)
+      : cluster_(cluster), s3_(s3) {}
+
+  // Invokes `n` workers concurrently and waits for all (a compute stage).
+  // Returns the first failure, if any.
+  Status RunStage(std::size_t n, const WorkerFn& body);
+
+ private:
+  testing::MiniCluster& cluster_;
+  S3Like* s3_;
+};
+
+}  // namespace glider::faas

@@ -1,0 +1,133 @@
+#include "faas/s3like.h"
+
+#include <thread>
+
+namespace glider::faas {
+
+void S3Like::ChargeTransfer(std::size_t bytes,
+                            const std::shared_ptr<net::LinkModel>& link,
+                            bool to_worker) const {
+  if (options_.op_latency.count() > 0) {
+    std::this_thread::sleep_for(options_.op_latency);
+  }
+  if (link) {
+    if (to_worker) {
+      // Response payload flows storage -> worker.
+      link->OnReceive(bytes);
+      if (link->metrics()) link->metrics()->RecordStorageAccess();
+      // Count it as one operation on the link.
+      link->OnSend(0);
+    } else {
+      link->OnSend(bytes);
+      if (link->metrics()) link->metrics()->RecordStorageAccess();
+    }
+  }
+}
+
+void S3Like::ChargeScan(std::size_t bytes) {
+  scanned_bytes_ += bytes;
+  if (options_.select_scan_bps > 0) {
+    const double seconds =
+        static_cast<double>(bytes) / static_cast<double>(options_.select_scan_bps);
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  }
+}
+
+Status S3Like::Put(const std::string& key, std::string value,
+                   const std::shared_ptr<net::LinkModel>& link) {
+  const std::size_t bytes = value.size();
+  ChargeTransfer(bytes, link, /*to_worker=*/false);
+  std::int64_t delta = 0;
+  {
+    std::scoped_lock lock(mu_);
+    auto it = objects_.find(key);
+    if (it != objects_.end()) {
+      delta = static_cast<std::int64_t>(bytes) -
+              static_cast<std::int64_t>(it->second.size());
+      it->second = std::move(value);
+    } else {
+      delta = static_cast<std::int64_t>(bytes);
+      objects_.emplace(key, std::move(value));
+    }
+  }
+  if (metrics_) metrics_->RecordStoredBytes(delta);
+  return Status::Ok();
+}
+
+Result<std::string> S3Like::Get(const std::string& key,
+                                const std::shared_ptr<net::LinkModel>& link) {
+  std::string value;
+  {
+    std::scoped_lock lock(mu_);
+    auto it = objects_.find(key);
+    if (it == objects_.end()) return Status::NotFound("s3: " + key);
+    value = it->second;
+  }
+  ChargeTransfer(value.size(), link, /*to_worker=*/true);
+  return value;
+}
+
+Result<std::string> S3Like::SelectLines(
+    const std::string& key,
+    const std::function<bool(std::string_view)>& predicate,
+    const std::shared_ptr<net::LinkModel>& link) {
+  std::string object;
+  {
+    std::scoped_lock lock(mu_);
+    auto it = objects_.find(key);
+    if (it == objects_.end()) return Status::NotFound("s3: " + key);
+    object = it->second;
+  }
+  ChargeScan(object.size());
+
+  std::string out;
+  std::size_t start = 0;
+  while (start < object.size()) {
+    std::size_t end = object.find('\n', start);
+    if (end == std::string::npos) end = object.size();
+    const std::string_view line(object.data() + start, end - start);
+    if (predicate(line)) {
+      out.append(line);
+      out.push_back('\n');
+    }
+    start = end + 1;
+  }
+  ChargeTransfer(out.size(), link, /*to_worker=*/true);
+  return out;
+}
+
+Result<std::string> S3Like::SelectSample(
+    const std::string& key, std::size_t stride,
+    const std::shared_ptr<net::LinkModel>& link) {
+  std::size_t i = 0;
+  return SelectLines(
+      key, [&i, stride](std::string_view) { return i++ % stride == 0; },
+      link);
+}
+
+Status S3Like::Delete(const std::string& key) {
+  std::scoped_lock lock(mu_);
+  auto it = objects_.find(key);
+  if (it == objects_.end()) return Status::NotFound("s3: " + key);
+  if (metrics_) {
+    metrics_->RecordStoredBytes(-static_cast<std::int64_t>(it->second.size()));
+  }
+  objects_.erase(it);
+  return Status::Ok();
+}
+
+Result<std::uint64_t> S3Like::Size(const std::string& key) const {
+  std::scoped_lock lock(mu_);
+  auto it = objects_.find(key);
+  if (it == objects_.end()) return Status::NotFound("s3: " + key);
+  return static_cast<std::uint64_t>(it->second.size());
+}
+
+std::uint64_t S3Like::TotalStoredBytes() const {
+  std::scoped_lock lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& [key, value] : objects_) total += value.size();
+  return total;
+}
+
+}  // namespace glider::faas

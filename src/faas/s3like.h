@@ -1,0 +1,80 @@
+// S3Like: the cloud object-storage substitute for the genomics baseline
+// (DESIGN.md §2), including an S3 SELECT emulation (paper §7.4).
+//
+// Modelled properties:
+//   * per-operation base latency (object stores answer in tens of ms),
+//   * payload bytes shaped through the caller's worker link (the FaaS
+//     bandwidth cap is the bottleneck, as in the paper),
+//   * SELECT scans the full object server-side but ships only matching
+//     bytes; the scan itself costs time at a configurable internal scan
+//     bandwidth — SELECT is cheaper than GET but not free.
+//
+// Metrics: transferred bytes/ops are attributed to the worker link's class
+// (kFaas); stored bytes feed the utilization gauge.
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/status.h"
+#include "net/link_model.h"
+
+namespace glider::faas {
+
+class S3Like {
+ public:
+  struct Options {
+    std::chrono::microseconds op_latency{15000};  // ~15 ms per request
+    // Server-side scan bandwidth for SELECT (bytes/s); 0 = instantaneous.
+    std::uint64_t select_scan_bps = 400ull * 1000 * 1000;
+  };
+
+  explicit S3Like(Options options, std::shared_ptr<Metrics> metrics)
+      : options_(options), metrics_(std::move(metrics)) {}
+
+  // `link` is the calling worker's network link (shapes payload bytes and
+  // attributes traffic); it may be nullptr in unit tests.
+  Status Put(const std::string& key, std::string value,
+             const std::shared_ptr<net::LinkModel>& link);
+
+  Result<std::string> Get(const std::string& key,
+                          const std::shared_ptr<net::LinkModel>& link);
+
+  // S3 SELECT over a line-oriented object: returns the concatenation of
+  // lines satisfying `predicate`. Full object is scanned server-side; only
+  // matches travel.
+  Result<std::string> SelectLines(
+      const std::string& key,
+      const std::function<bool(std::string_view)>& predicate,
+      const std::shared_ptr<net::LinkModel>& link);
+
+  // SELECT every `stride`-th line — the sampling query of the genomics
+  // baseline ("the baseline uses S3 SELECT to first sample the files").
+  Result<std::string> SelectSample(const std::string& key, std::size_t stride,
+                                   const std::shared_ptr<net::LinkModel>& link);
+
+  Status Delete(const std::string& key);
+  Result<std::uint64_t> Size(const std::string& key) const;
+  std::uint64_t TotalStoredBytes() const;
+  std::uint64_t ScannedBytes() const { return scanned_bytes_; }
+
+ private:
+  void ChargeTransfer(std::size_t bytes,
+                      const std::shared_ptr<net::LinkModel>& link,
+                      bool to_worker) const;
+  void ChargeScan(std::size_t bytes);
+
+  const Options options_;
+  std::shared_ptr<Metrics> metrics_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::string> objects_;
+  std::atomic<std::uint64_t> scanned_bytes_{0};
+};
+
+}  // namespace glider::faas

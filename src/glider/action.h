@@ -1,0 +1,129 @@
+// The storage-action developer interface (paper §6.2, Table 1 "Action
+// Object").
+//
+// Programmers specialize Action and implement any of the four methods; all
+// are optional. onWrite receives a readable stream of what a client writes
+// into the action; onRead receives a writable stream it should populate.
+// Methods of one action execute as if single-threaded (paper §4.2 "Actions
+// and concurrency"); with interleaving enabled, a method waiting on its
+// stream yields its turn to another method of the same action.
+//
+// Action state lives in ordinary object fields. Through ActionContext an
+// action gets a store client to reach other storage nodes — including other
+// actions — to build processing patterns inside the ephemeral store.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "nodekernel/client/file_streams.h"
+#include "nodekernel/client/store_client.h"
+
+namespace glider::core {
+
+// Server-side view of a stream a client is writing into the action.
+class ActionInputStream {
+ public:
+  virtual ~ActionInputStream() = default;
+
+  // Next chunk of data in stream order; empty buffer when the client closed
+  // the stream (end of stream).
+  virtual Result<Buffer> ReadChunk() = 0;
+
+  // Convenience: a LineScanner over this stream.
+  nk::LineScanner Lines() {
+    return nk::LineScanner([this] { return ReadChunk(); });
+  }
+};
+
+// Server-side view of a stream a client is reading from the action.
+class ActionOutputStream {
+ public:
+  virtual ~ActionOutputStream() = default;
+
+  // Appends a chunk; blocks (yielding, if interleaved) while the client is
+  // behind. Returns kClosed if the client abandoned the stream.
+  virtual Status Write(ByteSpan data) = 0;
+  Status Write(std::string_view text) { return Write(AsBytes(text)); }
+
+  // Ends the stream early; the method may keep running. Implicit when the
+  // method returns.
+  virtual void Close() = 0;
+};
+
+// What an action sees of its hosting environment.
+class ActionContext {
+ public:
+  virtual ~ActionContext() = default;
+
+  // A store client connected to this namespace over the storage-internal
+  // link (paper §6.2: "action objects get a store client, by default, to
+  // access other storage nodes, including other actions").
+  virtual nk::StoreClient& store() = 0;
+
+  // Creation parameters passed by the application (paper §3.2 "the service
+  // may also allow certain action configuration parameters").
+  virtual ByteSpan config() const = 0;
+};
+
+class Action {
+ public:
+  virtual ~Action() = default;
+
+  // Lifecycle hooks; run when the action object is instantiated / removed.
+  virtual void onCreate(ActionContext& ctx) { (void)ctx; }
+  virtual void onDelete(ActionContext& ctx) { (void)ctx; }
+
+  // Data hooks; run once per stream opened on the action.
+  virtual void onRead(ActionOutputStream& out, ActionContext& ctx) {
+    (void)out;
+    (void)ctx;
+  }
+  virtual void onWrite(ActionInputStream& in, ActionContext& ctx) {
+    (void)in;
+    (void)ctx;
+  }
+
+  // Approximate bytes of state held by this action. Feeds the storage
+  // utilization metric (paper §7.1 "Impact of actions on storage
+  // utilization").
+  virtual std::uint64_t StateBytes() const { return 0; }
+};
+
+// Registry of deployed action definitions ("uploading the package", paper
+// §6.2): maps a definition name to a factory.
+class ActionRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<Action>()>;
+
+  void Register(const std::string& name, Factory factory);
+  Result<std::unique_ptr<Action>> Create(const std::string& name) const;
+  bool Contains(const std::string& name) const;
+
+  // Process-wide registry used by GLIDER_REGISTER_ACTION.
+  static ActionRegistry& Global();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, Factory> factories_;
+};
+
+namespace internal {
+struct ActionRegistrar {
+  ActionRegistrar(const std::string& name, ActionRegistry::Factory factory) {
+    ActionRegistry::Global().Register(name, std::move(factory));
+  }
+};
+}  // namespace internal
+
+// Registers `Type` under `name` in the global registry at startup:
+//   GLIDER_REGISTER_ACTION("merge", MergeAction);
+#define GLIDER_REGISTER_ACTION(name, Type)                               \
+  static const ::glider::core::internal::ActionRegistrar                 \
+      gl_action_registrar_##Type{                                        \
+          (name), [] { return std::make_unique<Type>(); }}
+
+}  // namespace glider::core

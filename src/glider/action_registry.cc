@@ -1,0 +1,34 @@
+#include "glider/action.h"
+
+namespace glider::core {
+
+void ActionRegistry::Register(const std::string& name, Factory factory) {
+  std::scoped_lock lock(mu_);
+  factories_[name] = std::move(factory);
+}
+
+Result<std::unique_ptr<Action>> ActionRegistry::Create(
+    const std::string& name) const {
+  Factory factory;
+  {
+    std::scoped_lock lock(mu_);
+    auto it = factories_.find(name);
+    if (it == factories_.end()) {
+      return Status::NotFound("no action definition named '" + name + "'");
+    }
+    factory = it->second;
+  }
+  return factory();
+}
+
+bool ActionRegistry::Contains(const std::string& name) const {
+  std::scoped_lock lock(mu_);
+  return factories_.contains(name);
+}
+
+ActionRegistry& ActionRegistry::Global() {
+  static ActionRegistry registry;
+  return registry;
+}
+
+}  // namespace glider::core

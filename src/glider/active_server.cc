@@ -1,0 +1,507 @@
+#include "glider/active_server.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "net/link_model.h"
+
+namespace glider::core {
+
+// One action slot: the unit of active-server capacity. Holds the live
+// action object, its execution monitor, and its creation config.
+struct ActiveServer::Slot {
+  std::uint32_t index = 0;
+  // shared_ptr (not unique_ptr) because handler lambdas captured into
+  // std::function must stay copyable.
+  std::shared_ptr<Action> object;
+  ActionMonitor monitor;
+  bool interleave = false;
+  std::string action_type;
+  Buffer config;
+};
+
+// One open I/O stream on an action.
+struct ActiveServer::Stream {
+  std::uint64_t id = 0;
+  std::uint32_t slot = 0;
+  StreamMode mode = StreamMode::kRead;
+  StreamChannel channel;
+  // Write streams: responder for the client's close request, fulfilled when
+  // the method finishes consuming the stream ("this sends a final request
+  // that ... ends the method execution", §4.2).
+  std::mutex close_mu;
+  net::Responder close_responder;
+  net::Message close_request;
+  bool method_done = false;
+
+  Stream(std::uint64_t stream_id, std::uint32_t slot_index, StreamMode m,
+         std::size_t capacity)
+      : id(stream_id), slot(slot_index), mode(m), channel(capacity) {}
+};
+
+namespace {
+
+// Context handed to action methods.
+class ServerActionContext : public ActionContext {
+ public:
+  ServerActionContext(nk::StoreClient* store, ByteSpan config)
+      : store_(store), config_(config) {}
+
+  nk::StoreClient& store() override { return *store_; }
+  ByteSpan config() const override { return config_; }
+
+ private:
+  nk::StoreClient* store_;
+  ByteSpan config_;
+};
+
+// Input stream over a write-stream channel: pops tasks in order; EOS task
+// becomes the empty end-of-stream chunk.
+class ChannelInputStream : public ActionInputStream {
+ public:
+  ChannelInputStream(StreamChannel* channel, ActionMonitor* monitor)
+      : channel_(channel), monitor_(monitor) {}
+
+  Result<Buffer> ReadChunk() override {
+    if (eos_) return Buffer{};
+    auto task = channel_->BlockingPop(monitor_);
+    if (!task.ok()) {
+      // Teardown while reading: surface as end of stream.
+      eos_ = true;
+      return Buffer{};
+    }
+    if (task->eos) {
+      eos_ = true;
+      return Buffer{};
+    }
+    return std::move(task->data);
+  }
+
+  bool saw_eos() const { return eos_; }
+
+ private:
+  StreamChannel* channel_;
+  ActionMonitor* monitor_;
+  bool eos_ = false;
+};
+
+// Output stream over a read-stream channel.
+class ChannelOutputStream : public ActionOutputStream {
+ public:
+  ChannelOutputStream(StreamChannel* channel, ActionMonitor* monitor)
+      : channel_(channel), monitor_(monitor) {}
+
+  Status Write(ByteSpan data) override {
+    if (closed_) return Status::Closed("output stream closed");
+    DataTask task;
+    task.data = Buffer(data.data(), data.size());
+    return channel_->BlockingPush(std::move(task), monitor_);
+  }
+
+  void Close() override {
+    if (closed_) return;
+    closed_ = true;
+    channel_->CloseProducer();
+  }
+
+ private:
+  StreamChannel* channel_;
+  ActionMonitor* monitor_;
+  bool closed_ = false;
+};
+
+}  // namespace
+
+ActiveServer::ActiveServer(Options options,
+                           std::shared_ptr<ActionRegistry> registry,
+                           std::shared_ptr<Metrics> metrics)
+    : options_(std::move(options)),
+      registry_(std::move(registry)),
+      metrics_(std::move(metrics)) {}
+
+Status ActiveServer::MethodRunner::Submit(std::function<void()> task) {
+  std::scoped_lock lock(mu_);
+  if (shutdown_) return Status::Closed("active server shutting down");
+  threads_.emplace_back(std::move(task));
+  return Status::Ok();
+}
+
+void ActiveServer::MethodRunner::Shutdown() {
+  std::vector<std::thread> to_join;
+  {
+    std::scoped_lock lock(mu_);
+    shutdown_ = true;
+    to_join.swap(threads_);
+  }
+  for (auto& t : to_join) {
+    if (t.joinable()) t.join();
+  }
+}
+
+ActiveServer::~ActiveServer() {
+  // Stop accepting requests before tearing down action state.
+  listener_.reset();
+  if (action_pool_) action_pool_->Shutdown();
+}
+
+Status ActiveServer::Start(net::Transport& transport,
+                           const std::string& metadata_address) {
+  auto listener =
+      transport.Listen(options_.preferred_address, shared_from_this());
+  if (!listener.ok()) return listener.status();
+  listener_ = std::move(listener).value();
+  address_ = listener_->address();
+
+  // Register the slots as the blocks of this storage space, grouped under
+  // the active storage class.
+  auto conn = transport.Connect(
+      metadata_address, net::LinkModel::Unshaped(LinkClass::kControl, metrics_));
+  if (!conn.ok()) return conn.status();
+  nk::RegisterServerRequest req;
+  req.storage_class = nk::kActiveClass;
+  req.address = address_;
+  req.num_blocks = options_.num_slots;
+  req.block_size = options_.slot_bytes;
+  GLIDER_ASSIGN_OR_RETURN(
+      auto payload, (*conn)->CallSync(nk::kRegisterServer, req.Encode()));
+  (void)payload;
+
+  // The store client actions use to reach other nodes, over the
+  // storage-internal link.
+  nk::StoreClient::Options copts;
+  copts.transport = &transport;
+  copts.metadata_address = metadata_address;
+  copts.data_link = std::make_shared<net::LinkModel>(
+      options_.internal_link_class, options_.internal_link_bps,
+      std::chrono::microseconds(0), metrics_);
+  GLIDER_ASSIGN_OR_RETURN(internal_client_,
+                          nk::StoreClient::Connect(std::move(copts)));
+
+  action_pool_ = std::make_unique<MethodRunner>();
+  return Status::Ok();
+}
+
+void ActiveServer::Handle(net::Message request, net::Responder responder) {
+  switch (request.opcode) {
+    case kActionCreate: return HandleActionCreate(std::move(request), std::move(responder));
+    case kActionDelete: return HandleActionDelete(std::move(request), std::move(responder));
+    case kActionStat: return HandleActionStat(std::move(request), std::move(responder));
+    case kStreamOpen: return HandleStreamOpen(std::move(request), std::move(responder));
+    case kStreamWrite: return HandleStreamWrite(std::move(request), std::move(responder));
+    case kStreamRead: return HandleStreamRead(std::move(request), std::move(responder));
+    case kStreamClose: return HandleStreamClose(std::move(request), std::move(responder));
+    default:
+      responder.SendError(request, Status::Unimplemented(
+                                       "active-server opcode " +
+                                       std::to_string(request.opcode)));
+  }
+}
+
+Result<std::shared_ptr<ActiveServer::Slot>> ActiveServer::GetSlot(
+    std::uint32_t index, bool must_have_object) {
+  std::scoped_lock lock(mu_);
+  auto it = slots_.find(index);
+  if (it == slots_.end()) {
+    if (must_have_object) {
+      return Status::NotFound("no action in slot " + std::to_string(index));
+    }
+    auto slot = std::make_shared<Slot>();
+    slot->index = index;
+    slots_[index] = slot;
+    return slot;
+  }
+  if (must_have_object && it->second->object == nullptr) {
+    return Status::NotFound("no action in slot " + std::to_string(index));
+  }
+  return it->second;
+}
+
+Result<std::shared_ptr<ActiveServer::Stream>> ActiveServer::GetStream(
+    std::uint64_t id) {
+  std::scoped_lock lock(mu_);
+  auto it = streams_.find(id);
+  if (it == streams_.end()) {
+    return Status::NotFound("unknown stream " + std::to_string(id));
+  }
+  return it->second;
+}
+
+void ActiveServer::HandleActionCreate(net::Message request,
+                                      net::Responder responder) {
+  auto req = ActionCreateRequest::Decode(request.payload.span());
+  if (!req.ok()) return responder.SendError(request, req.status());
+  if (req->slot >= options_.num_slots) {
+    return responder.SendError(request,
+                               Status::OutOfRange("slot out of range"));
+  }
+  auto slot_result = GetSlot(req->slot, /*must_have_object=*/false);
+  if (!slot_result.ok()) {
+    return responder.SendError(request, slot_result.status());
+  }
+  auto slot = std::move(slot_result).value();
+  auto object = registry_->Create(req->action_type);
+  if (!object.ok()) return responder.SendError(request, object.status());
+
+  // Instantiate under the action's execution turn: onCreate is user code
+  // and follows the single-threaded model like any other method.
+  const Status submitted = action_pool_->Submit(
+      [this, slot, req = std::move(req).value(),
+       object = std::shared_ptr<Action>(std::move(object).value()),
+       request, responder]() mutable {
+        slot->monitor.Enter();
+        if (slot->object != nullptr) {
+          slot->monitor.Exit();
+          return responder.SendError(
+              request, Status::AlreadyExists("slot already holds an action"));
+        }
+        slot->interleave = req.interleave;
+        slot->action_type = req.action_type;
+        slot->config = std::move(req.config);
+        slot->object = std::move(object);
+        ServerActionContext ctx(internal_client_.get(), slot->config.span());
+        try {
+          slot->object->onCreate(ctx);
+          slot->monitor.Exit();
+          responder.SendOk(request);
+        } catch (const std::exception& e) {
+          slot->object.reset();
+          slot->monitor.Exit();
+          responder.SendError(request,
+                              Status::Internal(std::string("onCreate: ") +
+                                               e.what()));
+        }
+      });
+  if (!submitted.ok()) responder.SendError(request, submitted);
+}
+
+void ActiveServer::HandleActionDelete(net::Message request,
+                                      net::Responder responder) {
+  auto req = SlotRequest::Decode(request.payload.span());
+  if (!req.ok()) return responder.SendError(request, req.status());
+  auto slot_result = GetSlot(req->slot, /*must_have_object=*/true);
+  if (!slot_result.ok()) {
+    return responder.SendError(request, slot_result.status());
+  }
+  auto slot = std::move(slot_result).value();
+  const Status submitted =
+      action_pool_->Submit([this, slot, request, responder]() mutable {
+        slot->monitor.Enter();
+        if (slot->object == nullptr) {
+          slot->monitor.Exit();
+          return responder.SendError(request,
+                                     Status::NotFound("slot already empty"));
+        }
+        ServerActionContext ctx(internal_client_.get(), slot->config.span());
+        try {
+          slot->object->onDelete(ctx);
+        } catch (const std::exception& e) {
+          GLIDER_LOG(kWarn, "active") << "onDelete threw: " << e.what();
+        }
+        slot->object.reset();
+        slot->monitor.Exit();
+        responder.SendOk(request);
+      });
+  if (!submitted.ok()) responder.SendError(request, submitted);
+}
+
+void ActiveServer::HandleActionStat(net::Message request,
+                                    net::Responder responder) {
+  auto req = SlotRequest::Decode(request.payload.span());
+  if (!req.ok()) return responder.SendError(request, req.status());
+  auto slot_result = GetSlot(req->slot, /*must_have_object=*/true);
+  if (!slot_result.ok()) {
+    return responder.SendError(request, slot_result.status());
+  }
+  auto slot = std::move(slot_result).value();
+  const Status submitted =
+      action_pool_->Submit([slot, request, responder]() mutable {
+        slot->monitor.Enter();
+        ActionStatResponse resp;
+        if (slot->object != nullptr) {
+          resp.state_bytes = slot->object->StateBytes();
+        }
+        slot->monitor.Exit();
+        responder.SendOk(request, resp.Encode());
+      });
+  if (!submitted.ok()) responder.SendError(request, submitted);
+}
+
+void ActiveServer::HandleStreamOpen(net::Message request,
+                                    net::Responder responder) {
+  auto req = StreamOpenRequest::Decode(request.payload.span());
+  if (!req.ok()) return responder.SendError(request, req.status());
+  auto slot_result = GetSlot(req->slot, /*must_have_object=*/true);
+  if (!slot_result.ok()) {
+    return responder.SendError(request, slot_result.status());
+  }
+  auto slot = std::move(slot_result).value();
+
+  const std::uint64_t id = next_stream_id_.fetch_add(1);
+  auto stream = std::make_shared<Stream>(id, req->slot, req->mode,
+                                         options_.channel_capacity);
+  {
+    std::scoped_lock lock(mu_);
+    streams_[id] = stream;
+  }
+  RunMethod(std::move(slot), stream);
+
+  StreamOpenResponse resp;
+  resp.stream_id = id;
+  responder.SendOk(request, resp.Encode());
+}
+
+void ActiveServer::RunMethod(std::shared_ptr<Slot> slot,
+                             std::shared_ptr<Stream> stream) {
+  const Status submitted = action_pool_->Submit([this, slot, stream] {
+    ActionMonitor* monitor = &slot->monitor;
+    ActionMonitor* yield = slot->interleave ? monitor : nullptr;
+    monitor->Enter();
+    ServerActionContext ctx(internal_client_.get(), slot->config.span());
+    if (stream->mode == StreamMode::kWrite) {
+      ChannelInputStream in(&stream->channel, yield);
+      try {
+        if (slot->object != nullptr) slot->object->onWrite(in, ctx);
+      } catch (const std::exception& e) {
+        GLIDER_LOG(kWarn, "active") << "onWrite threw: " << e.what();
+      }
+      monitor->Exit();
+      // The method may return before consuming the whole stream; drain so
+      // pipelined client writes still get acknowledged, then complete the
+      // client's close. Skip when the method already saw end-of-stream.
+      while (!in.saw_eos()) {
+        auto task = stream->channel.BlockingPop(nullptr);
+        if (!task.ok() || task->eos) break;
+      }
+      net::Responder close_responder;
+      net::Message close_request;
+      {
+        std::scoped_lock lock(stream->close_mu);
+        stream->method_done = true;
+        close_responder = std::move(stream->close_responder);
+        close_request = stream->close_request;
+      }
+      if (close_responder.valid()) {
+        close_responder.SendOk(close_request);
+      }
+    } else {
+      ChannelOutputStream out(&stream->channel, yield);
+      try {
+        if (slot->object != nullptr) slot->object->onRead(out, ctx);
+      } catch (const std::exception& e) {
+        GLIDER_LOG(kWarn, "active") << "onRead threw: " << e.what();
+      }
+      monitor->Exit();
+      out.Close();  // idempotent: signals end-of-stream to the reader
+      std::scoped_lock lock(stream->close_mu);
+      stream->method_done = true;
+    }
+  });
+  if (!submitted.ok()) {
+    GLIDER_LOG(kWarn, "active") << "action pool rejected method";
+    stream->channel.Abort();
+  }
+}
+
+void ActiveServer::HandleStreamWrite(net::Message request,
+                                     net::Responder responder) {
+  auto req = StreamWriteRequest::Decode(request.payload.span());
+  if (!req.ok()) return responder.SendError(request, req.status());
+  auto stream = GetStream(req->stream_id);
+  if (!stream.ok()) return responder.SendError(request, stream.status());
+  if ((*stream)->mode != StreamMode::kWrite) {
+    return responder.SendError(request,
+                               Status::InvalidArgument("not a write stream"));
+  }
+  DataTask task;
+  task.data = std::move(req->data);
+  (*stream)->channel.AsyncPush(
+      req->seq, std::move(task),
+      [request, responder](Status admit) mutable {
+        if (admit.ok()) {
+          responder.SendOk(request);
+        } else {
+          responder.SendError(request, admit);
+        }
+      });
+}
+
+void ActiveServer::HandleStreamRead(net::Message request,
+                                    net::Responder responder) {
+  auto req = StreamReadRequest::Decode(request.payload.span());
+  if (!req.ok()) return responder.SendError(request, req.status());
+  auto stream = GetStream(req->stream_id);
+  if (!stream.ok()) return responder.SendError(request, stream.status());
+  if ((*stream)->mode != StreamMode::kRead) {
+    return responder.SendError(request,
+                               Status::InvalidArgument("not a read stream"));
+  }
+  (*stream)->channel.AsyncPop(
+      req->seq, [request, responder](Result<DataTask> task) mutable {
+        if (task.ok()) {
+          responder.SendOk(request, std::move(task->data));
+        } else {
+          // kClosed = end of stream; the client reader treats it as EOF.
+          responder.SendError(request, task.status());
+        }
+      });
+}
+
+void ActiveServer::HandleStreamClose(net::Message request,
+                                     net::Responder responder) {
+  auto req = StreamCloseRequest::Decode(request.payload.span());
+  if (!req.ok()) return responder.SendError(request, req.status());
+  auto stream_result = GetStream(req->stream_id);
+  if (!stream_result.ok()) {
+    // Already cleaned up; close is idempotent.
+    return responder.SendOk(request);
+  }
+  auto stream = std::move(stream_result).value();
+
+  if (stream->mode == StreamMode::kWrite) {
+    bool already_done = false;
+    {
+      std::scoped_lock lock(stream->close_mu);
+      if (stream->method_done) {
+        already_done = true;
+      } else {
+        stream->close_responder = std::move(responder);
+        stream->close_request = request;
+      }
+    }
+    // End-of-stream arrives in-band after the last write (seq ordering).
+    DataTask eos;
+    eos.eos = true;
+    stream->channel.AsyncPush(req->seq, std::move(eos), [](Status) {});
+    if (already_done) {
+      // Method finished early (it may not consume the whole stream).
+      net::Responder r = std::move(responder);
+      r.SendOk(request);
+    }
+  } else {
+    // Reader is done: unblock the producer if it is still writing.
+    stream->channel.Abort();
+    responder.SendOk(request);
+  }
+  std::scoped_lock lock(mu_);
+  streams_.erase(req->stream_id);
+}
+
+std::uint64_t ActiveServer::UsedBytes() const {
+  std::scoped_lock lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& [index, slot] : slots_) {
+    if (slot->object != nullptr) total += slot->object->StateBytes();
+  }
+  return total;
+}
+
+std::size_t ActiveServer::LiveActions() const {
+  std::scoped_lock lock(mu_);
+  std::size_t count = 0;
+  for (const auto& [index, slot] : slots_) {
+    if (slot->object != nullptr) ++count;
+  }
+  return count;
+}
+
+}  // namespace glider::core

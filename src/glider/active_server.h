@@ -1,0 +1,124 @@
+// The active storage server (paper §4.2 "The active storage server", §5).
+//
+// An active server is a storage space contributing *action slots* instead of
+// data blocks: it registers its slots with the metadata server under the
+// dedicated active storage class, so the storage kernel allocates action
+// nodes only here. Each slot hosts one live action object.
+//
+// Two decoupled thread pools, as in the paper:
+//   * network workers (the transport's handler pool) decode stream
+//     operations and move them onto per-stream channels — never blocking;
+//   * action threads consume the channels by running action methods, one
+//     method at a time per action (ActionMonitor), with optional
+//     interleaving.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/thread_pool.h"
+#include "glider/action.h"
+#include "glider/protocol.h"
+#include "glider/stream_channel.h"
+#include "net/transport.h"
+#include "nodekernel/protocol.h"
+
+namespace glider::core {
+
+class ActiveServer : public net::Service,
+                     public std::enable_shared_from_this<ActiveServer> {
+ public:
+  struct Options {
+    std::uint32_t num_slots = 16;
+    // Nominal slot capacity registered with the metadata server; a resource
+    // management knob (paper: "the size of an active server and the number
+    // of slots it registers determine the capacity ... of its actions").
+    std::uint64_t slot_bytes = 64ull << 20;
+    // Hint for the nominal action-thread capacity registered with resource
+    // management. Execution itself is one dedicated thread per running
+    // method: methods are long-lived and may open streams to *other*
+    // actions (e.g. the genomics sampler feeding the manager), which a
+    // fixed pool can deadlock on when every pool thread blocks waiting for
+    // a method that cannot be scheduled.
+    std::size_t num_action_threads = 4;
+    std::size_t channel_capacity = 8;  // in-flight ops buffered per stream
+    std::string preferred_address;
+    // Link class for the server's internal store client (actions reaching
+    // other nodes): kInternal, or kRdma when the deployment gives the
+    // storage tier a fast fabric (§7.1 "RDMA" row).
+    LinkClass internal_link_class = LinkClass::kInternal;
+    // Bandwidth of the internal link (0 = unshaped).
+    std::uint64_t internal_link_bps = 0;
+  };
+
+  ActiveServer(Options options, std::shared_ptr<ActionRegistry> registry,
+               std::shared_ptr<Metrics> metrics);
+  ~ActiveServer() override;
+
+  // Binds, registers the slots with the metadata server, and builds the
+  // internal store client handed to actions.
+  Status Start(net::Transport& transport, const std::string& metadata_address);
+
+  void Handle(net::Message request, net::Responder responder) override;
+
+  const std::string& address() const { return address_; }
+
+  // Sum of self-reported action state (storage-utilization metric).
+  std::uint64_t UsedBytes() const;
+  std::size_t LiveActions() const;
+
+ private:
+  struct Slot;
+  struct Stream;
+
+  void HandleActionCreate(net::Message request, net::Responder responder);
+  void HandleActionDelete(net::Message request, net::Responder responder);
+  void HandleActionStat(net::Message request, net::Responder responder);
+  void HandleStreamOpen(net::Message request, net::Responder responder);
+  void HandleStreamWrite(net::Message request, net::Responder responder);
+  void HandleStreamRead(net::Message request, net::Responder responder);
+  void HandleStreamClose(net::Message request, net::Responder responder);
+
+  Result<std::shared_ptr<Slot>> GetSlot(std::uint32_t index,
+                                        bool must_have_object);
+  Result<std::shared_ptr<Stream>> GetStream(std::uint64_t id);
+
+  // Runs one stream's action method on the action pool.
+  void RunMethod(std::shared_ptr<Slot> slot, std::shared_ptr<Stream> stream);
+
+  const Options options_;
+  std::shared_ptr<ActionRegistry> registry_;
+  std::shared_ptr<Metrics> metrics_;
+
+  // Spawns one tracked thread per action-method execution; joins all at
+  // shutdown.
+  class MethodRunner {
+   public:
+    ~MethodRunner() { Shutdown(); }
+    Status Submit(std::function<void()> task);
+    void Shutdown();
+
+   private:
+    std::mutex mu_;
+    std::vector<std::thread> threads_;
+    bool shutdown_ = false;
+  };
+
+  std::unique_ptr<net::Listener> listener_;
+  std::string address_;
+  std::unique_ptr<nk::StoreClient> internal_client_;
+  std::unique_ptr<MethodRunner> action_pool_;
+
+  mutable std::mutex mu_;
+  std::map<std::uint32_t, std::shared_ptr<Slot>> slots_;
+  std::map<std::uint64_t, std::shared_ptr<Stream>> streams_;
+  std::atomic<std::uint64_t> next_stream_id_{1};
+};
+
+}  // namespace glider::core

@@ -1,0 +1,212 @@
+#include "glider/client/action_node.h"
+
+#include <algorithm>
+
+namespace glider::core {
+
+Result<ActionNode> ActionNode::Create(nk::StoreClient& client,
+                                      const std::string& path,
+                                      const std::string& action_type,
+                                      bool interleave, ByteSpan config) {
+  GLIDER_ASSIGN_OR_RETURN(
+      auto info, client.CreateActionNode(path, action_type, interleave));
+  GLIDER_ASSIGN_OR_RETURN(auto conn, client.ConnectTo(info.slot.address));
+
+  ActionCreateRequest req;
+  req.slot = info.slot.block;
+  req.action_type = action_type;
+  req.interleave = interleave;
+  req.config = Buffer(config.data(), config.size());
+  auto created = conn->CallSync(kActionCreate, req.Encode());
+  if (!created.ok()) {
+    // Roll the node back so the namespace does not keep a dead action.
+    (void)client.Delete(path);
+    return created.status();
+  }
+  return ActionNode(client, path, std::move(info), std::move(conn));
+}
+
+Result<ActionNode> ActionNode::Lookup(nk::StoreClient& client,
+                                      const std::string& path) {
+  GLIDER_ASSIGN_OR_RETURN(auto info, client.Lookup(path));
+  if (info.type != nk::NodeType::kAction) {
+    return Status::WrongNodeType(path + " is not an action node");
+  }
+  GLIDER_ASSIGN_OR_RETURN(auto conn, client.ConnectTo(info.slot.address));
+  return ActionNode(client, path, std::move(info), std::move(conn));
+}
+
+Status ActionNode::DeleteObject() {
+  SlotRequest req;
+  req.slot = info_.slot.block;
+  GLIDER_ASSIGN_OR_RETURN(auto payload,
+                          conn_->CallSync(kActionDelete, req.Encode()));
+  (void)payload;
+  return Status::Ok();
+}
+
+Status ActionNode::Delete(nk::StoreClient& client, const std::string& path) {
+  GLIDER_ASSIGN_OR_RETURN(auto node, Lookup(client, path));
+  GLIDER_RETURN_IF_ERROR(node.DeleteObject());
+  GLIDER_ASSIGN_OR_RETURN(auto info, client.Delete(path));
+  (void)info;
+  return Status::Ok();
+}
+
+Result<std::unique_ptr<ActionWriter>> ActionNode::OpenWriter() {
+  StreamOpenRequest req;
+  req.slot = info_.slot.block;
+  req.mode = StreamMode::kWrite;
+  GLIDER_ASSIGN_OR_RETURN(auto payload,
+                          conn_->CallSync(kStreamOpen, req.Encode()));
+  GLIDER_ASSIGN_OR_RETURN(auto resp, StreamOpenResponse::Decode(payload.span()));
+  client_->CountAccessIfFaas();
+  return std::make_unique<ActionWriter>(*client_, conn_, resp.stream_id);
+}
+
+Result<std::unique_ptr<ActionReader>> ActionNode::OpenReader() {
+  StreamOpenRequest req;
+  req.slot = info_.slot.block;
+  req.mode = StreamMode::kRead;
+  GLIDER_ASSIGN_OR_RETURN(auto payload,
+                          conn_->CallSync(kStreamOpen, req.Encode()));
+  GLIDER_ASSIGN_OR_RETURN(auto resp, StreamOpenResponse::Decode(payload.span()));
+  client_->CountAccessIfFaas();
+  return std::make_unique<ActionReader>(*client_, conn_, resp.stream_id);
+}
+
+Result<std::uint64_t> ActionNode::StateBytes() {
+  SlotRequest req;
+  req.slot = info_.slot.block;
+  GLIDER_ASSIGN_OR_RETURN(auto payload,
+                          conn_->CallSync(kActionStat, req.Encode()));
+  GLIDER_ASSIGN_OR_RETURN(auto resp, ActionStatResponse::Decode(payload.span()));
+  return resp.state_bytes;
+}
+
+// ---- ActionWriter -----------------------------------------------------------
+
+Status ActionWriter::Write(ByteSpan data) {
+  if (closed_) return Status::Closed("writer closed");
+  GLIDER_RETURN_IF_ERROR(deferred_error_);
+  const std::size_t chunk_size = client_->options().chunk_size;
+  std::size_t off = 0;
+  if (pending_.empty()) {
+    while (data.size() - off >= chunk_size) {
+      GLIDER_RETURN_IF_ERROR(SendChunk(data.subspan(off, chunk_size)));
+      off += chunk_size;
+    }
+  }
+  pending_.Append(data.subspan(off));
+  while (pending_.size() >= chunk_size) {
+    GLIDER_RETURN_IF_ERROR(SendChunk(ByteSpan(pending_.data(), chunk_size)));
+    std::vector<std::uint8_t> rest(pending_.vec().begin() + chunk_size,
+                                   pending_.vec().end());
+    pending_ = Buffer(std::move(rest));
+  }
+  return Status::Ok();
+}
+
+Status ActionWriter::SendChunk(ByteSpan chunk) {
+  StreamWriteRequest req;
+  req.stream_id = stream_id_;
+  req.seq = next_seq_++;
+  req.data = Buffer(chunk.data(), chunk.size());
+
+  net::Message msg;
+  msg.opcode = kStreamWrite;
+  msg.payload = req.Encode();
+  inflight_.push_back(conn_->Call(std::move(msg)));
+  bytes_written_ += chunk.size();
+  return DrainInflight(/*all=*/false);
+}
+
+Status ActionWriter::DrainInflight(bool all) {
+  const std::size_t window = client_->options().inflight_window;
+  while (!inflight_.empty() && (all || inflight_.size() > window)) {
+    auto response = inflight_.front().get();
+    inflight_.pop_front();
+    if (!response.ok()) {
+      deferred_error_ = response.status();
+      return deferred_error_;
+    }
+    auto payload = net::ToResult(std::move(response).value());
+    if (!payload.ok()) {
+      deferred_error_ = payload.status();
+      return deferred_error_;
+    }
+  }
+  return Status::Ok();
+}
+
+Status ActionWriter::Close() {
+  if (closed_) return deferred_error_;
+  closed_ = true;
+  if (deferred_error_.ok() && !pending_.empty()) {
+    Buffer rest = std::move(pending_);
+    pending_ = Buffer{};
+    deferred_error_ = SendChunk(rest.span());
+  }
+  if (deferred_error_.ok()) {
+    deferred_error_ = DrainInflight(/*all=*/true);
+  }
+  if (deferred_error_.ok()) {
+    // The close operation completes when the action method finished
+    // consuming the stream (paper §4.2).
+    StreamCloseRequest req;
+    req.stream_id = stream_id_;
+    req.seq = next_seq_;
+    auto result = conn_->CallSync(kStreamClose, req.Encode());
+    deferred_error_ = result.status();
+  }
+  return deferred_error_;
+}
+
+// ---- ActionReader -----------------------------------------------------------
+
+void ActionReader::IssueReads() {
+  const std::size_t window = client_->options().inflight_window;
+  while (inflight_.size() < window) {
+    StreamReadRequest req;
+    req.stream_id = stream_id_;
+    req.seq = next_seq_++;
+    net::Message msg;
+    msg.opcode = kStreamRead;
+    msg.payload = req.Encode();
+    inflight_.push_back(conn_->Call(std::move(msg)));
+  }
+}
+
+Result<Buffer> ActionReader::ReadChunk() {
+  if (eof_ || closed_) return Buffer{};
+  IssueReads();
+  auto response = inflight_.front().get();
+  inflight_.pop_front();
+  GLIDER_RETURN_IF_ERROR(response.status());
+  if (response->status == StatusCode::kClosed) {
+    eof_ = true;
+    return Buffer{};
+  }
+  auto payload = net::ToResult(std::move(response).value());
+  GLIDER_RETURN_IF_ERROR(payload.status());
+  IssueReads();
+  return std::move(payload).value();
+}
+
+Status ActionReader::Close() {
+  if (closed_) return Status::Ok();
+  closed_ = true;
+  // Outstanding pipelined reads resolve as kClosed once the server tears
+  // the stream down; collect them so nothing dangles.
+  StreamCloseRequest req;
+  req.stream_id = stream_id_;
+  req.seq = 0;
+  auto result = conn_->CallSync(kStreamClose, req.Encode());
+  for (auto& fut : inflight_) {
+    (void)fut.get();
+  }
+  inflight_.clear();
+  return result.status();
+}
+
+}  // namespace glider::core

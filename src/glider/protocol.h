@@ -1,0 +1,187 @@
+// Wire protocol of the active storage server (opcodes 30..49).
+//
+// Stream data operations carry a sequence number: network workers may pick
+// up two operations of one stream concurrently, and the per-stream channel
+// releases them in sequence order so the byte stream stays ordered (the
+// paper's "each method execution is assigned an id and sequence number",
+// §5).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/serde.h"
+#include "nodekernel/types.h"
+
+namespace glider::core {
+
+enum Opcode : std::uint16_t {
+  kActionCreate = 30,
+  kActionDelete = 31,
+  kStreamOpen = 32,
+  kStreamWrite = 33,
+  kStreamRead = 34,
+  kStreamClose = 35,
+  kActionStat = 36,
+};
+
+enum class StreamMode : std::uint8_t { kRead = 0, kWrite = 1 };
+
+struct ActionCreateRequest {
+  std::uint32_t slot = 0;
+  std::string action_type;
+  bool interleave = false;
+  Buffer config;  // opaque creation parameters, delivered to onCreate
+
+  Buffer Encode() const {
+    BinaryWriter w;
+    w.PutU32(slot);
+    w.PutString(action_type);
+    w.PutBool(interleave);
+    w.PutBytes(config.span());
+    return std::move(w).Finish();
+  }
+  static Result<ActionCreateRequest> Decode(ByteSpan b) {
+    BinaryReader r(b);
+    ActionCreateRequest req;
+    GLIDER_ASSIGN_OR_RETURN(req.slot, r.U32());
+    GLIDER_ASSIGN_OR_RETURN(req.action_type, r.String());
+    GLIDER_ASSIGN_OR_RETURN(req.interleave, r.Bool());
+    GLIDER_ASSIGN_OR_RETURN(auto config, r.Bytes());
+    req.config = Buffer(config.data(), config.size());
+    return req;
+  }
+};
+
+struct SlotRequest {  // kActionDelete, kActionStat
+  std::uint32_t slot = 0;
+
+  Buffer Encode() const {
+    BinaryWriter w;
+    w.PutU32(slot);
+    return std::move(w).Finish();
+  }
+  static Result<SlotRequest> Decode(ByteSpan b) {
+    BinaryReader r(b);
+    SlotRequest req;
+    GLIDER_ASSIGN_OR_RETURN(req.slot, r.U32());
+    return req;
+  }
+};
+
+struct StreamOpenRequest {
+  std::uint32_t slot = 0;
+  StreamMode mode = StreamMode::kRead;
+
+  Buffer Encode() const {
+    BinaryWriter w;
+    w.PutU32(slot);
+    w.PutU8(static_cast<std::uint8_t>(mode));
+    return std::move(w).Finish();
+  }
+  static Result<StreamOpenRequest> Decode(ByteSpan b) {
+    BinaryReader r(b);
+    StreamOpenRequest req;
+    GLIDER_ASSIGN_OR_RETURN(req.slot, r.U32());
+    GLIDER_ASSIGN_OR_RETURN(auto mode_raw, r.U8());
+    req.mode = static_cast<StreamMode>(mode_raw);
+    return req;
+  }
+};
+
+struct StreamOpenResponse {
+  std::uint64_t stream_id = 0;
+
+  Buffer Encode() const {
+    BinaryWriter w;
+    w.PutU64(stream_id);
+    return std::move(w).Finish();
+  }
+  static Result<StreamOpenResponse> Decode(ByteSpan b) {
+    BinaryReader r(b);
+    StreamOpenResponse resp;
+    GLIDER_ASSIGN_OR_RETURN(resp.stream_id, r.U64());
+    return resp;
+  }
+};
+
+struct StreamWriteRequest {
+  std::uint64_t stream_id = 0;
+  std::uint64_t seq = 0;
+  Buffer data;
+
+  Buffer Encode() const {
+    BinaryWriter w;
+    w.PutU64(stream_id);
+    w.PutU64(seq);
+    w.PutBytes(data.span());
+    return std::move(w).Finish();
+  }
+  static Result<StreamWriteRequest> Decode(ByteSpan b) {
+    BinaryReader r(b);
+    StreamWriteRequest req;
+    GLIDER_ASSIGN_OR_RETURN(req.stream_id, r.U64());
+    GLIDER_ASSIGN_OR_RETURN(req.seq, r.U64());
+    GLIDER_ASSIGN_OR_RETURN(auto data, r.Bytes());
+    req.data = Buffer(data.data(), data.size());
+    return req;
+  }
+};
+
+struct StreamReadRequest {
+  std::uint64_t stream_id = 0;
+  std::uint64_t seq = 0;  // readers pipeline requests; served in order
+
+  Buffer Encode() const {
+    BinaryWriter w;
+    w.PutU64(stream_id);
+    w.PutU64(seq);
+    return std::move(w).Finish();
+  }
+  static Result<StreamReadRequest> Decode(ByteSpan b) {
+    BinaryReader r(b);
+    StreamReadRequest req;
+    GLIDER_ASSIGN_OR_RETURN(req.stream_id, r.U64());
+    GLIDER_ASSIGN_OR_RETURN(req.seq, r.U64());
+    return req;
+  }
+};
+
+struct StreamCloseRequest {
+  std::uint64_t stream_id = 0;
+  // For write streams: total data operations sent, so the server can order
+  // the end-of-stream after the last write.
+  std::uint64_t seq = 0;
+
+  Buffer Encode() const {
+    BinaryWriter w;
+    w.PutU64(stream_id);
+    w.PutU64(seq);
+    return std::move(w).Finish();
+  }
+  static Result<StreamCloseRequest> Decode(ByteSpan b) {
+    BinaryReader r(b);
+    StreamCloseRequest req;
+    GLIDER_ASSIGN_OR_RETURN(req.stream_id, r.U64());
+    GLIDER_ASSIGN_OR_RETURN(req.seq, r.U64());
+    return req;
+  }
+};
+
+struct ActionStatResponse {
+  std::uint64_t state_bytes = 0;
+
+  Buffer Encode() const {
+    BinaryWriter w;
+    w.PutU64(state_bytes);
+    return std::move(w).Finish();
+  }
+  static Result<ActionStatResponse> Decode(ByteSpan b) {
+    BinaryReader r(b);
+    ActionStatResponse resp;
+    GLIDER_ASSIGN_OR_RETURN(resp.state_bytes, r.U64());
+    return resp;
+  }
+};
+
+}  // namespace glider::core

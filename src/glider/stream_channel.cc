@@ -1,0 +1,192 @@
+#include "glider/stream_channel.h"
+
+#include <utility>
+
+namespace glider::core {
+
+namespace {
+
+// Callbacks collected under the lock, fired after release. Invoking client
+// acks or deliveries under the channel lock could re-enter the channel or
+// sleep inside link shaping, so they always run outside.
+struct FireList {
+  std::vector<std::pair<StreamChannel::AdmitFn, Status>> admits;
+  std::vector<std::pair<StreamChannel::ConsumeFn, Result<DataTask>>> deliveries;
+
+  void FireAll() {
+    for (auto& [fn, status] : admits) fn(status);
+    for (auto& [fn, result] : deliveries) fn(std::move(result));
+  }
+};
+
+}  // namespace
+
+std::vector<StreamChannel::AdmitFn> StreamChannel::PromoteLocked() {
+  std::vector<AdmitFn> fired;
+  while (!aborted_) {
+    auto it = pushes_.find(next_push_seq_);
+    if (it == pushes_.end()) break;
+    // Admit while below capacity, or when the next read op is already
+    // parked (the item will drain immediately in the match step).
+    const bool drains_now = consumers_.contains(next_pop_seq_);
+    if (items_.size() >= capacity_ && !drains_now) break;
+    items_.push_back(std::move(it->second.task));
+    fired.push_back(std::move(it->second.on_admitted));
+    pushes_.erase(it);
+    ++next_push_seq_;
+    // At capacity: let the caller's promote/match fixpoint loop drain into
+    // parked consumers before admitting more.
+    if (items_.size() >= capacity_) break;
+  }
+  return fired;
+}
+
+std::vector<std::pair<StreamChannel::ConsumeFn, Result<DataTask>>>
+StreamChannel::MatchLocked() {
+  std::vector<std::pair<ConsumeFn, Result<DataTask>>> fired;
+  while (true) {
+    auto it = consumers_.find(next_pop_seq_);
+    if (it == consumers_.end()) break;
+    if (!items_.empty()) {
+      fired.emplace_back(std::move(it->second), std::move(items_.front()));
+      items_.pop_front();
+    } else if (producer_closed_ || aborted_) {
+      fired.emplace_back(std::move(it->second),
+                         Status::Closed("end of stream"));
+    } else {
+      break;  // no data yet; stay parked
+    }
+    consumers_.erase(it);
+    ++next_pop_seq_;
+  }
+  return fired;
+}
+
+void StreamChannel::AsyncPush(std::uint64_t seq, DataTask task,
+                              AdmitFn on_admitted) {
+  FireList fire;
+  {
+    std::scoped_lock lock(mu_);
+    if (aborted_) {
+      fire.admits.emplace_back(std::move(on_admitted),
+                               Status::Closed("stream aborted"));
+    } else {
+      pushes_.emplace(seq, PendingPush{std::move(task), std::move(on_admitted)});
+      // Alternate promote/match until nothing moves.
+      while (true) {
+        auto admits = PromoteLocked();
+        auto deliveries = MatchLocked();
+        if (admits.empty() && deliveries.empty()) break;
+        for (auto& fn : admits) fire.admits.emplace_back(std::move(fn), Status::Ok());
+        for (auto& d : deliveries) fire.deliveries.push_back(std::move(d));
+      }
+    }
+    cv_.notify_all();
+  }
+  fire.FireAll();
+}
+
+void StreamChannel::AsyncPop(std::uint64_t seq, ConsumeFn consumer) {
+  FireList fire;
+  {
+    std::scoped_lock lock(mu_);
+    consumers_.emplace(seq, std::move(consumer));
+    while (true) {
+      auto deliveries = MatchLocked();
+      auto admits = PromoteLocked();
+      if (admits.empty() && deliveries.empty()) break;
+      for (auto& fn : admits) fire.admits.emplace_back(std::move(fn), Status::Ok());
+      for (auto& d : deliveries) fire.deliveries.push_back(std::move(d));
+    }
+    cv_.notify_all();
+  }
+  fire.FireAll();
+}
+
+Result<DataTask> StreamChannel::BlockingPop(ActionMonitor* monitor) {
+  std::unique_lock lock(mu_);
+  while (true) {
+    if (!items_.empty()) {
+      DataTask task = std::move(items_.front());
+      items_.pop_front();
+      FireList fire;
+      for (auto& fn : PromoteLocked()) {
+        fire.admits.emplace_back(std::move(fn), Status::Ok());
+      }
+      lock.unlock();
+      fire.FireAll();
+      return task;
+    }
+    if (aborted_ || producer_closed_) {
+      // For write streams the end arrives in-band (eos task); reaching here
+      // closed means teardown.
+      return Status::Closed("stream closed");
+    }
+    if (monitor != nullptr) {
+      monitor->Exit();
+      cv_.wait(lock);
+      lock.unlock();
+      monitor->Enter();
+      lock.lock();
+    } else {
+      cv_.wait(lock);
+    }
+  }
+}
+
+Status StreamChannel::BlockingPush(DataTask task, ActionMonitor* monitor) {
+  std::unique_lock lock(mu_);
+  while (true) {
+    if (aborted_) return Status::Closed("reader abandoned the stream");
+    if (items_.size() < capacity_ || !consumers_.empty()) {
+      items_.push_back(std::move(task));
+      FireList fire;
+      for (auto& d : MatchLocked()) fire.deliveries.push_back(std::move(d));
+      lock.unlock();
+      fire.FireAll();
+      return Status::Ok();
+    }
+    if (monitor != nullptr) {
+      monitor->Exit();
+      cv_.wait(lock);
+      lock.unlock();
+      monitor->Enter();
+      lock.lock();
+    } else {
+      cv_.wait(lock);
+    }
+  }
+}
+
+void StreamChannel::CloseProducer() {
+  FireList fire;
+  {
+    std::scoped_lock lock(mu_);
+    producer_closed_ = true;
+    for (auto& d : MatchLocked()) fire.deliveries.push_back(std::move(d));
+    cv_.notify_all();
+  }
+  fire.FireAll();
+}
+
+void StreamChannel::Abort() {
+  FireList fire;
+  {
+    std::scoped_lock lock(mu_);
+    aborted_ = true;
+    for (auto& [seq, push] : pushes_) {
+      fire.admits.emplace_back(std::move(push.on_admitted),
+                               Status::Closed("stream aborted"));
+    }
+    pushes_.clear();
+    for (auto& [seq, consumer] : consumers_) {
+      fire.deliveries.emplace_back(std::move(consumer),
+                                   Status::Closed("stream aborted"));
+    }
+    consumers_.clear();
+    cv_.notify_all();
+  }
+  fire.FireAll();
+}
+
+}  // namespace glider::core

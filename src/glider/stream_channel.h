@@ -1,0 +1,139 @@
+// StreamChannel: the per-stream task queue between network workers and
+// action threads (paper §4.2 "Accessing actions", §5).
+//
+// Two usages:
+//   * write streams: network workers push data tasks asynchronously (in
+//     sequence order, acknowledging the client when a task is admitted);
+//     the action thread pops them from inside Action::onWrite.
+//   * read streams: the action thread pushes chunks from Action::onRead
+//     (blocking while the client is behind); network workers pop them
+//     asynchronously to answer pipelined read requests in sequence order.
+//
+// Network workers NEVER block here: when the queue is full, admission is
+// deferred (the ack fires once space frees); when it is empty, consumption
+// is parked (the consumer fires once data arrives). This is what prevents a
+// fleet of blocked network workers from starving unrelated streams — e.g.
+// actions writing to other actions on the same server.
+//
+// Action-side blocking calls take an ActionMonitor*: non-null (interleaving
+// enabled) releases the action's execution turn while waiting, so another
+// method of the same action may run (paper §4.2 "action interleaving",
+// applied like Orleans turns).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace glider::core {
+
+// Serializes method execution per action ("as if run by a single thread",
+// paper §4.2). Enter blocks until the action is idle; interleaved waits
+// Exit/Enter around their sleep.
+class ActionMonitor {
+ public:
+  void Enter() {
+    std::unique_lock lock(mu_);
+    cv_.wait(lock, [&] { return !busy_; });
+    busy_ = true;
+  }
+  void Exit() {
+    {
+      std::scoped_lock lock(mu_);
+      busy_ = false;
+    }
+    cv_.notify_one();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool busy_ = false;
+};
+
+struct DataTask {
+  Buffer data;
+  bool eos = false;  // write streams: the client closed the stream
+};
+
+class StreamChannel {
+ public:
+  using AdmitFn = std::function<void(Status)>;           // acks one push
+  using ConsumeFn = std::function<void(Result<DataTask>)>;  // delivers one pop
+
+  explicit StreamChannel(std::size_t capacity) : capacity_(capacity) {}
+
+  StreamChannel(const StreamChannel&) = delete;
+  StreamChannel& operator=(const StreamChannel&) = delete;
+
+  // --- network-worker side (never blocks) ---
+
+  // Admits `task` as operation `seq` (0-based, contiguous). Out-of-order
+  // arrivals are buffered; `on_admitted` fires when the task enters the
+  // queue (immediately or once space frees).
+  void AsyncPush(std::uint64_t seq, DataTask task, AdmitFn on_admitted);
+
+  // Requests the item for read operation `seq`. The consumer fires with the
+  // task, or with kClosed at end-of-stream / teardown.
+  void AsyncPop(std::uint64_t seq, ConsumeFn consumer);
+
+  // --- action-thread side (may block) ---
+
+  // Pops the next task in order; blocks while empty. With a monitor, the
+  // wait yields the action's turn. kClosed after Abort().
+  Result<DataTask> BlockingPop(ActionMonitor* monitor);
+
+  // Pushes the next chunk; blocks while full. With a monitor, the wait
+  // yields the action's turn. kClosed if the consumer went away.
+  Status BlockingPush(DataTask task, ActionMonitor* monitor);
+
+  // --- lifecycle ---
+
+  // Producer finished (onRead returned / teardown): parked and future
+  // consumers observe kClosed once the queue drains.
+  void CloseProducer();
+
+  // Consumer abandoned the stream (client closed a read stream early) or
+  // hard teardown: blocked/parked parties all observe kClosed.
+  void Abort();
+
+  std::size_t size() const {
+    std::scoped_lock lock(mu_);
+    return items_.size();
+  }
+
+ private:
+  struct PendingPush {
+    DataTask task;
+    AdmitFn on_admitted;
+  };
+
+  // Moves in-order pending pushes into the queue while space remains.
+  // Returns the admission callbacks to fire (outside the lock).
+  std::vector<AdmitFn> PromoteLocked();
+  // Matches queued items with parked consumers. Returns deliveries to fire.
+  std::vector<std::pair<ConsumeFn, Result<DataTask>>> MatchLocked();
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;  // wakes action-side blocking calls
+
+  std::deque<DataTask> items_;
+  std::uint64_t next_push_seq_ = 0;  // next op admitted to the queue
+  std::map<std::uint64_t, PendingPush> pushes_;  // out-of-order / deferred
+
+  std::uint64_t next_pop_seq_ = 0;  // next read op to serve
+  std::map<std::uint64_t, ConsumeFn> consumers_;  // parked read ops
+
+  bool producer_closed_ = false;
+  bool aborted_ = false;
+};
+
+}  // namespace glider::core

@@ -1,0 +1,159 @@
+#include "net/inproc_transport.h"
+
+#include <atomic>
+#include <future>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace glider::net {
+
+struct InProcTransport::ServerEntry {
+  explicit ServerEntry(std::shared_ptr<Service> svc, std::size_t workers)
+      : service(std::move(svc)), pool(workers) {}
+
+  std::shared_ptr<Service> service;
+  ThreadPool pool;
+};
+
+class InProcTransport::InProcListener : public Listener {
+ public:
+  InProcListener(InProcTransport* transport, std::string address,
+                 std::shared_ptr<ServerEntry> entry)
+      : transport_(transport), address_(std::move(address)),
+        entry_(std::move(entry)) {}
+
+  ~InProcListener() override {
+    transport_->Unregister(address_);
+    entry_->pool.Shutdown();
+  }
+
+  std::string address() const override { return address_; }
+
+ private:
+  InProcTransport* transport_;
+  std::string address_;
+  std::shared_ptr<ServerEntry> entry_;
+};
+
+namespace {
+
+// Shared state behind a Responder: fulfills the caller's promise exactly
+// once; if every Responder copy is destroyed unused, fails the call.
+struct CallState {
+  std::promise<Result<Message>> promise;
+  std::shared_ptr<LinkModel> link;
+  std::atomic<bool> done{false};
+
+  void Fulfill(Message response) {
+    if (done.exchange(true)) return;
+    if (link) link->OnReceive(response.WireSize());
+    promise.set_value(std::move(response));
+  }
+  void Fail(const Status& status) {
+    if (done.exchange(true)) return;
+    promise.set_value(status);
+  }
+};
+
+// Responder function object whose last copy fails the call when dropped
+// without responding.
+class ResponderFn {
+ public:
+  explicit ResponderFn(std::shared_ptr<CallState> state)
+      : guard_(std::make_shared<Guard>(std::move(state))) {}
+
+  void operator()(Message response) const {
+    guard_->state->Fulfill(std::move(response));
+  }
+
+ private:
+  struct Guard {
+    explicit Guard(std::shared_ptr<CallState> s) : state(std::move(s)) {}
+    ~Guard() {
+      state->Fail(Status::Unavailable("request dropped without response"));
+    }
+    std::shared_ptr<CallState> state;
+  };
+  std::shared_ptr<Guard> guard_;
+};
+
+}  // namespace
+
+class InProcTransport::InProcConnection : public Connection {
+ public:
+  InProcConnection(std::shared_ptr<ServerEntry> entry,
+                   std::shared_ptr<LinkModel> link)
+      : entry_(std::move(entry)), link_(std::move(link)) {}
+
+  std::future<Result<Message>> Call(Message request) override {
+    request.request_id = next_id_.fetch_add(1, std::memory_order_relaxed);
+    auto state = std::make_shared<CallState>();
+    state->link = link_;
+    auto fut = state->promise.get_future();
+
+    if (link_) link_->OnSend(request.WireSize());
+    // Propagation latency is applied on the delivery path (the network
+    // worker sleeps until the message "arrives"), so pipelined operations
+    // overlap their latencies like they would on a real link.
+    const auto deliver_at =
+        std::chrono::steady_clock::now() +
+        (link_ ? link_->latency() : std::chrono::microseconds(0));
+
+    Responder responder{Responder::Fn(ResponderFn(state))};
+    auto service = entry_->service;
+    Status submitted = entry_->pool.Submit(
+        [service, deliver_at, req = std::move(request),
+         resp = std::move(responder)]() mutable {
+          std::this_thread::sleep_until(deliver_at);
+          service->Handle(std::move(req), std::move(resp));
+        });
+    if (!submitted.ok()) {
+      state->Fail(Status::Unavailable("server shut down"));
+    }
+    return fut;
+  }
+
+ private:
+  std::shared_ptr<ServerEntry> entry_;
+  std::shared_ptr<LinkModel> link_;
+  std::atomic<std::uint64_t> next_id_{1};
+};
+
+InProcTransport::InProcTransport(std::size_t num_workers)
+    : num_workers_(num_workers) {}
+
+InProcTransport::~InProcTransport() = default;
+
+Result<std::unique_ptr<Listener>> InProcTransport::Listen(
+    std::string preferred_address, std::shared_ptr<Service> service) {
+  std::scoped_lock lock(mu_);
+  std::string address = preferred_address.empty()
+                            ? "inproc://" + std::to_string(next_anon_++)
+                            : std::move(preferred_address);
+  if (servers_.contains(address)) {
+    return Status::AlreadyExists("address in use: " + address);
+  }
+  auto entry = std::make_shared<ServerEntry>(std::move(service), num_workers_);
+  servers_[address] = entry;
+  return std::unique_ptr<Listener>(
+      new InProcListener(this, address, std::move(entry)));
+}
+
+Result<std::shared_ptr<Connection>> InProcTransport::Connect(
+    const std::string& address, std::shared_ptr<LinkModel> link) {
+  std::scoped_lock lock(mu_);
+  auto it = servers_.find(address);
+  if (it == servers_.end()) {
+    return Status::NotFound("no server at " + address);
+  }
+  return std::shared_ptr<Connection>(
+      std::make_shared<InProcConnection>(it->second, std::move(link)));
+}
+
+void InProcTransport::Unregister(const std::string& address) {
+  std::scoped_lock lock(mu_);
+  servers_.erase(address);
+}
+
+}  // namespace glider::net

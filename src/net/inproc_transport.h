@@ -1,0 +1,48 @@
+// In-process transport: servers are registered under string addresses inside
+// one process; connections dispatch messages onto the server's network-worker
+// pool. Payload bytes are shaped by the connection's LinkModel, which is how
+// the benches model FaaS-grade vs storage-internal links (see DESIGN.md §2).
+//
+// Semantics match the TCP transport: asynchronous request/response, responses
+// may be fulfilled from any thread (deferred responders), and a dropped
+// responder fails the call with kUnavailable instead of leaking a hung future.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/thread_pool.h"
+#include "net/link_model.h"
+#include "net/transport.h"
+
+namespace glider::net {
+
+class InProcTransport : public Transport {
+ public:
+  // num_workers: network worker threads per listening server.
+  explicit InProcTransport(std::size_t num_workers = 8);
+  ~InProcTransport() override;
+
+  Result<std::unique_ptr<Listener>> Listen(
+      std::string preferred_address, std::shared_ptr<Service> service) override;
+
+  Result<std::shared_ptr<Connection>> Connect(
+      const std::string& address, std::shared_ptr<LinkModel> link) override;
+
+ private:
+  struct ServerEntry;
+  class InProcListener;
+  class InProcConnection;
+
+  void Unregister(const std::string& address);
+
+  const std::size_t num_workers_;
+  std::mutex mu_;
+  std::map<std::string, std::shared_ptr<ServerEntry>> servers_;
+  std::uint64_t next_anon_ = 0;
+};
+
+}  // namespace glider::net

@@ -1,0 +1,73 @@
+// Link model: bandwidth + latency shaping for a logical network link, plus
+// metrics attribution.
+//
+// This is the testbed substitute described in DESIGN.md §2. The paper runs
+// FaaS workers on bandwidth-limited functions and storage servers on a
+// 100 Gbps fabric (with RDMA available inside the storage tier only). Here,
+// each connection is tagged with a LinkModel that (a) throttles payload bytes
+// through a shared token bucket, (b) adds a fixed per-operation latency, and
+// (c) attributes traffic to a LinkClass in the Metrics registry.
+//
+// A single LinkModel instance is typically shared by all connections of one
+// worker, modelling the per-function bandwidth cap of FaaS.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <thread>
+
+#include "common/metrics.h"
+#include "common/rate_limiter.h"
+
+namespace glider::net {
+
+class LinkModel {
+ public:
+  // bytes_per_second == 0 disables throttling; latency may be zero.
+  LinkModel(LinkClass link_class, std::uint64_t bytes_per_second,
+            std::chrono::microseconds per_op_latency,
+            std::shared_ptr<Metrics> metrics)
+      : class_(link_class),
+        limiter_(bytes_per_second, /*burst_bytes=*/1024 * 1024),
+        latency_(per_op_latency),
+        metrics_(std::move(metrics)) {}
+
+  // Unshaped link that still attributes traffic to a class.
+  static std::shared_ptr<LinkModel> Unshaped(LinkClass link_class,
+                                             std::shared_ptr<Metrics> metrics) {
+    return std::make_shared<LinkModel>(link_class, 0,
+                                       std::chrono::microseconds(0),
+                                       std::move(metrics));
+  }
+
+  // Called on the request path (client -> server). Blocks for the
+  // *serialization* time of the payload (bandwidth). Propagation latency is
+  // NOT charged here — it must overlap across pipelined operations, so the
+  // transport applies `latency()` on the delivery path instead (the
+  // in-process transport delays the server-side handling; TCP sleeps before
+  // the socket write).
+  void OnSend(std::uint64_t bytes) {
+    if (metrics_) metrics_->RecordSend(class_, bytes);
+    limiter_.Acquire(bytes);
+  }
+
+  // Called on the response path (server -> client).
+  void OnReceive(std::uint64_t bytes) {
+    if (metrics_) metrics_->RecordReceive(class_, bytes);
+    limiter_.Acquire(bytes);
+  }
+
+  std::chrono::microseconds latency() const { return latency_; }
+  LinkClass link_class() const { return class_; }
+  const std::shared_ptr<Metrics>& metrics() const { return metrics_; }
+
+ private:
+
+  const LinkClass class_;
+  RateLimiter limiter_;
+  const std::chrono::microseconds latency_;
+  std::shared_ptr<Metrics> metrics_;
+};
+
+}  // namespace glider::net

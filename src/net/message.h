@@ -1,0 +1,80 @@
+// Wire message: the unit of every RPC in the system.
+//
+// Frame layout (little-endian):
+//   u16 opcode | u16 status | u64 request_id | u32 payload_len | payload
+//
+// Requests carry status=0; responses echo the request id and report the
+// outcome in `status`. Payload encoding is per-opcode (see the *Protocol*
+// headers of each server).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "common/bytes.h"
+#include "common/serde.h"
+#include "common/status.h"
+
+namespace glider::net {
+
+inline constexpr std::size_t kFrameHeaderSize = 2 + 2 + 8 + 4;
+
+struct Message {
+  std::uint16_t opcode = 0;
+  StatusCode status = StatusCode::kOk;
+  std::uint64_t request_id = 0;
+  Buffer payload;
+
+  std::size_t WireSize() const { return kFrameHeaderSize + payload.size(); }
+
+  // Serializes the full frame (header + payload).
+  Buffer Encode() const {
+    BinaryWriter w;
+    w.PutU16(opcode);
+    w.PutU16(static_cast<std::uint16_t>(status));
+    w.PutU64(request_id);
+    w.PutBytes(payload.span());
+    return std::move(w).Finish();
+  }
+
+  static Result<Message> Decode(ByteSpan frame) {
+    BinaryReader r(frame);
+    Message m;
+    GLIDER_ASSIGN_OR_RETURN(m.opcode, r.U16());
+    GLIDER_ASSIGN_OR_RETURN(auto status_raw, r.U16());
+    m.status = static_cast<StatusCode>(status_raw);
+    GLIDER_ASSIGN_OR_RETURN(m.request_id, r.U64());
+    GLIDER_ASSIGN_OR_RETURN(auto payload, r.Bytes());
+    m.payload = Buffer(payload.data(), payload.size());
+    return m;
+  }
+};
+
+// Helpers for building responses.
+inline Message OkResponse(const Message& req, Buffer payload = {}) {
+  Message m;
+  m.opcode = req.opcode;
+  m.status = StatusCode::kOk;
+  m.request_id = req.request_id;
+  m.payload = std::move(payload);
+  return m;
+}
+
+inline Message ErrorResponse(const Message& req, const Status& status) {
+  Message m;
+  m.opcode = req.opcode;
+  m.status = status.code();
+  m.request_id = req.request_id;
+  m.payload = Buffer::FromString(status.message());
+  return m;
+}
+
+// Converts a response message into Result<Buffer> (payload on success).
+inline Result<Buffer> ToResult(Message response) {
+  if (response.status == StatusCode::kOk) {
+    return std::move(response.payload);
+  }
+  return Status(response.status, response.payload.ToString());
+}
+
+}  // namespace glider::net

@@ -1,0 +1,391 @@
+#include "net/tcp_transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <future>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/thread_pool.h"
+
+namespace glider::net {
+namespace {
+
+// RAII file descriptor.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  Fd(Fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  ~Fd() { Close(); }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  void Close() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  // Closes the socket for reading and writing, unblocking any reader.
+  void Shutdown() {
+    if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+Status WriteAll(int fd, const std::uint8_t* data, std::size_t size) {
+  std::size_t off = 0;
+  while (off < size) {
+    const ssize_t n = ::send(fd, data + off, size - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable("send failed: " +
+                                 std::string(std::strerror(errno)));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status ReadAll(int fd, std::uint8_t* data, std::size_t size) {
+  std::size_t off = 0;
+  while (off < size) {
+    const ssize_t n = ::recv(fd, data + off, size - off, 0);
+    if (n == 0) return Status::Closed("peer closed connection");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable("recv failed: " +
+                                 std::string(std::strerror(errno)));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status WriteFrame(int fd, std::mutex& write_mu, const Message& message) {
+  const Buffer frame = message.Encode();
+  const auto len = static_cast<std::uint32_t>(frame.size());
+  std::uint8_t header[4] = {
+      static_cast<std::uint8_t>(len), static_cast<std::uint8_t>(len >> 8),
+      static_cast<std::uint8_t>(len >> 16), static_cast<std::uint8_t>(len >> 24)};
+  std::scoped_lock lock(write_mu);
+  GLIDER_RETURN_IF_ERROR(WriteAll(fd, header, sizeof(header)));
+  return WriteAll(fd, frame.data(), frame.size());
+}
+
+Result<Message> ReadFrame(int fd) {
+  std::uint8_t header[4];
+  GLIDER_RETURN_IF_ERROR(ReadAll(fd, header, sizeof(header)));
+  const std::uint32_t len = static_cast<std::uint32_t>(header[0]) |
+                            (static_cast<std::uint32_t>(header[1]) << 8) |
+                            (static_cast<std::uint32_t>(header[2]) << 16) |
+                            (static_cast<std::uint32_t>(header[3]) << 24);
+  constexpr std::uint32_t kMaxFrame = 64u << 20;  // 64 MiB sanity bound
+  if (len > kMaxFrame) return Status::InvalidArgument("oversized frame");
+  Buffer frame(len);
+  GLIDER_RETURN_IF_ERROR(ReadAll(fd, frame.data(), len));
+  return Message::Decode(frame.span());
+}
+
+Result<std::pair<std::string, std::uint16_t>> SplitHostPort(
+    const std::string& address) {
+  const auto colon = address.rfind(':');
+  if (colon == std::string::npos) {
+    return Status::InvalidArgument("address must be host:port: " + address);
+  }
+  const std::string host = address.substr(0, colon);
+  const int port = std::atoi(address.c_str() + colon + 1);
+  if (port < 0 || port > 65535) {
+    return Status::InvalidArgument("bad port in " + address);
+  }
+  return std::pair<std::string, std::uint16_t>(
+      host.empty() ? "127.0.0.1" : host, static_cast<std::uint16_t>(port));
+}
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+// --- Server side -----------------------------------------------------------
+
+class TcpListener : public Listener {
+ public:
+  TcpListener(Fd listen_fd, std::string address,
+              std::shared_ptr<Service> service, std::size_t num_workers)
+      : listen_fd_(std::move(listen_fd)), address_(std::move(address)),
+        service_(std::move(service)), pool_(num_workers) {
+    accept_thread_ = std::thread([this] { AcceptLoop(); });
+  }
+
+  ~TcpListener() override {
+    stopping_ = true;
+    listen_fd_.Shutdown();
+    listen_fd_.Close();
+    if (accept_thread_.joinable()) accept_thread_.join();
+    {
+      std::scoped_lock lock(conns_mu_);
+      for (auto& c : conns_) c->fd.Shutdown();
+    }
+    for (auto& t : conn_threads_) {
+      if (t.joinable()) t.join();
+    }
+    pool_.Shutdown();
+  }
+
+  std::string address() const override { return address_; }
+
+ private:
+  struct ServerConn {
+    Fd fd;
+    std::mutex write_mu;
+  };
+
+  void AcceptLoop() {
+    while (!stopping_) {
+      const int cfd = ::accept(listen_fd_.get(), nullptr, nullptr);
+      if (cfd < 0) {
+        if (stopping_) return;
+        if (errno == EINTR) continue;
+        return;
+      }
+      SetNoDelay(cfd);
+      auto conn = std::make_shared<ServerConn>();
+      conn->fd = Fd(cfd);
+      {
+        std::scoped_lock lock(conns_mu_);
+        conns_.push_back(conn);
+        conn_threads_.emplace_back([this, conn] { ConnLoop(conn); });
+      }
+    }
+  }
+
+  void ConnLoop(std::shared_ptr<ServerConn> conn) {
+    while (!stopping_) {
+      auto request = ReadFrame(conn->fd.get());
+      if (!request.ok()) return;
+      auto service = service_;
+      Responder responder(Responder::Fn(
+          [conn](Message response) {
+            const Status s =
+                WriteFrame(conn->fd.get(), conn->write_mu, response);
+            if (!s.ok()) {
+              GLIDER_LOG(kDebug, "tcp") << "response write: " << s.ToString();
+            }
+          }));
+      const Status submitted = pool_.Submit(
+          [service, req = std::move(request).value(),
+           resp = std::move(responder)]() mutable {
+            service->Handle(std::move(req), std::move(resp));
+          });
+      if (!submitted.ok()) return;
+    }
+  }
+
+  Fd listen_fd_;
+  std::string address_;
+  std::shared_ptr<Service> service_;
+  ThreadPool pool_;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+  std::mutex conns_mu_;
+  std::vector<std::shared_ptr<ServerConn>> conns_;
+  std::vector<std::thread> conn_threads_;
+};
+
+// --- Client side ------------------------------------------------------------
+
+class TcpConnection : public Connection {
+ public:
+  TcpConnection(Fd fd, std::shared_ptr<LinkModel> link)
+      : fd_(std::move(fd)), link_(std::move(link)) {}
+
+  // The reader captures `this`, not a shared_ptr: owning itself would make
+  // the final release happen on the reader thread, which then joins itself.
+  // The destructor shuts the socket down and joins before members die.
+  void StartReader() {
+    reader_ = std::thread([this] { ReadLoop(); });
+  }
+
+  ~TcpConnection() override {
+    closing_ = true;
+    fd_.Shutdown();
+    if (reader_.joinable()) reader_.join();
+    FailAllPending(Status::Closed("connection destroyed"));
+  }
+
+  std::future<Result<Message>> Call(Message request) override {
+    request.request_id = next_id_.fetch_add(1, std::memory_order_relaxed);
+    std::promise<Result<Message>> promise;
+    auto fut = promise.get_future();
+    {
+      std::scoped_lock lock(pending_mu_);
+      if (closing_) {
+        promise.set_value(Status::Closed("connection closed"));
+        return fut;
+      }
+      pending_[request.request_id] = std::move(promise);
+    }
+    if (link_) {
+      link_->OnSend(request.WireSize());
+      // TCP cannot shape the receiver, so propagation latency is charged
+      // on the sender (conservative for pipelined ops).
+      if (link_->latency().count() > 0) {
+        std::this_thread::sleep_for(link_->latency());
+      }
+    }
+    const Status s = WriteFrame(fd_.get(), write_mu_, request);
+    if (!s.ok()) {
+      TakePending(request.request_id, s);
+    }
+    return fut;
+  }
+
+ private:
+  void ReadLoop() {
+    while (true) {
+      auto response = ReadFrame(fd_.get());
+      if (!response.ok()) {
+        FailAllPending(response.status());
+        return;
+      }
+      if (link_) link_->OnReceive(response->WireSize());
+      TakePendingOk(std::move(response).value());
+    }
+  }
+
+  void TakePendingOk(Message response) {
+    std::promise<Result<Message>> promise;
+    {
+      std::scoped_lock lock(pending_mu_);
+      auto it = pending_.find(response.request_id);
+      if (it == pending_.end()) return;  // response to an abandoned call
+      promise = std::move(it->second);
+      pending_.erase(it);
+    }
+    promise.set_value(std::move(response));
+  }
+
+  void TakePending(std::uint64_t id, const Status& status) {
+    std::promise<Result<Message>> promise;
+    {
+      std::scoped_lock lock(pending_mu_);
+      auto it = pending_.find(id);
+      if (it == pending_.end()) return;
+      promise = std::move(it->second);
+      pending_.erase(it);
+    }
+    promise.set_value(status);
+  }
+
+  void FailAllPending(const Status& status) {
+    std::map<std::uint64_t, std::promise<Result<Message>>> taken;
+    {
+      std::scoped_lock lock(pending_mu_);
+      closing_ = true;
+      taken.swap(pending_);
+    }
+    for (auto& [id, promise] : taken) promise.set_value(status);
+  }
+
+  Fd fd_;
+  std::shared_ptr<LinkModel> link_;
+  std::mutex write_mu_;
+  std::mutex pending_mu_;
+  std::map<std::uint64_t, std::promise<Result<Message>>> pending_;
+  std::atomic<std::uint64_t> next_id_{1};
+  std::atomic<bool> closing_{false};
+  std::thread reader_;
+};
+
+}  // namespace
+
+TcpTransport::TcpTransport(std::size_t num_workers)
+    : num_workers_(num_workers) {}
+
+TcpTransport::~TcpTransport() = default;
+
+Result<std::unique_ptr<Listener>> TcpTransport::Listen(
+    std::string preferred_address, std::shared_ptr<Service> service) {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  if (!preferred_address.empty()) {
+    GLIDER_ASSIGN_OR_RETURN(auto hp, SplitHostPort(preferred_address));
+    host = hp.first;
+    port = hp.second;
+  }
+
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return Status::Internal("socket() failed");
+  int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad host: " + host);
+  }
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return Status::Unavailable("bind failed: " +
+                               std::string(std::strerror(errno)));
+  }
+  if (::listen(fd.get(), 128) != 0) {
+    return Status::Unavailable("listen failed");
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  ::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&bound), &len);
+  const std::string address =
+      host + ":" + std::to_string(ntohs(bound.sin_port));
+
+  return std::unique_ptr<Listener>(new TcpListener(
+      std::move(fd), address, std::move(service), num_workers_));
+}
+
+Result<std::shared_ptr<Connection>> TcpTransport::Connect(
+    const std::string& address, std::shared_ptr<LinkModel> link) {
+  GLIDER_ASSIGN_OR_RETURN(auto hp, SplitHostPort(address));
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return Status::Internal("socket() failed");
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(hp.second);
+  if (::inet_pton(AF_INET, hp.first.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad host: " + hp.first);
+  }
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Status::Unavailable("connect to " + address + " failed: " +
+                               std::string(std::strerror(errno)));
+  }
+  SetNoDelay(fd.get());
+  auto conn = std::make_shared<TcpConnection>(std::move(fd), std::move(link));
+  conn->StartReader();
+  return std::shared_ptr<Connection>(conn);
+}
+
+}  // namespace glider::net

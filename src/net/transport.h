@@ -1,0 +1,99 @@
+// Transport abstraction.
+//
+// A Connection carries request/response Messages to one server. All calls are
+// asynchronous: Call() returns a future fulfilled when the response arrives
+// (in-process: when a server worker responds; TCP: when the reader thread
+// matches the response id).
+//
+// A server registers a Service with a Listener. Handlers receive a Responder
+// they may invoke from any thread — this lets the active server's network
+// workers park a read request until an action produces data without holding
+// a thread.
+#pragma once
+
+#include <functional>
+#include <future>
+#include <memory>
+#include <string>
+
+#include "net/message.h"
+
+namespace glider::net {
+
+// Fulfills one request. Move-only; must be invoked exactly once.
+class Responder {
+ public:
+  using Fn = std::function<void(Message)>;
+  Responder() = default;
+  explicit Responder(Fn fn) : fn_(std::move(fn)) {}
+
+  void Send(Message response) {
+    if (fn_) {
+      Fn fn = std::move(fn_);
+      fn_ = nullptr;
+      fn(std::move(response));
+    }
+  }
+  void SendOk(const Message& request, Buffer payload = {}) {
+    Send(OkResponse(request, std::move(payload)));
+  }
+  void SendError(const Message& request, const Status& status) {
+    Send(ErrorResponse(request, status));
+  }
+  bool valid() const { return fn_ != nullptr; }
+
+ private:
+  Fn fn_;
+};
+
+// A server-side message handler. Implementations must be thread-safe: the
+// transport invokes Handle from multiple network worker threads.
+class Service {
+ public:
+  virtual ~Service() = default;
+  virtual void Handle(Message request, Responder responder) = 0;
+};
+
+class Connection {
+ public:
+  virtual ~Connection() = default;
+
+  // Sends a request; the future resolves with the response (or a transport
+  // error). Safe to call from multiple threads.
+  virtual std::future<Result<Message>> Call(Message request) = 0;
+
+  // Convenience: synchronous call returning the response payload.
+  Result<Buffer> CallSync(std::uint16_t opcode, Buffer payload) {
+    Message m;
+    m.opcode = opcode;
+    m.payload = std::move(payload);
+    auto fut = Call(std::move(m));
+    GLIDER_ASSIGN_OR_RETURN(auto response, fut.get());
+    return ToResult(std::move(response));
+  }
+};
+
+class Listener {
+ public:
+  virtual ~Listener() = default;
+  virtual std::string address() const = 0;
+};
+
+// A Transport names servers by address strings and creates connections.
+// Connections are shaped by the given LinkModel (nullptr = unshaped,
+// unattributed — used by unit tests only).
+class LinkModel;
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  // Binds `service` and returns a listener handle; the service must outlive
+  // the listener. `preferred_address` may be empty (transport picks one).
+  virtual Result<std::unique_ptr<Listener>> Listen(
+      std::string preferred_address, std::shared_ptr<Service> service) = 0;
+
+  virtual Result<std::shared_ptr<Connection>> Connect(
+      const std::string& address, std::shared_ptr<LinkModel> link) = 0;
+};
+
+}  // namespace glider::net

@@ -1,0 +1,120 @@
+#include "nodekernel/block_manager.h"
+
+namespace glider::nk {
+
+ServerId BlockManager::RegisterServer(StorageClassId storage_class,
+                                      std::string address,
+                                      std::uint32_t num_blocks,
+                                      std::uint64_t block_size) {
+  const ServerId id = next_server_id_++;
+  ServerEntry entry;
+  entry.id = id;
+  entry.storage_class = storage_class;
+  entry.address = std::move(address);
+  entry.block_size = block_size;
+  entry.total_blocks = num_blocks;
+  for (std::uint32_t i = 0; i < num_blocks; ++i) {
+    entry.free_blocks.push_back(i);
+  }
+  servers_.emplace(id, std::move(entry));
+  classes_[storage_class].servers.push_back(id);
+  return id;
+}
+
+void BlockManager::SetFallback(StorageClassId storage_class,
+                               StorageClassId fallback) {
+  fallbacks_[storage_class] = fallback;
+}
+
+Result<BlockLoc> BlockManager::Allocate(StorageClassId storage_class) {
+  StorageClassId current = storage_class;
+  bool found_any_class = false;
+  // Bounded walk: a fallback cycle cannot loop more than the number of
+  // declared fallbacks + 1.
+  for (std::size_t hop = 0; hop <= fallbacks_.size(); ++hop) {
+    auto cls_it = classes_.find(current);
+    if (cls_it != classes_.end() && !cls_it->second.servers.empty()) {
+      found_any_class = true;
+      ClassEntry& cls = cls_it->second;
+      // Round-robin: start at the cursor, take the first server with a
+      // free block, and advance the cursor past it.
+      for (std::size_t probe = 0; probe < cls.servers.size(); ++probe) {
+        const std::size_t idx = (cls.cursor + probe) % cls.servers.size();
+        ServerEntry& server = servers_.at(cls.servers[idx]);
+        if (server.free_blocks.empty()) continue;
+        BlockLoc loc;
+        loc.server = server.id;
+        loc.block = server.free_blocks.front();
+        loc.address = server.address;
+        server.free_blocks.pop_front();
+        cls.cursor = (idx + 1) % cls.servers.size();
+        return loc;
+      }
+    }
+    auto fb_it = fallbacks_.find(current);
+    if (fb_it == fallbacks_.end()) break;
+    current = fb_it->second;
+  }
+  if (!found_any_class) {
+    return Status::NotFound("no servers in storage class " +
+                            std::to_string(storage_class) +
+                            " or its fallbacks");
+  }
+  return Status::ResourceExhausted("storage class " +
+                                   std::to_string(storage_class) +
+                                   " (and fallbacks) has no free blocks");
+}
+
+Status BlockManager::Free(const BlockLoc& loc) {
+  auto it = servers_.find(loc.server);
+  if (it == servers_.end()) {
+    return Status::NotFound("unknown server " + std::to_string(loc.server));
+  }
+  if (loc.block >= it->second.total_blocks) {
+    return Status::OutOfRange("block " + std::to_string(loc.block) +
+                              " out of range");
+  }
+  it->second.free_blocks.push_back(loc.block);
+  return Status::Ok();
+}
+
+Result<const BlockManager::ServerEntry*> BlockManager::GetServer(
+    ServerId id) const {
+  auto it = servers_.find(id);
+  if (it == servers_.end()) {
+    return Status::NotFound("unknown server " + std::to_string(id));
+  }
+  return &it->second;
+}
+
+std::uint64_t BlockManager::BlockSizeOf(StorageClassId storage_class) const {
+  auto cls_it = classes_.find(storage_class);
+  if (cls_it == classes_.end() || cls_it->second.servers.empty()) {
+    return kDefaultBlockSize;
+  }
+  return servers_.at(cls_it->second.servers.front()).block_size;
+}
+
+std::uint32_t BlockManager::FreeBlockCount(
+    StorageClassId storage_class) const {
+  auto cls_it = classes_.find(storage_class);
+  if (cls_it == classes_.end()) return 0;
+  std::uint32_t count = 0;
+  for (const ServerId id : cls_it->second.servers) {
+    count += static_cast<std::uint32_t>(servers_.at(id).free_blocks.size());
+  }
+  return count;
+}
+
+std::uint32_t BlockManager::TotalBlockCount(
+    StorageClassId storage_class) const {
+  auto cls_it = classes_.find(storage_class);
+  if (cls_it == classes_.end()) return 0;
+  std::uint32_t count = 0;
+  for (const ServerId id : cls_it->second.servers) {
+    count += servers_.at(id).total_blocks;
+  }
+  return count;
+}
+
+}  // namespace glider::nk

@@ -1,0 +1,71 @@
+// Block manager: the metadata server's registry of storage servers and their
+// blocks (paper §4.1 "System architecture"). Servers register under a
+// storage class contributing a fleet of blocks; allocation walks servers of
+// the requested class round-robin (the uniform distribution policy the paper
+// adopts from Crail/Pocket, §4.2 "Distributing actions").
+//
+// Not thread-safe; the metadata server serializes access.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "nodekernel/types.h"
+
+namespace glider::nk {
+
+class BlockManager {
+ public:
+  struct ServerEntry {
+    ServerId id = 0;
+    StorageClassId storage_class = kDefaultClass;
+    std::string address;
+    std::uint64_t block_size = kDefaultBlockSize;
+    std::uint32_t total_blocks = 0;
+    std::deque<std::uint32_t> free_blocks;
+  };
+
+  // Registers a server contributing `num_blocks` blocks to `storage_class`.
+  ServerId RegisterServer(StorageClassId storage_class, std::string address,
+                          std::uint32_t num_blocks, std::uint64_t block_size);
+
+  // Allocates one block from `storage_class`, round-robin across its
+  // servers; when the class is exhausted, walks its fallback chain (the
+  // paper's "preferred DRAM tier that falls back to an NVMe tier when
+  // full", §4.1). kResourceExhausted when the whole chain is out of
+  // blocks; kNotFound when no server registered any class in the chain.
+  Result<BlockLoc> Allocate(StorageClassId storage_class);
+
+  // Declares that allocations from `storage_class` may spill to
+  // `fallback` when exhausted. Chains are followed transitively; cycles
+  // are rejected at allocation time by bounding the walk.
+  void SetFallback(StorageClassId storage_class, StorageClassId fallback);
+
+  // Returns a block to its server's free list.
+  Status Free(const BlockLoc& loc);
+
+  Result<const ServerEntry*> GetServer(ServerId id) const;
+
+  std::uint64_t BlockSizeOf(StorageClassId storage_class) const;
+
+  std::uint32_t FreeBlockCount(StorageClassId storage_class) const;
+  std::uint32_t TotalBlockCount(StorageClassId storage_class) const;
+  std::size_t ServerCount() const { return servers_.size(); }
+
+ private:
+  std::map<ServerId, ServerEntry> servers_;
+  // Per class: server ids in registration order + round-robin cursor.
+  struct ClassEntry {
+    std::vector<ServerId> servers;
+    std::size_t cursor = 0;
+  };
+  std::map<StorageClassId, ClassEntry> classes_;
+  std::map<StorageClassId, StorageClassId> fallbacks_;
+  ServerId next_server_id_ = 1;
+};
+
+}  // namespace glider::nk

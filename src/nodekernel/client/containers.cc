@@ -1,0 +1,105 @@
+#include "nodekernel/client/containers.h"
+
+#include <algorithm>
+
+namespace glider::nk {
+
+namespace {
+
+Status EnsureContainer(StoreClient& client, const std::string& path,
+                       NodeType type, bool create) {
+  auto found = client.Lookup(path);
+  if (found.ok()) {
+    if (found->type != type) {
+      return Status::WrongNodeType(path + " is not a " +
+                                   std::string(NodeTypeName(type)));
+    }
+    return Status::Ok();
+  }
+  if (!create) return found.status();
+  auto created = client.CreateNode(path, type);
+  if (!created.ok() && created.status().code() != StatusCode::kAlreadyExists) {
+    return created.status();
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+// ---- TableClient ------------------------------------------------------------
+
+Result<TableClient> TableClient::Open(StoreClient& client, std::string path,
+                                      bool create) {
+  GLIDER_RETURN_IF_ERROR(
+      EnsureContainer(client, path, NodeType::kTable, create));
+  return TableClient(client, std::move(path));
+}
+
+Status TableClient::Put(const std::string& key, ByteSpan value) {
+  return client_->PutValue(ChildPath(key), value);
+}
+
+Result<Buffer> TableClient::Get(const std::string& key) {
+  return client_->GetValue(ChildPath(key));
+}
+
+Status TableClient::Remove(const std::string& key) {
+  return client_->Delete(ChildPath(key)).status();
+}
+
+Result<std::vector<std::string>> TableClient::Keys() {
+  GLIDER_ASSIGN_OR_RETURN(auto listing, client_->List(path_));
+  std::vector<std::string> keys;
+  keys.reserve(listing.entries.size());
+  for (auto& entry : listing.entries) keys.push_back(std::move(entry.name));
+  return keys;
+}
+
+// ---- BagClient --------------------------------------------------------------
+
+Result<BagClient> BagClient::Open(StoreClient& client, std::string path,
+                                  bool create) {
+  GLIDER_RETURN_IF_ERROR(EnsureContainer(client, path, NodeType::kBag, create));
+  BagClient bag(client, std::move(path));
+  // Resume numbering after existing files.
+  GLIDER_ASSIGN_OR_RETURN(auto files, bag.Files());
+  bag.next_index_ = files.size();
+  return bag;
+}
+
+Result<std::unique_ptr<FileWriter>> BagClient::Append() {
+  // Zero-padded names keep lexicographic listing order == arrival order.
+  char name[32];
+  std::snprintf(name, sizeof(name), "file_%08zu", next_index_++);
+  const std::string path = path_ + "/" + name;
+  GLIDER_RETURN_IF_ERROR(
+      client_->CreateNode(path, NodeType::kFile).status());
+  return FileWriter::Open(*client_, path);
+}
+
+Result<std::vector<std::string>> BagClient::Files() {
+  GLIDER_ASSIGN_OR_RETURN(auto listing, client_->List(path_));
+  std::vector<std::string> files;
+  files.reserve(listing.entries.size());
+  for (auto& entry : listing.entries) {
+    files.push_back(path_ + "/" + entry.name);
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+Result<Buffer> BagClient::ReadAll() {
+  GLIDER_ASSIGN_OR_RETURN(auto files, Files());
+  Buffer out;
+  for (const auto& file : files) {
+    GLIDER_ASSIGN_OR_RETURN(auto reader, FileReader::Open(*client_, file));
+    while (true) {
+      GLIDER_ASSIGN_OR_RETURN(auto chunk, reader->ReadChunk());
+      if (chunk.empty()) break;
+      out.Append(chunk.span());
+    }
+  }
+  return out;
+}
+
+}  // namespace glider::nk

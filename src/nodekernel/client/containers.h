@@ -1,0 +1,75 @@
+// Client helpers for the container node types (paper §4.1 fn. 3):
+//
+//   Table — a container of KeyValue nodes: a small dictionary addressed by
+//           key, each value stored as its own node.
+//   Bag   — a container of File nodes: a multi-file dataset appended file
+//           by file and consumed as one concatenated stream.
+//
+// Both are thin conveniences over StoreClient path operations; the typing
+// rules themselves are enforced by the metadata server.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nodekernel/client/file_streams.h"
+#include "nodekernel/client/store_client.h"
+
+namespace glider::nk {
+
+class TableClient {
+ public:
+  // Opens the table at `path`, creating it when `create` is set.
+  static Result<TableClient> Open(StoreClient& client, std::string path,
+                                  bool create = true);
+
+  // Upserts `value` under `key` (creates or rewrites the KeyValue child).
+  Status Put(const std::string& key, ByteSpan value);
+  Status Put(const std::string& key, std::string_view value) {
+    return Put(key, AsBytes(value));
+  }
+
+  Result<Buffer> Get(const std::string& key);
+  Status Remove(const std::string& key);
+  Result<std::vector<std::string>> Keys();
+
+ private:
+  TableClient(StoreClient& client, std::string path)
+      : client_(&client), path_(std::move(path)) {}
+
+  std::string ChildPath(const std::string& key) const {
+    return path_ + "/" + key;
+  }
+
+  StoreClient* client_;
+  std::string path_;
+};
+
+class BagClient {
+ public:
+  static Result<BagClient> Open(StoreClient& client, std::string path,
+                                bool create = true);
+
+  // Appends a new file to the bag and returns a writer for it. Files are
+  // named file_<n> in arrival order.
+  Result<std::unique_ptr<FileWriter>> Append();
+
+  // Paths of the bag's files in name order.
+  Result<std::vector<std::string>> Files();
+
+  // Concatenation of every file's bytes, in name order.
+  Result<Buffer> ReadAll();
+
+  std::size_t next_index() const { return next_index_; }
+
+ private:
+  BagClient(StoreClient& client, std::string path)
+      : client_(&client), path_(std::move(path)) {}
+
+  StoreClient* client_;
+  std::string path_;
+  std::size_t next_index_ = 0;
+};
+
+}  // namespace glider::nk

@@ -1,0 +1,241 @@
+#include "nodekernel/client/file_streams.h"
+
+#include <algorithm>
+
+namespace glider::nk {
+
+// ---- FileWriter -------------------------------------------------------------
+
+Result<std::unique_ptr<FileWriter>> FileWriter::Open(StoreClient& client,
+                                                     const std::string& path) {
+  GLIDER_ASSIGN_OR_RETURN(auto info, client.Lookup(path));
+  if (!HoldsData(info.type)) {
+    return Status::WrongNodeType("cannot write to " +
+                                 std::string(NodeTypeName(info.type)));
+  }
+  client.CountAccessIfFaas();
+  return std::unique_ptr<FileWriter>(new FileWriter(client, std::move(info)));
+}
+
+FileWriter::~FileWriter() {
+  // Best-effort close; errors are reported through Close() when called
+  // explicitly (the recommended path).
+  (void)Close();
+}
+
+Status FileWriter::Write(ByteSpan data) {
+  if (closed_) return Status::Closed("writer closed");
+  GLIDER_RETURN_IF_ERROR(deferred_error_);
+  const std::size_t chunk_size = client_.options().chunk_size;
+  // Fast path: nothing pending and a full chunk available — send directly.
+  std::size_t off = 0;
+  if (pending_.empty()) {
+    while (data.size() - off >= chunk_size) {
+      GLIDER_RETURN_IF_ERROR(SendChunk(data.subspan(off, chunk_size)));
+      off += chunk_size;
+    }
+  }
+  pending_.Append(data.subspan(off));
+  while (pending_.size() >= chunk_size) {
+    GLIDER_RETURN_IF_ERROR(SendChunk(ByteSpan(pending_.data(), chunk_size)));
+    // Shift the remainder down (chunk_size is large; at most one iteration
+    // in practice).
+    std::vector<std::uint8_t> rest(pending_.vec().begin() + chunk_size,
+                                   pending_.vec().end());
+    pending_ = Buffer(std::move(rest));
+  }
+  return Status::Ok();
+}
+
+Status FileWriter::SendChunk(ByteSpan chunk) {
+  // Split at block boundaries.
+  std::size_t off = 0;
+  while (off < chunk.size()) {
+    const std::uint64_t block_off = position_ % info_.block_size;
+    const std::size_t room =
+        static_cast<std::size_t>(info_.block_size - block_off);
+    const std::size_t len = std::min(room, chunk.size() - off);
+    GLIDER_RETURN_IF_ERROR(SendSubChunk(chunk.subspan(off, len)));
+    off += len;
+  }
+  return Status::Ok();
+}
+
+Status FileWriter::SendSubChunk(ByteSpan part) {
+  const auto block_index =
+      static_cast<std::uint32_t>(position_ / info_.block_size);
+  GLIDER_ASSIGN_OR_RETURN(auto loc, LocateBlock(block_index));
+  GLIDER_ASSIGN_OR_RETURN(auto conn, client_.ConnectTo(loc.address));
+
+  WriteBlockRequest req;
+  req.block = loc.block;
+  req.offset = static_cast<std::uint32_t>(position_ % info_.block_size);
+  req.data = Buffer(part.data(), part.size());
+
+  net::Message msg;
+  msg.opcode = kWriteBlock;
+  msg.payload = req.Encode();
+  inflight_.push_back(conn->Call(std::move(msg)));
+  position_ += part.size();
+  return DrainInflight(/*all=*/false);
+}
+
+Status FileWriter::DrainInflight(bool all) {
+  const std::size_t window = client_.options().inflight_window;
+  while (!inflight_.empty() && (all || inflight_.size() > window)) {
+    auto response = inflight_.front().get();
+    inflight_.pop_front();
+    if (!response.ok()) {
+      deferred_error_ = response.status();
+      return deferred_error_;
+    }
+    auto payload = net::ToResult(std::move(response).value());
+    if (!payload.ok()) {
+      deferred_error_ = payload.status();
+      return deferred_error_;
+    }
+  }
+  return Status::Ok();
+}
+
+Result<BlockLoc> FileWriter::LocateBlock(std::uint32_t index) {
+  auto it = block_cache_.find(index);
+  if (it != block_cache_.end()) return it->second;
+  GLIDER_ASSIGN_OR_RETURN(auto loc,
+                          client_.GetBlock(info_.id, index, /*allocate=*/true));
+  block_cache_[index] = loc;
+  return loc;
+}
+
+Status FileWriter::Close() {
+  if (closed_) return deferred_error_;
+  closed_ = true;
+  if (deferred_error_.ok() && !pending_.empty()) {
+    Buffer rest = std::move(pending_);
+    pending_ = Buffer{};
+    deferred_error_ = SendChunk(rest.span());
+  }
+  if (deferred_error_.ok()) {
+    deferred_error_ = DrainInflight(/*all=*/true);
+  }
+  if (deferred_error_.ok()) {
+    deferred_error_ = client_.SetSize(info_.id, position_);
+  }
+  return deferred_error_;
+}
+
+// ---- FileReader -------------------------------------------------------------
+
+Result<std::unique_ptr<FileReader>> FileReader::Open(StoreClient& client,
+                                                     const std::string& path) {
+  GLIDER_ASSIGN_OR_RETURN(auto info, client.Lookup(path));
+  if (!HoldsData(info.type)) {
+    return Status::WrongNodeType("cannot read from " +
+                                 std::string(NodeTypeName(info.type)));
+  }
+  client.CountAccessIfFaas();
+  return std::unique_ptr<FileReader>(new FileReader(client, std::move(info)));
+}
+
+Status FileReader::IssueReadahead() {
+  const std::size_t window = client_.options().inflight_window;
+  const std::size_t chunk_size = client_.options().chunk_size;
+  while (inflight_.size() < window && issue_pos_ < info_.size) {
+    const auto block_index =
+        static_cast<std::uint32_t>(issue_pos_ / info_.block_size);
+    const std::uint64_t block_off = issue_pos_ % info_.block_size;
+    const std::uint64_t len =
+        std::min({static_cast<std::uint64_t>(chunk_size),
+                  info_.block_size - block_off, info_.size - issue_pos_});
+    GLIDER_ASSIGN_OR_RETURN(auto loc, LocateBlock(block_index));
+    GLIDER_ASSIGN_OR_RETURN(auto conn, client_.ConnectTo(loc.address));
+
+    ReadBlockRequest req;
+    req.block = loc.block;
+    req.offset = static_cast<std::uint32_t>(block_off);
+    req.length = static_cast<std::uint32_t>(len);
+
+    net::Message msg;
+    msg.opcode = kReadBlock;
+    msg.payload = req.Encode();
+    inflight_.push_back(conn->Call(std::move(msg)));
+    issue_pos_ += len;
+  }
+  return Status::Ok();
+}
+
+Result<Buffer> FileReader::ReadChunk() {
+  if (deliver_pos_ >= info_.size) return Buffer{};
+  GLIDER_RETURN_IF_ERROR(IssueReadahead());
+  auto response = inflight_.front().get();
+  inflight_.pop_front();
+  GLIDER_RETURN_IF_ERROR(response.status());
+  GLIDER_ASSIGN_OR_RETURN(auto payload,
+                          net::ToResult(std::move(response).value()));
+  deliver_pos_ += payload.size();
+  // Keep the pipeline primed for the next call.
+  GLIDER_RETURN_IF_ERROR(IssueReadahead());
+  return payload;
+}
+
+Result<std::size_t> FileReader::Read(MutableByteSpan out) {
+  std::size_t copied = 0;
+  while (copied < out.size()) {
+    if (current_off_ >= current_.size()) {
+      GLIDER_ASSIGN_OR_RETURN(current_, ReadChunk());
+      current_off_ = 0;
+      if (current_.empty()) break;  // EOF
+    }
+    const std::size_t n =
+        std::min(out.size() - copied, current_.size() - current_off_);
+    std::copy(current_.data() + current_off_,
+              current_.data() + current_off_ + n, out.data() + copied);
+    current_off_ += n;
+    copied += n;
+  }
+  return copied;
+}
+
+Result<BlockLoc> FileReader::LocateBlock(std::uint32_t index) {
+  auto it = block_cache_.find(index);
+  if (it != block_cache_.end()) return it->second;
+  GLIDER_ASSIGN_OR_RETURN(
+      auto loc, client_.GetBlock(info_.id, index, /*allocate=*/false));
+  block_cache_[index] = loc;
+  return loc;
+}
+
+// ---- LineScanner ------------------------------------------------------------
+
+Result<bool> LineScanner::NextLine(std::string& line) {
+  while (true) {
+    // Scan the current chunk for a newline.
+    while (pos_ < chunk_.size()) {
+      const std::string_view view = chunk_.AsStringView();
+      const std::size_t nl = view.find('\n', pos_);
+      if (nl == std::string_view::npos) {
+        carry_.append(view.substr(pos_));
+        pos_ = chunk_.size();
+        break;
+      }
+      line = std::move(carry_);
+      carry_.clear();
+      line.append(view.substr(pos_, nl - pos_));
+      pos_ = nl + 1;
+      return true;
+    }
+    if (eof_) {
+      if (!carry_.empty()) {
+        line = std::move(carry_);
+        carry_.clear();
+        return true;
+      }
+      return false;
+    }
+    GLIDER_ASSIGN_OR_RETURN(chunk_, next_chunk_());
+    pos_ = 0;
+    if (chunk_.empty()) eof_ = true;
+  }
+}
+
+}  // namespace glider::nk

@@ -1,0 +1,116 @@
+// Buffered file streams (paper §3 "I/O streams", §6.1).
+//
+// Writers and readers move data in chunk-sized remote operations and keep a
+// window of asynchronous operations in flight ("keep a data operation always
+// in flight", §6.1), so small-memory workers can stream large files without
+// ever holding them whole.
+#pragma once
+
+#include <deque>
+#include <future>
+#include <memory>
+#include <string>
+
+#include "nodekernel/client/store_client.h"
+
+namespace glider::nk {
+
+// Streams bytes into a File or KeyValue node. Not thread-safe (one writer
+// per stream, like a file handle).
+class FileWriter {
+ public:
+  // Opens for appending at offset 0 of an existing node.
+  static Result<std::unique_ptr<FileWriter>> Open(StoreClient& client,
+                                                  const std::string& path);
+
+  ~FileWriter();
+  FileWriter(const FileWriter&) = delete;
+  FileWriter& operator=(const FileWriter&) = delete;
+
+  Status Write(ByteSpan data);
+  Status Write(std::string_view text) { return Write(AsBytes(text)); }
+
+  // Flushes buffered data, waits for all in-flight operations, records the
+  // final size with the metadata server. Idempotent.
+  Status Close();
+
+  std::uint64_t bytes_written() const { return position_; }
+
+ private:
+  FileWriter(StoreClient& client, NodeInfo info)
+      : client_(client), info_(std::move(info)) {}
+
+  // Sends one chunk (splitting at block boundaries) asynchronously.
+  Status SendChunk(ByteSpan chunk);
+  Status SendSubChunk(ByteSpan part);
+  // Waits for the oldest in-flight op if the window is full (or all of them).
+  Status DrainInflight(bool all);
+  Result<BlockLoc> LocateBlock(std::uint32_t index);
+
+  StoreClient& client_;
+  NodeInfo info_;
+  std::uint64_t position_ = 0;
+  Buffer pending_;
+  std::deque<std::future<Result<net::Message>>> inflight_;
+  std::map<std::uint32_t, BlockLoc> block_cache_;
+  Status deferred_error_;
+  bool closed_ = false;
+};
+
+// Streams bytes out of a File or KeyValue node with readahead.
+class FileReader {
+ public:
+  static Result<std::unique_ptr<FileReader>> Open(StoreClient& client,
+                                                  const std::string& path);
+
+  ~FileReader() = default;
+  FileReader(const FileReader&) = delete;
+  FileReader& operator=(const FileReader&) = delete;
+
+  // Next chunk of the file, in order; empty buffer at EOF.
+  Result<Buffer> ReadChunk();
+
+  // Copies into `out`; returns bytes copied (0 at EOF).
+  Result<std::size_t> Read(MutableByteSpan out);
+
+  std::uint64_t size() const { return info_.size; }
+  const NodeInfo& info() const { return info_; }
+
+ private:
+  FileReader(StoreClient& client, NodeInfo info)
+      : client_(client), info_(std::move(info)) {}
+
+  Status IssueReadahead();
+  Result<BlockLoc> LocateBlock(std::uint32_t index);
+
+  StoreClient& client_;
+  NodeInfo info_;
+  std::uint64_t issue_pos_ = 0;    // next offset to request
+  std::uint64_t deliver_pos_ = 0;  // next offset to hand to the caller
+  std::deque<std::future<Result<net::Message>>> inflight_;
+  std::map<std::uint32_t, BlockLoc> block_cache_;
+  Buffer current_;            // partially consumed chunk for Read()
+  std::size_t current_off_ = 0;
+};
+
+// Reads a byte-stream source chunk-wise and yields complete lines. Carries
+// partial lines across chunk boundaries. Used by workloads and actions that
+// process line-oriented data.
+class LineScanner {
+ public:
+  using ChunkFn = std::function<Result<Buffer>()>;  // empty buffer = EOF
+
+  explicit LineScanner(ChunkFn next_chunk) : next_chunk_(std::move(next_chunk)) {}
+
+  // Next line without the trailing '\n'; unset at EOF.
+  Result<bool> NextLine(std::string& line);
+
+ private:
+  ChunkFn next_chunk_;
+  std::string carry_;
+  Buffer chunk_;
+  std::size_t pos_ = 0;
+  bool eof_ = false;
+};
+
+}  // namespace glider::nk

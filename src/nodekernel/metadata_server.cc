@@ -1,0 +1,249 @@
+#include "nodekernel/metadata_server.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "net/link_model.h"
+
+namespace glider::nk {
+
+MetadataServer::MetadataServer(net::Transport* transport,
+                               std::shared_ptr<Metrics> metrics,
+                               std::uint32_t partition)
+    : transport_(transport), metrics_(std::move(metrics)),
+      tree_((static_cast<NodeId>(partition) << 56) + 1) {}
+
+MetadataServer::~MetadataServer() = default;
+
+void MetadataServer::Handle(net::Message request, net::Responder responder) {
+  auto result = Dispatch(request);
+  if (result.ok()) {
+    responder.SendOk(request, std::move(result).value());
+  } else {
+    responder.SendError(request, result.status());
+  }
+}
+
+Result<Buffer> MetadataServer::Dispatch(const net::Message& request) {
+  const ByteSpan payload = request.payload.span();
+  switch (request.opcode) {
+    case kRegisterServer: return HandleRegisterServer(payload);
+    case kCreateNode: return HandleCreateNode(payload);
+    case kLookup: return HandleLookup(payload);
+    case kDelete: return HandleDelete(payload);
+    case kGetBlock: return HandleGetBlock(payload);
+    case kSetSize: return HandleSetSize(payload);
+    case kList: return HandleList(payload);
+    default:
+      return Status::Unimplemented("metadata opcode " +
+                                   std::to_string(request.opcode));
+  }
+}
+
+NodeInfo MetadataServer::ToInfo(const NodeRecord& record) const {
+  NodeInfo info;
+  info.id = record.id;
+  info.type = record.type;
+  info.size = record.size;
+  info.block_size = blocks_.BlockSizeOf(record.storage_class);
+  info.storage_class = record.storage_class;
+  info.action_type = record.action_type;
+  info.interleave = record.interleave;
+  if (record.type == NodeType::kAction && !record.blocks.empty()) {
+    info.slot = record.blocks.front();
+  }
+  return info;
+}
+
+Result<Buffer> MetadataServer::HandleRegisterServer(ByteSpan payload) {
+  GLIDER_ASSIGN_OR_RETURN(auto req, RegisterServerRequest::Decode(payload));
+  std::scoped_lock lock(mu_);
+  RegisterServerResponse resp;
+  resp.server_id = blocks_.RegisterServer(req.storage_class, req.address,
+                                          req.num_blocks, req.block_size);
+  GLIDER_LOG(kInfo, "metadata")
+      << "registered server " << resp.server_id << " class "
+      << req.storage_class << " at " << req.address << " ("
+      << req.num_blocks << " blocks)";
+  return resp.Encode();
+}
+
+Result<Buffer> MetadataServer::HandleCreateNode(ByteSpan payload) {
+  GLIDER_ASSIGN_OR_RETURN(auto req, CreateNodeRequest::Decode(payload));
+  std::scoped_lock lock(mu_);
+
+  // Action nodes always live in the active class and get their single slot
+  // now; other nodes get blocks lazily as data is attached.
+  const StorageClassId effective_class =
+      req.type == NodeType::kAction ? kActiveClass : req.storage_class;
+  if (req.type != NodeType::kAction && req.storage_class == kActiveClass) {
+    return Status::InvalidArgument(
+        "only action nodes may use the active class");
+  }
+  if (req.type == NodeType::kAction && req.action_type.empty()) {
+    return Status::InvalidArgument("action node needs an action type");
+  }
+
+  BlockLoc slot;
+  if (req.type == NodeType::kAction) {
+    GLIDER_ASSIGN_OR_RETURN(slot, blocks_.Allocate(kActiveClass));
+  }
+
+  auto created = tree_.Create(req.path, req.type);
+  if (!created.ok()) {
+    if (req.type == NodeType::kAction) {
+      (void)blocks_.Free(slot);  // roll back the slot
+    }
+    return created.status();
+  }
+  NodeRecord* record = created.value();
+  record->storage_class = effective_class;
+  record->action_type = req.action_type;
+  record->interleave = req.interleave;
+  if (req.type == NodeType::kAction) {
+    record->blocks.push_back(slot);
+  }
+  id_index_[record->id] = record;
+
+  NodeInfoResponse resp;
+  resp.info = ToInfo(*record);
+  return resp.Encode();
+}
+
+Result<Buffer> MetadataServer::HandleLookup(ByteSpan payload) {
+  GLIDER_ASSIGN_OR_RETURN(auto req, PathRequest::Decode(payload));
+  std::scoped_lock lock(mu_);
+  GLIDER_ASSIGN_OR_RETURN(auto* record, tree_.Lookup(req.path));
+  NodeInfoResponse resp;
+  resp.info = ToInfo(*record);
+  return resp.Encode();
+}
+
+Result<Buffer> MetadataServer::HandleDelete(ByteSpan payload) {
+  GLIDER_ASSIGN_OR_RETURN(auto req, PathRequest::Decode(payload));
+  NodeRecord removed;
+  NodeInfo info;
+  {
+    std::scoped_lock lock(mu_);
+    GLIDER_ASSIGN_OR_RETURN(auto* record, tree_.Lookup(req.path));
+    info = ToInfo(*record);
+    GLIDER_ASSIGN_OR_RETURN(removed, tree_.Remove(req.path));
+    id_index_.erase(removed.id);
+    for (const auto& loc : removed.blocks) {
+      (void)blocks_.Free(loc);
+    }
+  }
+  // Tell storage servers to drop the freed data (ephemeral data is gone the
+  // moment its node is). Done outside the lock; best-effort.
+  if (removed.type != NodeType::kAction) {
+    ResetBlocks(removed.blocks);
+  }
+  NodeInfoResponse resp;
+  resp.info = info;
+  return resp.Encode();
+}
+
+Result<Buffer> MetadataServer::HandleGetBlock(ByteSpan payload) {
+  GLIDER_ASSIGN_OR_RETURN(auto req, GetBlockRequest::Decode(payload));
+  std::scoped_lock lock(mu_);
+  auto idx = id_index_.find(req.node_id);
+  if (idx == id_index_.end()) {
+    return Status::NotFound("node id " + std::to_string(req.node_id));
+  }
+  NodeRecord* record = idx->second;
+  if (!HoldsData(record->type)) {
+    return Status::WrongNodeType("node holds no data blocks");
+  }
+  if (req.block_index < record->blocks.size()) {
+    GetBlockResponse resp;
+    resp.loc = record->blocks[req.block_index];
+    return resp.Encode();
+  }
+  if (!req.allocate) {
+    return Status::OutOfRange("block index past end of node");
+  }
+  if (req.block_index != record->blocks.size()) {
+    return Status::InvalidArgument("blocks must be allocated in order");
+  }
+  GLIDER_ASSIGN_OR_RETURN(auto loc, blocks_.Allocate(record->storage_class));
+  record->blocks.push_back(loc);
+  GetBlockResponse resp;
+  resp.loc = loc;
+  return resp.Encode();
+}
+
+Result<Buffer> MetadataServer::HandleSetSize(ByteSpan payload) {
+  GLIDER_ASSIGN_OR_RETURN(auto req, SetSizeRequest::Decode(payload));
+  std::scoped_lock lock(mu_);
+  auto it = id_index_.find(req.node_id);
+  if (it == id_index_.end()) {
+    return Status::NotFound("node id " + std::to_string(req.node_id));
+  }
+  // Sizes only grow: concurrent writers each report their final extent.
+  it->second->size = std::max(it->second->size, req.size);
+  return Buffer{};
+}
+
+Result<Buffer> MetadataServer::HandleList(ByteSpan payload) {
+  GLIDER_ASSIGN_OR_RETURN(auto req, PathRequest::Decode(payload));
+  std::scoped_lock lock(mu_);
+  GLIDER_ASSIGN_OR_RETURN(auto entries, tree_.List(req.path));
+  ListResponse resp;
+  resp.entries.reserve(entries.size());
+  for (auto& [name, type] : entries) {
+    resp.entries.push_back({std::move(name), type});
+  }
+  return resp.Encode();
+}
+
+void MetadataServer::ResetBlocks(const std::vector<BlockLoc>& blocks) {
+  if (transport_ == nullptr) return;
+  for (const auto& loc : blocks) {
+    std::shared_ptr<net::Connection> conn;
+    {
+      std::scoped_lock lock(mu_);
+      auto it = server_conns_.find(loc.address);
+      if (it != server_conns_.end()) {
+        conn = it->second;
+      }
+    }
+    if (!conn) {
+      auto connected = transport_->Connect(
+          loc.address,
+          net::LinkModel::Unshaped(LinkClass::kControl, metrics_));
+      if (!connected.ok()) {
+        GLIDER_LOG(kWarn, "metadata")
+            << "cannot reach " << loc.address << " for block reset";
+        continue;
+      }
+      conn = std::move(connected).value();
+      std::scoped_lock lock(mu_);
+      server_conns_[loc.address] = conn;
+    }
+    ResetBlockRequest req;
+    req.block = loc.block;
+    auto result = conn->CallSync(kResetBlock, req.Encode());
+    if (!result.ok()) {
+      GLIDER_LOG(kWarn, "metadata")
+          << "block reset failed: " << result.status().ToString();
+    }
+  }
+}
+
+void MetadataServer::SetClassFallback(StorageClassId storage_class,
+                                      StorageClassId fallback) {
+  std::scoped_lock lock(mu_);
+  blocks_.SetFallback(storage_class, fallback);
+}
+
+std::size_t MetadataServer::NodeCount() const {
+  std::scoped_lock lock(mu_);
+  return tree_.NodeCount();
+}
+
+std::uint32_t MetadataServer::FreeBlocks(StorageClassId storage_class) const {
+  std::scoped_lock lock(mu_);
+  return blocks_.FreeBlockCount(storage_class);
+}
+
+}  // namespace glider::nk

@@ -1,0 +1,74 @@
+// Metadata server (paper §4.1): administers the hierarchical namespace and
+// the fleet of blocks. Storage servers register themselves here; clients
+// create/look up/delete nodes and resolve block locations, then talk to
+// storage servers directly for data.
+//
+// Glider extensions (paper §4.2, §5): the active storage class, action slot
+// management (actions get exactly one block — their slot — allocated at
+// creation from the active class), and action metadata (definition name,
+// interleaving flag) in the node records.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/metrics.h"
+#include "net/transport.h"
+#include "nodekernel/block_manager.h"
+#include "nodekernel/namespace_tree.h"
+#include "nodekernel/protocol.h"
+
+namespace glider::nk {
+
+class MetadataServer : public net::Service {
+ public:
+  // `transport` is used to reach storage servers for block-reset on node
+  // delete (freeing ephemeral data); may be nullptr to skip resets.
+  // `partition` tags this server's node ids (top 8 bits) in partitioned
+  // deployments (paper §4.1 fn. 4); 0 for a single-server namespace.
+  MetadataServer(net::Transport* transport, std::shared_ptr<Metrics> metrics,
+                 std::uint32_t partition = 0);
+  ~MetadataServer() override;
+
+  void Handle(net::Message request, net::Responder responder) override;
+
+  // Service-side configuration: lets `storage_class` spill to `fallback`
+  // when full (tiering, §4.1). Set by the operator/deployment, not by
+  // clients.
+  void SetClassFallback(StorageClassId storage_class, StorageClassId fallback);
+
+  // Introspection for tests and the bench harness.
+  std::size_t NodeCount() const;
+  std::uint32_t FreeBlocks(StorageClassId storage_class) const;
+
+ private:
+  Result<Buffer> Dispatch(const net::Message& request);
+
+  Result<Buffer> HandleRegisterServer(ByteSpan payload);
+  Result<Buffer> HandleCreateNode(ByteSpan payload);
+  Result<Buffer> HandleLookup(ByteSpan payload);
+  Result<Buffer> HandleDelete(ByteSpan payload);
+  Result<Buffer> HandleGetBlock(ByteSpan payload);
+  Result<Buffer> HandleSetSize(ByteSpan payload);
+  Result<Buffer> HandleList(ByteSpan payload);
+
+  NodeInfo ToInfo(const NodeRecord& record) const;
+
+  // Sends kResetBlock for every block in the chain (best-effort).
+  void ResetBlocks(const std::vector<BlockLoc>& blocks);
+
+  net::Transport* transport_;
+  std::shared_ptr<Metrics> metrics_;
+
+  mutable std::mutex mu_;
+  NamespaceTree tree_;
+  BlockManager blocks_;
+  // id -> record index for block operations that address nodes by id.
+  // Record pointers are stable: the tree stores nodes behind unique_ptr.
+  std::map<NodeId, NodeRecord*> id_index_;
+  // Cached control connections to storage servers, by address.
+  std::map<std::string, std::shared_ptr<net::Connection>> server_conns_;
+};
+
+}  // namespace glider::nk

@@ -1,0 +1,158 @@
+#include "nodekernel/namespace_tree.h"
+
+namespace glider::nk {
+
+std::string_view NodeTypeName(NodeType type) {
+  switch (type) {
+    case NodeType::kFile: return "File";
+    case NodeType::kDirectory: return "Directory";
+    case NodeType::kKeyValue: return "KeyValue";
+    case NodeType::kTable: return "Table";
+    case NodeType::kBag: return "Bag";
+    case NodeType::kAction: return "Action";
+  }
+  return "?";
+}
+
+NamespaceTree::NamespaceTree(NodeId first_id)
+    : root_(std::make_unique<TreeNode>()), next_id_(first_id) {
+  root_->record.type = NodeType::kDirectory;
+}
+
+Result<std::vector<std::string>> NamespaceTree::SplitPath(
+    std::string_view path) {
+  if (path.empty() || path[0] != '/') {
+    return Status::InvalidArgument("path must be absolute: " +
+                                   std::string(path));
+  }
+  std::vector<std::string> parts;
+  std::size_t start = 1;
+  while (start <= path.size()) {
+    const std::size_t end = path.find('/', start);
+    const std::string_view part =
+        path.substr(start, end == std::string_view::npos ? end : end - start);
+    if (!part.empty()) {
+      parts.emplace_back(part);
+    } else if (end != std::string_view::npos) {
+      return Status::InvalidArgument("empty path component in " +
+                                     std::string(path));
+    }
+    if (end == std::string_view::npos) break;
+    start = end + 1;
+  }
+  return parts;
+}
+
+NamespaceTree::TreeNode* NamespaceTree::Walk(
+    const std::vector<std::string>& parts) {
+  TreeNode* node = root_.get();
+  for (const auto& part : parts) {
+    auto it = node->children.find(part);
+    if (it == node->children.end()) return nullptr;
+    node = it->second.get();
+  }
+  return node;
+}
+
+const NamespaceTree::TreeNode* NamespaceTree::Walk(
+    const std::vector<std::string>& parts) const {
+  const TreeNode* node = root_.get();
+  for (const auto& part : parts) {
+    auto it = node->children.find(part);
+    if (it == node->children.end()) return nullptr;
+    node = it->second.get();
+  }
+  return node;
+}
+
+Status NamespaceTree::CheckChildAllowed(const TreeNode& parent,
+                                        NodeType child_type,
+                                        bool parent_is_root) {
+  const NodeType pt = parent.record.type;
+  if (!parent_is_root && !IsContainer(pt)) {
+    return Status::WrongNodeType(std::string(NodeTypeName(pt)) +
+                                 " cannot hold children");
+  }
+  if (pt == NodeType::kTable && child_type != NodeType::kKeyValue) {
+    return Status::WrongNodeType("Table may only hold KeyValue nodes");
+  }
+  if (pt == NodeType::kBag && child_type != NodeType::kFile) {
+    return Status::WrongNodeType("Bag may only hold File nodes");
+  }
+  return Status::Ok();
+}
+
+Result<NodeRecord*> NamespaceTree::Create(std::string_view path,
+                                          NodeType type) {
+  GLIDER_ASSIGN_OR_RETURN(auto parts, SplitPath(path));
+  if (parts.empty()) {
+    return Status::InvalidArgument("cannot create the root");
+  }
+  const std::string leaf = parts.back();
+  parts.pop_back();
+  TreeNode* parent = Walk(parts);
+  if (parent == nullptr) {
+    return Status::NotFound("parent missing for " + std::string(path));
+  }
+  GLIDER_RETURN_IF_ERROR(CheckChildAllowed(*parent, type, parts.empty()));
+  if (parent->children.contains(leaf)) {
+    return Status::AlreadyExists(std::string(path));
+  }
+  auto node = std::make_unique<TreeNode>();
+  node->record.id = next_id_++;
+  node->record.type = type;
+  NodeRecord* record = &node->record;
+  parent->children[leaf] = std::move(node);
+  ++node_count_;
+  return record;
+}
+
+Result<NodeRecord*> NamespaceTree::Lookup(std::string_view path) {
+  GLIDER_ASSIGN_OR_RETURN(auto parts, SplitPath(path));
+  TreeNode* node = Walk(parts);
+  if (node == nullptr || parts.empty()) {
+    // The root is not addressable as a node (only listable).
+    if (parts.empty()) return Status::InvalidArgument("cannot look up root");
+    return Status::NotFound(std::string(path));
+  }
+  return &node->record;
+}
+
+Result<NodeRecord> NamespaceTree::Remove(std::string_view path) {
+  GLIDER_ASSIGN_OR_RETURN(auto parts, SplitPath(path));
+  if (parts.empty()) return Status::InvalidArgument("cannot remove root");
+  const std::string leaf = parts.back();
+  parts.pop_back();
+  TreeNode* parent = Walk(parts);
+  if (parent == nullptr) return Status::NotFound(std::string(path));
+  auto it = parent->children.find(leaf);
+  if (it == parent->children.end()) {
+    return Status::NotFound(std::string(path));
+  }
+  if (!it->second->children.empty()) {
+    return Status::FailedPrecondition("container not empty: " +
+                                      std::string(path));
+  }
+  NodeRecord record = std::move(it->second->record);
+  parent->children.erase(it);
+  --node_count_;
+  return record;
+}
+
+Result<std::vector<std::pair<std::string, NodeType>>> NamespaceTree::List(
+    std::string_view path) const {
+  GLIDER_ASSIGN_OR_RETURN(auto parts, SplitPath(path));
+  const TreeNode* node = Walk(parts);
+  if (node == nullptr) return Status::NotFound(std::string(path));
+  if (!parts.empty() && !IsContainer(node->record.type)) {
+    return Status::WrongNodeType("not a container: " + std::string(path));
+  }
+  std::vector<std::pair<std::string, NodeType>> out;
+  out.reserve(node->children.size());
+  for (const auto& [name, child] : node->children) {
+    out.emplace_back(name, child->record.type);
+  }
+  return out;
+}
+
+}  // namespace glider::nk

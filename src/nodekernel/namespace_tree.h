@@ -1,0 +1,78 @@
+// Hierarchical namespace of the metadata server (paper §4.1 "Storage
+// semantics"): typed nodes addressed by file-system-like paths, container
+// typing rules enforced on insertion (Tables hold KeyValues, Bags hold
+// Files, Directories hold anything).
+//
+// Not thread-safe; the metadata server serializes access with its own lock.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "nodekernel/types.h"
+
+namespace glider::nk {
+
+// Metadata held per node; the tree owns these records.
+struct NodeRecord {
+  NodeId id = 0;
+  NodeType type = NodeType::kFile;
+  std::uint64_t size = 0;
+  StorageClassId storage_class = kDefaultClass;
+  std::vector<BlockLoc> blocks;  // chain for data nodes; [slot] for actions
+
+  // Action-only.
+  std::string action_type;
+  bool interleave = false;
+};
+
+class NamespaceTree {
+ public:
+  // `first_id`: where node-id assignment starts. Partitioned deployments
+  // give each partition a disjoint id range (partition tag in the top
+  // bits) so ids stay globally routable.
+  explicit NamespaceTree(NodeId first_id = 1);
+
+  // Splits "/a/b/c" into components; rejects empty or non-absolute paths.
+  static Result<std::vector<std::string>> SplitPath(std::string_view path);
+
+  // Creates a node at `path`. The parent must exist, be a container (or the
+  // root) and accept children of `type`. Fails with kAlreadyExists if a node
+  // exists at `path`.
+  Result<NodeRecord*> Create(std::string_view path, NodeType type);
+
+  Result<NodeRecord*> Lookup(std::string_view path);
+
+  // Removes the node; containers must be empty. Returns the removed record
+  // (with its block chain, so the caller can free blocks).
+  Result<NodeRecord> Remove(std::string_view path);
+
+  // Lists the children of a container node (or the root for "/").
+  Result<std::vector<std::pair<std::string, NodeType>>> List(
+      std::string_view path) const;
+
+  std::size_t NodeCount() const { return node_count_; }
+
+ private:
+  struct TreeNode {
+    NodeRecord record;
+    std::map<std::string, std::unique_ptr<TreeNode>> children;
+  };
+
+  // Walks to the tree node at path; nullptr if missing.
+  TreeNode* Walk(const std::vector<std::string>& parts);
+  const TreeNode* Walk(const std::vector<std::string>& parts) const;
+
+  static Status CheckChildAllowed(const TreeNode& parent, NodeType child_type,
+                                  bool parent_is_root);
+
+  std::unique_ptr<TreeNode> root_;
+  NodeId next_id_;
+  std::size_t node_count_ = 0;
+};
+
+}  // namespace glider::nk

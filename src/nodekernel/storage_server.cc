@@ -1,0 +1,134 @@
+#include "nodekernel/storage_server.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "net/link_model.h"
+
+namespace glider::nk {
+
+StorageServer::StorageServer(Options options, std::shared_ptr<Metrics> metrics)
+    : options_(std::move(options)), metrics_(std::move(metrics)) {
+  blocks_.reserve(options_.num_blocks);
+  for (std::uint32_t i = 0; i < options_.num_blocks; ++i) {
+    blocks_.push_back(std::make_unique<Block>());
+  }
+}
+
+StorageServer::~StorageServer() = default;
+
+Status StorageServer::Start(net::Transport& transport,
+                            const std::string& metadata_address) {
+  auto listener = transport.Listen(options_.preferred_address,
+                                   shared_from_this());
+  if (!listener.ok()) return listener.status();
+  listener_ = std::move(listener).value();
+  address_ = listener_->address();
+
+  auto conn = transport.Connect(
+      metadata_address, net::LinkModel::Unshaped(LinkClass::kControl, metrics_));
+  if (!conn.ok()) return conn.status();
+
+  RegisterServerRequest req;
+  req.storage_class = options_.storage_class;
+  req.address = address_;
+  req.num_blocks = options_.num_blocks;
+  req.block_size = options_.block_size;
+  GLIDER_ASSIGN_OR_RETURN(auto payload,
+                          (*conn)->CallSync(kRegisterServer, req.Encode()));
+  GLIDER_ASSIGN_OR_RETURN(auto resp,
+                          RegisterServerResponse::Decode(payload.span()));
+  server_id_ = resp.server_id;
+  return Status::Ok();
+}
+
+void StorageServer::Handle(net::Message request, net::Responder responder) {
+  Result<Buffer> result = [&]() -> Result<Buffer> {
+    const ByteSpan payload = request.payload.span();
+    switch (request.opcode) {
+      case kWriteBlock: return HandleWrite(payload);
+      case kReadBlock: return HandleRead(payload);
+      case kResetBlock: return HandleReset(payload);
+      default:
+        return Status::Unimplemented("storage opcode " +
+                                     std::to_string(request.opcode));
+    }
+  }();
+  if (result.ok()) {
+    responder.SendOk(request, std::move(result).value());
+  } else {
+    responder.SendError(request, result.status());
+  }
+}
+
+Result<Buffer> StorageServer::HandleWrite(ByteSpan payload) {
+  GLIDER_ASSIGN_OR_RETURN(auto req, WriteBlockRequest::Decode(payload));
+  if (req.block >= blocks_.size()) {
+    return Status::OutOfRange("block " + std::to_string(req.block));
+  }
+  const std::uint64_t end =
+      static_cast<std::uint64_t>(req.offset) + req.data.size();
+  if (end > options_.block_size) {
+    return Status::OutOfRange("write past block end");
+  }
+  Block& block = *blocks_[req.block];
+  std::int64_t growth = 0;
+  {
+    std::scoped_lock lock(block.mu);
+    if (block.data.size() < end) {
+      block.data.resize(static_cast<std::size_t>(end));
+    }
+    std::copy(req.data.data(), req.data.data() + req.data.size(),
+              block.data.begin() + req.offset);
+    if (end > block.used) {
+      growth = static_cast<std::int64_t>(end) - block.used;
+      block.used = static_cast<std::uint32_t>(end);
+    }
+  }
+  if (growth != 0 && metrics_) metrics_->RecordStoredBytes(growth);
+  return Buffer{};
+}
+
+Result<Buffer> StorageServer::HandleRead(ByteSpan payload) {
+  GLIDER_ASSIGN_OR_RETURN(auto req, ReadBlockRequest::Decode(payload));
+  if (req.block >= blocks_.size()) {
+    return Status::OutOfRange("block " + std::to_string(req.block));
+  }
+  Block& block = *blocks_[req.block];
+  std::scoped_lock lock(block.mu);
+  const std::uint64_t end =
+      static_cast<std::uint64_t>(req.offset) + req.length;
+  if (end > block.used) {
+    return Status::OutOfRange("read past written extent");
+  }
+  return Buffer(block.data.data() + req.offset, req.length);
+}
+
+Result<Buffer> StorageServer::HandleReset(ByteSpan payload) {
+  GLIDER_ASSIGN_OR_RETURN(auto req, ResetBlockRequest::Decode(payload));
+  if (req.block >= blocks_.size()) {
+    return Status::OutOfRange("block " + std::to_string(req.block));
+  }
+  Block& block = *blocks_[req.block];
+  std::int64_t released = 0;
+  {
+    std::scoped_lock lock(block.mu);
+    released = block.used;
+    block.used = 0;
+    block.data.clear();
+    block.data.shrink_to_fit();
+  }
+  if (released != 0 && metrics_) metrics_->RecordStoredBytes(-released);
+  return Buffer{};
+}
+
+std::uint64_t StorageServer::UsedBytes() const {
+  std::uint64_t total = 0;
+  for (const auto& block : blocks_) {
+    std::scoped_lock lock(block->mu);
+    total += block->used;
+  }
+  return total;
+}
+
+}  // namespace glider::nk

@@ -1,0 +1,67 @@
+// DRAM-backed storage server (paper §4.1): a logical encapsulation of a set
+// of fixed-size memory blocks registered with the metadata server under one
+// storage class. Clients address blocks directly by (block, offset) after
+// resolving locations through the metadata server.
+//
+// Stored-byte accounting: each block tracks its high-water mark; growth and
+// resets feed the Metrics stored-bytes gauge — the paper's "storage
+// utilization" indicator.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "net/transport.h"
+#include "nodekernel/protocol.h"
+
+namespace glider::nk {
+
+class StorageServer : public net::Service,
+                      public std::enable_shared_from_this<StorageServer> {
+ public:
+  struct Options {
+    StorageClassId storage_class = kDefaultClass;
+    std::uint32_t num_blocks = 256;
+    std::uint64_t block_size = kDefaultBlockSize;
+    std::string preferred_address;  // empty: transport picks
+  };
+
+  StorageServer(Options options, std::shared_ptr<Metrics> metrics);
+  ~StorageServer() override;
+
+  // Binds on `transport` and registers with the metadata server. Must be
+  // called once before any client I/O. Requires shared ownership (the
+  // transport keeps the service alive through its listener).
+  Status Start(net::Transport& transport, const std::string& metadata_address);
+
+  void Handle(net::Message request, net::Responder responder) override;
+
+  const std::string& address() const { return address_; }
+  ServerId server_id() const { return server_id_; }
+
+  // Bytes currently resident across all blocks (high-water based).
+  std::uint64_t UsedBytes() const;
+
+ private:
+  Result<Buffer> HandleWrite(ByteSpan payload);
+  Result<Buffer> HandleRead(ByteSpan payload);
+  Result<Buffer> HandleReset(ByteSpan payload);
+
+  struct Block {
+    std::vector<std::uint8_t> data;  // sized lazily up to block_size
+    std::uint32_t used = 0;          // high-water mark
+    std::mutex mu;
+  };
+
+  const Options options_;
+  std::shared_ptr<Metrics> metrics_;
+  std::vector<std::unique_ptr<Block>> blocks_;
+  std::unique_ptr<net::Listener> listener_;
+  std::string address_;
+  ServerId server_id_ = 0;
+};
+
+}  // namespace glider::nk

@@ -1,0 +1,69 @@
+// Core vocabulary of the NodeKernel storage architecture (paper §4.1):
+// typed nodes in a hierarchical namespace, fixed-size blocks hosted by
+// storage servers, and storage classes grouping servers by tier.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace glider::nk {
+
+// The five NodeKernel node types (paper §4.1 fn. 3) plus Glider's action
+// node type (paper §4.2).
+enum class NodeType : std::uint8_t {
+  kFile = 0,       // byte stream of arbitrary size
+  kDirectory = 1,  // container of any nodes
+  kKeyValue = 2,   // small value addressed by its path
+  kTable = 3,      // container of KeyValue nodes
+  kBag = 4,        // container of files (multi-file dataset)
+  kAction = 5,     // Glider storage action (stateful near-data computation)
+};
+
+std::string_view NodeTypeName(NodeType type);
+
+// True for types that may hold children in the namespace.
+inline bool IsContainer(NodeType type) {
+  return type == NodeType::kDirectory || type == NodeType::kTable ||
+         type == NodeType::kBag;
+}
+
+// True for types whose payload lives in data blocks.
+inline bool HoldsData(NodeType type) {
+  return type == NodeType::kFile || type == NodeType::kKeyValue;
+}
+
+using NodeId = std::uint64_t;
+using ServerId = std::uint32_t;
+using StorageClassId = std::uint32_t;
+
+inline constexpr StorageClassId kDefaultClass = 0;   // DRAM data tier
+// The dedicated class for active storage servers (paper §4.2): the storage
+// kernel allocates action nodes only on servers of this class.
+inline constexpr StorageClassId kActiveClass = 100;
+
+inline constexpr std::uint64_t kDefaultBlockSize = 1 << 20;  // 1 MiB
+
+// Location of one block: which server (and where to reach it) and the block
+// index within that server.
+struct BlockLoc {
+  ServerId server = 0;
+  std::uint32_t block = 0;
+  std::string address;  // transport address of the owning server
+
+  friend bool operator==(const BlockLoc&, const BlockLoc&) = default;
+};
+
+// Node metadata returned by lookup/create.
+struct NodeInfo {
+  NodeId id = 0;
+  NodeType type = NodeType::kFile;
+  std::uint64_t size = 0;        // bytes attached (data nodes)
+  std::uint64_t block_size = kDefaultBlockSize;
+  StorageClassId storage_class = kDefaultClass;
+  // Action-only fields.
+  std::string action_type;
+  bool interleave = false;
+  BlockLoc slot;  // the single action slot (paper: actions occupy one block)
+};
+
+}  // namespace glider::nk

@@ -1,0 +1,110 @@
+#include "workloads/generators.h"
+
+#include <array>
+#include <charconv>
+
+namespace glider::workloads {
+namespace {
+
+// A small Zipf-ranked vocabulary; word i has rank i.
+constexpr std::size_t kVocabulary = 4096;
+
+std::string WordFor(std::uint64_t rank) {
+  // Deterministic pseudo-words: base-26 encoding of a mixed rank.
+  std::uint64_t x = rank * 2654435761u % 308915776;  // 26^6
+  std::string word;
+  for (int i = 0; i < 6; ++i) {
+    word.push_back(static_cast<char>('a' + x % 26));
+    x /= 26;
+  }
+  return word;
+}
+
+}  // namespace
+
+TextGenerator::TextGenerator(std::uint64_t seed, double marker_rate,
+                             std::string marker)
+    : rng_(seed), zipf_(kVocabulary, 1.07, seed ^ 0x5eed), marker_rate_(marker_rate),
+      marker_(std::move(marker)) {}
+
+void TextGenerator::Generate(std::size_t bytes, std::string& out) {
+  out.reserve(out.size() + bytes + 128);
+  const std::size_t target = out.size() + bytes;
+  while (out.size() < target) {
+    const std::size_t words = 6 + rng_.NextBelow(10);
+    for (std::size_t w = 0; w < words; ++w) {
+      out += WordFor(zipf_.Next());
+      out.push_back(' ');
+    }
+    if (rng_.NextDouble() < marker_rate_) {
+      out += marker_;
+    } else {
+      out.pop_back();  // trailing space
+    }
+    out.push_back('\n');
+  }
+}
+
+void PairGenerator::Generate(std::size_t count, std::string& out) {
+  out.reserve(out.size() + count * 16);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint32_t key =
+        static_cast<std::uint32_t>(rng_.NextBelow(distinct_keys_));
+    // Values up to 2^31 keep 64-bit sums safe for billions of pairs.
+    const std::uint64_t value = rng_.NextBelow(1ull << 31);
+    out += std::to_string(key);
+    out.push_back(',');
+    out += std::to_string(value);
+    out.push_back('\n');
+  }
+}
+
+void SortRecordGenerator::Generate(std::size_t bytes, std::string& out) {
+  out.reserve(out.size() + bytes + 128);
+  const std::size_t target = out.size() + bytes;
+  static constexpr std::string_view kPayload =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789~!@#$%^&*()";
+  while (out.size() < target) {
+    const std::uint64_t key = rng_.Next();
+    char buf[kKeyWidth + 1] = {};
+    std::snprintf(buf, sizeof(buf), "%020llu",
+                  static_cast<unsigned long long>(key));
+    out.append(buf, kKeyWidth);
+    out.push_back('\t');
+    out.append(kPayload.substr(0, 57));  // 20 + 1 + 57 + 1 = 79-byte records
+    out.push_back('\n');
+  }
+}
+
+std::uint64_t SortRecordGenerator::KeyOf(std::string_view line) {
+  std::uint64_t key = 0;
+  std::from_chars(line.data(), line.data() + std::min(line.size(), kKeyWidth),
+                  key);
+  return key;
+}
+
+void AlignedReadGenerator::Generate(std::size_t count, std::string& out) {
+  static constexpr std::string_view kBases = "ACGT";
+  out.reserve(out.size() + count * 52);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t pos = pos_lo_ + rng_.NextBelow(pos_hi_ - pos_lo_);
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%012llu",
+                  static_cast<unsigned long long>(pos));
+    out.append(buf, 12);
+    out.push_back('\t');
+    for (int b = 0; b < 36; ++b) {
+      out.push_back(kBases[rng_.NextBelow(4)]);
+    }
+    out.push_back('\n');
+  }
+}
+
+std::uint64_t AlignedReadGenerator::PosOf(std::string_view line) {
+  std::uint64_t pos = 0;
+  std::from_chars(line.data(), line.data() + std::min<std::size_t>(line.size(), 12),
+                  pos);
+  return pos;
+}
+
+}  // namespace glider::workloads

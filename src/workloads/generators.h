@@ -1,0 +1,89 @@
+// Deterministic synthetic data generators: the stand-ins for the paper's
+// datasets (Wikipedia text, random numeric pairs, sort records, genome
+// files) — see DESIGN.md §2 "Substitutions".
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/random.h"
+
+namespace glider::workloads {
+
+// Zipf-worded text lines (the Wikipedia-backup substitute of Table 2's
+// workload). Roughly one line in `1/marker_rate` contains `marker`, the
+// token the ingestion filter selects on.
+class TextGenerator {
+ public:
+  TextGenerator(std::uint64_t seed, double marker_rate,
+                std::string marker = "NEEDLE");
+
+  // Appends ~`bytes` of text to `out` (whole lines; may overshoot slightly).
+  void Generate(std::size_t bytes, std::string& out);
+
+  const std::string& marker() const { return marker_; }
+
+ private:
+  SplitMix64 rng_;
+  ZipfGenerator zipf_;
+  double marker_rate_;
+  std::string marker_;
+};
+
+// "key,value" pair lines for the Fig. 5 aggregation: keys are
+// `distinct_keys` integers, values span the full signed-64 range (the
+// paper's "values comprise the full range of a Java Long" — we keep them
+// small enough to avoid overflow when summed, like the paper's aggregate
+// does implicitly).
+class PairGenerator {
+ public:
+  PairGenerator(std::uint64_t seed, std::uint32_t distinct_keys = 1024)
+      : rng_(seed), distinct_keys_(distinct_keys) {}
+
+  // Appends `count` pair lines to `out`.
+  void Generate(std::size_t count, std::string& out);
+
+ private:
+  SplitMix64 rng_;
+  std::uint32_t distinct_keys_;
+};
+
+// Fixed-width sort records: 20-digit zero-padded key, 1 tab, payload,
+// newline. Lexicographic order == numeric key order.
+class SortRecordGenerator {
+ public:
+  explicit SortRecordGenerator(std::uint64_t seed) : rng_(seed) {}
+
+  static constexpr std::size_t kKeyWidth = 20;
+
+  // Appends ~`bytes` of records.
+  void Generate(std::size_t bytes, std::string& out);
+
+  // Extracts the numeric key of a record line.
+  static std::uint64_t KeyOf(std::string_view line);
+
+ private:
+  SplitMix64 rng_;
+};
+
+// Synthetic genomics: aligned-read records "pos<TAB>read\n", positions
+// uniform within a reference-chunk range. One generator per (FASTA chunk,
+// FASTQ chunk) mapper task.
+class AlignedReadGenerator {
+ public:
+  AlignedReadGenerator(std::uint64_t seed, std::uint64_t pos_lo,
+                       std::uint64_t pos_hi)
+      : rng_(seed), pos_lo_(pos_lo), pos_hi_(pos_hi) {}
+
+  // Appends `count` records.
+  void Generate(std::size_t count, std::string& out);
+
+  static std::uint64_t PosOf(std::string_view line);
+
+ private:
+  SplitMix64 rng_;
+  std::uint64_t pos_lo_;
+  std::uint64_t pos_hi_;
+};
+
+}  // namespace glider::workloads

@@ -1,0 +1,418 @@
+#include "workloads/genomics.h"
+
+#include <algorithm>
+#include <charconv>
+
+#include "common/stopwatch.h"
+#include "faas/invoker.h"
+#include "glider/client/action_node.h"
+#include "workloads/actions.h"
+#include "workloads/generators.h"
+
+namespace glider::workloads {
+namespace {
+
+// Reference positions per chunk: sized so a realistic share of positions
+// receives multiple aligned reads (real variant calling depends on read
+// pile-ups). ~2 reads per covered position on average.
+std::uint64_t PosSpace(const GenomicsParams& params) {
+  return std::max<std::uint64_t>(
+      16, params.fastq_chunks * params.records_per_mapper / 2);
+}
+constexpr std::uint64_t kPosMax = 1ull << 63;       // range upper sentinel
+
+std::string TmpKey(std::size_t i, std::size_t j) {
+  return "tmp_" + std::to_string(i) + "_" + std::to_string(j);
+}
+std::string FinalKey(std::size_t i, std::size_t k) {
+  return "final_" + std::to_string(i) + "_" + std::to_string(k);
+}
+
+struct Range {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = kPosMax;
+};
+
+std::vector<Range> ParseRanges(std::string_view text) {
+  std::vector<Range> ranges;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view line = text.substr(start, end - start);
+    const auto comma = line.find(',');
+    if (comma != std::string_view::npos) {
+      Range range;
+      std::from_chars(line.data(), line.data() + comma, range.lo);
+      std::from_chars(line.data() + comma + 1, line.data() + line.size(),
+                      range.hi);
+      ranges.push_back(range);
+    }
+    start = end + 1;
+  }
+  return ranges;
+}
+
+// Computes reducer ranges from sorted sample positions (same policy as
+// ManagerAction, so both approaches shuffle identically-shaped ranges).
+std::string RangesFromSamples(std::vector<std::uint64_t> samples,
+                              std::size_t r) {
+  std::sort(samples.begin(), samples.end());
+  std::string out;
+  for (std::size_t k = 0; k < r; ++k) {
+    const std::uint64_t lo =
+        k == 0 ? 0
+        : samples.empty() ? kPosMax / r * k
+                          : samples[samples.size() * k / r];
+    const std::uint64_t hi =
+        k + 1 == r ? kPosMax
+        : samples.empty() ? kPosMax / r * (k + 1)
+                          : samples[samples.size() * (k + 1) / r];
+    out += std::to_string(lo) + "," + std::to_string(hi) + "\n";
+  }
+  return out;
+}
+
+// Streaming variant caller over sorted records: a position with >= 2
+// aligned reads is a "variant". Returns (records, variants, variant lines).
+struct VariantCaller {
+  std::uint64_t prev_pos = ~0ull;
+  std::uint64_t run = 0;
+  std::uint64_t records = 0;
+  std::uint64_t variants = 0;
+  std::string output;
+
+  void Feed(std::string_view line) {
+    ++records;
+    const std::uint64_t pos = AlignedReadGenerator::PosOf(line);
+    if (pos == prev_pos) {
+      ++run;
+      if (run == 2) {
+        ++variants;
+        output += std::to_string(pos);
+        output.push_back('\n');
+      }
+    } else {
+      prev_pos = pos;
+      run = 1;
+    }
+  }
+};
+
+std::uint64_t MapperSeed(const GenomicsParams& params, std::size_t i,
+                         std::size_t j) {
+  return params.seed + i * 1000 + j;
+}
+
+}  // namespace
+
+Result<GenomicsResult> RunGenomicsBaseline(testing::MiniCluster& cluster,
+                                           faas::S3Like& s3,
+                                           const GenomicsParams& params) {
+  RegisterWorkloadActions();
+  faas::Invoker invoker(cluster, &s3);
+  const std::size_t a = params.fasta_chunks;
+  const std::size_t q = params.fastq_chunks;
+  const std::size_t r = params.reducers_per_chunk;
+  const auto before = MetricsSnapshot::Take(*cluster.metrics());
+  Stopwatch timer;
+
+  // Map: a*q mappers align reads and write temporary objects to S3.
+  GLIDER_RETURN_IF_ERROR(
+      invoker.RunStage(a * q, [&](faas::WorkerContext& ctx) -> Status {
+        const std::size_t i = ctx.worker_id / q;
+        const std::size_t j = ctx.worker_id % q;
+        AlignedReadGenerator gen(MapperSeed(params, i, j), 0, PosSpace(params));
+        std::string records;
+        gen.Generate(params.records_per_mapper, records);
+        return ctx.s3->Put(TmpKey(i, j), std::move(records), ctx.link);
+      }));
+  const double map_s = timer.Seconds();
+
+  // Ranges: one sampler function per FASTA chunk samples every temporary
+  // object with S3 SELECT and publishes the reducer ranges.
+  GLIDER_RETURN_IF_ERROR(
+      invoker.RunStage(a, [&](faas::WorkerContext& ctx) -> Status {
+        const std::size_t i = ctx.worker_id;
+        std::vector<std::uint64_t> samples;
+        for (std::size_t j = 0; j < q; ++j) {
+          GLIDER_ASSIGN_OR_RETURN(
+              auto sampled,
+              ctx.s3->SelectSample(TmpKey(i, j), params.sample_stride,
+                                   ctx.link));
+          std::size_t start = 0;
+          while (start < sampled.size()) {
+            std::size_t end = sampled.find('\n', start);
+            if (end == std::string::npos) end = sampled.size();
+            samples.push_back(AlignedReadGenerator::PosOf(
+                std::string_view(sampled).substr(start, end - start)));
+            start = end + 1;
+          }
+        }
+        return ctx.s3->Put("ranges_" + std::to_string(i),
+                           RangesFromSamples(std::move(samples), r), ctx.link);
+      }));
+  const double ranges_s = timer.Seconds() - map_s;
+
+  // Reduce: a*r reducers pull their range from every temporary object with
+  // S3 SELECT, sort, call variants, and write the final objects.
+  std::atomic<std::uint64_t> variants{0};
+  std::atomic<std::uint64_t> records_reduced{0};
+  GLIDER_RETURN_IF_ERROR(
+      invoker.RunStage(a * r, [&](faas::WorkerContext& ctx) -> Status {
+        const std::size_t i = ctx.worker_id / r;
+        const std::size_t k = ctx.worker_id % r;
+        GLIDER_ASSIGN_OR_RETURN(
+            auto ranges_text,
+            ctx.s3->Get("ranges_" + std::to_string(i), ctx.link));
+        const auto ranges = ParseRanges(ranges_text);
+        if (k >= ranges.size()) {
+          return Status::Internal("missing range for reducer");
+        }
+        const Range range = ranges[k];
+
+        std::vector<std::string> records;
+        for (std::size_t j = 0; j < q; ++j) {
+          GLIDER_ASSIGN_OR_RETURN(
+              auto selected,
+              ctx.s3->SelectLines(
+                  TmpKey(i, j),
+                  [&](std::string_view line) {
+                    const std::uint64_t pos = AlignedReadGenerator::PosOf(line);
+                    return pos >= range.lo && pos < range.hi;
+                  },
+                  ctx.link));
+          std::size_t start = 0;
+          while (start < selected.size()) {
+            std::size_t end = selected.find('\n', start);
+            if (end == std::string::npos) end = selected.size();
+            if (end > start) {
+              records.emplace_back(selected.substr(start, end - start));
+            }
+            start = end + 1;
+          }
+        }
+        std::sort(records.begin(), records.end());
+        VariantCaller caller;
+        for (const auto& record : records) caller.Feed(record);
+        variants += caller.variants;
+        records_reduced += caller.records;
+        return ctx.s3->Put(FinalKey(i, k), std::move(caller.output), ctx.link);
+      }));
+  const double total = timer.Seconds();
+  const auto delta = MetricsSnapshot::Take(*cluster.metrics()).Since(before);
+
+  GenomicsResult result;
+  result.map_seconds = map_s;
+  result.ranges_seconds = ranges_s;
+  result.reduce_seconds = total - map_s - ranges_s;
+  result.total_seconds = total;
+  result.transfer_bytes = delta.faas_bytes;
+  result.accesses = delta.accesses;
+  result.variants = variants.load();
+  result.records_reduced = records_reduced.load();
+
+  // Teardown.
+  for (std::size_t i = 0; i < a; ++i) {
+    for (std::size_t j = 0; j < q; ++j) (void)s3.Delete(TmpKey(i, j));
+    (void)s3.Delete("ranges_" + std::to_string(i));
+    for (std::size_t k = 0; k < r; ++k) (void)s3.Delete(FinalKey(i, k));
+  }
+  return result;
+}
+
+Result<GenomicsResult> RunGenomicsGlider(testing::MiniCluster& cluster,
+                                         faas::S3Like& s3,
+                                         const GenomicsParams& params) {
+  RegisterWorkloadActions();
+  faas::Invoker invoker(cluster, &s3);
+  const std::size_t a = params.fasta_chunks;
+  const std::size_t q = params.fastq_chunks;
+  const std::size_t r = params.reducers_per_chunk;
+  const auto before = MetricsSnapshot::Take(*cluster.metrics());
+  Stopwatch timer;
+
+  // Deploy per-chunk sampler + manager actions.
+  {
+    GLIDER_ASSIGN_OR_RETURN(auto driver, cluster.NewInternalClient());
+    for (std::size_t i = 0; i < a; ++i) {
+      GLIDER_RETURN_IF_ERROR(
+          core::ActionNode::Create(*driver, "/gmgr_" + std::to_string(i),
+                                   "glider.manager", /*interleave=*/true,
+                                   AsBytes(std::to_string(r)))
+              .status());
+      const std::string config = "/gtmp_" + std::to_string(i) + "\n" +
+                                 std::to_string(params.sample_stride) + "\n" +
+                                 "/gmgr_" + std::to_string(i);
+      GLIDER_RETURN_IF_ERROR(
+          core::ActionNode::Create(*driver, "/gsmp_" + std::to_string(i),
+                                   "glider.sampler", /*interleave=*/true,
+                                   AsBytes(config))
+              .status());
+    }
+  }
+
+  // Map: mappers stream straight into the sampler actions, which persist
+  // the records on ephemeral files while sampling in-line.
+  GLIDER_RETURN_IF_ERROR(
+      invoker.RunStage(a * q, [&](faas::WorkerContext& ctx) -> Status {
+        const std::size_t i = ctx.worker_id / q;
+        const std::size_t j = ctx.worker_id % q;
+        GLIDER_ASSIGN_OR_RETURN(
+            auto node, core::ActionNode::Lookup(*ctx.store,
+                                                "/gsmp_" + std::to_string(i)));
+        GLIDER_ASSIGN_OR_RETURN(auto writer, node.OpenWriter());
+        AlignedReadGenerator gen(MapperSeed(params, i, j), 0, PosSpace(params));
+        std::string records;
+        std::size_t produced = 0;
+        while (produced < params.records_per_mapper) {
+          records.clear();
+          const std::size_t step =
+              std::min<std::size_t>(4096, params.records_per_mapper - produced);
+          gen.Generate(step, records);
+          produced += step;
+          GLIDER_RETURN_IF_ERROR(writer->Write(records));
+        }
+        return writer->Close();
+      }));
+  const double map_s = timer.Seconds();
+
+  // Ranges: samplers hand their samples to the manager (action-to-action),
+  // the manager computes ranges, and per-reducer reader actions are set up.
+  // All of it happens inside the storage system; only tiny control data
+  // reaches the driver.
+  std::vector<std::vector<std::string>> reader_paths(a);
+  {
+    GLIDER_ASSIGN_OR_RETURN(auto driver, cluster.NewInternalClient());
+    std::vector<std::thread> threads;
+    std::vector<Status> statuses(a);
+    for (std::size_t i = 0; i < a; ++i) {
+      threads.emplace_back([&, i] {
+        statuses[i] = [&]() -> Status {
+          // Trigger the sampler: pushes samples to the manager and returns
+          // the list of ephemeral files it persisted.
+          GLIDER_ASSIGN_OR_RETURN(
+              auto sampler, core::ActionNode::Lookup(
+                                *driver, "/gsmp_" + std::to_string(i)));
+          GLIDER_ASSIGN_OR_RETURN(auto sreader, sampler.OpenReader());
+          std::string listing;
+          while (true) {
+            GLIDER_ASSIGN_OR_RETURN(auto chunk, sreader->ReadChunk());
+            if (chunk.empty()) break;
+            listing += chunk.ToString();
+          }
+          GLIDER_RETURN_IF_ERROR(sreader->Close());
+          std::string files;  // newline-separated ephemeral file paths
+          std::size_t start = 0;
+          while (start < listing.size()) {
+            std::size_t end = listing.find('\n', start);
+            if (end == std::string::npos) end = listing.size();
+            const std::string_view line =
+                std::string_view(listing).substr(start, end - start);
+            if (line.substr(0, 2) == "F ") {
+              files += line.substr(2);
+              files.push_back('\n');
+            }
+            start = end + 1;
+          }
+
+          // Fetch the ranges from the manager.
+          GLIDER_ASSIGN_OR_RETURN(
+              auto manager, core::ActionNode::Lookup(
+                                *driver, "/gmgr_" + std::to_string(i)));
+          GLIDER_ASSIGN_OR_RETURN(auto mreader, manager.OpenReader());
+          std::string ranges_text;
+          while (true) {
+            GLIDER_ASSIGN_OR_RETURN(auto chunk, mreader->ReadChunk());
+            if (chunk.empty()) break;
+            ranges_text += chunk.ToString();
+          }
+          GLIDER_RETURN_IF_ERROR(mreader->Close());
+          const auto ranges = ParseRanges(ranges_text);
+          if (ranges.size() != r) {
+            return Status::Internal("manager returned wrong range count");
+          }
+
+          // Create the per-reducer reader actions.
+          for (std::size_t k = 0; k < r; ++k) {
+            const std::string path =
+                "/grdr_" + std::to_string(i) + "_" + std::to_string(k);
+            const std::string config = std::to_string(ranges[k].lo) + "," +
+                                       std::to_string(ranges[k].hi) + "\n" +
+                                       files;
+            GLIDER_RETURN_IF_ERROR(
+                core::ActionNode::Create(*driver, path, "glider.reader",
+                                         /*interleave=*/false,
+                                         AsBytes(config))
+                    .status());
+            reader_paths[i].push_back(path);
+          }
+          return Status::Ok();
+        }();
+      });
+    }
+    for (auto& t : threads) t.join();
+    for (const auto& status : statuses) GLIDER_RETURN_IF_ERROR(status);
+  }
+  const double ranges_s = timer.Seconds() - map_s;
+
+  // Reduce: each reducer receives one already-merged sorted stream from its
+  // reader action and only calls variants.
+  std::atomic<std::uint64_t> variants{0};
+  std::atomic<std::uint64_t> records_reduced{0};
+  GLIDER_RETURN_IF_ERROR(
+      invoker.RunStage(a * r, [&](faas::WorkerContext& ctx) -> Status {
+        const std::size_t i = ctx.worker_id / r;
+        const std::size_t k = ctx.worker_id % r;
+        GLIDER_ASSIGN_OR_RETURN(
+            auto node, core::ActionNode::Lookup(*ctx.store,
+                                                reader_paths[i][k]));
+        GLIDER_ASSIGN_OR_RETURN(auto reader, node.OpenReader());
+        nk::LineScanner scanner([&] { return reader->ReadChunk(); });
+        VariantCaller caller;
+        std::string line;
+        while (true) {
+          GLIDER_ASSIGN_OR_RETURN(auto more, scanner.NextLine(line));
+          if (!more) break;
+          caller.Feed(line);
+        }
+        GLIDER_RETURN_IF_ERROR(reader->Close());
+        variants += caller.variants;
+        records_reduced += caller.records;
+        return ctx.s3->Put(FinalKey(i, k), std::move(caller.output), ctx.link);
+      }));
+  const double total = timer.Seconds();
+  const auto delta = MetricsSnapshot::Take(*cluster.metrics()).Since(before);
+
+  GenomicsResult result;
+  result.map_seconds = map_s;
+  result.ranges_seconds = ranges_s;
+  result.reduce_seconds = total - map_s - ranges_s;
+  result.total_seconds = total;
+  result.transfer_bytes = delta.faas_bytes;
+  result.accesses = delta.accesses;
+  result.variants = variants.load();
+  result.records_reduced = records_reduced.load();
+
+  // Teardown: ephemeral actions and files expire with the job.
+  {
+    GLIDER_ASSIGN_OR_RETURN(auto driver, cluster.NewInternalClient());
+    for (std::size_t i = 0; i < a; ++i) {
+      (void)core::ActionNode::Delete(*driver, "/gsmp_" + std::to_string(i));
+      (void)core::ActionNode::Delete(*driver, "/gmgr_" + std::to_string(i));
+      for (const auto& path : reader_paths[i]) {
+        (void)core::ActionNode::Delete(*driver, path);
+      }
+      for (std::size_t j = 0; j < q; ++j) {
+        (void)driver->Delete("/gtmp_" + std::to_string(i) + "_" +
+                             std::to_string(j));
+        for (std::size_t k = 0; k < r; ++k) {
+          (void)s3.Delete(FinalKey(i, k));
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace glider::workloads

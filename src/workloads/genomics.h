@@ -1,0 +1,54 @@
+// Fig. 9 workload: the serverless genomics variant-calling pipeline of
+// §7.4. A reference (FASTA) split into `a` chunks is matched against
+// sequencing reads (FASTQ) split into `q` chunks: a×q mapper functions emit
+// aligned-read records that must be sampled (to pick reducer ranges) and
+// shuffled to r reducers per FASTA chunk.
+//
+// Baseline: mappers write temporary objects to S3; samplers use S3 SELECT
+// to sample each object; reducers use S3 SELECT again to pull their range
+// from each object.
+//
+// Glider: mappers stream into per-chunk sampler actions that persist the
+// data on ephemeral files while sampling in-line; samplers push samples to
+// a per-chunk manager action (action-to-action) that computes ranges;
+// per-reducer reader actions merge the range-scoped records from the
+// ephemeral files into one sorted stream per reducer.
+#pragma once
+
+#include <cstdint>
+
+#include "faas/s3like.h"
+#include "testing/cluster.h"
+#include "workloads/stats.h"
+
+namespace glider::workloads {
+
+struct GenomicsParams {
+  std::size_t fasta_chunks = 2;       // a
+  std::size_t fastq_chunks = 5;       // q  (a*q mappers)
+  std::size_t reducers_per_chunk = 1; // r
+  std::size_t records_per_mapper = 4000;
+  std::size_t sample_stride = 64;
+  std::uint64_t seed = 31;
+};
+
+struct GenomicsResult {
+  double map_seconds = 0;
+  double ranges_seconds = 0;
+  double reduce_seconds = 0;
+  double total_seconds = 0;
+  std::uint64_t transfer_bytes = 0;
+  std::uint64_t accesses = 0;
+  std::uint64_t variants = 0;       // result invariant across approaches
+  std::uint64_t records_reduced = 0;
+};
+
+Result<GenomicsResult> RunGenomicsBaseline(testing::MiniCluster& cluster,
+                                           faas::S3Like& s3,
+                                           const GenomicsParams& params);
+
+Result<GenomicsResult> RunGenomicsGlider(testing::MiniCluster& cluster,
+                                         faas::S3Like& s3,
+                                         const GenomicsParams& params);
+
+}  // namespace glider::workloads

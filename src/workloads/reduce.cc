@@ -1,0 +1,193 @@
+#include "workloads/reduce.h"
+
+#include <charconv>
+#include <map>
+
+#include "common/stopwatch.h"
+#include "faas/invoker.h"
+#include "glider/client/action_node.h"
+#include "workloads/actions.h"
+#include "workloads/generators.h"
+
+namespace glider::workloads {
+namespace {
+
+// Parses a "key,sum" dictionary dump into entry count + value checksum.
+void SummarizeDictionary(std::string_view text, std::uint64_t& entries,
+                         std::int64_t& checksum) {
+  entries = 0;
+  checksum = 0;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view line = text.substr(start, end - start);
+    const auto comma = line.find(',');
+    if (comma != std::string_view::npos) {
+      std::int64_t value = 0;
+      std::from_chars(line.data() + comma + 1, line.data() + line.size(),
+                      value);
+      checksum += value;
+      ++entries;
+    }
+    start = end + 1;
+  }
+}
+
+// Streams `pairs` generated pair lines through `emit` in ~256 KiB batches.
+Status GeneratePairs(std::uint64_t seed, std::uint32_t distinct_keys,
+                     std::size_t pairs,
+                     const std::function<Status(std::string_view)>& emit) {
+  PairGenerator gen(seed, distinct_keys);
+  std::string batch;
+  std::size_t produced = 0;
+  while (produced < pairs) {
+    batch.clear();
+    const std::size_t step = std::min<std::size_t>(16'384, pairs - produced);
+    gen.Generate(step, batch);
+    produced += step;
+    GLIDER_RETURN_IF_ERROR(emit(batch));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<ReduceResult> RunReduceBaseline(testing::MiniCluster& cluster,
+                                       const ReduceParams& params) {
+  RegisterWorkloadActions();
+  faas::Invoker invoker(cluster);
+  const auto before = MetricsSnapshot::Take(*cluster.metrics());
+  Stopwatch timer;
+
+  // Stage 1: workers emit their pairs into intermediate files.
+  GLIDER_RETURN_IF_ERROR(
+      invoker.RunStage(params.workers, [&](faas::WorkerContext& ctx) -> Status {
+        const std::string path = "/red_part_" + std::to_string(ctx.worker_id);
+        GLIDER_RETURN_IF_ERROR(
+            ctx.store->CreateNode(path, nk::NodeType::kFile).status());
+        GLIDER_ASSIGN_OR_RETURN(auto writer,
+                                nk::FileWriter::Open(*ctx.store, path));
+        GLIDER_RETURN_IF_ERROR(GeneratePairs(
+            params.seed + ctx.worker_id, params.distinct_keys,
+            params.pairs_per_worker,
+            [&](std::string_view batch) { return writer->Write(batch); }));
+        return writer->Close();
+      }));
+
+  // Stage 2: one reduce worker ingests every intermediate file in full and
+  // writes the aggregated dictionary back for the next stage.
+  GLIDER_RETURN_IF_ERROR(
+      invoker.RunStage(1, [&](faas::WorkerContext& ctx) -> Status {
+        std::map<std::int64_t, std::int64_t> result;
+        for (std::size_t i = 0; i < params.workers; ++i) {
+          GLIDER_ASSIGN_OR_RETURN(
+              auto reader, nk::FileReader::Open(
+                               *ctx.store, "/red_part_" + std::to_string(i)));
+          nk::LineScanner scanner([&] { return reader->ReadChunk(); });
+          std::string line;
+          while (true) {
+            GLIDER_ASSIGN_OR_RETURN(auto more, scanner.NextLine(line));
+            if (!more) break;
+            const auto comma = line.find(',');
+            if (comma == std::string::npos) continue;
+            std::int64_t key = 0;
+            std::int64_t value = 0;
+            std::from_chars(line.data(), line.data() + comma, key);
+            std::from_chars(line.data() + comma + 1,
+                            line.data() + line.size(), value);
+            result[key] += value;
+          }
+        }
+        GLIDER_RETURN_IF_ERROR(
+            ctx.store->CreateNode("/red_result", nk::NodeType::kFile)
+                .status());
+        GLIDER_ASSIGN_OR_RETURN(auto writer,
+                                nk::FileWriter::Open(*ctx.store, "/red_result"));
+        std::string payload;
+        for (const auto& [key, value] : result) {
+          payload +=
+              std::to_string(key) + "," + std::to_string(value) + "\n";
+        }
+        GLIDER_RETURN_IF_ERROR(writer->Write(payload));
+        return writer->Close();
+      }));
+  const double seconds = timer.Seconds();
+  const auto delta = MetricsSnapshot::Take(*cluster.metrics()).Since(before);
+
+  ReduceResult result;
+  result.seconds = seconds;
+  result.transfer_bytes = delta.faas_bytes;
+  result.accesses = delta.accesses;
+  result.intermediate_stored_bytes =
+      delta.peak_stored > 0 ? static_cast<std::uint64_t>(delta.peak_stored) : 0;
+
+  // Verification + teardown (driver-side, unmeasured).
+  GLIDER_ASSIGN_OR_RETURN(auto driver, cluster.NewInternalClient());
+  GLIDER_ASSIGN_OR_RETURN(auto dict, driver->GetValue("/red_result"));
+  SummarizeDictionary(dict.AsStringView(), result.result_entries,
+                      result.checksum);
+  for (std::size_t i = 0; i < params.workers; ++i) {
+    (void)driver->Delete("/red_part_" + std::to_string(i));
+  }
+  (void)driver->Delete("/red_result");
+  return result;
+}
+
+Result<ReduceResult> RunReduceGlider(testing::MiniCluster& cluster,
+                                     const ReduceParams& params) {
+  RegisterWorkloadActions();
+  faas::Invoker invoker(cluster);
+  const auto before = MetricsSnapshot::Take(*cluster.metrics());
+  Stopwatch timer;
+
+  // One stateful merge action receives every worker's stream concurrently
+  // (interleaving) and keeps only the aggregated dictionary.
+  {
+    GLIDER_ASSIGN_OR_RETURN(auto driver, cluster.NewInternalClient());
+    GLIDER_RETURN_IF_ERROR(core::ActionNode::Create(*driver, "/red_merge",
+                                                    "glider.merge",
+                                                    /*interleave=*/true)
+                               .status());
+  }
+  GLIDER_RETURN_IF_ERROR(
+      invoker.RunStage(params.workers, [&](faas::WorkerContext& ctx) -> Status {
+        GLIDER_ASSIGN_OR_RETURN(
+            auto node, core::ActionNode::Lookup(*ctx.store, "/red_merge"));
+        GLIDER_ASSIGN_OR_RETURN(auto writer, node.OpenWriter());
+        GLIDER_RETURN_IF_ERROR(GeneratePairs(
+            params.seed + ctx.worker_id, params.distinct_keys,
+            params.pairs_per_worker,
+            [&](std::string_view batch) { return writer->Write(batch); }));
+        return writer->Close();
+      }));
+  // The aggregation is complete when the last writer closed: the result is
+  // now available to the next stage directly from the action.
+  const double seconds = timer.Seconds();
+  const auto delta = MetricsSnapshot::Take(*cluster.metrics()).Since(before);
+
+  ReduceResult result;
+  result.seconds = seconds;
+  result.transfer_bytes = delta.faas_bytes;
+  result.accesses = delta.accesses;
+  // Glider's intermediate "utilization" is the action state itself.
+  result.intermediate_stored_bytes = cluster.ActionStateBytes();
+
+  // Verification + teardown (driver-side, unmeasured).
+  GLIDER_ASSIGN_OR_RETURN(auto driver, cluster.NewInternalClient());
+  GLIDER_ASSIGN_OR_RETURN(auto node,
+                          core::ActionNode::Lookup(*driver, "/red_merge"));
+  GLIDER_ASSIGN_OR_RETURN(auto reader, node.OpenReader());
+  std::string dict;
+  while (true) {
+    GLIDER_ASSIGN_OR_RETURN(auto chunk, reader->ReadChunk());
+    if (chunk.empty()) break;
+    dict += chunk.ToString();
+  }
+  GLIDER_RETURN_IF_ERROR(reader->Close());
+  SummarizeDictionary(dict, result.result_entries, result.checksum);
+  GLIDER_RETURN_IF_ERROR(core::ActionNode::Delete(*driver, "/red_merge"));
+  return result;
+}
+
+}  // namespace glider::workloads

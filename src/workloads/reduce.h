@@ -1,0 +1,37 @@
+// Fig. 5 workload: the aggregation of §7.1 "Impact of actions on storage
+// accesses / utilization". Workers generate random numeric pairs; the
+// baseline ships all pairs to storage and runs a reduce worker over them;
+// Glider streams the pairs into one interleaved merge action that stores
+// only the aggregated dictionary.
+#pragma once
+
+#include <cstdint>
+
+#include "testing/cluster.h"
+#include "workloads/stats.h"
+
+namespace glider::workloads {
+
+struct ReduceParams {
+  std::size_t workers = 10;
+  std::size_t pairs_per_worker = 200'000;
+  std::uint32_t distinct_keys = 1024;  // the paper's 1024 distinct integers
+  std::uint64_t seed = 11;
+};
+
+struct ReduceResult {
+  double seconds = 0;
+  std::uint64_t transfer_bytes = 0;  // compute<->storage, both directions
+  std::uint64_t accesses = 0;        // logical storage accesses
+  std::uint64_t intermediate_stored_bytes = 0;  // peak utilization in the run
+  std::uint64_t result_entries = 0;
+  std::int64_t checksum = 0;  // sum over all aggregated values (invariant)
+};
+
+Result<ReduceResult> RunReduceBaseline(testing::MiniCluster& cluster,
+                                       const ReduceParams& params);
+
+Result<ReduceResult> RunReduceGlider(testing::MiniCluster& cluster,
+                                     const ReduceParams& params);
+
+}  // namespace glider::workloads

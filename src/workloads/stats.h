@@ -1,0 +1,47 @@
+// Snapshot/delta helper over the Metrics registry: every workload driver
+// measures the paper's indicators as deltas across its measured region.
+#pragma once
+
+#include <cstdint>
+
+#include "common/metrics.h"
+
+namespace glider::workloads {
+
+struct MetricsSnapshot {
+  std::uint64_t faas_bytes = 0;   // compute<->storage bytes, both directions
+  std::uint64_t faas_ops = 0;
+  std::uint64_t internal_bytes = 0;
+  std::uint64_t accesses = 0;
+  std::int64_t stored = 0;
+  std::int64_t peak_stored = 0;
+
+  static MetricsSnapshot Take(const Metrics& m) {
+    MetricsSnapshot s;
+    s.faas_bytes = m.FaasTransferBytes();
+    s.faas_ops = m.Operations(LinkClass::kFaas);
+    s.internal_bytes = m.BytesSent(LinkClass::kInternal) +
+                       m.BytesReceived(LinkClass::kInternal) +
+                       m.BytesSent(LinkClass::kRdma) +
+                       m.BytesReceived(LinkClass::kRdma);
+    s.accesses = m.StorageAccesses();
+    s.stored = m.StoredBytes();
+    s.peak_stored = m.PeakStoredBytes();
+    return s;
+  }
+
+  // Delta of counters since `before` (gauges: peak relative to the stored
+  // level at the start of the region).
+  MetricsSnapshot Since(const MetricsSnapshot& before) const {
+    MetricsSnapshot d;
+    d.faas_bytes = faas_bytes - before.faas_bytes;
+    d.faas_ops = faas_ops - before.faas_ops;
+    d.internal_bytes = internal_bytes - before.internal_bytes;
+    d.accesses = accesses - before.accesses;
+    d.stored = stored - before.stored;
+    d.peak_stored = peak_stored - before.stored;
+    return d;
+  }
+};
+
+}  // namespace glider::workloads

@@ -1,0 +1,182 @@
+#include "workloads/wordcount.h"
+
+#include <atomic>
+
+#include "common/stopwatch.h"
+#include "faas/invoker.h"
+#include "glider/client/action_node.h"
+#include "workloads/actions.h"
+#include "workloads/generators.h"
+
+namespace glider::workloads {
+namespace {
+
+constexpr std::string_view kInputPrefix = "/wc/in_";
+constexpr std::string_view kMarker = "NEEDLE";
+
+// Counts the word occurrences of one line.
+std::size_t CountWords(std::string_view line) {
+  std::size_t words = 0;
+  bool in_word = false;
+  for (const char c : line) {
+    const bool is_space = c == ' ' || c == '\t';
+    if (!is_space && !in_word) ++words;
+    in_word = !is_space;
+  }
+  return words;
+}
+
+}  // namespace
+
+Status SetupWordcountInput(testing::MiniCluster& cluster,
+                           const WordcountParams& params) {
+  GLIDER_ASSIGN_OR_RETURN(auto client, cluster.NewInternalClient());
+  auto dir = client->CreateNode("/wc", nk::NodeType::kDirectory);
+  if (!dir.ok() && dir.status().code() != StatusCode::kAlreadyExists) {
+    return dir.status();
+  }
+  for (std::size_t i = 0; i < params.workers; ++i) {
+    const std::string path = std::string(kInputPrefix) + std::to_string(i);
+    if (client->Lookup(path).ok()) continue;  // idempotent setup
+    GLIDER_RETURN_IF_ERROR(
+        client->CreateNode(path, nk::NodeType::kFile).status());
+    TextGenerator gen(params.seed + i, params.marker_rate,
+                      std::string(kMarker));
+    GLIDER_ASSIGN_OR_RETURN(auto writer, nk::FileWriter::Open(*client, path));
+    std::string text;
+    std::size_t written = 0;
+    while (written < params.bytes_per_worker) {
+      text.clear();
+      const std::size_t step =
+          std::min<std::size_t>(1 << 20, params.bytes_per_worker - written);
+      gen.Generate(step, text);
+      GLIDER_RETURN_IF_ERROR(writer->Write(text));
+      written += text.size();
+    }
+    GLIDER_RETURN_IF_ERROR(writer->Close());
+  }
+  return Status::Ok();
+}
+
+Result<WordcountResult> RunWordcountBaseline(testing::MiniCluster& cluster,
+                                             const WordcountParams& params) {
+  RegisterWorkloadActions();
+  faas::Invoker invoker(cluster);
+  std::atomic<std::uint64_t> matched{0};
+  std::atomic<std::uint64_t> words{0};
+  std::atomic<std::uint64_t> input_bytes{0};
+
+  const auto before = MetricsSnapshot::Take(*cluster.metrics());
+  Stopwatch timer;
+  GLIDER_RETURN_IF_ERROR(
+      invoker.RunStage(params.workers, [&](faas::WorkerContext& ctx) -> Status {
+        const std::string path =
+            std::string(kInputPrefix) + std::to_string(ctx.worker_id);
+        GLIDER_ASSIGN_OR_RETURN(auto reader,
+                                nk::FileReader::Open(*ctx.store, path));
+        input_bytes += reader->size();
+        nk::LineScanner scanner([&] { return reader->ReadChunk(); });
+        std::string line;
+        std::uint64_t my_matched = 0;
+        std::uint64_t my_words = 0;
+        while (true) {
+          GLIDER_ASSIGN_OR_RETURN(auto more, scanner.NextLine(line));
+          if (!more) break;
+          if (line.find(kMarker) == std::string::npos) continue;
+          ++my_matched;
+          my_words += CountWords(line);
+        }
+        matched += my_matched;
+        words += my_words;
+        return Status::Ok();
+      }));
+  const double seconds = timer.Seconds();
+  const auto delta = MetricsSnapshot::Take(*cluster.metrics()).Since(before);
+
+  WordcountResult result;
+  result.seconds = seconds;
+  result.ingested_bytes = delta.faas_bytes;
+  result.throughput_gbps =
+      static_cast<double>(input_bytes.load()) * 8 / seconds / 1e9;
+  result.matched_lines = matched.load();
+  result.total_words = words.load();
+  result.accesses = delta.accesses;
+  return result;
+}
+
+Result<WordcountResult> RunWordcountGlider(testing::MiniCluster& cluster,
+                                           const WordcountParams& params) {
+  RegisterWorkloadActions();
+  faas::Invoker invoker(cluster);
+  std::atomic<std::uint64_t> matched{0};
+  std::atomic<std::uint64_t> words{0};
+  std::atomic<std::uint64_t> input_bytes{0};
+
+  const auto before = MetricsSnapshot::Take(*cluster.metrics());
+  Stopwatch timer;
+
+  // Deploy one filter action per input file (the proxy the workers read).
+  {
+    GLIDER_ASSIGN_OR_RETURN(auto driver, cluster.NewInternalClient());
+    for (std::size_t i = 0; i < params.workers; ++i) {
+      const std::string config = std::string(kInputPrefix) +
+                                 std::to_string(i) + "\n" +
+                                 std::string(kMarker);
+      GLIDER_RETURN_IF_ERROR(
+          core::ActionNode::Create(*driver, "/wc/filter_" + std::to_string(i),
+                                   "glider.filter", /*interleave=*/false,
+                                   AsBytes(config))
+              .status());
+    }
+  }
+
+  GLIDER_RETURN_IF_ERROR(
+      invoker.RunStage(params.workers, [&](faas::WorkerContext& ctx) -> Status {
+        GLIDER_ASSIGN_OR_RETURN(
+            auto info, ctx.store->Lookup(std::string(kInputPrefix) +
+                                         std::to_string(ctx.worker_id)));
+        input_bytes += info.size;
+        GLIDER_ASSIGN_OR_RETURN(
+            auto node,
+            core::ActionNode::Lookup(
+                *ctx.store, "/wc/filter_" + std::to_string(ctx.worker_id)));
+        GLIDER_ASSIGN_OR_RETURN(auto reader, node.OpenReader());
+        nk::LineScanner scanner([&] { return reader->ReadChunk(); });
+        std::string line;
+        std::uint64_t my_matched = 0;
+        std::uint64_t my_words = 0;
+        while (true) {
+          GLIDER_ASSIGN_OR_RETURN(auto more, scanner.NextLine(line));
+          if (!more) break;
+          ++my_matched;
+          my_words += CountWords(line);
+        }
+        GLIDER_RETURN_IF_ERROR(reader->Close());
+        matched += my_matched;
+        words += my_words;
+        return Status::Ok();
+      }));
+  const double seconds = timer.Seconds();
+  const auto delta = MetricsSnapshot::Take(*cluster.metrics()).Since(before);
+
+  // Job teardown (ephemeral actions expire with the job).
+  {
+    GLIDER_ASSIGN_OR_RETURN(auto driver, cluster.NewInternalClient());
+    for (std::size_t i = 0; i < params.workers; ++i) {
+      (void)core::ActionNode::Delete(*driver,
+                                     "/wc/filter_" + std::to_string(i));
+    }
+  }
+
+  WordcountResult result;
+  result.seconds = seconds;
+  result.ingested_bytes = delta.faas_bytes;
+  result.throughput_gbps =
+      static_cast<double>(input_bytes.load()) * 8 / seconds / 1e9;
+  result.matched_lines = matched.load();
+  result.total_words = words.load();
+  result.accesses = delta.accesses;
+  return result;
+}
+
+}  // namespace glider::workloads

@@ -1,0 +1,45 @@
+// Table 2 workload: the data-ingestion pipeline of §7.1 "Impact of actions
+// on data movement". Workers word-count the lines of large text files that
+// must first be filtered; Glider offloads the filter to storage actions
+// acting as file proxies, so only matching lines ever cross the
+// compute<->storage link.
+#pragma once
+
+#include <cstdint>
+
+#include "testing/cluster.h"
+#include "workloads/stats.h"
+
+namespace glider::workloads {
+
+struct WordcountParams {
+  std::size_t workers = 10;
+  std::size_t bytes_per_worker = 4 << 20;
+  // Fraction of lines carrying the marker token the filter selects.
+  double marker_rate = 0.003;
+  std::uint64_t seed = 7;
+};
+
+struct WordcountResult {
+  double seconds = 0;
+  std::uint64_t ingested_bytes = 0;  // compute<->storage transfer
+  double throughput_gbps = 0;        // input size processed per second
+  std::uint64_t matched_lines = 0;
+  std::uint64_t total_words = 0;     // word occurrences counted (invariant)
+  std::uint64_t accesses = 0;
+};
+
+// Creates /wc/in_<i> with deterministic text (driver-side, not measured).
+Status SetupWordcountInput(testing::MiniCluster& cluster,
+                           const WordcountParams& params);
+
+// Data-shipping baseline: each worker reads its file in full and filters
+// client-side.
+Result<WordcountResult> RunWordcountBaseline(testing::MiniCluster& cluster,
+                                             const WordcountParams& params);
+
+// Glider: one filter action per file; workers read pre-filtered streams.
+Result<WordcountResult> RunWordcountGlider(testing::MiniCluster& cluster,
+                                           const WordcountParams& params);
+
+}  // namespace glider::workloads

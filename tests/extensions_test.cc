@@ -1,0 +1,205 @@
+// Tests of the extension features: tiered storage classes with fallback,
+// Table/Bag container clients, the reduction-tree merge (§6.3) and the
+// interactive-query index action (§3.1), and elastic storage-space join.
+#include <gtest/gtest.h>
+
+#include "glider/client/action_node.h"
+#include "nodekernel/client/containers.h"
+#include "testing/cluster.h"
+#include "workloads/actions.h"
+
+namespace glider {
+namespace {
+
+constexpr nk::StorageClassId kNvmeClass = 1;
+
+class ExtensionsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    workloads::RegisterWorkloadActions();
+    testing::ClusterOptions options;
+    options.blocks_per_server = 4;  // tiny DRAM tier: forces spills
+    options.block_size = 64 * 1024;
+    options.slots_per_server = 16;
+    auto cluster = testing::MiniCluster::Start(options);
+    ASSERT_TRUE(cluster.ok());
+    cluster_ = std::move(cluster).value();
+    auto client = cluster_->NewInternalClient();
+    ASSERT_TRUE(client.ok());
+    client_ = std::move(client).value();
+  }
+
+  std::string ReadAll(core::ActionNode& node) {
+    auto reader = node.OpenReader();
+    EXPECT_TRUE(reader.ok());
+    std::string out;
+    while (true) {
+      auto chunk = (*reader)->ReadChunk();
+      EXPECT_TRUE(chunk.ok());
+      if (!chunk.ok() || chunk->empty()) break;
+      out += chunk->ToString();
+    }
+    EXPECT_TRUE((*reader)->Close().ok());
+    return out;
+  }
+
+  Status WriteAll(core::ActionNode& node, std::string_view data) {
+    GLIDER_ASSIGN_OR_RETURN(auto writer, node.OpenWriter());
+    GLIDER_RETURN_IF_ERROR(writer->Write(data));
+    return writer->Close();
+  }
+
+  std::unique_ptr<testing::MiniCluster> cluster_;
+  std::unique_ptr<nk::StoreClient> client_;
+};
+
+// ---- tiered storage ----------------------------------------------------------
+
+TEST_F(ExtensionsTest, FileSpillsToFallbackClassWhenPreferredIsFull) {
+  // Join an "NVMe" storage space and declare DRAM -> NVMe fallback.
+  auto nvme = cluster_->AddStorageServer(kNvmeClass, 16, 64 * 1024);
+  ASSERT_TRUE(nvme.ok());
+  cluster_->metadata().SetClassFallback(nk::kDefaultClass, kNvmeClass);
+
+  // 4 DRAM blocks x 64 KiB = 256 KiB; write 512 KiB -> half spills.
+  ASSERT_TRUE(client_->CreateNode("/spill", nk::NodeType::kFile).ok());
+  {
+    auto writer = nk::FileWriter::Open(*client_, "/spill");
+    ASSERT_TRUE(writer.ok());
+    std::vector<std::uint8_t> data(512 * 1024);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      data[i] = static_cast<std::uint8_t>(i % 251);
+    }
+    ASSERT_TRUE((*writer)->Write(ByteSpan(data)).ok());
+    ASSERT_TRUE((*writer)->Close().ok());
+  }
+  EXPECT_EQ(cluster_->metadata().FreeBlocks(nk::kDefaultClass), 0u);
+  EXPECT_EQ(cluster_->metadata().FreeBlocks(kNvmeClass), 12u);
+  EXPECT_GT((*nvme)->UsedBytes(), 0u);
+
+  // Reads stitch the tiers back together transparently.
+  auto value = client_->GetValue("/spill");
+  ASSERT_TRUE(value.ok());
+  ASSERT_EQ(value->size(), 512u * 1024);
+  for (std::size_t i = 0; i < value->size(); ++i) {
+    ASSERT_EQ(value->span()[i], static_cast<std::uint8_t>(i % 251)) << i;
+  }
+}
+
+TEST_F(ExtensionsTest, WithoutFallbackTheClassExhausts) {
+  ASSERT_TRUE(client_->CreateNode("/nofall", nk::NodeType::kFile).ok());
+  auto writer = nk::FileWriter::Open(*client_, "/nofall");
+  ASSERT_TRUE(writer.ok());
+  const std::string chunk(64 * 1024, 'x');
+  Status status;
+  for (int i = 0; i < 10 && status.ok(); ++i) status = (*writer)->Write(chunk);
+  const Status close_status = (*writer)->Close();
+  EXPECT_TRUE(!status.ok() || !close_status.ok());
+}
+
+TEST_F(ExtensionsTest, ElasticJoinGrowsCapacityImmediately) {
+  const auto before = cluster_->metadata().FreeBlocks(nk::kDefaultClass);
+  ASSERT_TRUE(cluster_->AddStorageServer(nk::kDefaultClass, 8, 64 * 1024).ok());
+  EXPECT_EQ(cluster_->metadata().FreeBlocks(nk::kDefaultClass), before + 8);
+}
+
+// ---- containers ---------------------------------------------------------------
+
+TEST_F(ExtensionsTest, TablePutGetRemoveKeys) {
+  auto table = nk::TableClient::Open(*client_, "/tbl");
+  ASSERT_TRUE(table.ok());
+  ASSERT_TRUE(table->Put("alpha", "1").ok());
+  ASSERT_TRUE(table->Put("beta", "2").ok());
+  ASSERT_TRUE(table->Put("alpha", "one").ok());  // upsert
+
+  auto got = table->Get("alpha");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->ToString(), "one");
+
+  auto keys = table->Keys();
+  ASSERT_TRUE(keys.ok());
+  EXPECT_EQ(*keys, (std::vector<std::string>{"alpha", "beta"}));
+
+  ASSERT_TRUE(table->Remove("alpha").ok());
+  EXPECT_EQ(table->Get("alpha").status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ExtensionsTest, TableOpenRejectsWrongType) {
+  ASSERT_TRUE(client_->CreateNode("/f", nk::NodeType::kFile).ok());
+  EXPECT_EQ(nk::TableClient::Open(*client_, "/f").status().code(),
+            StatusCode::kWrongNodeType);
+}
+
+TEST_F(ExtensionsTest, BagAppendsAndConcatenates) {
+  auto bag = nk::BagClient::Open(*client_, "/bag");
+  ASSERT_TRUE(bag.ok());
+  for (const std::string part : {"one ", "two ", "three"}) {
+    auto writer = bag->Append();
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->Write(part).ok());
+    ASSERT_TRUE((*writer)->Close().ok());
+  }
+  auto files = bag->Files();
+  ASSERT_TRUE(files.ok());
+  EXPECT_EQ(files->size(), 3u);
+
+  auto all = bag->ReadAll();
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->ToString(), "one two three");
+
+  // Re-opening resumes numbering.
+  auto bag2 = nk::BagClient::Open(*client_, "/bag");
+  ASSERT_TRUE(bag2.ok());
+  EXPECT_EQ(bag2->next_index(), 3u);
+}
+
+// ---- reduction tree ------------------------------------------------------------
+
+TEST_F(ExtensionsTest, ReductionTreeCombinesInsideStorage) {
+  // Root + two leaves; each leaf aggregates two worker streams; leaf
+  // results are pushed to the root through action-to-action streams.
+  ASSERT_TRUE(
+      core::ActionNode::Create(*client_, "/root", "glider.tree-merge",
+                               /*interleave=*/true)
+          .ok());
+  for (int leaf = 0; leaf < 2; ++leaf) {
+    ASSERT_TRUE(core::ActionNode::Create(
+                    *client_, "/leaf" + std::to_string(leaf),
+                    "glider.tree-merge", /*interleave=*/true, AsBytes("/root"))
+                    .ok());
+  }
+  for (int leaf = 0; leaf < 2; ++leaf) {
+    auto node =
+        core::ActionNode::Lookup(*client_, "/leaf" + std::to_string(leaf));
+    ASSERT_TRUE(node.ok());
+    ASSERT_TRUE(WriteAll(*node, "1,10\n2,1\n").ok());
+    ASSERT_TRUE(WriteAll(*node, "1,5\n").ok());
+  }
+  // Trigger the leaves: each flushes its dictionary into the root.
+  for (int leaf = 0; leaf < 2; ++leaf) {
+    auto node =
+        core::ActionNode::Lookup(*client_, "/leaf" + std::to_string(leaf));
+    ASSERT_TRUE(node.ok());
+    EXPECT_EQ(ReadAll(*node), "2\n");  // forwarded 2 entries
+  }
+  auto root = core::ActionNode::Lookup(*client_, "/root");
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(ReadAll(*root), "1,30\n2,2\n");
+}
+
+// ---- interactive queries --------------------------------------------------------
+
+TEST_F(ExtensionsTest, QueryableIndexAnswersAcrossStreams) {
+  auto node = core::ActionNode::Create(*client_, "/idx", "glider.index");
+  ASSERT_TRUE(node.ok());
+  ASSERT_TRUE(WriteAll(*node, "put a 1\nput b 2\n").ok());
+  ASSERT_TRUE(WriteAll(*node, "get a\nget zz\ncount\n").ok());
+  EXPECT_EQ(ReadAll(*node), "a=1\nzz!missing\ncount=2\n");
+  // Answers drained; state persists.
+  EXPECT_EQ(ReadAll(*node), "");
+  ASSERT_TRUE(WriteAll(*node, "get b\n").ok());
+  EXPECT_EQ(ReadAll(*node), "b=2\n");
+}
+
+}  // namespace
+}  // namespace glider

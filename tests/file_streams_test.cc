@@ -1,0 +1,155 @@
+// Property-style tests of the buffered file streams: round-trips across a
+// sweep of (block size, chunk size, data size) shapes, plus LineScanner.
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "testing/cluster.h"
+
+namespace glider::nk {
+namespace {
+
+struct StreamShape {
+  std::uint64_t block_size;
+  std::size_t chunk_size;
+  std::size_t data_size;
+  std::size_t window;
+};
+
+class FileStreamPropertyTest : public ::testing::TestWithParam<StreamShape> {};
+
+TEST_P(FileStreamPropertyTest, RoundTripPreservesBytes) {
+  const StreamShape shape = GetParam();
+  testing::ClusterOptions options;
+  options.block_size = shape.block_size;
+  options.blocks_per_server = 512;
+  options.chunk_size = shape.chunk_size;
+  options.inflight_window = shape.window;
+  auto cluster = testing::MiniCluster::Start(options);
+  ASSERT_TRUE(cluster.ok());
+  auto client = (*cluster)->NewInternalClient();
+  ASSERT_TRUE(client.ok());
+
+  std::vector<std::uint8_t> data(shape.data_size);
+  SplitMix64 rng(shape.data_size);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.Next());
+
+  ASSERT_TRUE((*client)->CreateNode("/p", NodeType::kFile).ok());
+  {
+    auto writer = FileWriter::Open(**client, "/p");
+    ASSERT_TRUE(writer.ok());
+    // Random-sized writes.
+    std::size_t off = 0;
+    SplitMix64 sizes(7);
+    while (off < data.size()) {
+      const std::size_t n = std::min<std::size_t>(
+          1 + sizes.NextBelow(3 * shape.chunk_size), data.size() - off);
+      ASSERT_TRUE((*writer)->Write(ByteSpan(data.data() + off, n)).ok());
+      off += n;
+    }
+    ASSERT_TRUE((*writer)->Close().ok());
+    EXPECT_EQ((*writer)->bytes_written(), data.size());
+  }
+
+  auto reader = FileReader::Open(**client, "/p");
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ((*reader)->size(), data.size());
+  std::vector<std::uint8_t> read_back(data.size() + 16);
+  auto n = (*reader)->Read(MutableByteSpan(read_back.data(), read_back.size()));
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, data.size());
+  read_back.resize(data.size());
+  EXPECT_EQ(read_back, data);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, FileStreamPropertyTest,
+    ::testing::Values(
+        StreamShape{16 * 1024, 4 * 1024, 100 * 1024, 4},   // many blocks
+        StreamShape{16 * 1024, 24 * 1024, 70 * 1024, 2},   // chunk > block
+        StreamShape{1 << 20, 64 * 1024, 1, 4},             // single byte
+        StreamShape{1 << 20, 64 * 1024, 0, 4},             // empty file
+        StreamShape{64 * 1024, 64 * 1024, 64 * 1024, 1},   // exact fit, W=1
+        StreamShape{32 * 1024, 10 * 1024, 333 * 1024, 8},  // odd sizes
+        StreamShape{1 << 20, 256 * 1024, 3 << 20, 4}),     // multi-MiB
+    [](const auto& info) {
+      const auto& s = info.param;
+      return "b" + std::to_string(s.block_size / 1024) + "k_c" +
+             std::to_string(s.chunk_size / 1024) + "k_d" +
+             std::to_string(s.data_size) + "_w" + std::to_string(s.window);
+    });
+
+TEST(FileStreamsTest, AppendLikeSequentialWriters) {
+  // Two writers in sequence: the second starts at offset 0 (streams are
+  // whole-object, like the paper's ephemeral files) and overwrites.
+  auto cluster = testing::MiniCluster::Start({});
+  ASSERT_TRUE(cluster.ok());
+  auto client = (*cluster)->NewInternalClient();
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE((*client)->CreateNode("/f", NodeType::kFile).ok());
+  {
+    auto writer = FileWriter::Open(**client, "/f");
+    ASSERT_TRUE((*writer)->Write("AAAA").ok());
+    ASSERT_TRUE((*writer)->Close().ok());
+  }
+  {
+    auto writer = FileWriter::Open(**client, "/f");
+    ASSERT_TRUE((*writer)->Write("BB").ok());
+    ASSERT_TRUE((*writer)->Close().ok());
+  }
+  // Size is the max extent (sizes only grow); content prefix is overwritten.
+  auto value = (*client)->GetValue("/f");
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(value->ToString(), "BBAA");
+}
+
+TEST(LineScannerTest, CarriesPartialLinesAcrossChunks) {
+  // Feed "abc\ndef\ngh" in 4-byte chunks.
+  const std::string text = "abc\ndef\ngh";
+  std::size_t pos = 0;
+  LineScanner scanner([&]() -> Result<Buffer> {
+    if (pos >= text.size()) return Buffer{};
+    const std::size_t n = std::min<std::size_t>(4, text.size() - pos);
+    Buffer chunk(AsBytes(text.substr(pos, n)).data(), n);
+    pos += n;
+    return chunk;
+  });
+  std::string line;
+  std::vector<std::string> lines;
+  while (true) {
+    auto more = scanner.NextLine(line);
+    ASSERT_TRUE(more.ok());
+    if (!*more) break;
+    lines.push_back(line);
+  }
+  EXPECT_EQ(lines, (std::vector<std::string>{"abc", "def", "gh"}));
+}
+
+TEST(LineScannerTest, EmptyInputAndBlankLines) {
+  {
+    LineScanner scanner([]() -> Result<Buffer> { return Buffer{}; });
+    std::string line;
+    auto more = scanner.NextLine(line);
+    ASSERT_TRUE(more.ok());
+    EXPECT_FALSE(*more);
+  }
+  {
+    bool served = false;
+    LineScanner scanner([&]() -> Result<Buffer> {
+      if (served) return Buffer{};
+      served = true;
+      return Buffer::FromString("\n\nx\n");
+    });
+    std::string line;
+    std::vector<std::string> lines;
+    while (true) {
+      auto more = scanner.NextLine(line);
+      ASSERT_TRUE(more.ok());
+      if (!*more) break;
+      lines.push_back(line);
+    }
+    EXPECT_EQ(lines, (std::vector<std::string>{"", "", "x"}));
+  }
+}
+
+}  // namespace
+}  // namespace glider::nk

@@ -1,0 +1,121 @@
+// Unit tests of the workload data generators: determinism and the
+// statistical properties the evaluation depends on.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "workloads/generators.h"
+
+namespace glider::workloads {
+namespace {
+
+TEST(TextGeneratorTest, Deterministic) {
+  std::string a, b;
+  TextGenerator(1, 0.01).Generate(10'000, a);
+  TextGenerator(1, 0.01).Generate(10'000, b);
+  EXPECT_EQ(a, b);
+  std::string c;
+  TextGenerator(2, 0.01).Generate(10'000, c);
+  EXPECT_NE(a, c);
+}
+
+TEST(TextGeneratorTest, MarkerRateApproximatelyHolds) {
+  std::string text;
+  TextGenerator gen(7, 0.02, "NEEDLE");
+  gen.Generate(400'000, text);
+  std::istringstream in(text);
+  std::string line;
+  std::size_t total = 0, marked = 0;
+  while (std::getline(in, line)) {
+    ++total;
+    if (line.find("NEEDLE") != std::string::npos) ++marked;
+  }
+  ASSERT_GT(total, 1000u);
+  const double rate = static_cast<double>(marked) / static_cast<double>(total);
+  EXPECT_GT(rate, 0.008);
+  EXPECT_LT(rate, 0.05);
+}
+
+TEST(TextGeneratorTest, ProducesWholeLines) {
+  std::string text;
+  TextGenerator(3, 0.0).Generate(5'000, text);
+  EXPECT_EQ(text.back(), '\n');
+}
+
+TEST(PairGeneratorTest, FormatAndKeyRange) {
+  std::string out;
+  PairGenerator gen(5, 16);
+  gen.Generate(1000, out);
+  std::istringstream in(out);
+  std::string line;
+  std::size_t count = 0;
+  while (std::getline(in, line)) {
+    const auto comma = line.find(',');
+    ASSERT_NE(comma, std::string::npos) << line;
+    const int key = std::stoi(line.substr(0, comma));
+    const long long value = std::stoll(line.substr(comma + 1));
+    EXPECT_GE(key, 0);
+    EXPECT_LT(key, 16);
+    EXPECT_GE(value, 0);
+    ++count;
+  }
+  EXPECT_EQ(count, 1000u);
+}
+
+TEST(PairGeneratorTest, CoversAllKeysEventually) {
+  std::string out;
+  PairGenerator gen(5, 8);
+  gen.Generate(1000, out);
+  std::set<int> keys;
+  std::istringstream in(out);
+  std::string line;
+  while (std::getline(in, line)) {
+    keys.insert(std::stoi(line.substr(0, line.find(','))));
+  }
+  EXPECT_EQ(keys.size(), 8u);
+}
+
+TEST(SortRecordGeneratorTest, FixedWidthSortableRecords) {
+  std::string out;
+  SortRecordGenerator gen(9);
+  gen.Generate(4'000, out);
+  std::istringstream in(out);
+  std::string line;
+  std::size_t count = 0;
+  while (std::getline(in, line)) {
+    ASSERT_EQ(line.size(), 78u);  // 20 key + tab + 57 payload
+    const std::uint64_t key = SortRecordGenerator::KeyOf(line);
+    // Lexicographic comparison of the zero-padded key field must equal
+    // numeric comparison: re-format and compare.
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%020llu",
+                  static_cast<unsigned long long>(key));
+    EXPECT_EQ(line.substr(0, 20), buf);
+    ++count;
+  }
+  EXPECT_GT(count, 40u);
+}
+
+TEST(AlignedReadGeneratorTest, PositionsWithinRange) {
+  std::string out;
+  AlignedReadGenerator gen(11, 1000, 2000);
+  gen.Generate(500, out);
+  std::istringstream in(out);
+  std::string line;
+  std::size_t count = 0;
+  while (std::getline(in, line)) {
+    const std::uint64_t pos = AlignedReadGenerator::PosOf(line);
+    EXPECT_GE(pos, 1000u);
+    EXPECT_LT(pos, 2000u);
+    // Record shape: 12-digit position, tab, 36 bases.
+    ASSERT_EQ(line.size(), 12u + 1 + 36);
+    for (const char base : line.substr(13)) {
+      EXPECT_TRUE(base == 'A' || base == 'C' || base == 'G' || base == 'T');
+    }
+    ++count;
+  }
+  EXPECT_EQ(count, 500u);
+}
+
+}  // namespace
+}  // namespace glider::workloads

@@ -1,0 +1,158 @@
+// Measurement-correctness tests: the paper's indicators are only as good
+// as their accounting. These pin down what the metrics layer counts for
+// known traffic: per-link attribution, storage accesses, stored bytes, and
+// the storage-internal traffic of actions (which must NOT count as
+// compute<->storage transfer — that separation is the whole point).
+#include <gtest/gtest.h>
+
+#include "glider/client/action_node.h"
+#include "testing/cluster.h"
+#include "workloads/actions.h"
+#include "workloads/stats.h"
+
+namespace glider {
+namespace {
+
+class MetricsAccountingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    workloads::RegisterWorkloadActions();
+    testing::ClusterOptions options;
+    options.chunk_size = 64 * 1024;
+    auto cluster = testing::MiniCluster::Start(options);
+    ASSERT_TRUE(cluster.ok());
+    cluster_ = std::move(cluster).value();
+  }
+
+  std::unique_ptr<testing::MiniCluster> cluster_;
+};
+
+TEST_F(MetricsAccountingTest, FaasWriteCountsPayloadPlusFraming) {
+  auto client = cluster_->NewFaasClient();
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE((*client)->CreateNode("/f", nk::NodeType::kFile).ok());
+
+  const auto before = workloads::MetricsSnapshot::Take(*cluster_->metrics());
+  constexpr std::size_t kBytes = 300 * 1024;
+  {
+    auto writer = nk::FileWriter::Open(**client, "/f");
+    ASSERT_TRUE(writer.ok());
+    Buffer data(kBytes);
+    ASSERT_TRUE((*writer)->Write(data.span()).ok());
+    ASSERT_TRUE((*writer)->Close().ok());
+  }
+  const auto delta =
+      workloads::MetricsSnapshot::Take(*cluster_->metrics()).Since(before);
+  // Sent bytes = payload + per-op headers: strictly more than the payload,
+  // well under double.
+  EXPECT_GE(cluster_->metrics()->BytesSent(LinkClass::kFaas), kBytes);
+  EXPECT_LT(delta.faas_bytes, kBytes * 2);
+  // One logical storage access: the stream open.
+  EXPECT_EQ(delta.accesses, 1u);
+  // Stored bytes match the file extent.
+  EXPECT_EQ(delta.stored, static_cast<std::int64_t>(kBytes));
+  EXPECT_EQ(delta.peak_stored, static_cast<std::int64_t>(kBytes));
+}
+
+TEST_F(MetricsAccountingTest, InternalClientTrafficIsNotFaasTraffic) {
+  auto client = cluster_->NewInternalClient();
+  ASSERT_TRUE(client.ok());
+  const auto faas_before = cluster_->metrics()->FaasTransferBytes();
+  ASSERT_TRUE((*client)->PutValue("/kv", AsBytes(std::string(50'000, 'x'))).ok());
+  EXPECT_EQ(cluster_->metrics()->FaasTransferBytes(), faas_before);
+  EXPECT_GT(cluster_->metrics()->BytesSent(LinkClass::kInternal), 50'000u);
+}
+
+TEST_F(MetricsAccountingTest, ActionProxyReadCountsOnlyShippedBytes) {
+  // A filter action reads a 200 KiB backing file internally but ships only
+  // the matching lines to the FaaS worker: compute<->storage transfer must
+  // reflect the small result, internal traffic the full file.
+  {
+    auto internal = cluster_->NewInternalClient();
+    ASSERT_TRUE((*internal)->CreateNode("/data", nk::NodeType::kFile).ok());
+    auto writer = nk::FileWriter::Open(**internal, "/data");
+    std::string text;
+    for (int i = 0; i < 4000; ++i) {
+      text += (i % 100 == 0) ? "KEEP line\n" : "drop line number xx\n";
+    }
+    ASSERT_TRUE((*writer)->Write(text).ok());
+    ASSERT_TRUE((*writer)->Close().ok());
+    ASSERT_TRUE(core::ActionNode::Create(**internal, "/flt", "glider.filter",
+                                         false, AsBytes("/data\nKEEP"))
+                    .ok());
+  }
+  auto worker = cluster_->NewFaasClient();
+  ASSERT_TRUE(worker.ok());
+  const auto before = workloads::MetricsSnapshot::Take(*cluster_->metrics());
+  auto node = core::ActionNode::Lookup(**worker, "/flt");
+  ASSERT_TRUE(node.ok());
+  auto reader = node->OpenReader();
+  ASSERT_TRUE(reader.ok());
+  std::size_t shipped = 0;
+  while (true) {
+    auto chunk = (*reader)->ReadChunk();
+    ASSERT_TRUE(chunk.ok());
+    if (chunk->empty()) break;
+    shipped += chunk->size();
+  }
+  ASSERT_TRUE((*reader)->Close().ok());
+  const auto delta =
+      workloads::MetricsSnapshot::Take(*cluster_->metrics()).Since(before);
+
+  EXPECT_EQ(shipped, 40u * 10);  // 40 matching lines of 10 bytes
+  EXPECT_LT(delta.faas_bytes, 10'000u);      // result + framing only
+  EXPECT_GT(delta.internal_bytes, 70'000u);  // the full backing file
+}
+
+TEST_F(MetricsAccountingTest, RdmaClassAttributionFlowsThrough) {
+  testing::ClusterOptions options;
+  options.internal_link_class = LinkClass::kRdma;
+  auto cluster = testing::MiniCluster::Start(options);
+  ASSERT_TRUE(cluster.ok());
+  auto internal = (*cluster)->NewInternalClient();
+  ASSERT_TRUE((*internal)->CreateNode("/d", nk::NodeType::kFile).ok());
+  {
+    auto writer = nk::FileWriter::Open(**internal, "/d");
+    ASSERT_TRUE((*writer)->Write(std::string(20'000, 'y')).ok());
+    ASSERT_TRUE((*writer)->Close().ok());
+  }
+  ASSERT_TRUE(core::ActionNode::Create(**internal, "/flt", "glider.filter",
+                                       false, AsBytes("/d\ny"))
+                  .ok());
+  auto node = core::ActionNode::Lookup(**internal, "/flt");
+  auto reader = node->OpenReader();
+  while (true) {
+    auto chunk = (*reader)->ReadChunk();
+    ASSERT_TRUE(chunk.ok());
+    if (chunk->empty()) break;
+  }
+  ASSERT_TRUE((*reader)->Close().ok());
+  // The action's backing-file read travelled on the RDMA-class link.
+  EXPECT_GT((*cluster)->metrics()->BytesReceived(LinkClass::kRdma), 19'000u);
+}
+
+TEST_F(MetricsAccountingTest, EveryActionStreamOpenIsOneAccess) {
+  auto internal = cluster_->NewInternalClient();
+  ASSERT_TRUE(core::ActionNode::Create(**internal, "/m", "glider.merge",
+                                       /*interleave=*/true)
+                  .ok());
+  auto worker = cluster_->NewFaasClient();
+  ASSERT_TRUE(worker.ok());
+  const auto before = cluster_->metrics()->StorageAccesses();
+  auto node = core::ActionNode::Lookup(**worker, "/m");
+  ASSERT_TRUE(node.ok());
+  for (int i = 0; i < 3; ++i) {
+    auto writer = node->OpenWriter();
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->Write("1,1\n").ok());
+    ASSERT_TRUE((*writer)->Close().ok());
+  }
+  auto reader = node->OpenReader();
+  ASSERT_TRUE(reader.ok());
+  (void)(*reader)->ReadChunk();
+  ASSERT_TRUE((*reader)->Close().ok());
+  EXPECT_EQ(cluster_->metrics()->StorageAccesses() - before, 4u);
+}
+
+}  // namespace
+}  // namespace glider

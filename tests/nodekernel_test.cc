@@ -1,0 +1,264 @@
+// Unit tests of the metadata plane: namespace tree semantics, block
+// manager allocation policy, and protocol encodings.
+#include <gtest/gtest.h>
+
+#include "nodekernel/block_manager.h"
+#include "nodekernel/namespace_tree.h"
+#include "nodekernel/protocol.h"
+
+namespace glider::nk {
+namespace {
+
+// ---- path parsing -----------------------------------------------------------
+
+TEST(PathTest, SplitsComponents) {
+  auto parts = NamespaceTree::SplitPath("/a/b/c");
+  ASSERT_TRUE(parts.ok());
+  EXPECT_EQ(*parts, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(PathTest, RootIsEmptyList) {
+  auto parts = NamespaceTree::SplitPath("/");
+  ASSERT_TRUE(parts.ok());
+  EXPECT_TRUE(parts->empty());
+}
+
+TEST(PathTest, TrailingSlashAllowed) {
+  auto parts = NamespaceTree::SplitPath("/a/b/");
+  ASSERT_TRUE(parts.ok());
+  EXPECT_EQ(parts->size(), 2u);
+}
+
+TEST(PathTest, RelativeAndEmptyRejected) {
+  EXPECT_FALSE(NamespaceTree::SplitPath("a/b").ok());
+  EXPECT_FALSE(NamespaceTree::SplitPath("").ok());
+  EXPECT_FALSE(NamespaceTree::SplitPath("/a//b").ok());
+}
+
+// ---- namespace tree ---------------------------------------------------------
+
+TEST(NamespaceTreeTest, CreateLookupRemove) {
+  NamespaceTree tree;
+  auto created = tree.Create("/f", NodeType::kFile);
+  ASSERT_TRUE(created.ok());
+  const NodeId id = (*created)->id;
+  EXPECT_GT(id, 0u);
+
+  auto found = tree.Lookup("/f");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ((*found)->id, id);
+
+  auto removed = tree.Remove("/f");
+  ASSERT_TRUE(removed.ok());
+  EXPECT_EQ(removed->id, id);
+  EXPECT_EQ(tree.Lookup("/f").status().code(), StatusCode::kNotFound);
+}
+
+TEST(NamespaceTreeTest, DuplicateCreateRejected) {
+  NamespaceTree tree;
+  ASSERT_TRUE(tree.Create("/f", NodeType::kFile).ok());
+  EXPECT_EQ(tree.Create("/f", NodeType::kFile).status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(NamespaceTreeTest, ParentMustExist) {
+  NamespaceTree tree;
+  EXPECT_EQ(tree.Create("/no/such/parent", NodeType::kFile).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(NamespaceTreeTest, IdsAreUniqueAndMonotonic) {
+  NamespaceTree tree;
+  NodeId last = 0;
+  for (int i = 0; i < 20; ++i) {
+    auto created = tree.Create("/n" + std::to_string(i), NodeType::kFile);
+    ASSERT_TRUE(created.ok());
+    EXPECT_GT((*created)->id, last);
+    last = (*created)->id;
+  }
+  EXPECT_EQ(tree.NodeCount(), 20u);
+}
+
+TEST(NamespaceTreeTest, DeepHierarchy) {
+  NamespaceTree tree;
+  std::string path;
+  for (int depth = 0; depth < 32; ++depth) {
+    path += "/d";
+    ASSERT_TRUE(tree.Create(path, NodeType::kDirectory).ok()) << path;
+  }
+  EXPECT_TRUE(tree.Lookup(path).ok());
+  // Remove must refuse while children exist.
+  EXPECT_EQ(tree.Remove("/d").status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(NamespaceTreeTest, ContainerTypingEnforced) {
+  NamespaceTree tree;
+  ASSERT_TRUE(tree.Create("/t", NodeType::kTable).ok());
+  ASSERT_TRUE(tree.Create("/b", NodeType::kBag).ok());
+  ASSERT_TRUE(tree.Create("/f", NodeType::kFile).ok());
+  ASSERT_TRUE(tree.Create("/a", NodeType::kAction).ok());
+
+  EXPECT_TRUE(tree.Create("/t/kv", NodeType::kKeyValue).ok());
+  EXPECT_FALSE(tree.Create("/t/f", NodeType::kFile).ok());
+  EXPECT_TRUE(tree.Create("/b/f", NodeType::kFile).ok());
+  EXPECT_FALSE(tree.Create("/b/t", NodeType::kTable).ok());
+  EXPECT_FALSE(tree.Create("/f/x", NodeType::kFile).ok());
+  // Actions are leaves, not containers.
+  EXPECT_FALSE(tree.Create("/a/x", NodeType::kFile).ok());
+}
+
+TEST(NamespaceTreeTest, ListChildren) {
+  NamespaceTree tree;
+  ASSERT_TRUE(tree.Create("/d", NodeType::kDirectory).ok());
+  ASSERT_TRUE(tree.Create("/d/x", NodeType::kFile).ok());
+  ASSERT_TRUE(tree.Create("/d/y", NodeType::kAction).ok());
+  auto listing = tree.List("/d");
+  ASSERT_TRUE(listing.ok());
+  ASSERT_EQ(listing->size(), 2u);
+  EXPECT_EQ((*listing)[0].first, "x");
+  EXPECT_EQ((*listing)[1].second, NodeType::kAction);
+  // Root listing works too.
+  auto root = tree.List("/");
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(root->size(), 1u);
+}
+
+// ---- block manager ----------------------------------------------------------
+
+TEST(BlockManagerTest, RoundRobinAcrossServers) {
+  BlockManager manager;
+  const ServerId s1 = manager.RegisterServer(kDefaultClass, "a", 4, 1024);
+  const ServerId s2 = manager.RegisterServer(kDefaultClass, "b", 4, 1024);
+
+  std::vector<ServerId> owners;
+  for (int i = 0; i < 4; ++i) {
+    auto loc = manager.Allocate(kDefaultClass);
+    ASSERT_TRUE(loc.ok());
+    owners.push_back(loc->server);
+  }
+  EXPECT_EQ(owners, (std::vector<ServerId>{s1, s2, s1, s2}));
+}
+
+TEST(BlockManagerTest, SkipsExhaustedServers) {
+  BlockManager manager;
+  manager.RegisterServer(kDefaultClass, "a", 1, 1024);
+  const ServerId s2 = manager.RegisterServer(kDefaultClass, "b", 3, 1024);
+  ASSERT_TRUE(manager.Allocate(kDefaultClass).ok());  // a's only block
+  for (int i = 0; i < 3; ++i) {
+    auto loc = manager.Allocate(kDefaultClass);
+    ASSERT_TRUE(loc.ok());
+    EXPECT_EQ(loc->server, s2);
+  }
+  EXPECT_EQ(manager.Allocate(kDefaultClass).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(BlockManagerTest, FreeMakesBlockReusable) {
+  BlockManager manager;
+  manager.RegisterServer(kDefaultClass, "a", 1, 1024);
+  auto loc = manager.Allocate(kDefaultClass);
+  ASSERT_TRUE(loc.ok());
+  EXPECT_FALSE(manager.Allocate(kDefaultClass).ok());
+  ASSERT_TRUE(manager.Free(*loc).ok());
+  EXPECT_TRUE(manager.Allocate(kDefaultClass).ok());
+}
+
+TEST(BlockManagerTest, ClassesAreIsolated) {
+  BlockManager manager;
+  manager.RegisterServer(kDefaultClass, "data", 2, 1024);
+  manager.RegisterServer(kActiveClass, "active", 2, 1024);
+  auto data_loc = manager.Allocate(kDefaultClass);
+  auto active_loc = manager.Allocate(kActiveClass);
+  ASSERT_TRUE(data_loc.ok());
+  ASSERT_TRUE(active_loc.ok());
+  EXPECT_EQ(data_loc->address, "data");
+  EXPECT_EQ(active_loc->address, "active");
+  EXPECT_EQ(manager.Allocate(42).status().code(), StatusCode::kNotFound);
+}
+
+TEST(BlockManagerTest, CountsAndInvalidFrees) {
+  BlockManager manager;
+  manager.RegisterServer(kDefaultClass, "a", 8, 1024);
+  EXPECT_EQ(manager.TotalBlockCount(kDefaultClass), 8u);
+  EXPECT_EQ(manager.FreeBlockCount(kDefaultClass), 8u);
+  (void)manager.Allocate(kDefaultClass);
+  EXPECT_EQ(manager.FreeBlockCount(kDefaultClass), 7u);
+
+  BlockLoc bogus;
+  bogus.server = 99;
+  EXPECT_EQ(manager.Free(bogus).code(), StatusCode::kNotFound);
+  BlockLoc out_of_range;
+  out_of_range.server = 1;
+  out_of_range.block = 100;
+  EXPECT_EQ(manager.Free(out_of_range).code(), StatusCode::kOutOfRange);
+}
+
+// ---- protocol encodings -----------------------------------------------------
+
+TEST(ProtocolTest, NodeInfoRoundTrip) {
+  NodeInfo info;
+  info.id = 77;
+  info.type = NodeType::kAction;
+  info.size = 1234;
+  info.block_size = 4096;
+  info.storage_class = kActiveClass;
+  info.action_type = "glider.merge";
+  info.interleave = true;
+  info.slot = {3, 9, "inproc://2"};
+
+  NodeInfoResponse out{info};
+  auto decoded = NodeInfoResponse::Decode(out.Encode().span());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->info.id, 77u);
+  EXPECT_EQ(decoded->info.type, NodeType::kAction);
+  EXPECT_EQ(decoded->info.action_type, "glider.merge");
+  EXPECT_TRUE(decoded->info.interleave);
+  EXPECT_EQ(decoded->info.slot, info.slot);
+}
+
+TEST(ProtocolTest, CreateNodeRequestRoundTrip) {
+  CreateNodeRequest req;
+  req.path = "/x/y";
+  req.type = NodeType::kAction;
+  req.storage_class = kActiveClass;
+  req.action_type = "t";
+  req.interleave = true;
+  req.config = Buffer::FromString("cfg");
+  auto decoded = CreateNodeRequest::Decode(req.Encode().span());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->path, "/x/y");
+  EXPECT_EQ(decoded->config.ToString(), "cfg");
+}
+
+TEST(ProtocolTest, WriteBlockRequestRoundTrip) {
+  WriteBlockRequest req;
+  req.block = 5;
+  req.offset = 100;
+  req.data = Buffer::FromString("datadata");
+  auto decoded = WriteBlockRequest::Decode(req.Encode().span());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->block, 5u);
+  EXPECT_EQ(decoded->offset, 100u);
+  EXPECT_EQ(decoded->data.ToString(), "datadata");
+}
+
+TEST(ProtocolTest, ListResponseRoundTrip) {
+  ListResponse resp;
+  resp.entries = {{"a", NodeType::kFile}, {"b", NodeType::kAction}};
+  auto decoded = ListResponse::Decode(resp.Encode().span());
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->entries.size(), 2u);
+  EXPECT_EQ(decoded->entries[1].name, "b");
+  EXPECT_EQ(decoded->entries[1].type, NodeType::kAction);
+}
+
+TEST(ProtocolTest, GarbagePayloadRejected) {
+  const std::uint8_t garbage[] = {0xFF, 0x01};
+  EXPECT_FALSE(NodeInfoResponse::Decode(ByteSpan(garbage, 2)).ok());
+  EXPECT_FALSE(CreateNodeRequest::Decode(ByteSpan(garbage, 2)).ok());
+  EXPECT_FALSE(WriteBlockRequest::Decode(ByteSpan(garbage, 2)).ok());
+}
+
+}  // namespace
+}  // namespace glider::nk

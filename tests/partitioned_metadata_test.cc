@@ -1,0 +1,133 @@
+// Tests of namespace partitioning (paper §4.1 fn. 4): multiple metadata
+// servers, each owning the subtrees hashed to it together with the storage
+// servers registered there; clients route transparently.
+#include <gtest/gtest.h>
+
+#include "glider/client/action_node.h"
+#include "testing/cluster.h"
+#include "workloads/actions.h"
+#include "workloads/reduce.h"
+
+namespace glider {
+namespace {
+
+class PartitionedMetadataTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    workloads::RegisterWorkloadActions();
+    testing::ClusterOptions options;
+    options.metadata_servers = 3;
+    // Every partition needs storage + active capacity.
+    options.data_servers = 3;
+    options.active_servers = 3;
+    options.blocks_per_server = 64;
+    options.block_size = 64 * 1024;
+    auto cluster = testing::MiniCluster::Start(options);
+    ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
+    cluster_ = std::move(cluster).value();
+    auto client = cluster_->NewInternalClient();
+    ASSERT_TRUE(client.ok());
+    client_ = std::move(client).value();
+  }
+
+  std::unique_ptr<testing::MiniCluster> cluster_;
+  std::unique_ptr<nk::StoreClient> client_;
+};
+
+TEST_F(PartitionedMetadataTest, NodesSpreadAcrossPartitions) {
+  // Many top-level subtrees must not all land on one partition.
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(client_
+                    ->CreateNode("/part" + std::to_string(i),
+                                 nk::NodeType::kFile)
+                    .ok());
+  }
+  std::size_t populated = 0;
+  std::size_t total_nodes = 0;
+  for (std::size_t p = 0; p < cluster_->num_metadata(); ++p) {
+    const std::size_t n = cluster_->metadata(p).NodeCount();
+    total_nodes += n;
+    if (n > 0) ++populated;
+  }
+  EXPECT_EQ(total_nodes, 30u);
+  EXPECT_GE(populated, 2u);
+}
+
+TEST_F(PartitionedMetadataTest, NodeIdsCarryThePartitionTag) {
+  // Ids from different partitions must differ in the top bits so block
+  // operations route back correctly.
+  std::set<std::uint64_t> tags;
+  for (int i = 0; i < 30; ++i) {
+    auto info = client_->CreateNode("/t" + std::to_string(i),
+                                    nk::NodeType::kFile);
+    ASSERT_TRUE(info.ok());
+    tags.insert(info->id >> 56);
+  }
+  EXPECT_GE(tags.size(), 2u);
+}
+
+TEST_F(PartitionedMetadataTest, FileRoundTripOnEveryPartition) {
+  for (int i = 0; i < 12; ++i) {
+    const std::string path = "/rt" + std::to_string(i);
+    ASSERT_TRUE(client_->CreateNode(path, nk::NodeType::kFile).ok());
+    const std::string payload = "payload-" + std::to_string(i);
+    auto writer = nk::FileWriter::Open(*client_, path);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->Write(payload).ok());
+    ASSERT_TRUE((*writer)->Close().ok());
+    auto value = client_->GetValue(path);
+    ASSERT_TRUE(value.ok());
+    EXPECT_EQ(value->ToString(), payload);
+  }
+}
+
+TEST_F(PartitionedMetadataTest, SubtreeStaysTogether) {
+  // Children route with their root component, so parent/child operations
+  // hit the same partition.
+  ASSERT_TRUE(client_->CreateNode("/tree", nk::NodeType::kDirectory).ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(client_
+                    ->CreateNode("/tree/child" + std::to_string(i),
+                                 nk::NodeType::kFile)
+                    .ok());
+  }
+  auto listing = client_->List("/tree");
+  ASSERT_TRUE(listing.ok());
+  EXPECT_EQ(listing->entries.size(), 5u);
+}
+
+TEST_F(PartitionedMetadataTest, ActionsWorkAcrossPartitions) {
+  for (int i = 0; i < 6; ++i) {
+    const std::string path = "/act" + std::to_string(i);
+    auto node = core::ActionNode::Create(*client_, path, "glider.merge");
+    ASSERT_TRUE(node.ok()) << node.status().ToString();
+    auto writer = node->OpenWriter();
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE((*writer)->Write("1," + std::to_string(i) + "\n").ok());
+    ASSERT_TRUE((*writer)->Close().ok());
+  }
+  for (int i = 0; i < 6; ++i) {
+    auto node = core::ActionNode::Lookup(*client_, "/act" + std::to_string(i));
+    ASSERT_TRUE(node.ok());
+    auto reader = node->OpenReader();
+    ASSERT_TRUE(reader.ok());
+    auto chunk = (*reader)->ReadChunk();
+    ASSERT_TRUE(chunk.ok());
+    EXPECT_EQ(chunk->ToString(), "1," + std::to_string(i) + "\n");
+    ASSERT_TRUE((*reader)->Close().ok());
+  }
+}
+
+TEST_F(PartitionedMetadataTest, WholeWorkloadRunsPartitioned) {
+  workloads::ReduceParams params;
+  params.workers = 3;
+  params.pairs_per_worker = 5'000;
+  auto baseline = RunReduceBaseline(*cluster_, params);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  auto glider = RunReduceGlider(*cluster_, params);
+  ASSERT_TRUE(glider.ok()) << glider.status().ToString();
+  EXPECT_EQ(glider->checksum, baseline->checksum);
+}
+
+}  // namespace
+}  // namespace glider

@@ -1,0 +1,124 @@
+// Unit tests of the DRAM storage server: block addressing, bounds, the
+// high-water-mark accounting behind the utilization metric, and resets.
+#include <gtest/gtest.h>
+
+#include "net/inproc_transport.h"
+#include "nodekernel/metadata_server.h"
+#include "nodekernel/storage_server.h"
+
+namespace glider::nk {
+namespace {
+
+class StorageServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    transport_ = std::make_unique<net::InProcTransport>(2);
+    metrics_ = std::make_shared<Metrics>();
+    metadata_ = std::make_shared<MetadataServer>(transport_.get(), metrics_);
+    auto listener = transport_->Listen("", metadata_);
+    ASSERT_TRUE(listener.ok());
+    meta_listener_ = std::move(listener).value();
+
+    StorageServer::Options options;
+    options.num_blocks = 4;
+    options.block_size = 1024;
+    server_ = std::make_shared<StorageServer>(options, metrics_);
+    ASSERT_TRUE(server_->Start(*transport_, meta_listener_->address()).ok());
+    auto conn = transport_->Connect(server_->address(), nullptr);
+    ASSERT_TRUE(conn.ok());
+    conn_ = std::move(conn).value();
+  }
+
+  Status Write(std::uint32_t block, std::uint32_t offset,
+               std::string_view data) {
+    WriteBlockRequest req;
+    req.block = block;
+    req.offset = offset;
+    req.data = Buffer::FromString(data);
+    return conn_->CallSync(kWriteBlock, req.Encode()).status();
+  }
+
+  Result<std::string> Read(std::uint32_t block, std::uint32_t offset,
+                           std::uint32_t length) {
+    ReadBlockRequest req;
+    req.block = block;
+    req.offset = offset;
+    req.length = length;
+    GLIDER_ASSIGN_OR_RETURN(auto payload,
+                            conn_->CallSync(kReadBlock, req.Encode()));
+    return payload.ToString();
+  }
+
+  std::unique_ptr<net::InProcTransport> transport_;
+  std::shared_ptr<Metrics> metrics_;
+  std::shared_ptr<MetadataServer> metadata_;
+  std::unique_ptr<net::Listener> meta_listener_;
+  std::shared_ptr<StorageServer> server_;
+  std::shared_ptr<net::Connection> conn_;
+};
+
+TEST_F(StorageServerTest, RegistersWithMetadata) {
+  EXPECT_GT(server_->server_id(), 0u);
+  EXPECT_EQ(metadata_->FreeBlocks(kDefaultClass), 4u);
+}
+
+TEST_F(StorageServerTest, WriteReadRoundTrip) {
+  ASSERT_TRUE(Write(0, 0, "hello").ok());
+  auto read = Read(0, 0, 5);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, "hello");
+  // Sub-range reads.
+  EXPECT_EQ(*Read(0, 1, 3), "ell");
+}
+
+TEST_F(StorageServerTest, OffsetWritesExtendHighWaterMark) {
+  ASSERT_TRUE(Write(1, 100, "abc").ok());
+  EXPECT_EQ(server_->UsedBytes(), 103u);
+  EXPECT_EQ(metrics_->StoredBytes(), 103);
+  // Overwrite inside the extent does not grow usage.
+  ASSERT_TRUE(Write(1, 0, "zz").ok());
+  EXPECT_EQ(server_->UsedBytes(), 103u);
+}
+
+TEST_F(StorageServerTest, BoundsEnforced) {
+  EXPECT_EQ(Write(9, 0, "x").code(), StatusCode::kOutOfRange);     // bad block
+  EXPECT_EQ(Write(0, 1022, "xyz").code(), StatusCode::kOutOfRange);  // past end
+  ASSERT_TRUE(Write(0, 0, "abc").ok());
+  EXPECT_EQ(Read(0, 0, 10).status().code(),
+            StatusCode::kOutOfRange);  // read past written extent
+  EXPECT_EQ(Read(7, 0, 1).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(StorageServerTest, ResetReleasesBytes) {
+  ASSERT_TRUE(Write(2, 0, "0123456789").ok());
+  EXPECT_EQ(metrics_->StoredBytes(), 10);
+  ResetBlockRequest req;
+  req.block = 2;
+  ASSERT_TRUE(conn_->CallSync(kResetBlock, req.Encode()).ok());
+  EXPECT_EQ(metrics_->StoredBytes(), 0);
+  EXPECT_EQ(Read(2, 0, 1).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(StorageServerTest, ConcurrentDisjointWriters) {
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 32; ++i) {
+        const std::string data(8, static_cast<char>('a' + t));
+        ASSERT_TRUE(Write(3, static_cast<std::uint32_t>(t * 256 + i * 8),
+                          data)
+                        .ok());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(server_->UsedBytes(), 4u * 256);
+  for (int t = 0; t < 4; ++t) {
+    auto read = Read(3, static_cast<std::uint32_t>(t * 256), 256);
+    ASSERT_TRUE(read.ok());
+    EXPECT_EQ(*read, std::string(256, static_cast<char>('a' + t)));
+  }
+}
+
+}  // namespace
+}  // namespace glider::nk

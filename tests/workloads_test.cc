@@ -1,0 +1,123 @@
+// Workload-equivalence tests: for every evaluation workload, the Glider
+// implementation must produce exactly the same answer as the data-shipping
+// baseline, while moving (substantially) fewer bytes over the
+// compute<->storage link.
+#include <gtest/gtest.h>
+
+#include "faas/s3like.h"
+#include "workloads/genomics.h"
+#include "workloads/reduce.h"
+#include "workloads/sort.h"
+#include "workloads/wordcount.h"
+
+namespace glider {
+namespace {
+
+using testing::ClusterOptions;
+using testing::MiniCluster;
+
+std::unique_ptr<MiniCluster> SmallCluster(std::size_t active = 2) {
+  ClusterOptions options;
+  options.data_servers = 2;
+  options.active_servers = active;
+  options.slots_per_server = 32;
+  options.blocks_per_server = 256;
+  options.chunk_size = 64 * 1024;
+  auto cluster = MiniCluster::Start(options);
+  EXPECT_TRUE(cluster.ok()) << cluster.status().ToString();
+  return std::move(cluster).value();
+}
+
+TEST(WordcountWorkload, GliderMatchesBaselineAndCutsIngest) {
+  auto cluster = SmallCluster();
+  workloads::WordcountParams params;
+  params.workers = 4;
+  params.bytes_per_worker = 512 * 1024;
+  params.marker_rate = 0.01;
+  ASSERT_TRUE(SetupWordcountInput(*cluster, params).ok());
+
+  auto baseline = RunWordcountBaseline(*cluster, params);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  auto glider = RunWordcountGlider(*cluster, params);
+  ASSERT_TRUE(glider.ok()) << glider.status().ToString();
+
+  EXPECT_GT(baseline->matched_lines, 0u);
+  EXPECT_EQ(glider->matched_lines, baseline->matched_lines);
+  EXPECT_EQ(glider->total_words, baseline->total_words);
+  // The filter passes ~1% of lines: ingest must collapse by >10x.
+  EXPECT_LT(glider->ingested_bytes, baseline->ingested_bytes / 10);
+}
+
+TEST(ReduceWorkload, GliderMatchesBaselineAndHalvesTransfer) {
+  auto cluster = SmallCluster();
+  workloads::ReduceParams params;
+  params.workers = 4;
+  params.pairs_per_worker = 20'000;
+
+  auto baseline = RunReduceBaseline(*cluster, params);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  auto glider = RunReduceGlider(*cluster, params);
+  ASSERT_TRUE(glider.ok()) << glider.status().ToString();
+
+  EXPECT_EQ(baseline->result_entries, params.distinct_keys);
+  EXPECT_EQ(glider->result_entries, baseline->result_entries);
+  EXPECT_EQ(glider->checksum, baseline->checksum);
+  // Baseline ships the pairs twice (write + reduce read); Glider once.
+  EXPECT_LT(glider->transfer_bytes, baseline->transfer_bytes * 6 / 10);
+  // Storage accesses halve (paper: 50%).
+  EXPECT_LT(glider->accesses, baseline->accesses);
+  // Utilization collapses: only the dictionary is stored.
+  EXPECT_LT(glider->intermediate_stored_bytes,
+            baseline->intermediate_stored_bytes / 50);
+}
+
+TEST(SortWorkload, GliderMatchesBaselineAndIsVerifiedSorted) {
+  auto cluster = SmallCluster();
+  workloads::SortParams params;
+  params.workers = 4;
+  params.bytes_per_partition = 256 * 1024;
+  ASSERT_TRUE(SetupSortInput(*cluster, params).ok());
+
+  auto baseline = RunSortBaseline(*cluster, params);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  auto glider = RunSortGlider(*cluster, params);
+  ASSERT_TRUE(glider.ok()) << glider.status().ToString();
+
+  EXPECT_TRUE(baseline->verified);
+  EXPECT_TRUE(glider->verified);
+  EXPECT_GT(baseline->records, 0u);
+  EXPECT_EQ(glider->records, baseline->records);
+  // Baseline transfers ~4x the dataset; Glider ~2x (half the movement).
+  EXPECT_LT(glider->transfer_bytes, baseline->transfer_bytes * 7 / 10);
+  EXPECT_LT(glider->accesses, baseline->accesses);
+}
+
+TEST(GenomicsWorkload, GliderMatchesBaseline) {
+  auto cluster = SmallCluster(/*active=*/2);
+  faas::S3Like::Options s3opts;
+  s3opts.op_latency = std::chrono::microseconds(500);
+  faas::S3Like s3(s3opts, cluster->metrics());
+
+  workloads::GenomicsParams params;
+  params.fasta_chunks = 2;
+  params.fastq_chunks = 4;
+  params.reducers_per_chunk = 2;
+  params.records_per_mapper = 2000;
+
+  auto baseline = RunGenomicsBaseline(*cluster, s3, params);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  auto glider = RunGenomicsGlider(*cluster, s3, params);
+  ASSERT_TRUE(glider.ok()) << glider.status().ToString();
+
+  // Every record must be reduced exactly once in both approaches.
+  EXPECT_EQ(baseline->records_reduced,
+            params.fasta_chunks * params.fastq_chunks *
+                params.records_per_mapper);
+  EXPECT_EQ(glider->records_reduced, baseline->records_reduced);
+  // Same deterministic data => identical variant calls.
+  EXPECT_GT(baseline->variants, 0u);
+  EXPECT_EQ(glider->variants, baseline->variants);
+}
+
+}  // namespace
+}  // namespace glider

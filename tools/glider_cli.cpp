@@ -1,0 +1,161 @@
+// glider_cli: a small command-line client for a running Glider deployment
+// (see tools/glider_daemon.cpp).
+//
+//   glider_cli --metadata host:port <command> [args]
+//
+// Commands:
+//   mkdir <path>                     create a directory
+//   put <path>                       create/overwrite a file from stdin
+//   get <path>                       print a file to stdout
+//   ls <path>                        list a container
+//   rm <path>                        delete a node
+//   stat <path>                      show node metadata
+//   action-create <path> <type> [interleave]   instantiate an action
+//   action-write <path>              stream stdin into an action
+//   action-read <path>               stream an action's onRead to stdout
+//   action-rm <path>                 delete an action (object + node)
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "glider/client/action_node.h"
+#include "net/tcp_transport.h"
+#include "nodekernel/client/store_client.h"
+#include "workloads/actions.h"
+
+using namespace glider;  // NOLINT
+
+namespace {
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+std::string ReadStdin() {
+  std::string data;
+  char buffer[64 * 1024];
+  while (std::cin.read(buffer, sizeof(buffer)) || std::cin.gcount() > 0) {
+    data.append(buffer, static_cast<std::size_t>(std::cin.gcount()));
+  }
+  return data;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: glider_cli --metadata host:port "
+               "<mkdir|put|get|ls|rm|stat|action-create|action-write|"
+               "action-read|action-rm> <path> [args]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  workloads::RegisterWorkloadActions();
+  std::vector<std::string> args(argv + 1, argv + argc);
+  std::string metadata;
+  for (std::size_t i = 0; i + 1 < args.size(); ++i) {
+    if (args[i] == "--metadata") {
+      metadata = args[i + 1];
+      args.erase(args.begin() + static_cast<long>(i),
+                 args.begin() + static_cast<long>(i) + 2);
+      break;
+    }
+  }
+  if (metadata.empty() || args.size() < 2) return Usage();
+  const std::string command = args[0];
+  const std::string path = args[1];
+
+  net::TcpTransport transport(4);
+  nk::StoreClient::Options options;
+  options.transport = &transport;
+  options.metadata_address = metadata;
+  auto client_or = nk::StoreClient::Connect(std::move(options));
+  if (!client_or.ok()) return Fail(client_or.status());
+  auto& client = **client_or;
+
+  if (command == "mkdir") {
+    auto created = client.CreateNode(path, nk::NodeType::kDirectory);
+    if (!created.ok()) return Fail(created.status());
+  } else if (command == "put") {
+    auto created = client.CreateNode(path, nk::NodeType::kFile);
+    if (!created.ok() &&
+        created.status().code() != StatusCode::kAlreadyExists) {
+      return Fail(created.status());
+    }
+    auto writer = nk::FileWriter::Open(client, path);
+    if (!writer.ok()) return Fail(writer.status());
+    const std::string data = ReadStdin();
+    if (auto s = (*writer)->Write(data); !s.ok()) return Fail(s);
+    if (auto s = (*writer)->Close(); !s.ok()) return Fail(s);
+    std::fprintf(stderr, "wrote %zu bytes\n", data.size());
+  } else if (command == "get") {
+    auto reader = nk::FileReader::Open(client, path);
+    if (!reader.ok()) return Fail(reader.status());
+    while (true) {
+      auto chunk = (*reader)->ReadChunk();
+      if (!chunk.ok()) return Fail(chunk.status());
+      if (chunk->empty()) break;
+      std::fwrite(chunk->data(), 1, chunk->size(), stdout);
+    }
+  } else if (command == "ls") {
+    auto listing = client.List(path);
+    if (!listing.ok()) return Fail(listing.status());
+    for (const auto& entry : listing->entries) {
+      std::printf("%-10s %s\n",
+                  std::string(nk::NodeTypeName(entry.type)).c_str(),
+                  entry.name.c_str());
+    }
+  } else if (command == "rm") {
+    auto removed = client.Delete(path);
+    if (!removed.ok()) return Fail(removed.status());
+  } else if (command == "stat") {
+    auto info = client.Lookup(path);
+    if (!info.ok()) return Fail(info.status());
+    std::printf("id: %llu\ntype: %s\nsize: %llu\nclass: %u\n",
+                static_cast<unsigned long long>(info->id),
+                std::string(nk::NodeTypeName(info->type)).c_str(),
+                static_cast<unsigned long long>(info->size),
+                info->storage_class);
+    if (info->type == nk::NodeType::kAction) {
+      std::printf("action: %s\ninterleave: %s\nslot: %s#%u\n",
+                  info->action_type.c_str(),
+                  info->interleave ? "yes" : "no",
+                  info->slot.address.c_str(), info->slot.block);
+    }
+  } else if (command == "action-create") {
+    if (args.size() < 3) return Usage();
+    const bool interleave = args.size() > 3 && args[3] == "interleave";
+    auto node = core::ActionNode::Create(client, path, args[2], interleave);
+    if (!node.ok()) return Fail(node.status());
+  } else if (command == "action-write") {
+    auto node = core::ActionNode::Lookup(client, path);
+    if (!node.ok()) return Fail(node.status());
+    auto writer = node->OpenWriter();
+    if (!writer.ok()) return Fail(writer.status());
+    if (auto s = (*writer)->Write(ReadStdin()); !s.ok()) return Fail(s);
+    if (auto s = (*writer)->Close(); !s.ok()) return Fail(s);
+  } else if (command == "action-read") {
+    auto node = core::ActionNode::Lookup(client, path);
+    if (!node.ok()) return Fail(node.status());
+    auto reader = node->OpenReader();
+    if (!reader.ok()) return Fail(reader.status());
+    while (true) {
+      auto chunk = (*reader)->ReadChunk();
+      if (!chunk.ok()) return Fail(chunk.status());
+      if (chunk->empty()) break;
+      std::fwrite(chunk->data(), 1, chunk->size(), stdout);
+    }
+    if (auto s = (*reader)->Close(); !s.ok()) return Fail(s);
+  } else if (command == "action-rm") {
+    if (auto s = core::ActionNode::Delete(client, path); !s.ok()) {
+      return Fail(s);
+    }
+  } else {
+    return Usage();
+  }
+  return 0;
+}

@@ -1,0 +1,138 @@
+// glider_daemon: runs one Glider server role over TCP, for multi-process /
+// multi-host deployments.
+//
+//   glider_daemon metadata --listen 0.0.0.0:7000
+//   glider_daemon storage  --metadata 10.0.0.1:7000 --blocks 1024 \
+//                          --block-size 1048576 [--class 0] [--listen ...]
+//   glider_daemon active   --metadata 10.0.0.1:7000 --slots 32 [--listen ...]
+//
+// Active daemons serve the action definitions compiled into this binary
+// (the workload library); a deployment registers its own definitions by
+// linking them in and rebuilding — the "upload a package" step of §6.2.
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <semaphore>
+#include <string>
+
+#include "glider/active_server.h"
+#include "net/tcp_transport.h"
+#include "nodekernel/metadata_server.h"
+#include "nodekernel/storage_server.h"
+#include "workloads/actions.h"
+
+using namespace glider;  // NOLINT
+
+namespace {
+
+std::binary_semaphore g_stop{0};
+
+void HandleSignal(int) { g_stop.release(); }
+
+std::map<std::string, std::string> ParseFlags(int argc, char** argv) {
+  std::map<std::string, std::string> flags;
+  for (int i = 2; i + 1 < argc; i += 2) {
+    if (std::strncmp(argv[i], "--", 2) == 0) {
+      flags[argv[i] + 2] = argv[i + 1];
+    }
+  }
+  return flags;
+}
+
+std::string FlagOr(const std::map<std::string, std::string>& flags,
+                   const std::string& name, const std::string& fallback) {
+  auto it = flags.find(name);
+  return it == flags.end() ? fallback : it->second;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: glider_daemon <metadata|storage|active> [--listen "
+               "host:port] [--metadata host:port] [--blocks N] [--block-size "
+               "B] [--class C] [--slots N] [--partition P]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string role = argv[1];
+  const auto flags = ParseFlags(argc, argv);
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+
+  workloads::RegisterWorkloadActions();
+  auto metrics = std::make_shared<Metrics>();
+  net::TcpTransport transport(16);
+  const std::string listen = FlagOr(flags, "listen", "127.0.0.1:0");
+  const std::string metadata = FlagOr(flags, "metadata", "");
+
+  std::unique_ptr<net::Listener> listener;  // keeps the service alive
+  std::shared_ptr<nk::StorageServer> storage;
+  std::shared_ptr<core::ActiveServer> active;
+
+  if (role == "metadata") {
+    auto server = std::make_shared<nk::MetadataServer>(
+        &transport, metrics,
+        static_cast<std::uint32_t>(std::stoul(FlagOr(flags, "partition", "0"))));
+    auto bound = transport.Listen(listen, server);
+    if (!bound.ok()) {
+      std::fprintf(stderr, "listen: %s\n", bound.status().ToString().c_str());
+      return 1;
+    }
+    listener = std::move(bound).value();
+    std::printf("metadata server listening at %s\n",
+                listener->address().c_str());
+  } else if (role == "storage" || role == "active") {
+    if (metadata.empty()) {
+      std::fprintf(stderr, "--metadata host:port is required\n");
+      return Usage();
+    }
+    if (role == "storage") {
+      nk::StorageServer::Options options;
+      options.storage_class = static_cast<nk::StorageClassId>(
+          std::stoul(FlagOr(flags, "class", "0")));
+      options.num_blocks =
+          static_cast<std::uint32_t>(std::stoul(FlagOr(flags, "blocks", "256")));
+      options.block_size = std::stoull(FlagOr(flags, "block-size", "1048576"));
+      options.preferred_address = listen;
+      storage = std::make_shared<nk::StorageServer>(options, metrics);
+      const Status started = storage->Start(transport, metadata);
+      if (!started.ok()) {
+        std::fprintf(stderr, "start: %s\n", started.ToString().c_str());
+        return 1;
+      }
+      std::printf("storage server (class %s) at %s, registered with %s\n",
+                  FlagOr(flags, "class", "0").c_str(),
+                  storage->address().c_str(), metadata.c_str());
+    } else {
+      core::ActiveServer::Options options;
+      options.num_slots =
+          static_cast<std::uint32_t>(std::stoul(FlagOr(flags, "slots", "16")));
+      options.preferred_address = listen;
+      active = std::make_shared<core::ActiveServer>(
+          options,
+          std::shared_ptr<core::ActionRegistry>(
+              &core::ActionRegistry::Global(), [](core::ActionRegistry*) {}),
+          metrics);
+      const Status started = active->Start(transport, metadata);
+      if (!started.ok()) {
+        std::fprintf(stderr, "start: %s\n", started.ToString().c_str());
+        return 1;
+      }
+      std::printf("active server (%s slots) at %s, registered with %s\n",
+                  FlagOr(flags, "slots", "16").c_str(),
+                  active->address().c_str(), metadata.c_str());
+    }
+  } else {
+    return Usage();
+  }
+
+  std::printf("running; Ctrl-C to stop\n");
+  g_stop.acquire();
+  std::printf("shutting down\n");
+  return 0;
+}
