@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_sort.dir/fig7_sort.cc.o"
+  "CMakeFiles/fig7_sort.dir/fig7_sort.cc.o.d"
+  "fig7_sort"
+  "fig7_sort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

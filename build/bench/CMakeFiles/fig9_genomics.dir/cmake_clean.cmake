@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_genomics.dir/fig9_genomics.cc.o"
+  "CMakeFiles/fig9_genomics.dir/fig9_genomics.cc.o.d"
+  "fig9_genomics"
+  "fig9_genomics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_genomics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checkpointed_action.dir/checkpointed_action.cpp.o"
+  "CMakeFiles/checkpointed_action.dir/checkpointed_action.cpp.o.d"
+  "checkpointed_action"
+  "checkpointed_action.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checkpointed_action.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for checkpointed_action.
+# This may be replaced when dependencies are built.

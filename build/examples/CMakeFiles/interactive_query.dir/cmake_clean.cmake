@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interactive_query.dir/interactive_query.cpp.o"
+  "CMakeFiles/interactive_query.dir/interactive_query.cpp.o.d"
+  "interactive_query"
+  "interactive_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interactive_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wordcount_pipeline.dir/wordcount_pipeline.cpp.o"
+  "CMakeFiles/wordcount_pipeline.dir/wordcount_pipeline.cpp.o.d"
+  "wordcount_pipeline"
+  "wordcount_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wordcount_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

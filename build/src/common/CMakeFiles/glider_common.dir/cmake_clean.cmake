@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glider_common.dir/logging.cc.o"
+  "CMakeFiles/glider_common.dir/logging.cc.o.d"
+  "CMakeFiles/glider_common.dir/status.cc.o"
+  "CMakeFiles/glider_common.dir/status.cc.o.d"
+  "libglider_common.a"
+  "libglider_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glider_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

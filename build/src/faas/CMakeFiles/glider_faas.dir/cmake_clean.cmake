@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glider_faas.dir/invoker.cc.o"
+  "CMakeFiles/glider_faas.dir/invoker.cc.o.d"
+  "CMakeFiles/glider_faas.dir/s3like.cc.o"
+  "CMakeFiles/glider_faas.dir/s3like.cc.o.d"
+  "libglider_faas.a"
+  "libglider_faas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glider_faas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

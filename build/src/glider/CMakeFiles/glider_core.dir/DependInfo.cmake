@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/glider/action_registry.cc" "src/glider/CMakeFiles/glider_core.dir/action_registry.cc.o" "gcc" "src/glider/CMakeFiles/glider_core.dir/action_registry.cc.o.d"
+  "/root/repo/src/glider/active_server.cc" "src/glider/CMakeFiles/glider_core.dir/active_server.cc.o" "gcc" "src/glider/CMakeFiles/glider_core.dir/active_server.cc.o.d"
+  "/root/repo/src/glider/client/action_node.cc" "src/glider/CMakeFiles/glider_core.dir/client/action_node.cc.o" "gcc" "src/glider/CMakeFiles/glider_core.dir/client/action_node.cc.o.d"
+  "/root/repo/src/glider/stream_channel.cc" "src/glider/CMakeFiles/glider_core.dir/stream_channel.cc.o" "gcc" "src/glider/CMakeFiles/glider_core.dir/stream_channel.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nodekernel/CMakeFiles/glider_nodekernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/glider_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/glider_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

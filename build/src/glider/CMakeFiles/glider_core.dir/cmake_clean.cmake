@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glider_core.dir/action_registry.cc.o"
+  "CMakeFiles/glider_core.dir/action_registry.cc.o.d"
+  "CMakeFiles/glider_core.dir/active_server.cc.o"
+  "CMakeFiles/glider_core.dir/active_server.cc.o.d"
+  "CMakeFiles/glider_core.dir/client/action_node.cc.o"
+  "CMakeFiles/glider_core.dir/client/action_node.cc.o.d"
+  "CMakeFiles/glider_core.dir/stream_channel.cc.o"
+  "CMakeFiles/glider_core.dir/stream_channel.cc.o.d"
+  "libglider_core.a"
+  "libglider_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glider_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

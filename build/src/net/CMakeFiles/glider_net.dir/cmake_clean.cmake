@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glider_net.dir/inproc_transport.cc.o"
+  "CMakeFiles/glider_net.dir/inproc_transport.cc.o.d"
+  "CMakeFiles/glider_net.dir/tcp_transport.cc.o"
+  "CMakeFiles/glider_net.dir/tcp_transport.cc.o.d"
+  "libglider_net.a"
+  "libglider_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glider_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nodekernel/block_manager.cc" "src/nodekernel/CMakeFiles/glider_nodekernel.dir/block_manager.cc.o" "gcc" "src/nodekernel/CMakeFiles/glider_nodekernel.dir/block_manager.cc.o.d"
+  "/root/repo/src/nodekernel/client/containers.cc" "src/nodekernel/CMakeFiles/glider_nodekernel.dir/client/containers.cc.o" "gcc" "src/nodekernel/CMakeFiles/glider_nodekernel.dir/client/containers.cc.o.d"
+  "/root/repo/src/nodekernel/client/file_streams.cc" "src/nodekernel/CMakeFiles/glider_nodekernel.dir/client/file_streams.cc.o" "gcc" "src/nodekernel/CMakeFiles/glider_nodekernel.dir/client/file_streams.cc.o.d"
+  "/root/repo/src/nodekernel/client/store_client.cc" "src/nodekernel/CMakeFiles/glider_nodekernel.dir/client/store_client.cc.o" "gcc" "src/nodekernel/CMakeFiles/glider_nodekernel.dir/client/store_client.cc.o.d"
+  "/root/repo/src/nodekernel/metadata_server.cc" "src/nodekernel/CMakeFiles/glider_nodekernel.dir/metadata_server.cc.o" "gcc" "src/nodekernel/CMakeFiles/glider_nodekernel.dir/metadata_server.cc.o.d"
+  "/root/repo/src/nodekernel/namespace_tree.cc" "src/nodekernel/CMakeFiles/glider_nodekernel.dir/namespace_tree.cc.o" "gcc" "src/nodekernel/CMakeFiles/glider_nodekernel.dir/namespace_tree.cc.o.d"
+  "/root/repo/src/nodekernel/storage_server.cc" "src/nodekernel/CMakeFiles/glider_nodekernel.dir/storage_server.cc.o" "gcc" "src/nodekernel/CMakeFiles/glider_nodekernel.dir/storage_server.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/glider_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/glider_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

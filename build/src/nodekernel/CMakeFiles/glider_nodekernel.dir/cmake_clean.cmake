@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glider_nodekernel.dir/block_manager.cc.o"
+  "CMakeFiles/glider_nodekernel.dir/block_manager.cc.o.d"
+  "CMakeFiles/glider_nodekernel.dir/client/containers.cc.o"
+  "CMakeFiles/glider_nodekernel.dir/client/containers.cc.o.d"
+  "CMakeFiles/glider_nodekernel.dir/client/file_streams.cc.o"
+  "CMakeFiles/glider_nodekernel.dir/client/file_streams.cc.o.d"
+  "CMakeFiles/glider_nodekernel.dir/client/store_client.cc.o"
+  "CMakeFiles/glider_nodekernel.dir/client/store_client.cc.o.d"
+  "CMakeFiles/glider_nodekernel.dir/metadata_server.cc.o"
+  "CMakeFiles/glider_nodekernel.dir/metadata_server.cc.o.d"
+  "CMakeFiles/glider_nodekernel.dir/namespace_tree.cc.o"
+  "CMakeFiles/glider_nodekernel.dir/namespace_tree.cc.o.d"
+  "CMakeFiles/glider_nodekernel.dir/storage_server.cc.o"
+  "CMakeFiles/glider_nodekernel.dir/storage_server.cc.o.d"
+  "libglider_nodekernel.a"
+  "libglider_nodekernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glider_nodekernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

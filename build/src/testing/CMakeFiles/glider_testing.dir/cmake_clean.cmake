@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glider_testing.dir/cluster.cc.o"
+  "CMakeFiles/glider_testing.dir/cluster.cc.o.d"
+  "libglider_testing.a"
+  "libglider_testing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glider_testing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

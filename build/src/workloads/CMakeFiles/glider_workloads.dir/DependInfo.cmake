@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/actions.cc" "src/workloads/CMakeFiles/glider_workloads.dir/actions.cc.o" "gcc" "src/workloads/CMakeFiles/glider_workloads.dir/actions.cc.o.d"
+  "/root/repo/src/workloads/generators.cc" "src/workloads/CMakeFiles/glider_workloads.dir/generators.cc.o" "gcc" "src/workloads/CMakeFiles/glider_workloads.dir/generators.cc.o.d"
+  "/root/repo/src/workloads/genomics.cc" "src/workloads/CMakeFiles/glider_workloads.dir/genomics.cc.o" "gcc" "src/workloads/CMakeFiles/glider_workloads.dir/genomics.cc.o.d"
+  "/root/repo/src/workloads/reduce.cc" "src/workloads/CMakeFiles/glider_workloads.dir/reduce.cc.o" "gcc" "src/workloads/CMakeFiles/glider_workloads.dir/reduce.cc.o.d"
+  "/root/repo/src/workloads/sort.cc" "src/workloads/CMakeFiles/glider_workloads.dir/sort.cc.o" "gcc" "src/workloads/CMakeFiles/glider_workloads.dir/sort.cc.o.d"
+  "/root/repo/src/workloads/wordcount.cc" "src/workloads/CMakeFiles/glider_workloads.dir/wordcount.cc.o" "gcc" "src/workloads/CMakeFiles/glider_workloads.dir/wordcount.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/faas/CMakeFiles/glider_faas.dir/DependInfo.cmake"
+  "/root/repo/build/src/glider/CMakeFiles/glider_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/testing/CMakeFiles/glider_testing.dir/DependInfo.cmake"
+  "/root/repo/build/src/nodekernel/CMakeFiles/glider_nodekernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/glider_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/glider_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

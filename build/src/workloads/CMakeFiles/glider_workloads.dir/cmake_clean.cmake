@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glider_workloads.dir/actions.cc.o"
+  "CMakeFiles/glider_workloads.dir/actions.cc.o.d"
+  "CMakeFiles/glider_workloads.dir/generators.cc.o"
+  "CMakeFiles/glider_workloads.dir/generators.cc.o.d"
+  "CMakeFiles/glider_workloads.dir/genomics.cc.o"
+  "CMakeFiles/glider_workloads.dir/genomics.cc.o.d"
+  "CMakeFiles/glider_workloads.dir/reduce.cc.o"
+  "CMakeFiles/glider_workloads.dir/reduce.cc.o.d"
+  "CMakeFiles/glider_workloads.dir/sort.cc.o"
+  "CMakeFiles/glider_workloads.dir/sort.cc.o.d"
+  "CMakeFiles/glider_workloads.dir/wordcount.cc.o"
+  "CMakeFiles/glider_workloads.dir/wordcount.cc.o.d"
+  "libglider_workloads.a"
+  "libglider_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glider_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/action_integration_test.dir/action_integration_test.cc.o"
+  "CMakeFiles/action_integration_test.dir/action_integration_test.cc.o.d"
+  "action_integration_test"
+  "action_integration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/action_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/action_stream_property_test.dir/action_stream_property_test.cc.o"
+  "CMakeFiles/action_stream_property_test.dir/action_stream_property_test.cc.o.d"
+  "action_stream_property_test"
+  "action_stream_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/action_stream_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

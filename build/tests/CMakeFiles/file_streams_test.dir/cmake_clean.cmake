@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/file_streams_test.dir/file_streams_test.cc.o"
+  "CMakeFiles/file_streams_test.dir/file_streams_test.cc.o.d"
+  "file_streams_test"
+  "file_streams_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/file_streams_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

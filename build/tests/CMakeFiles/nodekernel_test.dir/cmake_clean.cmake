@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nodekernel_test.dir/nodekernel_test.cc.o"
+  "CMakeFiles/nodekernel_test.dir/nodekernel_test.cc.o.d"
+  "nodekernel_test"
+  "nodekernel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nodekernel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

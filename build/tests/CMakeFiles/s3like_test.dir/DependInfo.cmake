@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/s3like_test.cc" "tests/CMakeFiles/s3like_test.dir/s3like_test.cc.o" "gcc" "tests/CMakeFiles/s3like_test.dir/s3like_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/glider_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/faas/CMakeFiles/glider_faas.dir/DependInfo.cmake"
+  "/root/repo/build/src/testing/CMakeFiles/glider_testing.dir/DependInfo.cmake"
+  "/root/repo/build/src/glider/CMakeFiles/glider_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nodekernel/CMakeFiles/glider_nodekernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/glider_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/glider_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

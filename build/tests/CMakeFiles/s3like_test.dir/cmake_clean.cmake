@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s3like_test.dir/s3like_test.cc.o"
+  "CMakeFiles/s3like_test.dir/s3like_test.cc.o.d"
+  "s3like_test"
+  "s3like_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s3like_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_server_test.dir/storage_server_test.cc.o"
+  "CMakeFiles/storage_server_test.dir/storage_server_test.cc.o.d"
+  "storage_server_test"
+  "storage_server_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_actions_test.dir/workload_actions_test.cc.o"
+  "CMakeFiles/workload_actions_test.dir/workload_actions_test.cc.o.d"
+  "workload_actions_test"
+  "workload_actions_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_actions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

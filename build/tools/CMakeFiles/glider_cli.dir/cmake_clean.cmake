@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glider_cli.dir/glider_cli.cpp.o"
+  "CMakeFiles/glider_cli.dir/glider_cli.cpp.o.d"
+  "glider_cli"
+  "glider_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glider_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glider_daemon.dir/glider_daemon.cpp.o"
+  "CMakeFiles/glider_daemon.dir/glider_daemon.cpp.o.d"
+  "glider_daemon"
+  "glider_daemon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glider_daemon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
