@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "common/blocking_queue.h"
+#include "common/buffer_pool.h"
 #include "common/serde.h"
 #include "glider/stream_channel.h"
 #include "net/inproc_transport.h"
@@ -12,12 +13,42 @@
 namespace glider {
 namespace {
 
+// Snapshots the data-plane counters at construction and reports the
+// per-iteration deltas as benchmark counters: how many hot-path heap
+// allocations happened, and how many payload bytes were memcpy'd.
+class DataPlaneReporter {
+ public:
+  explicit DataPlaneReporter(benchmark::State& state)
+      : state_(state),
+        allocs0_(data_plane::Allocs()),
+        copied0_(data_plane::CopiedBytes()),
+        hits0_(data_plane::PoolHits()) {}
+
+  ~DataPlaneReporter() {
+    const double iters = static_cast<double>(
+        state_.iterations() ? state_.iterations() : 1);
+    state_.counters["data_plane.allocs"] = benchmark::Counter(
+        static_cast<double>(data_plane::Allocs() - allocs0_) / iters);
+    state_.counters["data_plane.copied_bytes"] = benchmark::Counter(
+        static_cast<double>(data_plane::CopiedBytes() - copied0_) / iters);
+    state_.counters["data_plane.pool_hits"] = benchmark::Counter(
+        static_cast<double>(data_plane::PoolHits() - hits0_) / iters);
+  }
+
+ private:
+  benchmark::State& state_;
+  std::uint64_t allocs0_;
+  std::uint64_t copied0_;
+  std::uint64_t hits0_;
+};
+
 // ---- serde / framing ---------------------------------------------------------
 
 void BM_MessageEncodeDecode(benchmark::State& state) {
   net::Message m;
   m.opcode = 7;
   m.payload = Buffer(static_cast<std::size_t>(state.range(0)));
+  DataPlaneReporter reporter(state);
   for (auto _ : state) {
     Buffer frame = m.Encode();
     auto decoded = net::Message::Decode(frame.span());
@@ -58,9 +89,10 @@ BENCHMARK(BM_BlockingQueuePingPong);
 void BM_StreamChannelPushPop(benchmark::State& state) {
   core::StreamChannel channel(64);
   std::uint64_t seq = 0;
+  DataPlaneReporter reporter(state);
   for (auto _ : state) {
     core::DataTask task;
-    task.data = Buffer(64);
+    task.data = BufferPool::Global().Acquire(64);
     channel.AsyncPush(seq++, std::move(task), [](Status) {});
     benchmark::DoNotOptimize(channel.BlockingPop(nullptr));
   }
@@ -89,6 +121,7 @@ void RpcRoundTrip(benchmark::State& state, net::Transport& transport) {
     return;
   }
   const std::size_t payload = static_cast<std::size_t>(state.range(0));
+  DataPlaneReporter reporter(state);
   for (auto _ : state) {
     auto result = (*conn)->CallSync(1, Buffer(payload));
     if (!result.ok()) {

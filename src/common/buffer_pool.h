@@ -1,0 +1,121 @@
+// Freelist pool of chunk-sized buffer storage.
+//
+// Stream hot paths allocate one chunk-sized block per in-flight operation
+// (request payload encode on the send side, frame payload on the receive
+// side). At steady state a window of W operations recycles the same W
+// allocations; this pool keeps released storage on a small freelist so the
+// allocator is out of the loop.
+//
+// Safety: storage returns to the freelist only when the last Buffer handle
+// (parent or any slice) releases it — the shared_ptr deleter is the return
+// path — so pool reuse can never alias a live slice.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace glider {
+
+class BufferPool {
+ public:
+  // Process-wide pool used by the transports and stream clients.
+  static BufferPool& Global() {
+    static BufferPool pool;
+    return pool;
+  }
+
+  explicit BufferPool(std::size_t max_cached_bytes = 64u << 20,
+                      std::size_t max_entries = 64)
+      : state_(std::make_shared<State>()) {
+    state_->max_cached_bytes = max_cached_bytes;
+    state_->max_entries = max_entries;
+  }
+
+  // A Buffer of exactly `size` bytes backed by recycled storage when a
+  // freelist entry with sufficient capacity exists. Contents are
+  // unspecified (callers overwrite).
+  Buffer Acquire(std::size_t size) {
+    return Wrap(AcquireVec(size, /*resize=*/true));
+  }
+
+  // Raw vector with capacity >= `capacity_hint` for incremental encoders
+  // (BinaryWriter); pair with Wrap() so the storage comes back on release.
+  std::vector<std::uint8_t> AcquireVec(std::size_t capacity_hint) {
+    return AcquireVec(capacity_hint, /*resize=*/false);
+  }
+
+  // Wraps `vec` into a Buffer whose storage is returned to this pool's
+  // freelist once the last handle (including slices) drops it.
+  Buffer Wrap(std::vector<std::uint8_t> vec) {
+    auto state = state_;
+    auto* holder = new std::vector<std::uint8_t>(std::move(vec));
+    Buffer::Storage storage(holder,
+                            [state](std::vector<std::uint8_t>* v) {
+                              state->Release(std::move(*v));
+                              delete v;
+                            });
+    return Buffer::Adopt(std::move(storage));
+  }
+
+  std::size_t CachedBytes() const {
+    std::scoped_lock lock(state_->mu);
+    return state_->cached_bytes;
+  }
+
+ private:
+  struct State {
+    mutable std::mutex mu;
+    std::size_t max_cached_bytes = 0;
+    std::size_t max_entries = 0;
+    std::size_t cached_bytes = 0;
+    std::vector<std::vector<std::uint8_t>> free;
+
+    void Release(std::vector<std::uint8_t> vec) {
+      const std::size_t cap = vec.capacity();
+      if (cap == 0) return;
+      std::scoped_lock lock(mu);
+      if (free.size() >= max_entries || cached_bytes + cap > max_cached_bytes) {
+        return;  // over budget: let it free normally
+      }
+      vec.clear();
+      cached_bytes += cap;
+      free.push_back(std::move(vec));
+    }
+  };
+
+  std::vector<std::uint8_t> AcquireVec(std::size_t size, bool resize) {
+    {
+      std::scoped_lock lock(state_->mu);
+      // Small list: first fit from the hot end is fine.
+      auto& free = state_->free;
+      for (std::size_t i = free.size(); i-- > 0;) {
+        if (free[i].capacity() >= size) {
+          std::vector<std::uint8_t> vec = std::move(free[i]);
+          if (i + 1 != free.size()) free[i] = std::move(free.back());
+          free.pop_back();
+          state_->cached_bytes -= vec.capacity();
+          data_plane::RecordPoolHit();
+          if (resize) vec.resize(size);
+          return vec;
+        }
+      }
+    }
+    data_plane::RecordPoolMiss();
+    data_plane::RecordAlloc(size);
+    std::vector<std::uint8_t> vec;
+    if (resize) {
+      vec.resize(size);
+    } else {
+      vec.reserve(size);
+    }
+    return vec;
+  }
+
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace glider

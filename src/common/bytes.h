@@ -1,15 +1,27 @@
 // Byte buffer vocabulary types.
 //
-// Buffer owns a contiguous byte payload; it is cheap to move and is the unit
-// that travels through RPC messages and stream task queues. Views into
-// buffers use std::span (no ownership).
+// Buffer owns a contiguous byte payload through a ref-counted storage block
+// and views an (offset, length) window of it. Copying a Buffer is O(1) and
+// shares the bytes; Slice() carves O(1) sub-views that keep the storage
+// alive independently of the parent handle. Mutating operations preserve
+// value semantics by detaching (copying the viewed window into fresh
+// storage) whenever the storage is shared with another handle, so no write
+// is ever visible through a previously-taken slice. Views without ownership
+// use std::span.
+//
+// The data_plane counters record every fresh storage allocation and every
+// payload memcpy performed by this vocabulary (including serde bulk copies
+// and pool misses); benches report them so copy regressions are visible.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <cstring>
+#include <memory>
 #include <span>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace glider {
@@ -17,52 +29,202 @@ namespace glider {
 using ByteSpan = std::span<const std::uint8_t>;
 using MutableByteSpan = std::span<std::uint8_t>;
 
+// Process-wide hot-path accounting: fresh buffer storage allocations and
+// bytes memcpy'd between buffers. Cheap relaxed atomics; reported by
+// bench/micro_components as data_plane.allocs / data_plane.copied_bytes.
+namespace data_plane {
+
+struct Counters {
+  std::atomic<std::uint64_t> allocs{0};
+  std::atomic<std::uint64_t> alloc_bytes{0};
+  std::atomic<std::uint64_t> copied_bytes{0};
+  std::atomic<std::uint64_t> pool_hits{0};
+  std::atomic<std::uint64_t> pool_misses{0};
+};
+
+inline Counters& counters() {
+  static Counters c;
+  return c;
+}
+
+inline void RecordAlloc(std::uint64_t bytes) {
+  counters().allocs.fetch_add(1, std::memory_order_relaxed);
+  counters().alloc_bytes.fetch_add(bytes, std::memory_order_relaxed);
+}
+inline void RecordCopy(std::uint64_t bytes) {
+  counters().copied_bytes.fetch_add(bytes, std::memory_order_relaxed);
+}
+inline void RecordPoolHit() {
+  counters().pool_hits.fetch_add(1, std::memory_order_relaxed);
+}
+inline void RecordPoolMiss() {
+  counters().pool_misses.fetch_add(1, std::memory_order_relaxed);
+}
+
+inline std::uint64_t Allocs() {
+  return counters().allocs.load(std::memory_order_relaxed);
+}
+inline std::uint64_t CopiedBytes() {
+  return counters().copied_bytes.load(std::memory_order_relaxed);
+}
+inline std::uint64_t PoolHits() {
+  return counters().pool_hits.load(std::memory_order_relaxed);
+}
+inline std::uint64_t PoolMisses() {
+  return counters().pool_misses.load(std::memory_order_relaxed);
+}
+
+}  // namespace data_plane
+
 class Buffer {
  public:
+  using Storage = std::shared_ptr<std::vector<std::uint8_t>>;
+
   Buffer() = default;
-  explicit Buffer(std::size_t size) : data_(size) {}
-  explicit Buffer(std::vector<std::uint8_t> data) : data_(std::move(data)) {}
-  explicit Buffer(std::string_view text)
-      : data_(text.begin(), text.end()) {}
+  explicit Buffer(std::size_t size)
+      : storage_(std::make_shared<std::vector<std::uint8_t>>(size)),
+        size_(size) {
+    data_plane::RecordAlloc(size);
+  }
+  explicit Buffer(std::vector<std::uint8_t> data)
+      : storage_(std::make_shared<std::vector<std::uint8_t>>(std::move(data))) {
+    size_ = storage_->size();
+    data_plane::RecordAlloc(size_);
+  }
+  explicit Buffer(std::string_view text) : Buffer(AsUnsigned(text), text.size()) {}
   Buffer(const std::uint8_t* data, std::size_t size)
-      : data_(data, data + size) {}
+      : storage_(std::make_shared<std::vector<std::uint8_t>>(data, data + size)),
+        size_(size) {
+    data_plane::RecordAlloc(size);
+    data_plane::RecordCopy(size);
+  }
 
   static Buffer FromString(std::string_view s) { return Buffer(s); }
 
-  std::size_t size() const { return data_.size(); }
-  bool empty() const { return data_.empty(); }
+  // Wraps shared storage into a Buffer viewing all of it, without copying.
+  // The storage may carry a custom deleter (BufferPool recycling).
+  static Buffer Adopt(Storage storage) {
+    Buffer b;
+    b.size_ = storage ? storage->size() : 0;
+    b.storage_ = std::move(storage);
+    return b;
+  }
 
-  const std::uint8_t* data() const { return data_.data(); }
-  std::uint8_t* data() { return data_.data(); }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
 
-  ByteSpan span() const { return {data_.data(), data_.size()}; }
-  MutableByteSpan mutable_span() { return {data_.data(), data_.size()}; }
+  const std::uint8_t* data() const {
+    return storage_ ? storage_->data() + offset_ : nullptr;
+  }
+  // Mutable access detaches when the storage is shared so writes never leak
+  // into slices or copies taken earlier (value semantics).
+  std::uint8_t* data() {
+    EnsureUnique();
+    return storage_ ? storage_->data() + offset_ : nullptr;
+  }
+
+  ByteSpan span() const { return {data(), size_}; }
+  MutableByteSpan mutable_span() {
+    EnsureUnique();
+    return {data(), size_};
+  }
+
+  // O(1) zero-copy sub-view sharing this buffer's storage. The slice keeps
+  // the storage alive even after this handle is destroyed. Out-of-range
+  // requests clamp to the view.
+  Buffer Slice(std::size_t off, std::size_t len) const {
+    Buffer b;
+    off = std::min(off, size_);
+    b.storage_ = storage_;
+    b.offset_ = offset_ + off;
+    b.size_ = std::min(len, size_ - off);
+    return b;
+  }
+  Buffer Slice(std::size_t off) const {
+    return Slice(off, size_ - std::min(off, size_));
+  }
+
+  // True when no other Buffer shares this storage (slices included).
+  bool unique() const { return !storage_ || storage_.use_count() == 1; }
 
   std::string_view AsStringView() const {
-    return {reinterpret_cast<const char*>(data_.data()), data_.size()};
+    return {reinterpret_cast<const char*>(data()), size_};
   }
   std::string ToString() const { return std::string(AsStringView()); }
 
   void Append(ByteSpan bytes) {
-    data_.insert(data_.end(), bytes.begin(), bytes.end());
+    EnsureAppendable(bytes.size());
+    storage_->insert(storage_->end(), bytes.begin(), bytes.end());
+    size_ += bytes.size();
+    data_plane::RecordCopy(bytes.size());
   }
-  void Append(std::string_view text) {
-    data_.insert(data_.end(), text.begin(), text.end());
+  void Append(std::string_view text) { Append(AsUnsignedSpan(text)); }
+
+  void Resize(std::size_t size) {
+    EnsureAppendable(size > size_ ? size - size_ : 0);
+    storage_->resize(size);
+    size_ = size;
   }
-
-  void Resize(std::size_t size) { data_.resize(size); }
-  void Reserve(std::size_t size) { data_.reserve(size); }
-  void Clear() { data_.clear(); }
-
-  std::vector<std::uint8_t>& vec() { return data_; }
-  const std::vector<std::uint8_t>& vec() const { return data_; }
+  void Reserve(std::size_t size) {
+    EnsureAppendable(size > size_ ? size - size_ : 0);
+    storage_->reserve(size);
+  }
+  void Clear() {
+    storage_.reset();
+    offset_ = 0;
+    size_ = 0;
+  }
 
   friend bool operator==(const Buffer& a, const Buffer& b) {
-    return a.data_ == b.data_;
+    return a.size_ == b.size_ &&
+           (a.size_ == 0 ||
+            std::memcmp(a.data(), b.data(), a.size_) == 0);
   }
 
  private:
-  std::vector<std::uint8_t> data_;
+  static const std::uint8_t* AsUnsigned(std::string_view s) {
+    return reinterpret_cast<const std::uint8_t*>(s.data());
+  }
+  static ByteSpan AsUnsignedSpan(std::string_view s) {
+    return {AsUnsigned(s), s.size()};
+  }
+
+  // Sole ownership of the storage; the view window may still be a proper
+  // sub-range (mutating bytes in place is then safe — nobody else sees
+  // them). Copies the view into fresh storage when shared.
+  void EnsureUnique() {
+    if (!storage_ || storage_.use_count() == 1) return;
+    Detach(/*extra_capacity=*/0);
+  }
+
+  // Appending additionally requires the view to end at the storage's end
+  // and start at its beginning (vector append semantics).
+  void EnsureAppendable(std::size_t extra) {
+    if (storage_ && storage_.use_count() == 1 && offset_ == 0 &&
+        size_ == storage_->size()) {
+      return;
+    }
+    Detach(extra);
+  }
+
+  void Detach(std::size_t extra_capacity) {
+    auto fresh = std::make_shared<std::vector<std::uint8_t>>();
+    fresh->reserve(size_ + extra_capacity);
+    if (storage_ && size_ > 0) {
+      const std::uint8_t* src = storage_->data() + offset_;
+      fresh->assign(src, src + size_);
+      data_plane::RecordCopy(size_);
+    } else {
+      fresh->resize(size_);
+    }
+    data_plane::RecordAlloc(size_ + extra_capacity);
+    storage_ = std::move(fresh);
+    offset_ = 0;
+  }
+
+  Storage storage_;
+  std::size_t offset_ = 0;
+  std::size_t size_ = 0;
 };
 
 inline ByteSpan AsBytes(std::string_view s) {

@@ -12,6 +12,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/buffer_pool.h"
 #include "common/bytes.h"
 #include "common/status.h"
 
@@ -20,6 +21,13 @@ namespace glider {
 class BinaryWriter {
  public:
   BinaryWriter() = default;
+  // Pre-reserves `size_hint` bytes so multi-Put encodes of a known total
+  // (header + payload) never reallocate mid-encode.
+  explicit BinaryWriter(std::size_t size_hint) { out_.reserve(size_hint); }
+  // Pooled variant: draws the backing storage from `pool` and Finish()
+  // returns a Buffer that recycles it back on release.
+  BinaryWriter(BufferPool& pool, std::size_t size_hint)
+      : out_(pool.AcquireVec(size_hint)), pool_(&pool) {}
 
   void PutU8(std::uint8_t v) { out_.push_back(v); }
   void PutU16(std::uint16_t v) { PutLittleEndian(v); }
@@ -42,11 +50,17 @@ class BinaryWriter {
   void PutBytes(ByteSpan b) {
     PutU32(static_cast<std::uint32_t>(b.size()));
     out_.insert(out_.end(), b.begin(), b.end());
+    data_plane::RecordCopy(b.size());
   }
   // Raw append without a length prefix (caller handles framing).
-  void PutRaw(ByteSpan b) { out_.insert(out_.end(), b.begin(), b.end()); }
+  void PutRaw(ByteSpan b) {
+    out_.insert(out_.end(), b.begin(), b.end());
+    data_plane::RecordCopy(b.size());
+  }
 
-  Buffer Finish() && { return Buffer(std::move(out_)); }
+  Buffer Finish() && {
+    return pool_ ? pool_->Wrap(std::move(out_)) : Buffer(std::move(out_));
+  }
   std::size_t size() const { return out_.size(); }
 
  private:
@@ -58,6 +72,7 @@ class BinaryWriter {
   }
 
   std::vector<std::uint8_t> out_;
+  BufferPool* pool_ = nullptr;
 };
 
 class BinaryReader {
@@ -111,6 +126,7 @@ class BinaryReader {
   }
 
   std::size_t Remaining() const { return data_.size() - pos_; }
+  std::size_t Position() const { return pos_; }
   bool AtEnd() const { return Remaining() == 0; }
 
  private:
@@ -130,5 +146,13 @@ class BinaryReader {
   ByteSpan data_;
   std::size_t pos_ = 0;
 };
+
+// Length-prefixed blob read as a zero-copy slice of `owner`. The reader
+// must have been constructed over owner.span(); the returned Buffer shares
+// owner's storage instead of copying the bytes out of the frame.
+inline Result<Buffer> GetBytesSlice(BinaryReader& r, const Buffer& owner) {
+  GLIDER_ASSIGN_OR_RETURN(auto bytes, r.Bytes());
+  return owner.Slice(r.Position() - bytes.size(), bytes.size());
+}
 
 }  // namespace glider

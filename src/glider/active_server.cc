@@ -1,7 +1,9 @@
 #include "glider/active_server.h"
 
+#include <algorithm>
 #include <utility>
 
+#include "common/buffer_pool.h"
 #include "common/logging.h"
 #include "net/link_model.h"
 
@@ -94,7 +96,12 @@ class ChannelOutputStream : public ActionOutputStream {
   Status Write(ByteSpan data) override {
     if (closed_) return Status::Closed("output stream closed");
     DataTask task;
-    task.data = Buffer(data.data(), data.size());
+    // One copy, into pooled chunk storage; the network worker later ships
+    // this buffer to the wire without copying it again.
+    Buffer chunk = BufferPool::Global().Acquire(data.size());
+    std::copy(data.begin(), data.end(), chunk.mutable_span().begin());
+    data_plane::RecordCopy(data.size());
+    task.data = std::move(chunk);
     return channel_->BlockingPush(std::move(task), monitor_);
   }
 
@@ -228,7 +235,7 @@ Result<std::shared_ptr<ActiveServer::Stream>> ActiveServer::GetStream(
 
 void ActiveServer::HandleActionCreate(net::Message request,
                                       net::Responder responder) {
-  auto req = ActionCreateRequest::Decode(request.payload.span());
+  auto req = ActionCreateRequest::Decode(request.payload);
   if (!req.ok()) return responder.SendError(request, req.status());
   if (req->slot >= options_.num_slots) {
     return responder.SendError(request,
@@ -404,7 +411,9 @@ void ActiveServer::RunMethod(std::shared_ptr<Slot> slot,
 
 void ActiveServer::HandleStreamWrite(net::Message request,
                                      net::Responder responder) {
-  auto req = StreamWriteRequest::Decode(request.payload.span());
+  // Zero-copy: req->data is a slice of the request payload; the DataTask
+  // keeps the frame's storage alive until the action consumes it.
+  auto req = StreamWriteRequest::Decode(request.payload);
   if (!req.ok()) return responder.SendError(request, req.status());
   auto stream = GetStream(req->stream_id);
   if (!stream.ok()) return responder.SendError(request, stream.status());

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/buffer_pool.h"
+
 namespace glider::core {
 
 Result<ActionNode> ActionNode::Create(nk::StoreClient& client,
@@ -99,23 +101,25 @@ Status ActionWriter::Write(ByteSpan data) {
   }
   pending_.Append(data.subspan(off));
   while (pending_.size() >= chunk_size) {
-    GLIDER_RETURN_IF_ERROR(SendChunk(ByteSpan(pending_.data(), chunk_size)));
-    std::vector<std::uint8_t> rest(pending_.vec().begin() + chunk_size,
-                                   pending_.vec().end());
-    pending_ = Buffer(std::move(rest));
+    GLIDER_RETURN_IF_ERROR(SendChunk(pending_.span().subspan(0, chunk_size)));
+    // O(1) remainder: a slice of the same storage. The next Append detaches
+    // it into fresh storage, so the sent prefix is never disturbed.
+    pending_ = pending_.Slice(chunk_size);
   }
   return Status::Ok();
 }
 
 Status ActionWriter::SendChunk(ByteSpan chunk) {
-  StreamWriteRequest req;
-  req.stream_id = stream_id_;
-  req.seq = next_seq_++;
-  req.data = Buffer(chunk.data(), chunk.size());
+  // Serialize straight into pooled storage: the caller's bytes are copied
+  // exactly once, into the frame that goes on the wire.
+  BinaryWriter w(BufferPool::Global(), 8 + 8 + 4 + chunk.size());
+  w.PutU64(stream_id_);
+  w.PutU64(next_seq_++);
+  w.PutBytes(chunk);
 
   net::Message msg;
   msg.opcode = kStreamWrite;
-  msg.payload = req.Encode();
+  msg.payload = std::move(w).Finish();
   inflight_.push_back(conn_->Call(std::move(msg)));
   bytes_written_ += chunk.size();
   return DrainInflight(/*all=*/false);

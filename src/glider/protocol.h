@@ -51,6 +51,15 @@ struct ActionCreateRequest {
     req.config = Buffer(config.data(), config.size());
     return req;
   }
+  static Result<ActionCreateRequest> Decode(const Buffer& b) {
+    BinaryReader r(b.span());
+    ActionCreateRequest req;
+    GLIDER_ASSIGN_OR_RETURN(req.slot, r.U32());
+    GLIDER_ASSIGN_OR_RETURN(req.action_type, r.String());
+    GLIDER_ASSIGN_OR_RETURN(req.interleave, r.Bool());
+    GLIDER_ASSIGN_OR_RETURN(req.config, GetBytesSlice(r, b));
+    return req;
+  }
 };
 
 struct SlotRequest {  // kActionDelete, kActionStat
@@ -110,11 +119,22 @@ struct StreamWriteRequest {
   std::uint64_t seq = 0;
   Buffer data;
 
-  Buffer Encode() const {
-    BinaryWriter w;
+  std::size_t WireBytes() const { return 8 + 8 + 4 + data.size(); }
+
+  void Put(BinaryWriter& w) const {
     w.PutU64(stream_id);
     w.PutU64(seq);
     w.PutBytes(data.span());
+  }
+  Buffer Encode() const {
+    BinaryWriter w(WireBytes());
+    Put(w);
+    return std::move(w).Finish();
+  }
+  // Hot-path encode backed by pooled chunk-sized storage.
+  Buffer Encode(BufferPool& pool) const {
+    BinaryWriter w(pool, WireBytes());
+    Put(w);
     return std::move(w).Finish();
   }
   static Result<StreamWriteRequest> Decode(ByteSpan b) {
@@ -124,6 +144,16 @@ struct StreamWriteRequest {
     GLIDER_ASSIGN_OR_RETURN(req.seq, r.U64());
     GLIDER_ASSIGN_OR_RETURN(auto data, r.Bytes());
     req.data = Buffer(data.data(), data.size());
+    return req;
+  }
+  // Zero-copy decode: `data` becomes a slice of the request payload, which
+  // rides the stream channel to the action without further copies.
+  static Result<StreamWriteRequest> Decode(const Buffer& b) {
+    BinaryReader r(b.span());
+    StreamWriteRequest req;
+    GLIDER_ASSIGN_OR_RETURN(req.stream_id, r.U64());
+    GLIDER_ASSIGN_OR_RETURN(req.seq, r.U64());
+    GLIDER_ASSIGN_OR_RETURN(req.data, GetBytesSlice(r, b));
     return req;
   }
 };

@@ -27,9 +27,12 @@ struct Message {
 
   std::size_t WireSize() const { return kFrameHeaderSize + payload.size(); }
 
-  // Serializes the full frame (header + payload).
+  // Serializes the full frame (header + payload) into one buffer. NOT used
+  // on the transport hot path — TCP emits the header from a stack array and
+  // gathers the payload with writev (see EncodeHeader) — but kept for tests
+  // and tools that want a self-contained frame.
   Buffer Encode() const {
-    BinaryWriter w;
+    BinaryWriter w(WireSize());
     w.PutU16(opcode);
     w.PutU16(static_cast<std::uint16_t>(status));
     w.PutU64(request_id);
@@ -37,6 +40,26 @@ struct Message {
     return std::move(w).Finish();
   }
 
+  // Serializes just the 16-byte frame header (including the payload length)
+  // into `out`, for scatter-gather emission alongside the payload.
+  void EncodeHeader(std::uint8_t (&out)[kFrameHeaderSize]) const {
+    auto put16 = [](std::uint8_t* p, std::uint16_t v) {
+      p[0] = static_cast<std::uint8_t>(v);
+      p[1] = static_cast<std::uint8_t>(v >> 8);
+    };
+    auto put32 = [](std::uint8_t* p, std::uint32_t v) {
+      for (int i = 0; i < 4; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+    };
+    auto put64 = [](std::uint8_t* p, std::uint64_t v) {
+      for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+    };
+    put16(out, opcode);
+    put16(out + 2, static_cast<std::uint16_t>(status));
+    put64(out + 4, request_id);
+    put32(out + 12, static_cast<std::uint32_t>(payload.size()));
+  }
+
+  // Decodes from a borrowed view; the payload is copied out of the frame.
   static Result<Message> Decode(ByteSpan frame) {
     BinaryReader r(frame);
     Message m;
@@ -46,6 +69,19 @@ struct Message {
     GLIDER_ASSIGN_OR_RETURN(m.request_id, r.U64());
     GLIDER_ASSIGN_OR_RETURN(auto payload, r.Bytes());
     m.payload = Buffer(payload.data(), payload.size());
+    return m;
+  }
+
+  // Adopts an owned frame: the payload becomes a zero-copy slice sharing
+  // the frame's storage. The hot receive path for whole-frame buffers.
+  static Result<Message> Decode(Buffer frame) {
+    BinaryReader r(frame.span());
+    Message m;
+    GLIDER_ASSIGN_OR_RETURN(m.opcode, r.U16());
+    GLIDER_ASSIGN_OR_RETURN(auto status_raw, r.U16());
+    m.status = static_cast<StatusCode>(status_raw);
+    GLIDER_ASSIGN_OR_RETURN(m.request_id, r.U64());
+    GLIDER_ASSIGN_OR_RETURN(m.payload, GetBytesSlice(r, frame));
     return m;
   }
 };

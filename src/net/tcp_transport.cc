@@ -4,7 +4,10 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
+
+#include "common/buffer_pool.h"
 
 #include <atomic>
 #include <cstring>
@@ -55,20 +58,6 @@ class Fd {
   int fd_ = -1;
 };
 
-Status WriteAll(int fd, const std::uint8_t* data, std::size_t size) {
-  std::size_t off = 0;
-  while (off < size) {
-    const ssize_t n = ::send(fd, data + off, size - off, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return Status::Unavailable("send failed: " +
-                                 std::string(std::strerror(errno)));
-    }
-    off += static_cast<std::size_t>(n);
-  }
-  return Status::Ok();
-}
-
 Status ReadAll(int fd, std::uint8_t* data, std::size_t size) {
   std::size_t off = 0;
   while (off < size) {
@@ -84,29 +73,77 @@ Status ReadAll(int fd, std::uint8_t* data, std::size_t size) {
   return Status::Ok();
 }
 
+// Scatter-gather frame write: the 16-byte header is serialized into a stack
+// array and emitted together with the payload via writev — the payload is
+// never copied into a frame buffer (Message::Encode is off this path).
+// Wire format: the frame header (which carries the payload length) followed
+// by the payload bytes; there is no separate outer length prefix.
 Status WriteFrame(int fd, std::mutex& write_mu, const Message& message) {
-  const Buffer frame = message.Encode();
-  const auto len = static_cast<std::uint32_t>(frame.size());
-  std::uint8_t header[4] = {
-      static_cast<std::uint8_t>(len), static_cast<std::uint8_t>(len >> 8),
-      static_cast<std::uint8_t>(len >> 16), static_cast<std::uint8_t>(len >> 24)};
+  std::uint8_t header[kFrameHeaderSize];
+  message.EncodeHeader(header);
+  const ByteSpan payload = message.payload.span();
+
   std::scoped_lock lock(write_mu);
-  GLIDER_RETURN_IF_ERROR(WriteAll(fd, header, sizeof(header)));
-  return WriteAll(fd, frame.data(), frame.size());
+  iovec iov[2];
+  iov[0].iov_base = header;
+  iov[0].iov_len = sizeof(header);
+  iov[1].iov_base = const_cast<std::uint8_t*>(payload.data());
+  iov[1].iov_len = payload.size();
+  int iov_at = 0;
+  const int iov_count = payload.empty() ? 1 : 2;
+  msghdr msg{};
+  while (iov_at < iov_count) {
+    msg.msg_iov = iov + iov_at;
+    msg.msg_iovlen = static_cast<std::size_t>(iov_count - iov_at);
+    const ssize_t n = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable("send failed: " +
+                                 std::string(std::strerror(errno)));
+    }
+    std::size_t advanced = static_cast<std::size_t>(n);
+    while (iov_at < iov_count && advanced >= iov[iov_at].iov_len) {
+      advanced -= iov[iov_at].iov_len;
+      ++iov_at;
+    }
+    if (iov_at < iov_count && advanced > 0) {
+      iov[iov_at].iov_base =
+          static_cast<std::uint8_t*>(iov[iov_at].iov_base) + advanced;
+      iov[iov_at].iov_len -= advanced;
+    }
+  }
+  return Status::Ok();
 }
 
 Result<Message> ReadFrame(int fd) {
-  std::uint8_t header[4];
+  std::uint8_t header[kFrameHeaderSize];
   GLIDER_RETURN_IF_ERROR(ReadAll(fd, header, sizeof(header)));
-  const std::uint32_t len = static_cast<std::uint32_t>(header[0]) |
-                            (static_cast<std::uint32_t>(header[1]) << 8) |
-                            (static_cast<std::uint32_t>(header[2]) << 16) |
-                            (static_cast<std::uint32_t>(header[3]) << 24);
+  auto get16 = [&](int at) {
+    return static_cast<std::uint16_t>(
+        static_cast<std::uint16_t>(header[at]) |
+        (static_cast<std::uint16_t>(header[at + 1]) << 8));
+  };
+  Message m;
+  m.opcode = get16(0);
+  m.status = static_cast<StatusCode>(get16(2));
+  m.request_id = 0;
+  for (int i = 0; i < 8; ++i) {
+    m.request_id |= static_cast<std::uint64_t>(header[4 + i]) << (8 * i);
+  }
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<std::uint32_t>(header[12 + i]) << (8 * i);
+  }
   constexpr std::uint32_t kMaxFrame = 64u << 20;  // 64 MiB sanity bound
   if (len > kMaxFrame) return Status::InvalidArgument("oversized frame");
-  Buffer frame(len);
-  GLIDER_RETURN_IF_ERROR(ReadAll(fd, frame.data(), len));
-  return Message::Decode(frame.span());
+  if (len > 0) {
+    // One pooled allocation per frame; the payload buffer is handed to the
+    // message as-is — downstream decoders slice it without copying.
+    Buffer payload = BufferPool::Global().Acquire(len);
+    GLIDER_RETURN_IF_ERROR(ReadAll(fd, payload.data(), len));
+    m.payload = std::move(payload);
+  }
+  return m;
 }
 
 Result<std::pair<std::string, std::uint16_t>> SplitHostPort(

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/buffer_pool.h"
+
 namespace glider::nk {
 
 // ---- FileWriter -------------------------------------------------------------
@@ -37,12 +39,10 @@ Status FileWriter::Write(ByteSpan data) {
   }
   pending_.Append(data.subspan(off));
   while (pending_.size() >= chunk_size) {
-    GLIDER_RETURN_IF_ERROR(SendChunk(ByteSpan(pending_.data(), chunk_size)));
-    // Shift the remainder down (chunk_size is large; at most one iteration
-    // in practice).
-    std::vector<std::uint8_t> rest(pending_.vec().begin() + chunk_size,
-                                   pending_.vec().end());
-    pending_ = Buffer(std::move(rest));
+    GLIDER_RETURN_IF_ERROR(SendChunk(pending_.span().subspan(0, chunk_size)));
+    // O(1) remainder: a slice of the same storage. The next Append detaches
+    // it into fresh storage, so the sent prefix is never disturbed.
+    pending_ = pending_.Slice(chunk_size);
   }
   return Status::Ok();
 }
@@ -67,14 +67,16 @@ Status FileWriter::SendSubChunk(ByteSpan part) {
   GLIDER_ASSIGN_OR_RETURN(auto loc, LocateBlock(block_index));
   GLIDER_ASSIGN_OR_RETURN(auto conn, client_.ConnectTo(loc.address));
 
-  WriteBlockRequest req;
-  req.block = loc.block;
-  req.offset = static_cast<std::uint32_t>(position_ % info_.block_size);
-  req.data = Buffer(part.data(), part.size());
+  // Serialize straight into pooled storage: the caller's bytes are copied
+  // exactly once, into the frame that goes on the wire.
+  BinaryWriter w(BufferPool::Global(), 4 + 4 + 4 + part.size());
+  w.PutU32(loc.block);
+  w.PutU32(static_cast<std::uint32_t>(position_ % info_.block_size));
+  w.PutBytes(part);
 
   net::Message msg;
   msg.opcode = kWriteBlock;
-  msg.payload = req.Encode();
+  msg.payload = std::move(w).Finish();
   inflight_.push_back(conn->Call(std::move(msg)));
   position_ += part.size();
   return DrainInflight(/*all=*/false);
@@ -188,8 +190,9 @@ Result<std::size_t> FileReader::Read(MutableByteSpan out) {
     }
     const std::size_t n =
         std::min(out.size() - copied, current_.size() - current_off_);
-    std::copy(current_.data() + current_off_,
-              current_.data() + current_off_ + n, out.data() + copied);
+    const ByteSpan src = current_.span();
+    std::copy(src.data() + current_off_, src.data() + current_off_ + n,
+              out.data() + copied);
     current_off_ += n;
     copied += n;
   }

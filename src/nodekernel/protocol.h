@@ -280,11 +280,23 @@ struct WriteBlockRequest {
   std::uint32_t offset = 0;
   Buffer data;
 
-  Buffer Encode() const {
-    BinaryWriter w;
+  std::size_t WireBytes() const { return 4 + 4 + 4 + data.size(); }
+
+  void Put(BinaryWriter& w) const {
     w.PutU32(block);
     w.PutU32(offset);
     w.PutBytes(data.span());
+  }
+  Buffer Encode() const {
+    BinaryWriter w(WireBytes());
+    Put(w);
+    return std::move(w).Finish();
+  }
+  // Hot-path encode: chunk-sized payload storage drawn from `pool` and
+  // recycled once the request frame is off the wire.
+  Buffer Encode(BufferPool& pool) const {
+    BinaryWriter w(pool, WireBytes());
+    Put(w);
     return std::move(w).Finish();
   }
   static Result<WriteBlockRequest> Decode(ByteSpan b) {
@@ -294,6 +306,15 @@ struct WriteBlockRequest {
     GLIDER_ASSIGN_OR_RETURN(req.offset, r.U32());
     GLIDER_ASSIGN_OR_RETURN(auto data, r.Bytes());
     req.data = Buffer(data.data(), data.size());
+    return req;
+  }
+  // Zero-copy decode: `data` becomes a slice of the request payload.
+  static Result<WriteBlockRequest> Decode(const Buffer& b) {
+    BinaryReader r(b.span());
+    WriteBlockRequest req;
+    GLIDER_ASSIGN_OR_RETURN(req.block, r.U32());
+    GLIDER_ASSIGN_OR_RETURN(req.offset, r.U32());
+    GLIDER_ASSIGN_OR_RETURN(req.data, GetBytesSlice(r, b));
     return req;
   }
 };

@@ -44,7 +44,7 @@ Status StorageServer::Start(net::Transport& transport,
 
 void StorageServer::Handle(net::Message request, net::Responder responder) {
   Result<Buffer> result = [&]() -> Result<Buffer> {
-    const ByteSpan payload = request.payload.span();
+    const Buffer& payload = request.payload;
     switch (request.opcode) {
       case kWriteBlock: return HandleWrite(payload);
       case kReadBlock: return HandleRead(payload);
@@ -61,7 +61,7 @@ void StorageServer::Handle(net::Message request, net::Responder responder) {
   }
 }
 
-Result<Buffer> StorageServer::HandleWrite(ByteSpan payload) {
+Result<Buffer> StorageServer::HandleWrite(const Buffer& payload) {
   GLIDER_ASSIGN_OR_RETURN(auto req, WriteBlockRequest::Decode(payload));
   if (req.block >= blocks_.size()) {
     return Status::OutOfRange("block " + std::to_string(req.block));
@@ -76,10 +76,13 @@ Result<Buffer> StorageServer::HandleWrite(ByteSpan payload) {
   {
     std::scoped_lock lock(block.mu);
     if (block.data.size() < end) {
-      block.data.resize(static_cast<std::size_t>(end));
+      block.data.Resize(static_cast<std::size_t>(end));
     }
+    // mutable_span() detaches if read slices of this block are still in
+    // flight, so they keep observing the pre-write snapshot.
+    MutableByteSpan dst = block.data.mutable_span();
     std::copy(req.data.data(), req.data.data() + req.data.size(),
-              block.data.begin() + req.offset);
+              dst.data() + req.offset);
     if (end > block.used) {
       growth = static_cast<std::int64_t>(end) - block.used;
       block.used = static_cast<std::uint32_t>(end);
@@ -89,8 +92,8 @@ Result<Buffer> StorageServer::HandleWrite(ByteSpan payload) {
   return Buffer{};
 }
 
-Result<Buffer> StorageServer::HandleRead(ByteSpan payload) {
-  GLIDER_ASSIGN_OR_RETURN(auto req, ReadBlockRequest::Decode(payload));
+Result<Buffer> StorageServer::HandleRead(const Buffer& payload) {
+  GLIDER_ASSIGN_OR_RETURN(auto req, ReadBlockRequest::Decode(payload.span()));
   if (req.block >= blocks_.size()) {
     return Status::OutOfRange("block " + std::to_string(req.block));
   }
@@ -101,11 +104,14 @@ Result<Buffer> StorageServer::HandleRead(ByteSpan payload) {
   if (end > block.used) {
     return Status::OutOfRange("read past written extent");
   }
-  return Buffer(block.data.data() + req.offset, req.length);
+  // Zero-copy: the response payload is a slice of the block's shared
+  // storage. Later writes detach instead of mutating these bytes.
+  return block.data.Slice(req.offset, req.length);
 }
 
-Result<Buffer> StorageServer::HandleReset(ByteSpan payload) {
-  GLIDER_ASSIGN_OR_RETURN(auto req, ResetBlockRequest::Decode(payload));
+Result<Buffer> StorageServer::HandleReset(const Buffer& payload) {
+  GLIDER_ASSIGN_OR_RETURN(auto req,
+                          ResetBlockRequest::Decode(payload.span()));
   if (req.block >= blocks_.size()) {
     return Status::OutOfRange("block " + std::to_string(req.block));
   }
@@ -115,8 +121,7 @@ Result<Buffer> StorageServer::HandleReset(ByteSpan payload) {
     std::scoped_lock lock(block.mu);
     released = block.used;
     block.used = 0;
-    block.data.clear();
-    block.data.shrink_to_fit();
+    block.data = Buffer{};
   }
   if (released != 0 && metrics_) metrics_->RecordStoredBytes(-released);
   return Buffer{};

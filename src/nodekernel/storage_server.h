@@ -46,13 +46,17 @@ class StorageServer : public net::Service,
   std::uint64_t UsedBytes() const;
 
  private:
-  Result<Buffer> HandleWrite(ByteSpan payload);
-  Result<Buffer> HandleRead(ByteSpan payload);
-  Result<Buffer> HandleReset(ByteSpan payload);
+  Result<Buffer> HandleWrite(const Buffer& payload);
+  Result<Buffer> HandleRead(const Buffer& payload);
+  Result<Buffer> HandleReset(const Buffer& payload);
 
   struct Block {
-    std::vector<std::uint8_t> data;  // sized lazily up to block_size
-    std::uint32_t used = 0;          // high-water mark
+    // Shared sliceable storage, sized lazily up to block_size. Reads are
+    // served as zero-copy slices of this buffer; writes detach (copy-on-
+    // write) while read slices are still in flight, so served data is an
+    // immutable snapshot.
+    Buffer data;
+    std::uint32_t used = 0;  // high-water mark
     std::mutex mu;
   };
 

@@ -5,6 +5,7 @@
 
 #include "common/random.h"
 #include "glider/client/action_node.h"
+#include "nodekernel/client/file_streams.h"
 #include "testing/cluster.h"
 
 namespace glider {
@@ -117,6 +118,93 @@ INSTANTIATE_TEST_SUITE_P(
              std::to_string(s.chunk_size) + "_w" + std::to_string(s.window) +
              (s.interleave ? "_il" : "_ni") + "_q" +
              std::to_string(s.channel_capacity);
+    });
+
+// ---- block-boundary straddling ---------------------------------------------
+//
+// Small blocks + chunk sizes that are not divisors of the block size force
+// nearly every chunk to straddle a block boundary, exercising the zero-copy
+// sub-chunk split on the write path and the per-block snapshot slices on the
+// read path. Round-trips must stay byte-exact.
+
+struct BoundaryShape {
+  std::uint64_t block_size;
+  std::size_t chunk_size;
+  std::size_t data_size;
+  std::uint64_t seed;
+};
+
+class BlockBoundaryPropertyTest : public ::testing::TestWithParam<BoundaryShape> {
+};
+
+TEST_P(BlockBoundaryPropertyTest, StraddlingChunksRoundTripByteExact) {
+  const BoundaryShape shape = GetParam();
+  testing::ClusterOptions options;
+  options.block_size = shape.block_size;
+  options.blocks_per_server = 1024;
+  options.chunk_size = shape.chunk_size;
+  options.inflight_window = 4;
+  auto cluster = testing::MiniCluster::Start(options);
+  ASSERT_TRUE(cluster.ok());
+  auto client = (*cluster)->NewInternalClient();
+  ASSERT_TRUE(client.ok());
+
+  std::vector<std::uint8_t> data(shape.data_size);
+  SplitMix64 rng(shape.seed);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.Next());
+
+  ASSERT_TRUE((*client)->CreateNode("/straddle", nk::NodeType::kFile).ok());
+  {
+    auto writer = nk::FileWriter::Open(**client, "/straddle");
+    ASSERT_TRUE(writer.ok());
+    // Randomized write sizes around the chunk size: some writes span
+    // several chunks (and thus several blocks), some leave a pending tail.
+    std::size_t off = 0;
+    SplitMix64 sizes(shape.seed ^ 0x9E3779B97F4A7C15ull);
+    while (off < data.size()) {
+      const std::size_t n = std::min<std::size_t>(
+          1 + sizes.NextBelow(3 * shape.chunk_size), data.size() - off);
+      ASSERT_TRUE((*writer)->Write(ByteSpan(data.data() + off, n)).ok());
+      off += n;
+    }
+    ASSERT_TRUE((*writer)->Close().ok());
+  }
+
+  auto reader = nk::FileReader::Open(**client, "/straddle");
+  ASSERT_TRUE(reader.ok());
+  ASSERT_EQ((*reader)->size(), data.size());
+  // Read back in randomized sizes too, so delivery offsets land mid-slice.
+  std::vector<std::uint8_t> echoed;
+  echoed.reserve(data.size());
+  SplitMix64 reads(shape.seed + 1);
+  std::vector<std::uint8_t> scratch(2 * shape.chunk_size + 16);
+  while (true) {
+    const std::size_t want = 1 + reads.NextBelow(scratch.size());
+    auto n = (*reader)->Read(MutableByteSpan(scratch.data(), want));
+    ASSERT_TRUE(n.ok());
+    if (*n == 0) break;
+    echoed.insert(echoed.end(), scratch.data(), scratch.data() + *n);
+  }
+  EXPECT_EQ(echoed, data);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Boundaries, BlockBoundaryPropertyTest,
+    ::testing::Values(
+        // chunk > block: every chunk splits across >= 2 blocks.
+        BoundaryShape{4096, 10'000, 200'000, 11},
+        // coprime chunk/block: boundary drifts through every offset.
+        BoundaryShape{4097, 4096, 150'000, 22},
+        // tiny odd blocks, larger chunks, odd total.
+        BoundaryShape{1000, 3333, 123'457, 33},
+        // chunk divides block exactly (no straddle control case).
+        BoundaryShape{8192, 2048, 100'000, 44},
+        // sub-byte-scale blocks stress per-block bookkeeping.
+        BoundaryShape{128, 300, 40'001, 55}),
+    [](const auto& info) {
+      const auto& s = info.param;
+      return "b" + std::to_string(s.block_size) + "_c" +
+             std::to_string(s.chunk_size) + "_n" + std::to_string(s.data_size);
     });
 
 TEST(ActionStreamIsolationTest, ParallelStreamsToDistinctActionsDontMix) {

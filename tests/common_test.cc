@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "common/blocking_queue.h"
+#include "common/buffer_pool.h"
 #include "common/bytes.h"
 #include "common/metrics.h"
 #include "common/random.h"
@@ -90,7 +91,139 @@ TEST(BufferTest, SpanViewsShareBytes) {
   Buffer b(std::vector<std::uint8_t>{1, 2, 3});
   EXPECT_EQ(b.span()[1], 2);
   b.mutable_span()[1] = 9;
-  EXPECT_EQ(b.vec()[1], 9);
+  EXPECT_EQ(b.span()[1], 9);
+}
+
+TEST(BufferTest, SliceIsZeroCopyView) {
+  Buffer b = Buffer::FromString("hello world");
+  Buffer s = b.Slice(6, 5);
+  EXPECT_EQ(s.ToString(), "world");
+  // Same underlying bytes: the slice's data pointer aliases the parent.
+  EXPECT_EQ(s.span().data(), b.span().data() + 6);
+  EXPECT_FALSE(b.unique());
+  EXPECT_FALSE(s.unique());
+}
+
+TEST(BufferTest, SliceClampsToBounds) {
+  Buffer b = Buffer::FromString("abcdef");
+  EXPECT_EQ(b.Slice(4, 100).ToString(), "ef");
+  EXPECT_EQ(b.Slice(100, 5).size(), 0u);
+  EXPECT_EQ(b.Slice(2).ToString(), "cdef");
+  EXPECT_EQ(b.Slice(0, 0).size(), 0u);
+}
+
+TEST(BufferTest, SliceOutlivesParent) {
+  Buffer s;
+  const std::uint8_t* parent_data = nullptr;
+  {
+    Buffer b = Buffer::FromString("persistent bytes");
+    parent_data = b.span().data();
+    s = b.Slice(11, 5);
+  }  // parent destroyed; storage kept alive by the slice
+  EXPECT_EQ(s.ToString(), "bytes");
+  EXPECT_EQ(s.span().data(), parent_data + 11);
+}
+
+TEST(BufferTest, MutationDetachesWhenShared) {
+  Buffer b = Buffer::FromString("shared");
+  Buffer s = b.Slice(0, 6);
+  // Mutating through b must not change what s observes (copy-on-write).
+  b.mutable_span()[0] = 'S';
+  EXPECT_EQ(b.ToString(), "Shared");
+  EXPECT_EQ(s.ToString(), "shared");
+  EXPECT_TRUE(b.unique());
+}
+
+TEST(BufferTest, AppendAfterSliceDoesNotDisturbSlice) {
+  Buffer b = Buffer::FromString("head");
+  Buffer s = b.Slice(0, 4);
+  b.Append(std::string_view("+tail"));
+  EXPECT_EQ(b.ToString(), "head+tail");
+  EXPECT_EQ(s.ToString(), "head");
+}
+
+TEST(BufferTest, SliceOfSliceComposes) {
+  Buffer b = Buffer::FromString("0123456789");
+  Buffer s = b.Slice(2, 6);   // "234567"
+  Buffer t = s.Slice(1, 3);   // "345"
+  EXPECT_EQ(t.ToString(), "345");
+  EXPECT_EQ(t.span().data(), b.span().data() + 3);
+}
+
+TEST(BufferTest, CopySemanticsAreValueLike) {
+  Buffer a = Buffer::FromString("value");
+  Buffer b = a;  // O(1): shares storage
+  EXPECT_EQ(a.span().data(), b.span().data());
+  b.mutable_span()[0] = 'V';
+  EXPECT_EQ(a.ToString(), "value");
+  EXPECT_EQ(b.ToString(), "Value");
+  EXPECT_TRUE(a == Buffer::FromString("value"));
+  EXPECT_FALSE(a == b);
+}
+
+TEST(BufferTest, UniqueBufferMutatesInPlace) {
+  Buffer b = Buffer::FromString("abc");
+  const std::uint8_t* before = b.span().data();
+  b.mutable_span()[0] = 'A';  // unique: no detach
+  EXPECT_EQ(b.span().data(), before);
+}
+
+// ---- BufferPool -------------------------------------------------------------
+
+TEST(BufferPoolTest, RecyclesStorage) {
+  BufferPool pool;
+  const std::uint8_t* first = nullptr;
+  {
+    Buffer b = pool.Acquire(4096);
+    ASSERT_EQ(b.size(), 4096u);
+    first = b.span().data();
+  }  // released back to the pool
+  Buffer c = pool.Acquire(4096);
+  EXPECT_EQ(c.span().data(), first);  // same storage came back
+}
+
+TEST(BufferPoolTest, LiveSliceBlocksRecycling) {
+  BufferPool pool;
+  Buffer slice;
+  const std::uint8_t* first = nullptr;
+  {
+    Buffer b = pool.Acquire(1024);
+    first = b.span().data();
+    b.mutable_span()[10] = 42;
+    slice = b.Slice(10, 1);
+  }  // b gone, but `slice` still pins the storage
+  Buffer c = pool.Acquire(1024);
+  EXPECT_NE(c.span().data(), first);  // pool had to allocate fresh storage
+  EXPECT_EQ(slice.span()[0], 42);     // slice bytes untouched
+  slice = Buffer{};                   // last reference: now it recycles
+  Buffer d = pool.Acquire(1024);
+  EXPECT_EQ(d.span().data(), first);
+}
+
+TEST(BufferPoolTest, ReusesLargerCachedEntry) {
+  BufferPool pool;
+  { Buffer b = pool.Acquire(8192); }
+  EXPECT_GE(pool.CachedBytes(), 8192u);
+  Buffer c = pool.Acquire(100);  // first-fit: served from the 8 KiB entry
+  EXPECT_EQ(c.size(), 100u);
+  EXPECT_EQ(pool.CachedBytes(), 0u);
+}
+
+TEST(BufferPoolTest, RespectsCacheCaps) {
+  BufferPool pool(/*max_cached_bytes=*/1000, /*max_entries=*/2);
+  { Buffer b = pool.Acquire(600); }
+  { Buffer b = pool.Acquire(600); }  // would exceed 1000 cached bytes
+  EXPECT_LE(pool.CachedBytes(), 1000u);
+}
+
+TEST(BufferPoolTest, CountersTrackHitsAndMisses) {
+  const std::uint64_t hits0 = data_plane::PoolHits();
+  const std::uint64_t miss0 = data_plane::PoolMisses();
+  BufferPool pool;
+  { Buffer b = pool.Acquire(256); }  // miss + release
+  Buffer c = pool.Acquire(256);      // hit
+  EXPECT_GE(data_plane::PoolMisses(), miss0 + 1);
+  EXPECT_GE(data_plane::PoolHits(), hits0 + 1);
 }
 
 // ---- serde ------------------------------------------------------------------
