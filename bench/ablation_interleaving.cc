@@ -56,6 +56,8 @@ Result<double> RunOnce(bool interleave, std::size_t workers,
 }  // namespace
 
 int main() {
+  obs::SetEnabled(true);
+  BenchJsonWriter bench_json("ablation_interleaving");
   constexpr std::size_t kPairs = 150'000;
   std::printf("== Ablation: interleaving (N writers -> 1 merge action, "
               "%zu pairs each) ==\n\n", kPairs);
@@ -72,8 +74,12 @@ int main() {
     }
     table.AddRow({std::to_string(workers), Fmt(*off, 3), Fmt(*on, 3),
                   Fmt(*off / *on, 2) + "x"});
+    const std::string prefix = "w" + std::to_string(workers) + ".";
+    bench_json.AddScalar(prefix + "interleave_off_seconds", *off);
+    bench_json.AddScalar(prefix + "interleave_on_seconds", *on);
   }
   table.Print();
+  bench_json.Write();
   std::printf("\nExpected: OFF serializes whole streams (time grows ~linearly "
               "with writers); ON overlaps transfer with merging.\n");
   return 0;

@@ -62,6 +62,8 @@ Result<std::pair<double, double>> StreamOnce(testing::MiniCluster& cluster,
 }  // namespace
 
 int main() {
+  obs::SetEnabled(true);
+  BenchJsonWriter bench_json("ablation_streaming");
   std::printf("== Ablation: in-flight op window (per-op latency 1.5 ms, "
               "%s stream, 256 KiB ops) ==\n\n", FmtBytes(kBytes).c_str());
   {
@@ -78,6 +80,9 @@ int main() {
       }
       table.AddRow({std::to_string(window), Fmt(result->first, 3),
                     Fmt(result->second, 3)});
+      const std::string prefix = "win" + std::to_string(window) + ".";
+      bench_json.AddScalar(prefix + "write_seconds", result->first);
+      bench_json.AddScalar(prefix + "read_seconds", result->second);
     }
     table.Print();
     std::printf("\nExpected: window 1 pays one round-trip latency per op; "
@@ -100,10 +105,14 @@ int main() {
       }
       table.AddRow({tcp ? "TCP (loopback)" : "in-process",
                     Fmt(result->first, 3), Fmt(result->second, 3)});
+      const std::string prefix = tcp ? "tcp." : "inproc.";
+      bench_json.AddScalar(prefix + "write_seconds", result->first);
+      bench_json.AddScalar(prefix + "read_seconds", result->second);
     }
     table.Print();
     std::printf("\nExpected: TCP adds kernel socket + framing cost; the "
                 "in-process transport isolates the protocol overhead.\n");
   }
+  bench_json.Write();
   return 0;
 }

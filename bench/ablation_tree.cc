@@ -98,6 +98,8 @@ Result<double> RunTree(std::size_t workers, std::size_t leaves) {
 }  // namespace
 
 int main() {
+  obs::SetEnabled(true);
+  BenchJsonWriter bench_json("ablation_tree");
   std::printf("== Ablation: single merge action vs reduction tree "
               "(%zu pairs/worker) ==\n\n", kPairsPerWorker);
   Table table({"Workers", "Single action (s)", "Tree 4 leaves (s)"});
@@ -111,8 +113,12 @@ int main() {
       return 1;
     }
     table.AddRow({std::to_string(workers), Fmt(*single, 3), Fmt(*tree, 3)});
+    const std::string prefix = "w" + std::to_string(workers) + ".";
+    bench_json.AddScalar(prefix + "single_seconds", *single);
+    bench_json.AddScalar(prefix + "tree_seconds", *tree);
   }
   table.Print();
+  bench_json.Write();
   std::printf("\nExpected: with few writers the single action wins (no "
               "combine step); as writers contend on one action, the tree's "
               "parallel leaves pay off.\n");

@@ -15,6 +15,8 @@ using namespace glider;          // NOLINT
 using namespace glider::bench;   // NOLINT
 
 int main() {
+  obs::SetEnabled(true);
+  BenchJsonWriter bench_json("fig5_reduce");
   workloads::ReduceParams params;
   params.pairs_per_worker = 300'000;  // ~2.4 MiB of pair lines per worker
 
@@ -59,9 +61,26 @@ int main() {
                   std::to_string(glider->accesses),
                   FmtBytes(baseline->intermediate_stored_bytes),
                   FmtBytes(glider->intermediate_stored_bytes)});
+
+    const std::string prefix = "w" + std::to_string(workers) + ".";
+    bench_json.AddScalar(prefix + "base_seconds", baseline->seconds);
+    bench_json.AddScalar(prefix + "glider_seconds", glider->seconds);
+    bench_json.AddScalar(prefix + "base_transfer_bytes",
+                         static_cast<double>(baseline->transfer_bytes));
+    bench_json.AddScalar(prefix + "glider_transfer_bytes",
+                         static_cast<double>(glider->transfer_bytes));
+    bench_json.AddScalar(prefix + "base_accesses",
+                         static_cast<double>(baseline->accesses));
+    bench_json.AddScalar(prefix + "glider_accesses",
+                         static_cast<double>(glider->accesses));
+    bench_json.AddScalar(prefix + "base_stored_bytes",
+                         static_cast<double>(baseline->intermediate_stored_bytes));
+    bench_json.AddScalar(prefix + "glider_stored_bytes",
+                         static_cast<double>(glider->intermediate_stored_bytes));
   }
 
   table.Print();
+  bench_json.Write();
   std::printf(
       "\nPaper shape: accesses -50%%, transfer -50%%, utilization -99.8%% "
       "(intermediate data vs aggregated dictionary); Glider faster, gap "

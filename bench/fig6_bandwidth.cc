@@ -179,6 +179,8 @@ Result<Rates> ActionBandwidth(testing::MiniCluster& cluster,
 }  // namespace
 
 int main() {
+  obs::SetEnabled(true);
+  BenchJsonWriter bench_json("fig6_bandwidth");
   auto options = PaperClusterOptions();
   // Raw-bandwidth measurement: no link shaping, generous block supply.
   options.faas_bandwidth_bps = 0;
@@ -207,6 +209,11 @@ int main() {
     top.AddRow({std::to_string(kib), Fmt(file->write_gbps),
                 Fmt(action->write_gbps), Fmt(file->read_gbps),
                 Fmt(action->read_gbps)});
+    const std::string prefix = "buf" + std::to_string(kib) + "k.";
+    bench_json.AddScalar(prefix + "file_write_gbps", file->write_gbps);
+    bench_json.AddScalar(prefix + "action_write_gbps", action->write_gbps);
+    bench_json.AddScalar(prefix + "file_read_gbps", file->read_gbps);
+    bench_json.AddScalar(prefix + "action_read_gbps", action->read_gbps);
   }
   top.Print();
 
@@ -221,8 +228,14 @@ int main() {
     bottom.AddRow({std::to_string(parallel), Fmt(file->write_gbps),
                    Fmt(action->write_gbps), Fmt(file->read_gbps),
                    Fmt(action->read_gbps)});
+    const std::string prefix = "par" + std::to_string(parallel) + ".";
+    bench_json.AddScalar(prefix + "file_write_gbps", file->write_gbps);
+    bench_json.AddScalar(prefix + "action_write_gbps", action->write_gbps);
+    bench_json.AddScalar(prefix + "file_read_gbps", file->read_gbps);
+    bench_json.AddScalar(prefix + "action_read_gbps", action->read_gbps);
   }
   bottom.Print();
+  bench_json.Write();
 
   std::printf(
       "\nPaper shape: action bandwidth within ~±12%% of files (reads "

@@ -13,6 +13,8 @@ using namespace glider;          // NOLINT
 using namespace glider::bench;   // NOLINT
 
 int main() {
+  obs::SetEnabled(true);
+  BenchJsonWriter bench_json("fig7_sort");
   workloads::SortParams params;
   params.bytes_per_partition = 2 << 20;  // scaled from the paper's 1 GiB
 
@@ -68,9 +70,20 @@ int main() {
                   Fmt(glider->total_seconds, 3),
                   FmtBytes(baseline->transfer_bytes),
                   FmtBytes(glider->transfer_bytes)});
+
+    const std::string prefix = "w" + std::to_string(workers) + ".";
+    bench_json.AddScalar(prefix + "base_total_seconds",
+                         baseline->total_seconds);
+    bench_json.AddScalar(prefix + "glider_total_seconds",
+                         glider->total_seconds);
+    bench_json.AddScalar(prefix + "base_transfer_bytes",
+                         static_cast<double>(baseline->transfer_bytes));
+    bench_json.AddScalar(prefix + "glider_transfer_bytes",
+                         static_cast<double>(glider->transfer_bytes));
   }
 
   table.Print();
+  bench_json.Write();
   std::printf(
       "\nPaper shape: Glider P1 a bit slower (in-line parsing), P2 much "
       "faster (no intermediate read-back; sorted runs written from inside "

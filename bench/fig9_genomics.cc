@@ -16,6 +16,8 @@ using namespace glider;          // NOLINT
 using namespace glider::bench;   // NOLINT
 
 int main() {
+  obs::SetEnabled(true);
+  BenchJsonWriter bench_json("fig9_genomics");
   struct Config {
     std::size_t a, q, r;
   };
@@ -88,9 +90,14 @@ int main() {
                   Fmt(glider->reduce_seconds, 2),
                   Fmt(glider->total_seconds, 2),
                   std::to_string(glider->variants)});
+    bench_json.AddScalar(label + ".base_total_seconds",
+                         baseline->total_seconds);
+    bench_json.AddScalar(label + ".glider_total_seconds",
+                         glider->total_seconds);
   }
 
   table.Print();
+  bench_json.Write();
   std::printf(
       "\nPaper shape: Glider always faster; ranges phase collapses (the "
       "SELECT sampling pass over intermediate data disappears), reduce "

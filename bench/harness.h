@@ -5,15 +5,18 @@
 // the paper's environment, not its absolute numbers):
 //   * FaaS worker link:   12.5 MB/s per worker, 300 us/op  (limited function
 //                         bandwidth, remote storage latency)
-//   * storage-internal:   200 MB/s (actions <-> data servers)
-//   * storage "RDMA":     800 MB/s (fast fabric available inside the
+//   * storage-internal:   400 MB/s (actions <-> data servers)
+//   * storage "RDMA":     1.6 GB/s (fast fabric available inside the
 //                         storage tier only, §7.1)
 #pragma once
 
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/metrics_registry.h"
+#include "common/trace.h"
 #include "testing/cluster.h"
 
 namespace glider::bench {
@@ -83,6 +86,48 @@ inline std::string Fmt(double v, int precision = 2) {
   std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
   return buf;
 }
+
+// Per-run machine-readable snapshot: scalars recorded by the bench
+// (wall-clock seconds, transfer bytes, access counts, ...) plus the full
+// MetricsRegistry dump (counters, gauges, and latency-histogram
+// p50/p95/p99). Written to BENCH_<name>.json in the working directory;
+// tools/bench_diff.py compares two such files and flags regressions.
+class BenchJsonWriter {
+ public:
+  explicit BenchJsonWriter(std::string name) : name_(std::move(name)) {}
+
+  void AddScalar(const std::string& key, double value) {
+    scalars_.emplace_back(key, value);
+  }
+
+  bool Write() const {
+    std::string json = "{\"bench\":\"" + name_ + "\",\"scalars\":{";
+    for (std::size_t i = 0; i < scalars_.size(); ++i) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.9g", scalars_[i].second);
+      if (i > 0) json += ",";
+      json += "\"" + scalars_[i].first + "\":" + buf;
+    }
+    json += "},\"metrics\":";
+    json += obs::MetricsRegistry::Global().ToJson();
+    json += "}\n";
+
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, double>> scalars_;
+};
 
 inline std::string FmtBytes(std::uint64_t bytes) {
   char buf[64];

@@ -16,6 +16,8 @@ using namespace glider;          // NOLINT
 using namespace glider::bench;   // NOLINT
 
 int main() {
+  obs::SetEnabled(true);
+  BenchJsonWriter bench_json("table2_pipeline");
   workloads::WordcountParams params;
   params.workers = 10;
   params.bytes_per_worker = 8 << 20;
@@ -52,6 +54,9 @@ int main() {
                   Fmt(result->seconds, 3), Fmt(result->throughput_gbps, 2),
                   std::to_string(result->matched_lines),
                   std::to_string(result->total_words)});
+    bench_json.AddScalar("base.seconds", result->seconds);
+    bench_json.AddScalar("base.ingested_bytes",
+                         static_cast<double>(result->ingested_bytes));
   }
 
   for (const bool rdma : {false, true}) {
@@ -68,6 +73,10 @@ int main() {
                   Fmt(result->throughput_gbps, 2),
                   std::to_string(result->matched_lines),
                   std::to_string(result->total_words)});
+    const std::string prefix = rdma ? "glider_rdma." : "glider.";
+    bench_json.AddScalar(prefix + "seconds", result->seconds);
+    bench_json.AddScalar(prefix + "ingested_bytes",
+                         static_cast<double>(result->ingested_bytes));
     if (result->total_words != base_words) {
       std::fprintf(stderr, "RESULT MISMATCH vs baseline!\n");
       return 1;
@@ -80,6 +89,7 @@ int main() {
 
   std::printf("\n");
   table.Print();
+  bench_json.Write();
   std::printf(
       "\nPaper shape: ingest reduced ~99.75%%; Glider ~2.7x faster; RDMA "
       "faster still. Absolute values differ (scaled simulated testbed).\n");

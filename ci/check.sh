@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 configure/build/test, then the same test suite
+# under AddressSanitizer. Run from anywhere; builds land in build/ and
+# build-asan/ under the repo root.
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "${REPO_ROOT}"
+
+JOBS="${JOBS:-$(nproc)}"
+
+echo "== tier-1: configure + build + ctest =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "${JOBS}"
+ctest --test-dir build --output-on-failure -j "${JOBS}"
+
+echo
+echo "== ASan: configure + build + ctest =="
+cmake -B build-asan -S . -DGLIDER_SANITIZE=address >/dev/null
+cmake --build build-asan -j "${JOBS}"
+ctest --test-dir build-asan --output-on-failure -j "${JOBS}"
+
+echo
+echo "ci/check.sh: all checks passed"

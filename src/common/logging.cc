@@ -1,8 +1,11 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <string_view>
+
+#include "common/trace.h"
 
 namespace glider {
 namespace {
@@ -29,5 +32,20 @@ LogLevel GlobalLogLevel() { return static_cast<LogLevel>(LevelRef().load()); }
 void SetGlobalLogLevel(LogLevel level) {
   LevelRef().store(static_cast<int>(level));
 }
+
+namespace internal {
+
+std::string TracePrefix() {
+  if (!obs::Enabled()) return "";
+  const obs::TraceContext ctx = obs::CurrentTraceContext();
+  if (ctx.trace_id == 0) return "";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "[t:%llx s:%llx] ",
+                static_cast<unsigned long long>(ctx.trace_id),
+                static_cast<unsigned long long>(ctx.span_id));
+  return buf;
+}
+
+}  // namespace internal
 
 }  // namespace glider

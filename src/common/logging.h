@@ -16,10 +16,15 @@ void SetGlobalLogLevel(LogLevel level);
 
 namespace internal {
 
+// "[t:<trace_id> s:<span_id>] " when tracing is enabled and a trace context
+// is active on this thread, else "". Lives in logging.cc so this header
+// need not pull in trace.h.
+std::string TracePrefix();
+
 class LogLine {
  public:
   LogLine(LogLevel level, std::string_view tag) : level_(level) {
-    stream_ << "[" << Name(level) << "] " << tag << ": ";
+    stream_ << "[" << Name(level) << "] " << TracePrefix() << tag << ": ";
   }
   ~LogLine() {
     if (level_ >= GlobalLogLevel()) {

@@ -1,0 +1,116 @@
+#include "common/metrics_registry.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/metrics.h"
+
+namespace glider::obs {
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::scoped_lock lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::scoped_lock lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+LatencyHistogram& MetricsRegistry::GetHistogram(const std::string& name) {
+  std::scoped_lock lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<LatencyHistogram>();
+  return *slot;
+}
+
+void MetricsRegistry::MirrorLinkCounters(const Metrics& metrics) {
+  static constexpr const char* kClassNames[kNumLinkClasses] = {
+      "faas", "internal", "rdma", "control"};
+  for (std::size_t i = 0; i < kNumLinkClasses; ++i) {
+    const auto link = static_cast<LinkClass>(i);
+    const std::string prefix = std::string("link.") + kClassNames[i];
+    GetGauge(prefix + ".bytes_sent")
+        .Set(static_cast<std::int64_t>(metrics.BytesSent(link)));
+    GetGauge(prefix + ".bytes_received")
+        .Set(static_cast<std::int64_t>(metrics.BytesReceived(link)));
+    GetGauge(prefix + ".operations")
+        .Set(static_cast<std::int64_t>(metrics.Operations(link)));
+  }
+  GetGauge("store.accesses")
+      .Set(static_cast<std::int64_t>(metrics.StorageAccesses()));
+  GetGauge("store.stored_bytes").Set(metrics.StoredBytes());
+  GetGauge("store.peak_stored_bytes").Set(metrics.PeakStoredBytes());
+}
+
+namespace {
+
+void AppendEscaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+}
+
+}  // namespace
+
+std::string MetricsRegistry::ToJson() const {
+  std::scoped_lock lock(mu_);
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  char buf[160];
+  for (const auto& [name, c] : counters_) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.push_back('"');
+    AppendEscaped(out, name);
+    std::snprintf(buf, sizeof(buf), "\":%" PRIu64, c->value());
+    out += buf;
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.push_back('"');
+    AppendEscaped(out, name);
+    std::snprintf(buf, sizeof(buf), "\":%" PRId64, g->value());
+    out += buf;
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.push_back('"');
+    AppendEscaped(out, name);
+    std::snprintf(buf, sizeof(buf),
+                  "\":{\"count\":%" PRIu64 ",\"sum\":%" PRIu64
+                  ",\"mean\":%.3f,\"min\":%" PRIu64 ",\"max\":%" PRIu64
+                  ",\"p50\":%" PRIu64 ",\"p95\":%" PRIu64 ",\"p99\":%" PRIu64
+                  "}",
+                  h->Count(), h->Sum(), h->Mean(), h->Min(), h->Max(),
+                  h->Percentile(50), h->Percentile(95), h->Percentile(99));
+    out += buf;
+  }
+  out += "}}";
+  return out;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::scoped_lock lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+}  // namespace glider::obs

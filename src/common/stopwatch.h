@@ -3,6 +3,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
@@ -24,10 +25,13 @@ class Stopwatch {
   Clock::time_point start_;
 };
 
-// Collects samples; reports min/max/mean/percentiles. Not thread-safe.
+// Collects samples; reports min/max/mean/stddev/percentiles. Not thread-safe.
 class SampleStats {
  public:
-  void Add(double v) { samples_.push_back(v); }
+  void Add(double v) {
+    samples_.push_back(v);
+    sorted_ = false;
+  }
 
   std::size_t count() const { return samples_.size(); }
   double Min() const { return *std::min_element(samples_.begin(), samples_.end()); }
@@ -37,16 +41,37 @@ class SampleStats {
     for (double v : samples_) sum += v;
     return samples_.empty() ? 0 : sum / static_cast<double>(samples_.size());
   }
-  double Percentile(double p) {
+  // Population standard deviation.
+  double Stddev() const {
+    if (samples_.size() < 2) return 0;
+    const double mean = Mean();
+    double sq = 0;
+    for (double v : samples_) sq += (v - mean) * (v - mean);
+    return std::sqrt(sq / static_cast<double>(samples_.size()));
+  }
+  // Nearest-rank percentile over a lazily-maintained sorted view; the
+  // insertion-ordered samples are never reordered.
+  double Percentile(double p) const {
     if (samples_.empty()) return 0;
-    std::sort(samples_.begin(), samples_.end());
-    const auto idx = static_cast<std::size_t>(
-        p / 100.0 * static_cast<double>(samples_.size() - 1));
-    return samples_[idx];
+    if (!sorted_) {
+      sorted_view_ = samples_;
+      std::sort(sorted_view_.begin(), sorted_view_.end());
+      sorted_ = true;
+    }
+    const double rank =
+        std::ceil(p / 100.0 * static_cast<double>(sorted_view_.size()));
+    const std::size_t idx =
+        rank < 1 ? 0
+                 : std::min(sorted_view_.size() - 1,
+                            static_cast<std::size_t>(rank) - 1);
+    return sorted_view_[idx];
   }
 
  private:
   std::vector<double> samples_;
+  // Cache for Percentile(): rebuilt on demand after each Add().
+  mutable std::vector<double> sorted_view_;
+  mutable bool sorted_ = false;
 };
 
 }  // namespace glider

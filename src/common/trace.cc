@@ -1,0 +1,242 @@
+#include "common/trace.h"
+
+#include <atomic>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <random>
+#include <utility>
+
+namespace glider::obs {
+namespace {
+
+std::atomic<bool>& EnabledFlag() {
+  static std::atomic<bool> enabled{[] {
+    const char* env = std::getenv("GLIDER_TRACE");
+    return env != nullptr && env[0] != '\0' && env[0] != '0';
+  }()};
+  return enabled;
+}
+
+thread_local TraceContext t_context;
+
+std::uint64_t ProcessSalt() {
+  static const std::uint64_t salt = [] {
+    std::random_device rd;
+    return (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
+  }();
+  return salt;
+}
+
+std::uint32_t LocalThreadId() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local std::uint32_t id = next.fetch_add(1);
+  return id;
+}
+
+std::chrono::steady_clock::time_point ProcessStart() {
+  static const auto start = std::chrono::steady_clock::now();
+  return start;
+}
+
+// Bound on retained spans per thread; beyond it spans are counted as
+// dropped instead of buffered.
+constexpr std::size_t kMaxSpansPerThread = 1u << 20;
+
+std::atomic<std::uint64_t> g_dropped{0};
+
+}  // namespace
+
+bool Enabled() { return EnabledFlag().load(std::memory_order_relaxed); }
+void SetEnabled(bool enabled) {
+  EnabledFlag().store(enabled, std::memory_order_relaxed);
+}
+
+TraceContext CurrentTraceContext() { return t_context; }
+
+std::uint64_t NewTraceId() {
+  static std::atomic<std::uint64_t> next{1};
+  return (ProcessSalt() & 0xffffffff00000000ull) | next.fetch_add(1);
+}
+
+std::uint64_t NewSpanId() {
+  static std::atomic<std::uint64_t> next{1};
+  return (ProcessSalt() << 32) ^ next.fetch_add(1);
+}
+
+std::uint64_t TraceNowMicros() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - ProcessStart())
+          .count());
+}
+
+TraceContextScope::TraceContextScope(TraceContext ctx) : prev_(t_context) {
+  t_context = ctx;
+}
+
+TraceContextScope::~TraceContextScope() { t_context = prev_; }
+
+// ---- recorder ---------------------------------------------------------------
+
+struct TraceRecorder::ThreadBuffer {
+  mutable std::mutex mu;
+  std::vector<SpanRecord> spans;
+};
+
+namespace {
+
+struct BufferRegistry {
+  std::mutex mu;
+  std::vector<std::shared_ptr<TraceRecorder::ThreadBuffer>> buffers;
+};
+
+BufferRegistry& Registry() {
+  static BufferRegistry* registry = new BufferRegistry();
+  return *registry;
+}
+
+}  // namespace
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder* recorder = new TraceRecorder();
+  return *recorder;
+}
+
+TraceRecorder::ThreadBuffer& TraceRecorder::LocalBuffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
+    auto b = std::make_shared<ThreadBuffer>();
+    auto& registry = Registry();
+    std::scoped_lock lock(registry.mu);
+    registry.buffers.push_back(b);
+    return b;
+  }();
+  return *buffer;
+}
+
+void TraceRecorder::Record(SpanRecord record) {
+  ThreadBuffer& buffer = LocalBuffer();
+  std::scoped_lock lock(buffer.mu);
+  if (buffer.spans.size() >= kMaxSpansPerThread) {
+    g_dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  buffer.spans.push_back(std::move(record));
+}
+
+std::vector<SpanRecord> TraceRecorder::Snapshot() const {
+  std::vector<SpanRecord> all;
+  auto& registry = Registry();
+  std::scoped_lock lock(registry.mu);
+  for (const auto& buffer : registry.buffers) {
+    std::scoped_lock buffer_lock(buffer->mu);
+    all.insert(all.end(), buffer->spans.begin(), buffer->spans.end());
+  }
+  return all;
+}
+
+std::uint64_t TraceRecorder::DroppedSpans() const {
+  return g_dropped.load(std::memory_order_relaxed);
+}
+
+void TraceRecorder::Clear() {
+  auto& registry = Registry();
+  std::scoped_lock lock(registry.mu);
+  for (const auto& buffer : registry.buffers) {
+    std::scoped_lock buffer_lock(buffer->mu);
+    buffer->spans.clear();
+  }
+  g_dropped.store(0, std::memory_order_relaxed);
+}
+
+std::string TraceRecorder::ToChromeJson() const {
+  const std::vector<SpanRecord> spans = Snapshot();
+  std::string out = "{\"traceEvents\":[";
+  char buf[256];
+  bool first = true;
+  for (const SpanRecord& s : spans) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"name\":\"";
+    for (char c : s.name) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%" PRIu64
+                  ",\"dur\":%" PRIu64 ",\"pid\":1,\"tid\":%u,"
+                  "\"args\":{\"trace_id\":\"%" PRIx64 "\",\"span_id\":\"%" PRIx64
+                  "\",\"parent_span_id\":\"%" PRIx64 "\"}}",
+                  s.category, s.start_us, s.dur_us, s.tid, s.trace_id,
+                  s.span_id, s.parent_span_id);
+    out += buf;
+  }
+  out += "]}";
+  return out;
+}
+
+// ---- spans ------------------------------------------------------------------
+
+void RecordSpan(const char* category, std::string name, TraceContext parent,
+                std::uint64_t span_id, std::uint64_t start_us,
+                std::uint64_t end_us) {
+  if (!Enabled() || parent.trace_id == 0) return;
+  SpanRecord record;
+  record.name = std::move(name);
+  record.category = category;
+  record.trace_id = parent.trace_id;
+  record.span_id = span_id;
+  record.parent_span_id = parent.span_id;
+  record.start_us = start_us;
+  record.dur_us = end_us > start_us ? end_us - start_us : 0;
+  record.tid = LocalThreadId();
+  TraceRecorder::Global().Record(std::move(record));
+}
+
+Span::Span(const char* category, std::string name)
+    : Span(category, std::move(name), /*root=*/false) {}
+
+Span Span::Root(const char* category, std::string name) {
+  return Span(category, std::move(name), /*root=*/true);
+}
+
+Span::Span(const char* category, std::string name, bool root) {
+  if (!Enabled()) return;
+  prev_ = t_context;
+  if (root) {
+    trace_id_ = NewTraceId();
+    parent_span_id_ = 0;
+  } else {
+    if (prev_.trace_id == 0) return;  // no active trace: stay inert
+    trace_id_ = prev_.trace_id;
+    parent_span_id_ = prev_.span_id;
+  }
+  active_ = true;
+  category_ = category;
+  name_ = std::move(name);
+  span_id_ = NewSpanId();
+  start_us_ = TraceNowMicros();
+  t_context = TraceContext{trace_id_, span_id_};
+}
+
+void Span::End() {
+  if (!active_) return;
+  active_ = false;
+  SpanRecord record;
+  record.name = std::move(name_);
+  record.category = category_;
+  record.trace_id = trace_id_;
+  record.span_id = span_id_;
+  record.parent_span_id = parent_span_id_;
+  record.start_us = start_us_;
+  const std::uint64_t now = TraceNowMicros();
+  record.dur_us = now > start_us_ ? now - start_us_ : 0;
+  record.tid = LocalThreadId();
+  t_context = prev_;
+  TraceRecorder::Global().Record(std::move(record));
+}
+
+}  // namespace glider::obs

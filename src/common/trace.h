@@ -1,0 +1,135 @@
+// End-to-end tracing (DESIGN.md "Observability").
+//
+// A trace is a tree of spans identified by (trace_id, span_id,
+// parent_span_id). The context {trace_id, current span} lives in a
+// thread-local and is propagated (a) down the call stack by Span RAII
+// scopes, (b) across the RPC wire in the frame header (net::Message
+// trace_id/span_id), and (c) across thread hops (network worker -> action
+// thread) by capturing CurrentTraceContext() and re-installing it with a
+// TraceContextScope.
+//
+// The TraceRecorder keeps completed spans in thread-cached buffers (one
+// mutex-protected vector per thread, so recording never contends across
+// threads) and exports them as Chrome trace-event JSON ("traceEvents" with
+// "X" complete events) loadable in Perfetto / chrome://tracing.
+//
+// Everything is disabled by default: when !Enabled() (one relaxed atomic
+// load), spans are inert and nothing allocates. Set GLIDER_TRACE=1 or call
+// SetEnabled(true) to turn the layer on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace glider::obs {
+
+// Master switch for tracing + latency histograms (reads GLIDER_TRACE once
+// at startup; programmatic SetEnabled overrides).
+bool Enabled();
+void SetEnabled(bool enabled);
+
+struct TraceContext {
+  std::uint64_t trace_id = 0;  // 0 = no active trace
+  std::uint64_t span_id = 0;   // innermost open span (parent for children)
+};
+
+TraceContext CurrentTraceContext();
+
+// Unique-enough ids: a per-process random salt in the high bits plus a
+// monotone counter, so ids from different daemons don't collide in one
+// merged trace.
+std::uint64_t NewTraceId();
+std::uint64_t NewSpanId();
+
+// Microseconds on the steady clock since process start (the trace
+// timebase; Chrome's "ts" field).
+std::uint64_t TraceNowMicros();
+
+// Installs `ctx` as the thread's current context; restores the previous
+// one on destruction. Used at thread-hop boundaries and on the RPC server
+// side (context decoded from the frame header).
+class TraceContextScope {
+ public:
+  explicit TraceContextScope(TraceContext ctx);
+  ~TraceContextScope();
+  TraceContextScope(const TraceContextScope&) = delete;
+  TraceContextScope& operator=(const TraceContextScope&) = delete;
+
+ private:
+  TraceContext prev_;
+};
+
+struct SpanRecord {
+  std::string name;
+  const char* category = "";
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span_id = 0;
+  std::uint64_t start_us = 0;
+  std::uint64_t dur_us = 0;
+  std::uint32_t tid = 0;
+};
+
+class TraceRecorder {
+ public:
+  static TraceRecorder& Global();
+
+  // Appends to the calling thread's buffer (drops beyond a per-thread cap
+  // so a runaway trace cannot exhaust memory; drops are counted).
+  void Record(SpanRecord record);
+
+  // All spans recorded so far, across threads.
+  std::vector<SpanRecord> Snapshot() const;
+  std::uint64_t DroppedSpans() const;
+  void Clear();
+
+  // Chrome trace-event JSON: {"traceEvents":[...]}. Span/trace ids are
+  // attached as args so cross-process linkage survives the export.
+  std::string ToChromeJson() const;
+
+  struct ThreadBuffer;  // public so the registry of buffers can hold them
+
+ private:
+  TraceRecorder() = default;
+  ThreadBuffer& LocalBuffer();
+};
+
+// Records a span assembled manually (async paths where no RAII scope can
+// live, e.g. the RPC client measuring send->response across threads).
+void RecordSpan(const char* category, std::string name, TraceContext parent,
+                std::uint64_t span_id, std::uint64_t start_us,
+                std::uint64_t end_us);
+
+// RAII span: when tracing is enabled AND a trace is active (trace_id != 0),
+// opens a child span of the current context, installs itself as the current
+// context, and records itself on End()/destruction. Root() starts a fresh
+// trace instead (FaaS invocation entry points).
+class Span {
+ public:
+  Span(const char* category, std::string name);
+  ~Span() { End(); }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  static Span Root(const char* category, std::string name);
+
+  void End();
+  bool active() const { return active_; }
+  std::uint64_t span_id() const { return span_id_; }
+  std::uint64_t trace_id() const { return trace_id_; }
+
+ private:
+  Span(const char* category, std::string name, bool root);
+
+  bool active_ = false;
+  const char* category_ = "";
+  std::string name_;
+  std::uint64_t trace_id_ = 0;
+  std::uint64_t span_id_ = 0;
+  std::uint64_t parent_span_id_ = 0;
+  std::uint64_t start_us_ = 0;
+  TraceContext prev_;
+};
+
+}  // namespace glider::obs

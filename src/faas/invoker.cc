@@ -3,6 +3,8 @@
 #include <mutex>
 
 #include "common/logging.h"
+#include "common/metrics_registry.h"
+#include "common/trace.h"
 
 namespace glider::faas {
 
@@ -14,6 +16,12 @@ Status Invoker::RunStage(std::size_t n, const WorkerFn& body) {
 
   for (std::size_t i = 0; i < n; ++i) {
     threads.emplace_back([&, i] {
+      // Each invocation is the root of its own trace tree; the id crosses
+      // the wire with every RPC the worker's clients issue.
+      obs::Span invoke_span =
+          obs::Span::Root("faas", "faas.invoke.w" + std::to_string(i));
+      const std::uint64_t start_us =
+          obs::Enabled() ? obs::TraceNowMicros() : 0;
       auto client = cluster_.NewFaasClient();
       if (!client.ok()) {
         std::scoped_lock lock(status_mu);
@@ -27,6 +35,11 @@ Status Invoker::RunStage(std::size_t n, const WorkerFn& body) {
       ctx.s3 = s3_;
       ctx.link = (*client)->options().data_link;
       const Status status = body(ctx);
+      if (obs::Enabled()) {
+        obs::MetricsRegistry::Global()
+            .GetHistogram("faas.invoke_us")
+            .Record(obs::TraceNowMicros() - start_us);
+      }
       if (!status.ok()) {
         GLIDER_LOG(kWarn, "faas")
             << "worker " << i << " failed: " << status.ToString();

@@ -5,7 +5,10 @@
 
 #include "common/buffer_pool.h"
 #include "common/logging.h"
+#include "common/metrics_registry.h"
+#include "common/trace.h"
 #include "net/link_model.h"
+#include "net/rpc_obs.h"
 
 namespace glider::core {
 
@@ -117,6 +120,50 @@ class ChannelOutputStream : public ActionOutputStream {
   bool closed_ = false;
 };
 
+// Observability for one action-method execution. Captured on the network
+// worker at submit time (while the RPC server span is the current context),
+// then consumed on the action thread: the submit->monitor-admit gap becomes
+// the queue-wait span, monitor-admit->exit the run span, each feeding an
+// "action.<method>.{queue,run}_us" histogram.
+struct MethodTrace {
+  bool active = false;
+  obs::TraceContext parent;
+  std::uint64_t submit_us = 0;
+  const char* method = "";
+
+  static MethodTrace Begin(const char* method) {
+    MethodTrace t;
+    if (!obs::Enabled()) return t;
+    t.active = true;
+    t.parent = obs::CurrentTraceContext();
+    t.submit_us = obs::TraceNowMicros();
+    t.method = method;
+    return t;
+  }
+
+  // Call once the monitor admits the method; returns the run start time.
+  std::uint64_t EnterRun() const {
+    if (!active) return 0;
+    const std::uint64_t now = obs::TraceNowMicros();
+    obs::RecordSpan("action", std::string("action.") + method + ".queue",
+                    parent, obs::NewSpanId(), submit_us, now);
+    obs::MetricsRegistry::Global()
+        .GetHistogram(std::string("action.") + method + ".queue_us")
+        .Record(now - submit_us);
+    return now;
+  }
+
+  void FinishRun(std::uint64_t run_start_us) const {
+    if (!active) return;
+    const std::uint64_t now = obs::TraceNowMicros();
+    obs::RecordSpan("action", std::string("action.") + method + ".run",
+                    parent, obs::NewSpanId(), run_start_us, now);
+    obs::MetricsRegistry::Global()
+        .GetHistogram(std::string("action.") + method + ".run_us")
+        .Record(now - run_start_us);
+  }
+};
+
 }  // namespace
 
 ActiveServer::ActiveServer(Options options,
@@ -189,6 +236,7 @@ Status ActiveServer::Start(net::Transport& transport,
 }
 
 void ActiveServer::Handle(net::Message request, net::Responder responder) {
+  if (net::TryHandleObs(request, responder, metrics_.get())) return;
   switch (request.opcode) {
     case kActionCreate: return HandleActionCreate(std::move(request), std::move(responder));
     case kActionDelete: return HandleActionDelete(std::move(request), std::move(responder));
@@ -251,11 +299,13 @@ void ActiveServer::HandleActionCreate(net::Message request,
 
   // Instantiate under the action's execution turn: onCreate is user code
   // and follows the single-threaded model like any other method.
+  const MethodTrace mt = MethodTrace::Begin("onCreate");
   const Status submitted = action_pool_->Submit(
-      [this, slot, req = std::move(req).value(),
+      [this, slot, mt, req = std::move(req).value(),
        object = std::shared_ptr<Action>(std::move(object).value()),
        request, responder]() mutable {
         slot->monitor.Enter();
+        const std::uint64_t run_start = mt.EnterRun();
         if (slot->object != nullptr) {
           slot->monitor.Exit();
           return responder.SendError(
@@ -269,10 +319,12 @@ void ActiveServer::HandleActionCreate(net::Message request,
         try {
           slot->object->onCreate(ctx);
           slot->monitor.Exit();
+          mt.FinishRun(run_start);
           responder.SendOk(request);
         } catch (const std::exception& e) {
           slot->object.reset();
           slot->monitor.Exit();
+          mt.FinishRun(run_start);
           responder.SendError(request,
                               Status::Internal(std::string("onCreate: ") +
                                                e.what()));
@@ -290,9 +342,11 @@ void ActiveServer::HandleActionDelete(net::Message request,
     return responder.SendError(request, slot_result.status());
   }
   auto slot = std::move(slot_result).value();
+  const MethodTrace mt = MethodTrace::Begin("onDelete");
   const Status submitted =
-      action_pool_->Submit([this, slot, request, responder]() mutable {
+      action_pool_->Submit([this, slot, mt, request, responder]() mutable {
         slot->monitor.Enter();
+        const std::uint64_t run_start = mt.EnterRun();
         if (slot->object == nullptr) {
           slot->monitor.Exit();
           return responder.SendError(request,
@@ -306,6 +360,7 @@ void ActiveServer::HandleActionDelete(net::Message request,
         }
         slot->object.reset();
         slot->monitor.Exit();
+        mt.FinishRun(run_start);
         responder.SendOk(request);
       });
   if (!submitted.ok()) responder.SendError(request, submitted);
@@ -359,10 +414,16 @@ void ActiveServer::HandleStreamOpen(net::Message request,
 
 void ActiveServer::RunMethod(std::shared_ptr<Slot> slot,
                              std::shared_ptr<Stream> stream) {
-  const Status submitted = action_pool_->Submit([this, slot, stream] {
+  const MethodTrace mt = MethodTrace::Begin(
+      stream->mode == StreamMode::kWrite ? "onWrite" : "onRead");
+  const Status submitted = action_pool_->Submit([this, slot, stream, mt] {
     ActionMonitor* monitor = &slot->monitor;
     ActionMonitor* yield = slot->interleave ? monitor : nullptr;
     monitor->Enter();
+    const std::uint64_t run_start = mt.EnterRun();
+    // Methods issue store RPCs of their own; parent those under the method's
+    // originating RPC span.
+    obs::TraceContextScope trace_scope(mt.parent);
     ServerActionContext ctx(internal_client_.get(), slot->config.span());
     if (stream->mode == StreamMode::kWrite) {
       ChannelInputStream in(&stream->channel, yield);
@@ -372,6 +433,7 @@ void ActiveServer::RunMethod(std::shared_ptr<Slot> slot,
         GLIDER_LOG(kWarn, "active") << "onWrite threw: " << e.what();
       }
       monitor->Exit();
+      mt.FinishRun(run_start);
       // The method may return before consuming the whole stream; drain so
       // pipelined client writes still get acknowledged, then complete the
       // client's close. Skip when the method already saw end-of-stream.
@@ -398,6 +460,7 @@ void ActiveServer::RunMethod(std::shared_ptr<Slot> slot,
         GLIDER_LOG(kWarn, "active") << "onRead threw: " << e.what();
       }
       monitor->Exit();
+      mt.FinishRun(run_start);
       out.Close();  // idempotent: signals end-of-stream to the reader
       std::scoped_lock lock(stream->close_mu);
       stream->method_done = true;

@@ -2,9 +2,27 @@
 
 #include <utility>
 
+#include "common/metrics_registry.h"
+#include "common/trace.h"
+
 namespace glider::core {
 
 namespace {
+
+// Counts monitor-yield events (the action gave up its execution turn while
+// blocked on channel capacity/data — the interleaving mechanism of §4.3).
+obs::Counter& YieldCounter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter("channel.interleave_yields");
+  return counter;
+}
+
+// Queue depth sampled after each enqueue: how full channels run under load.
+obs::LatencyHistogram& OccupancyHist() {
+  static obs::LatencyHistogram& hist =
+      obs::MetricsRegistry::Global().GetHistogram("channel.occupancy");
+  return hist;
+}
 
 // Callbacks collected under the lock, fired after release. Invoking client
 // acks or deliveries under the channel lock could re-enter the channel or
@@ -31,6 +49,7 @@ std::vector<StreamChannel::AdmitFn> StreamChannel::PromoteLocked() {
     const bool drains_now = consumers_.contains(next_pop_seq_);
     if (items_.size() >= capacity_ && !drains_now) break;
     items_.push_back(std::move(it->second.task));
+    if (obs::Enabled()) OccupancyHist().Record(items_.size());
     fired.push_back(std::move(it->second.on_admitted));
     pushes_.erase(it);
     ++next_push_seq_;
@@ -123,6 +142,7 @@ Result<DataTask> StreamChannel::BlockingPop(ActionMonitor* monitor) {
       return Status::Closed("stream closed");
     }
     if (monitor != nullptr) {
+      if (obs::Enabled()) YieldCounter().Increment();
       monitor->Exit();
       cv_.wait(lock);
       lock.unlock();
@@ -140,6 +160,7 @@ Status StreamChannel::BlockingPush(DataTask task, ActionMonitor* monitor) {
     if (aborted_) return Status::Closed("reader abandoned the stream");
     if (items_.size() < capacity_ || !consumers_.empty()) {
       items_.push_back(std::move(task));
+      if (obs::Enabled()) OccupancyHist().Record(items_.size());
       FireList fire;
       for (auto& d : MatchLocked()) fire.deliveries.push_back(std::move(d));
       lock.unlock();
@@ -147,6 +168,7 @@ Status StreamChannel::BlockingPush(DataTask task, ActionMonitor* monitor) {
       return Status::Ok();
     }
     if (monitor != nullptr) {
+      if (obs::Enabled()) YieldCounter().Increment();
       monitor->Exit();
       cv_.wait(lock);
       lock.unlock();

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "net/rpc_obs.h"
 
 namespace glider::net {
 
@@ -43,15 +44,18 @@ namespace {
 struct CallState {
   std::promise<Result<Message>> promise;
   std::shared_ptr<LinkModel> link;
+  ClientCallTrace trace;
   std::atomic<bool> done{false};
 
   void Fulfill(Message response) {
     if (done.exchange(true)) return;
     if (link) link->OnReceive(response.WireSize());
+    trace.Finish();
     promise.set_value(std::move(response));
   }
   void Fail(const Status& status) {
     if (done.exchange(true)) return;
+    trace.Finish();
     promise.set_value(status);
   }
 };
@@ -90,6 +94,7 @@ class InProcTransport::InProcConnection : public Connection {
     request.request_id = next_id_.fetch_add(1, std::memory_order_relaxed);
     auto state = std::make_shared<CallState>();
     state->link = link_;
+    state->trace = ClientCallTrace::Begin(request, /*transport_index=*/0);
     auto fut = state->promise.get_future();
 
     if (link_) link_->OnSend(request.WireSize());
@@ -106,7 +111,8 @@ class InProcTransport::InProcConnection : public Connection {
         [service, deliver_at, req = std::move(request),
          resp = std::move(responder)]() mutable {
           std::this_thread::sleep_until(deliver_at);
-          service->Handle(std::move(req), std::move(resp));
+          HandleWithObs(*service, std::move(req), std::move(resp),
+                        /*transport_index=*/0);
         });
     if (!submitted.ok()) {
       state->Fail(Status::Unavailable("server shut down"));

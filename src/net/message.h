@@ -1,11 +1,17 @@
 // Wire message: the unit of every RPC in the system.
 //
 // Frame layout (little-endian):
-//   u16 opcode | u16 status | u64 request_id | u32 payload_len | payload
+//   u16 opcode | u16 status | u64 request_id | u64 trace_id | u64 span_id |
+//   u32 payload_len | payload
 //
 // Requests carry status=0; responses echo the request id and report the
 // outcome in `status`. Payload encoding is per-opcode (see the *Protocol*
 // headers of each server).
+//
+// trace_id/span_id carry the caller's trace context across the wire
+// (DESIGN.md "Observability"): span_id is the client-side RPC span, which
+// the server installs as the parent of its handler span. Both are 0 when no
+// trace is active.
 #pragma once
 
 #include <cstdint>
@@ -17,12 +23,14 @@
 
 namespace glider::net {
 
-inline constexpr std::size_t kFrameHeaderSize = 2 + 2 + 8 + 4;
+inline constexpr std::size_t kFrameHeaderSize = 2 + 2 + 8 + 8 + 8 + 4;
 
 struct Message {
   std::uint16_t opcode = 0;
   StatusCode status = StatusCode::kOk;
   std::uint64_t request_id = 0;
+  std::uint64_t trace_id = 0;  // 0 = untraced
+  std::uint64_t span_id = 0;   // caller's RPC span (server-side parent)
   Buffer payload;
 
   std::size_t WireSize() const { return kFrameHeaderSize + payload.size(); }
@@ -36,11 +44,13 @@ struct Message {
     w.PutU16(opcode);
     w.PutU16(static_cast<std::uint16_t>(status));
     w.PutU64(request_id);
+    w.PutU64(trace_id);
+    w.PutU64(span_id);
     w.PutBytes(payload.span());
     return std::move(w).Finish();
   }
 
-  // Serializes just the 16-byte frame header (including the payload length)
+  // Serializes just the 32-byte frame header (including the payload length)
   // into `out`, for scatter-gather emission alongside the payload.
   void EncodeHeader(std::uint8_t (&out)[kFrameHeaderSize]) const {
     auto put16 = [](std::uint8_t* p, std::uint16_t v) {
@@ -56,7 +66,9 @@ struct Message {
     put16(out, opcode);
     put16(out + 2, static_cast<std::uint16_t>(status));
     put64(out + 4, request_id);
-    put32(out + 12, static_cast<std::uint32_t>(payload.size()));
+    put64(out + 12, trace_id);
+    put64(out + 20, span_id);
+    put32(out + 28, static_cast<std::uint32_t>(payload.size()));
   }
 
   // Decodes from a borrowed view; the payload is copied out of the frame.
@@ -67,6 +79,8 @@ struct Message {
     GLIDER_ASSIGN_OR_RETURN(auto status_raw, r.U16());
     m.status = static_cast<StatusCode>(status_raw);
     GLIDER_ASSIGN_OR_RETURN(m.request_id, r.U64());
+    GLIDER_ASSIGN_OR_RETURN(m.trace_id, r.U64());
+    GLIDER_ASSIGN_OR_RETURN(m.span_id, r.U64());
     GLIDER_ASSIGN_OR_RETURN(auto payload, r.Bytes());
     m.payload = Buffer(payload.data(), payload.size());
     return m;
@@ -81,6 +95,8 @@ struct Message {
     GLIDER_ASSIGN_OR_RETURN(auto status_raw, r.U16());
     m.status = static_cast<StatusCode>(status_raw);
     GLIDER_ASSIGN_OR_RETURN(m.request_id, r.U64());
+    GLIDER_ASSIGN_OR_RETURN(m.trace_id, r.U64());
+    GLIDER_ASSIGN_OR_RETURN(m.span_id, r.U64());
     GLIDER_ASSIGN_OR_RETURN(m.payload, GetBytesSlice(r, frame));
     return m;
   }
@@ -92,6 +108,8 @@ inline Message OkResponse(const Message& req, Buffer payload = {}) {
   m.opcode = req.opcode;
   m.status = StatusCode::kOk;
   m.request_id = req.request_id;
+  m.trace_id = req.trace_id;
+  m.span_id = req.span_id;
   m.payload = std::move(payload);
   return m;
 }
@@ -101,6 +119,8 @@ inline Message ErrorResponse(const Message& req, const Status& status) {
   m.opcode = req.opcode;
   m.status = status.code();
   m.request_id = req.request_id;
+  m.trace_id = req.trace_id;
+  m.span_id = req.span_id;
   m.payload = Buffer::FromString(status.message());
   return m;
 }

@@ -1,0 +1,142 @@
+#include "net/rpc_obs.h"
+
+#include <array>
+#include <atomic>
+
+#include "common/bytes.h"
+#include "common/metrics.h"
+
+namespace glider::net {
+
+const char* RpcOpName(std::uint16_t opcode) {
+  switch (opcode) {
+    case 1: return "RegisterServer";
+    case 2: return "CreateNode";
+    case 3: return "Lookup";
+    case 4: return "Delete";
+    case 5: return "GetBlock";
+    case 6: return "SetSize";
+    case 7: return "List";
+    case 20: return "WriteBlock";
+    case 21: return "ReadBlock";
+    case 22: return "ResetBlock";
+    case 30: return "ActionCreate";
+    case 31: return "ActionDelete";
+    case 32: return "StreamOpen";
+    case 33: return "StreamWrite";
+    case 34: return "StreamRead";
+    case 35: return "StreamClose";
+    case 36: return "ActionStat";
+    case kStatsDump: return "StatsDump";
+    case kTraceDump: return "TraceDump";
+    default: return "OpOther";
+  }
+}
+
+obs::LatencyHistogram* RpcHistogram(bool server_side, int transport_index,
+                                    std::uint16_t opcode) {
+  // Known opcodes are < 64; everything else (including the 99x management
+  // ops) shares the last slot, named via RpcOpName's fallback.
+  constexpr std::size_t kSlots = 64;
+  const std::size_t slot = opcode < kSlots - 1 ? opcode : kSlots - 1;
+  static std::array<std::array<std::array<std::atomic<obs::LatencyHistogram*>,
+                                          kSlots>,
+                               2>,
+                    2>
+      table{};
+  auto& entry = table[server_side ? 1 : 0][transport_index & 1][slot];
+  obs::LatencyHistogram* hist = entry.load(std::memory_order_acquire);
+  if (hist == nullptr) {
+    const std::string name =
+        std::string("rpc.") + (server_side ? "server." : "client.") +
+        (transport_index == 1 ? "tcp." : "inproc.") + RpcOpName(opcode) +
+        "_us";
+    hist = &obs::MetricsRegistry::Global().GetHistogram(name);
+    entry.store(hist, std::memory_order_release);  // idempotent: same target
+  }
+  return hist;
+}
+
+ClientCallTrace ClientCallTrace::Begin(Message& request, int transport_index) {
+  ClientCallTrace t;
+  if (!obs::Enabled()) return t;
+  t.active = true;
+  t.transport_index_ = transport_index;
+  t.opcode = request.opcode;
+  t.start_us = obs::TraceNowMicros();
+  t.parent = obs::CurrentTraceContext();
+  if (t.parent.trace_id != 0) {
+    t.span_id = obs::NewSpanId();
+    request.trace_id = t.parent.trace_id;
+    request.span_id = t.span_id;
+  }
+  return t;
+}
+
+void ClientCallTrace::Finish() const {
+  if (!active) return;
+  const std::uint64_t now = obs::TraceNowMicros();
+  RpcHistogram(/*server_side=*/false, transport_index_, opcode)
+      ->Record(now - start_us);
+  if (parent.trace_id != 0) {
+    obs::RecordSpan("rpc", std::string("rpc.") + RpcOpName(opcode), parent,
+                    span_id, start_us, now);
+  }
+}
+
+void HandleWithObs(Service& service, Message request, Responder responder,
+                   int transport_index) {
+  if (!obs::Enabled()) {
+    service.Handle(std::move(request), std::move(responder));
+    return;
+  }
+  const std::uint16_t opcode = request.opcode;
+  const std::uint64_t start_us = obs::TraceNowMicros();
+  {
+    obs::TraceContextScope scope(
+        obs::TraceContext{request.trace_id, request.span_id});
+    obs::Span span("rpc.server",
+                   std::string("handle.") + RpcOpName(opcode));
+    service.Handle(std::move(request), std::move(responder));
+  }
+  RpcHistogram(/*server_side=*/true, transport_index, opcode)
+      ->Record(obs::TraceNowMicros() - start_us);
+}
+
+std::string StatsJson(const Metrics* metrics) {
+  auto& registry = obs::MetricsRegistry::Global();
+  if (metrics != nullptr) registry.MirrorLinkCounters(*metrics);
+  registry.GetGauge("data_plane.allocs")
+      .Set(static_cast<std::int64_t>(data_plane::Allocs()));
+  registry.GetGauge("data_plane.copied_bytes")
+      .Set(static_cast<std::int64_t>(data_plane::CopiedBytes()));
+  registry.GetGauge("data_plane.pool_hits")
+      .Set(static_cast<std::int64_t>(data_plane::PoolHits()));
+  registry.GetGauge("data_plane.pool_misses")
+      .Set(static_cast<std::int64_t>(data_plane::PoolMisses()));
+  return registry.ToJson();
+}
+
+bool TryHandleObs(Message& request, Responder& responder,
+                  const Metrics* metrics) {
+  switch (request.opcode) {
+    case kStatsDump: {
+      responder.SendOk(request, Buffer::FromString(StatsJson(metrics)));
+      return true;
+    }
+    case kTraceDump: {
+      auto& recorder = obs::TraceRecorder::Global();
+      std::string json = recorder.ToChromeJson();
+      // Payload byte 0 == 1 requests a clear-after-dump.
+      if (request.payload.size() >= 1 && request.payload.data()[0] == 1) {
+        recorder.Clear();
+      }
+      responder.SendOk(request, Buffer::FromString(json));
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+}  // namespace glider::net

@@ -1,0 +1,79 @@
+// RPC-plane observability glue (DESIGN.md "Observability"):
+//
+//   * per-opcode client/server latency histograms for both transports
+//     ("rpc.client.<transport>.<op>_us" / "rpc.server.<transport>.<op>_us"),
+//   * trace-context stamping of outgoing requests and installation of the
+//     decoded context around server-side handling,
+//   * the management opcodes kStatsDump/kTraceDump answered uniformly by
+//     every server role (storage, metadata, active) via TryHandleObs.
+//
+// Everything short-circuits to a no-op when obs::Enabled() is false, so the
+// disabled-mode RPC hot path costs one relaxed atomic load.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/metrics_registry.h"
+#include "common/trace.h"
+#include "net/transport.h"
+
+namespace glider {
+class Metrics;
+}
+
+namespace glider::net {
+
+// Management opcodes, outside every service's protocol range.
+inline constexpr std::uint16_t kStatsDump = 990;  // -> MetricsRegistry JSON
+inline constexpr std::uint16_t kTraceDump = 991;  // -> Chrome trace JSON
+
+// Human-readable opcode name ("Lookup", "StreamWrite", ...). The table
+// duplicates the per-service protocol enums on purpose: the net layer can't
+// include them (layering), and the names only feed metric/span labels.
+const char* RpcOpName(std::uint16_t opcode);
+
+// Registry histograms resolved once per (side, transport, opcode) and then
+// cached in an atomic pointer table — no map lookup on the hot path.
+// `transport_index`: 0 = inproc, 1 = tcp.
+obs::LatencyHistogram* RpcHistogram(bool server_side, int transport_index,
+                                    std::uint16_t opcode);
+
+// Client-side per-call trace state: Begin() stamps the request with a fresh
+// RPC span id (when a trace is active) and snapshots the clock; Finish()
+// records the latency histogram and the client RPC span. Both are no-ops
+// when observability is disabled at Begin() time. Copyable so transports
+// can carry it through their pending-call tables.
+struct ClientCallTrace {
+  obs::TraceContext parent;
+  std::uint64_t span_id = 0;
+  std::uint64_t start_us = 0;
+  std::uint16_t opcode = 0;
+  bool active = false;
+
+  static ClientCallTrace Begin(Message& request, int transport_index);
+  void Finish() const;
+
+ private:
+  int transport_index_ = 0;
+};
+
+// Runs `service.Handle(request, responder)` under the request's trace
+// context with a server-side span + latency histogram around the
+// synchronous part of the handler (deferred responders complete later, by
+// design — the span measures dispatch, the action-plane spans cover the
+// rest).
+void HandleWithObs(Service& service, Message request, Responder responder,
+                   int transport_index);
+
+// Handles the management opcodes; returns true when the request was
+// consumed. `metrics` (may be null) contributes the link-class counters to
+// the stats snapshot.
+bool TryHandleObs(Message& request, Responder& responder,
+                  const Metrics* metrics);
+
+// The stats JSON served by kStatsDump: MetricsRegistry::ToJson() after
+// mirroring `metrics` (nullable) and the data-plane/buffer-pool counters.
+std::string StatsJson(const Metrics* metrics);
+
+}  // namespace glider::net

@@ -19,6 +19,7 @@
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "net/rpc_obs.h"
 
 namespace glider::net {
 namespace {
@@ -73,7 +74,7 @@ Status ReadAll(int fd, std::uint8_t* data, std::size_t size) {
   return Status::Ok();
 }
 
-// Scatter-gather frame write: the 16-byte header is serialized into a stack
+// Scatter-gather frame write: the 32-byte header is serialized into a stack
 // array and emitted together with the payload via writev — the payload is
 // never copied into a frame buffer (Message::Encode is off this path).
 // Wire format: the frame header (which carries the payload length) followed
@@ -123,16 +124,22 @@ Result<Message> ReadFrame(int fd) {
         static_cast<std::uint16_t>(header[at]) |
         (static_cast<std::uint16_t>(header[at + 1]) << 8));
   };
+  auto get64 = [&](int at) {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(header[at + i]) << (8 * i);
+    }
+    return v;
+  };
   Message m;
   m.opcode = get16(0);
   m.status = static_cast<StatusCode>(get16(2));
-  m.request_id = 0;
-  for (int i = 0; i < 8; ++i) {
-    m.request_id |= static_cast<std::uint64_t>(header[4 + i]) << (8 * i);
-  }
+  m.request_id = get64(4);
+  m.trace_id = get64(12);
+  m.span_id = get64(20);
   std::uint32_t len = 0;
   for (int i = 0; i < 4; ++i) {
-    len |= static_cast<std::uint32_t>(header[12 + i]) << (8 * i);
+    len |= static_cast<std::uint32_t>(header[28 + i]) << (8 * i);
   }
   constexpr std::uint32_t kMaxFrame = 64u << 20;  // 64 MiB sanity bound
   if (len > kMaxFrame) return Status::InvalidArgument("oversized frame");
@@ -235,7 +242,8 @@ class TcpListener : public Listener {
       const Status submitted = pool_.Submit(
           [service, req = std::move(request).value(),
            resp = std::move(responder)]() mutable {
-            service->Handle(std::move(req), std::move(resp));
+            HandleWithObs(*service, std::move(req), std::move(resp),
+                          /*transport_index=*/1);
           });
       if (!submitted.ok()) return;
     }
@@ -275,15 +283,16 @@ class TcpConnection : public Connection {
 
   std::future<Result<Message>> Call(Message request) override {
     request.request_id = next_id_.fetch_add(1, std::memory_order_relaxed);
-    std::promise<Result<Message>> promise;
-    auto fut = promise.get_future();
+    PendingCall pending;
+    pending.trace = ClientCallTrace::Begin(request, /*transport_index=*/1);
+    auto fut = pending.promise.get_future();
     {
       std::scoped_lock lock(pending_mu_);
       if (closing_) {
-        promise.set_value(Status::Closed("connection closed"));
+        pending.promise.set_value(Status::Closed("connection closed"));
         return fut;
       }
-      pending_[request.request_id] = std::move(promise);
+      pending_[request.request_id] = std::move(pending);
     }
     if (link_) {
       link_->OnSend(request.WireSize());
@@ -313,45 +322,55 @@ class TcpConnection : public Connection {
     }
   }
 
-  void TakePendingOk(Message response) {
+  struct PendingCall {
     std::promise<Result<Message>> promise;
+    ClientCallTrace trace;
+  };
+
+  void TakePendingOk(Message response) {
+    PendingCall pending;
     {
       std::scoped_lock lock(pending_mu_);
       auto it = pending_.find(response.request_id);
       if (it == pending_.end()) return;  // response to an abandoned call
-      promise = std::move(it->second);
+      pending = std::move(it->second);
       pending_.erase(it);
     }
-    promise.set_value(std::move(response));
+    pending.trace.Finish();
+    pending.promise.set_value(std::move(response));
   }
 
   void TakePending(std::uint64_t id, const Status& status) {
-    std::promise<Result<Message>> promise;
+    PendingCall pending;
     {
       std::scoped_lock lock(pending_mu_);
       auto it = pending_.find(id);
       if (it == pending_.end()) return;
-      promise = std::move(it->second);
+      pending = std::move(it->second);
       pending_.erase(it);
     }
-    promise.set_value(status);
+    pending.trace.Finish();
+    pending.promise.set_value(status);
   }
 
   void FailAllPending(const Status& status) {
-    std::map<std::uint64_t, std::promise<Result<Message>>> taken;
+    std::map<std::uint64_t, PendingCall> taken;
     {
       std::scoped_lock lock(pending_mu_);
       closing_ = true;
       taken.swap(pending_);
     }
-    for (auto& [id, promise] : taken) promise.set_value(status);
+    for (auto& [id, pending] : taken) {
+      pending.trace.Finish();
+      pending.promise.set_value(status);
+    }
   }
 
   Fd fd_;
   std::shared_ptr<LinkModel> link_;
   std::mutex write_mu_;
   std::mutex pending_mu_;
-  std::map<std::uint64_t, std::promise<Result<Message>>> pending_;
+  std::map<std::uint64_t, PendingCall> pending_;
   std::atomic<std::uint64_t> next_id_{1};
   std::atomic<bool> closing_{false};
   std::thread reader_;

@@ -1,10 +1,12 @@
-// TCP transport: real sockets on localhost (or any host), length-prefixed
-// frames, a reader thread per connection, and a network worker pool per
-// listener. Used by integration tests and examples to demonstrate the system
-// runs over a real network stack; the shaped in-process transport is used for
-// the benches (see DESIGN.md §2).
+// TCP transport: real sockets on localhost (or any host), a reader thread
+// per connection, and a network worker pool per listener. Used by
+// integration tests and examples to demonstrate the system runs over a real
+// network stack; the shaped in-process transport is used for the benches
+// (see DESIGN.md §2).
 //
-// Frame format on the wire: u32 length | frame (Message::Encode output).
+// Frame format on the wire: the 32-byte frame header (opcode, status,
+// request id, trace context, payload length — see net/message.h) followed
+// by the payload bytes; no separate outer length prefix.
 #pragma once
 
 #include <memory>

@@ -3,7 +3,10 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/metrics_registry.h"
+#include "common/trace.h"
 #include "net/link_model.h"
+#include "net/rpc_obs.h"
 
 namespace glider::nk {
 
@@ -16,6 +19,7 @@ MetadataServer::MetadataServer(net::Transport* transport,
 MetadataServer::~MetadataServer() = default;
 
 void MetadataServer::Handle(net::Message request, net::Responder responder) {
+  if (net::TryHandleObs(request, responder, metrics_.get())) return;
   auto result = Dispatch(request);
   if (result.ok()) {
     responder.SendOk(request, std::move(result).value());
@@ -111,11 +115,19 @@ Result<Buffer> MetadataServer::HandleCreateNode(ByteSpan payload) {
 }
 
 Result<Buffer> MetadataServer::HandleLookup(ByteSpan payload) {
+  const bool observed = obs::Enabled();
+  obs::Span span("meta", "meta.lookup");
+  const std::uint64_t start_us = observed ? obs::TraceNowMicros() : 0;
   GLIDER_ASSIGN_OR_RETURN(auto req, PathRequest::Decode(payload));
   std::scoped_lock lock(mu_);
   GLIDER_ASSIGN_OR_RETURN(auto* record, tree_.Lookup(req.path));
   NodeInfoResponse resp;
   resp.info = ToInfo(*record);
+  if (observed) {
+    static obs::LatencyHistogram& hist =
+        obs::MetricsRegistry::Global().GetHistogram("meta.lookup_us");
+    hist.Record(obs::TraceNowMicros() - start_us);
+  }
   return resp.Encode();
 }
 

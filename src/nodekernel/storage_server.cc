@@ -3,7 +3,10 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/metrics_registry.h"
+#include "common/trace.h"
 #include "net/link_model.h"
+#include "net/rpc_obs.h"
 
 namespace glider::nk {
 
@@ -43,6 +46,7 @@ Status StorageServer::Start(net::Transport& transport,
 }
 
 void StorageServer::Handle(net::Message request, net::Responder responder) {
+  if (net::TryHandleObs(request, responder, metrics_.get())) return;
   Result<Buffer> result = [&]() -> Result<Buffer> {
     const Buffer& payload = request.payload;
     switch (request.opcode) {
@@ -61,7 +65,50 @@ void StorageServer::Handle(net::Message request, net::Responder responder) {
   }
 }
 
+namespace {
+
+// Per-opcode block-op latency histograms, resolved once.
+struct BlockOpObs {
+  obs::LatencyHistogram* hist;
+  const char* span_name;
+};
+
+BlockOpObs WriteObs() {
+  static BlockOpObs o{
+      &obs::MetricsRegistry::Global().GetHistogram("storage.write_block_us"),
+      "storage.write_block"};
+  return o;
+}
+BlockOpObs ReadObs() {
+  static BlockOpObs o{
+      &obs::MetricsRegistry::Global().GetHistogram("storage.read_block_us"),
+      "storage.read_block"};
+  return o;
+}
+
+// Times one block operation into the histogram with a trace span around it.
+class BlockOpTimer {
+ public:
+  explicit BlockOpTimer(BlockOpObs target)
+      : enabled_(obs::Enabled()),
+        target_(target),
+        span_(target.span_name, target.span_name),
+        start_us_(enabled_ ? obs::TraceNowMicros() : 0) {}
+  ~BlockOpTimer() {
+    if (enabled_) target_.hist->Record(obs::TraceNowMicros() - start_us_);
+  }
+
+ private:
+  bool enabled_;
+  BlockOpObs target_;
+  obs::Span span_;
+  std::uint64_t start_us_;
+};
+
+}  // namespace
+
 Result<Buffer> StorageServer::HandleWrite(const Buffer& payload) {
+  BlockOpTimer timer(WriteObs());
   GLIDER_ASSIGN_OR_RETURN(auto req, WriteBlockRequest::Decode(payload));
   if (req.block >= blocks_.size()) {
     return Status::OutOfRange("block " + std::to_string(req.block));
@@ -93,6 +140,7 @@ Result<Buffer> StorageServer::HandleWrite(const Buffer& payload) {
 }
 
 Result<Buffer> StorageServer::HandleRead(const Buffer& payload) {
+  BlockOpTimer timer(ReadObs());
   GLIDER_ASSIGN_OR_RETURN(auto req, ReadBlockRequest::Decode(payload.span()));
   if (req.block >= blocks_.size()) {
     return Status::OutOfRange("block " + std::to_string(req.block));

@@ -440,6 +440,22 @@ TEST(SampleStatsTest, Percentiles) {
   EXPECT_DOUBLE_EQ(stats.Mean(), 50.5);
   EXPECT_NEAR(stats.Percentile(50), 50, 1);
   EXPECT_NEAR(stats.Percentile(99), 99, 1);
+  // Population stddev of 1..100 is sqrt((100^2 - 1) / 12).
+  EXPECT_NEAR(stats.Stddev(), 28.866, 0.001);
+}
+
+TEST(SampleStatsTest, PercentileIsNonMutating) {
+  SampleStats stats;
+  stats.Add(30);
+  stats.Add(10);
+  stats.Add(20);
+  // Percentile is const and must not reorder the samples; interleaved
+  // Add/Percentile keeps answers consistent with all data seen so far.
+  EXPECT_DOUBLE_EQ(stats.Percentile(100), 30);
+  stats.Add(40);
+  EXPECT_DOUBLE_EQ(stats.Percentile(100), 40);
+  EXPECT_DOUBLE_EQ(stats.Percentile(0), 10);
+  EXPECT_DOUBLE_EQ(stats.Percentile(50), 20);
 }
 
 }  // namespace

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_<name>.json snapshots (written by bench::BenchJsonWriter)
+and flag regressions.
+
+Usage: tools/bench_diff.py BASELINE.json CANDIDATE.json [--threshold 0.10]
+
+Scalars and histogram percentiles are compared pairwise. A metric counts as a
+regression when the candidate is worse than the baseline by more than the
+threshold (default 10%): larger for time/latency/bytes-like metrics, where
+"worse" means bigger. Throughput-like metrics (gbps/bps/speedup) regress when
+they shrink. Exit code is 1 if any regression is flagged, else 0.
+"""
+
+import argparse
+import json
+import sys
+
+# Metrics where bigger is better; everything else is treated as a cost.
+GOOD_UP_MARKERS = ("gbps", "bps", "speedup", "throughput", "hits")
+
+
+def is_good_up(name: str) -> bool:
+    return any(marker in name.lower() for marker in GOOD_UP_MARKERS)
+
+
+def flatten(snapshot: dict) -> dict:
+    """Flattens a BENCH json into {metric_name: float}."""
+    out = {}
+    for key, value in snapshot.get("scalars", {}).items():
+        out["scalars." + key] = float(value)
+    metrics = snapshot.get("metrics", {})
+    for key, value in metrics.get("counters", {}).items():
+        out["counters." + key] = float(value)
+    for key, value in metrics.get("gauges", {}).items():
+        out["gauges." + key] = float(value)
+    for name, hist in metrics.get("histograms", {}).items():
+        for field in ("p50", "p95", "p99", "mean"):
+            if field in hist:
+                out["histograms." + name + "." + field] = float(hist[field])
+    return out
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("candidate")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="relative change that counts as a regression "
+                             "(default 0.10 = 10%%)")
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        base = flatten(json.load(f))
+    with open(args.candidate) as f:
+        cand = flatten(json.load(f))
+
+    common = sorted(set(base) & set(cand))
+    if not common:
+        print("no common metrics between the two snapshots", file=sys.stderr)
+        return 2
+
+    regressions = []
+    for name in common:
+        b, c = base[name], cand[name]
+        if b == 0:
+            continue
+        rel = (c - b) / abs(b)
+        if is_good_up(name):
+            rel = -rel  # shrinking throughput is the regression
+        if rel > args.threshold:
+            regressions.append((name, b, c, rel))
+
+    print(f"compared {len(common)} metrics "
+          f"({len(base) - len(common)} baseline-only, "
+          f"{len(cand) - len(common)} candidate-only)")
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) over "
+              f"{args.threshold:.0%} threshold:")
+        for name, b, c, rel in sorted(regressions, key=lambda r: -r[3]):
+            print(f"  {name}: {b:g} -> {c:g}  ({rel:+.1%})")
+        return 1
+    print("no regressions flagged")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

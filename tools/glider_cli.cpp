@@ -14,13 +14,18 @@
 //   action-write <path>              stream stdin into an action
 //   action-read <path>               stream an action's onRead to stdout
 //   action-rm <path>                 delete an action (object + node)
+//   stats <address>                  print a server's metrics as JSON
+//   trace-dump <address> [clear]     print a server's Chrome trace JSON
+//                                    (load in Perfetto / chrome://tracing)
 #include <cstdio>
 #include <cstring>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "common/trace.h"
 #include "glider/client/action_node.h"
+#include "net/rpc_obs.h"
 #include "net/tcp_transport.h"
 #include "nodekernel/client/store_client.h"
 #include "workloads/actions.h"
@@ -47,8 +52,28 @@ int Usage() {
   std::fprintf(stderr,
                "usage: glider_cli --metadata host:port "
                "<mkdir|put|get|ls|rm|stat|action-create|action-write|"
-               "action-read|action-rm> <path> [args]\n");
+               "action-read|action-rm|stats|trace-dump> <path|address> "
+               "[args]\n");
   return 2;
+}
+
+// Sends an observability opcode directly to the server at `address` and
+// prints the JSON payload it returns.
+int DumpFromServer(net::TcpTransport& transport, const std::string& address,
+                   std::uint16_t opcode, bool clear) {
+  auto conn = transport.Connect(
+      address, net::LinkModel::Unshaped(LinkClass::kControl, nullptr));
+  if (!conn.ok()) return Fail(conn.status());
+  Buffer payload;
+  if (clear) {
+    payload.Resize(1);
+    payload.mutable_span()[0] = 1;
+  }
+  auto result = (*conn)->CallSync(opcode, std::move(payload));
+  if (!result.ok()) return Fail(result.status());
+  std::fwrite(result->data(), 1, result->size(), stdout);
+  std::printf("\n");
+  return 0;
 }
 
 }  // namespace
@@ -70,6 +95,19 @@ int main(int argc, char** argv) {
   const std::string path = args[1];
 
   net::TcpTransport transport(4);
+  // Observability verbs talk to one server directly (the <path> argument is
+  // its host:port), no store client needed.
+  if (command == "stats") {
+    return DumpFromServer(transport, path, net::kStatsDump, /*clear=*/false);
+  }
+  if (command == "trace-dump") {
+    const bool clear = args.size() > 2 && args[2] == "clear";
+    return DumpFromServer(transport, path, net::kTraceDump, clear);
+  }
+
+  // With GLIDER_TRACE=1 every other command becomes a trace root, so the
+  // servers' trace-dump shows its RPCs; inert otherwise.
+  obs::Span root_span = obs::Span::Root("cli", "cli." + command);
   nk::StoreClient::Options options;
   options.transport = &transport;
   options.metadata_address = metadata;

@@ -16,6 +16,7 @@
 #include <semaphore>
 #include <string>
 
+#include "common/trace.h"
 #include "glider/active_server.h"
 #include "net/tcp_transport.h"
 #include "nodekernel/metadata_server.h"
@@ -50,7 +51,7 @@ int Usage() {
   std::fprintf(stderr,
                "usage: glider_daemon <metadata|storage|active> [--listen "
                "host:port] [--metadata host:port] [--blocks N] [--block-size "
-               "B] [--class C] [--slots N] [--partition P]\n");
+               "B] [--class C] [--slots N] [--partition P] [--trace 1]\n");
   return 2;
 }
 
@@ -65,6 +66,9 @@ int main(int argc, char** argv) {
   std::signal(SIGTERM, HandleSignal);
 
   workloads::RegisterWorkloadActions();
+  // --trace 1 turns on span recording + latency histograms (GLIDER_TRACE=1
+  // in the environment does the same); dump via glider_cli stats/trace-dump.
+  if (FlagOr(flags, "trace", "0") == "1") obs::SetEnabled(true);
   auto metrics = std::make_shared<Metrics>();
   net::TcpTransport transport(16);
   const std::string listen = FlagOr(flags, "listen", "127.0.0.1:0");
