@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # CI entry point: tier-1 configure/build/test, then the same test suite
-# under AddressSanitizer. Run from anywhere; builds land in build/ and
-# build-asan/ under the repo root.
+# under AddressSanitizer and ThreadSanitizer. Run from anywhere; builds
+# land in build/, build-asan/ and build-tsan/ under the repo root.
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -19,6 +19,12 @@ echo "== ASan: configure + build + ctest =="
 cmake -B build-asan -S . -DGLIDER_SANITIZE=address >/dev/null
 cmake --build build-asan -j "${JOBS}"
 ctest --test-dir build-asan --output-on-failure -j "${JOBS}"
+
+echo
+echo "== TSan: configure + build + ctest =="
+cmake -B build-tsan -S . -DGLIDER_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "${JOBS}"
+ctest --test-dir build-tsan --output-on-failure -j "${JOBS}"
 
 echo
 echo "ci/check.sh: all checks passed"

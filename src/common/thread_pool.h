@@ -1,22 +1,43 @@
-// Fixed-size thread pool. Used for RPC server network workers, action
-// threads, and the FaaS invoker.
+// Fixed-size thread pool used for RPC server network workers (both
+// transports).
+//
+// The task queue is sharded per worker: Submit round-robins tasks across
+// per-worker queues (own mutex + cv each) and a worker whose queue runs dry
+// steals from its peers. A single shared queue serializes every request to
+// a server behind one mutex/condvar pair — with many client threads that
+// handoff, not the handlers, becomes the throughput ceiling. Sharding keeps
+// the common case (producer -> its round-robin home worker) contention-free.
+//
+// Global FIFO order across Submits is NOT preserved (per-shard order is).
+// RPC dispatch is insensitive to this by design: stream operations carry
+// sequence numbers and the per-stream channels release them in order.
 #pragma once
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
-#include "common/blocking_queue.h"
+#include "common/status.h"
 
 namespace glider {
 
 class ThreadPool {
  public:
-  explicit ThreadPool(std::size_t num_threads)
-      : queue_(/*capacity=*/4096) {
-    threads_.reserve(num_threads);
-    for (std::size_t i = 0; i < num_threads; ++i) {
-      threads_.emplace_back([this] { RunWorker(); });
+  explicit ThreadPool(std::size_t num_threads) {
+    const std::size_t n = num_threads == 0 ? 1 : num_threads;
+    shards_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      shards_.push_back(std::make_unique<Shard>());
+    }
+    threads_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      threads_.emplace_back([this, i] { RunWorker(i); });
     }
   }
 
@@ -25,15 +46,38 @@ class ThreadPool {
 
   ~ThreadPool() { Shutdown(); }
 
-  // Enqueue a task; blocks if the internal queue is full. Returns kClosed
-  // after Shutdown().
+  // Enqueue a task. Returns kClosed after Shutdown().
   Status Submit(std::function<void()> task) {
-    return queue_.Push(std::move(task));
+    const std::size_t n = shards_.size();
+    const std::size_t home = rr_.fetch_add(1, std::memory_order_relaxed) % n;
+    Shard& shard = *shards_[home];
+    {
+      std::scoped_lock lock(shard.mu);
+      if (shard.closed) return Status::Closed("thread pool shut down");
+      shard.tasks.push_back(std::move(task));
+    }
+    shard.cv.notify_one();
+    if (!shard.idle.load(std::memory_order_relaxed)) {
+      // Home worker is busy in a task; poke one sleeping peer so the task is
+      // stolen instead of waiting out the peer's fallback timeout.
+      for (std::size_t k = 1; k < n; ++k) {
+        Shard& other = *shards_[(home + k) % n];
+        if (other.idle.load(std::memory_order_relaxed)) {
+          other.cv.notify_one();
+          break;
+        }
+      }
+    }
+    return Status::Ok();
   }
 
   // Drains queued tasks, then joins all workers. Idempotent.
   void Shutdown() {
-    queue_.Close();
+    for (auto& shard : shards_) {
+      std::scoped_lock lock(shard->mu);
+      shard->closed = true;
+    }
+    for (auto& shard : shards_) shard->cv.notify_all();
     for (auto& t : threads_) {
       if (t.joinable()) t.join();
     }
@@ -42,16 +86,57 @@ class ThreadPool {
   std::size_t num_threads() const { return threads_.size(); }
 
  private:
-  void RunWorker() {
+  struct Shard {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<std::function<void()>> tasks;
+    bool closed = false;
+    // True while this shard's worker sleeps on cv; lets Submit find a
+    // stealer without taking any peer lock.
+    std::atomic<bool> idle{false};
+  };
+
+  bool TryPopFrom(std::size_t index, std::function<void()>& out) {
+    Shard& shard = *shards_[index];
+    std::scoped_lock lock(shard.mu);
+    if (shard.tasks.empty()) return false;
+    out = std::move(shard.tasks.front());
+    shard.tasks.pop_front();
+    return true;
+  }
+
+  void RunWorker(std::size_t me) {
+    const std::size_t n = shards_.size();
+    std::function<void()> task;
     while (true) {
-      auto task = queue_.Pop();
-      if (!task.ok()) return;
-      (*task)();
+      bool got = TryPopFrom(me, task);
+      for (std::size_t k = 1; !got && k < n; ++k) {
+        got = TryPopFrom((me + k) % n, task);
+      }
+      if (got) {
+        task();
+        task = nullptr;
+        continue;
+      }
+      Shard& own = *shards_[me];
+      std::unique_lock lock(own.mu);
+      if (!own.tasks.empty()) continue;
+      // Each shard drains through its own worker before that worker exits,
+      // so tasks queued before Shutdown still run to completion.
+      if (own.closed) return;
+      // Wakeups are normally event-driven (Submit notifies the home worker,
+      // or an idle peer when the home worker is busy). The timed fallback
+      // only covers the window where Submit reads idle=false just before
+      // this worker parks — bounded staleness, no hot polling.
+      own.idle.store(true, std::memory_order_relaxed);
+      own.cv.wait_for(lock, std::chrono::milliseconds(100));
+      own.idle.store(false, std::memory_order_relaxed);
     }
   }
 
-  BlockingQueue<std::function<void()>> queue_;
+  std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<std::thread> threads_;
+  std::atomic<std::size_t> rr_{0};
 };
 
 }  // namespace glider

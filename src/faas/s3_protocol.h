@@ -1,0 +1,93 @@
+// Wire protocol of the S3Like object-storage service (opcodes 50..59).
+//
+// SelectLines takes an arbitrary predicate and therefore has no wire form;
+// only the stride-based SelectSample (the genomics baseline's query) is
+// remoted. In-process callers keep using S3Like directly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/serde.h"
+
+namespace glider::faas {
+
+enum S3Opcode : std::uint16_t {
+  kS3Put = 50,
+  kS3Get = 51,
+  kS3SelectSample = 52,
+  kS3Delete = 53,
+  kS3Size = 54,
+};
+
+struct S3KeyRequest {  // kS3Get, kS3Delete, kS3Size
+  std::string key;
+
+  Buffer Encode() const {
+    BinaryWriter w;
+    w.PutString(key);
+    return std::move(w).Finish();
+  }
+  static Result<S3KeyRequest> Decode(ByteSpan b) {
+    BinaryReader r(b);
+    S3KeyRequest req;
+    GLIDER_ASSIGN_OR_RETURN(req.key, r.String());
+    return req;
+  }
+};
+
+struct S3PutRequest {
+  std::string key;
+  std::string value;
+
+  Buffer Encode() const {
+    BinaryWriter w(4 + key.size() + 4 + value.size());
+    w.PutString(key);
+    w.PutString(value);
+    return std::move(w).Finish();
+  }
+  static Result<S3PutRequest> Decode(ByteSpan b) {
+    BinaryReader r(b);
+    S3PutRequest req;
+    GLIDER_ASSIGN_OR_RETURN(req.key, r.String());
+    GLIDER_ASSIGN_OR_RETURN(req.value, r.String());
+    return req;
+  }
+};
+
+struct S3SelectSampleRequest {
+  std::string key;
+  std::uint64_t stride = 1;
+
+  Buffer Encode() const {
+    BinaryWriter w;
+    w.PutString(key);
+    w.PutU64(stride);
+    return std::move(w).Finish();
+  }
+  static Result<S3SelectSampleRequest> Decode(ByteSpan b) {
+    BinaryReader r(b);
+    S3SelectSampleRequest req;
+    GLIDER_ASSIGN_OR_RETURN(req.key, r.String());
+    GLIDER_ASSIGN_OR_RETURN(req.stride, r.U64());
+    return req;
+  }
+};
+
+struct S3SizeResponse {
+  std::uint64_t bytes = 0;
+
+  Buffer Encode() const {
+    BinaryWriter w;
+    w.PutU64(bytes);
+    return std::move(w).Finish();
+  }
+  static Result<S3SizeResponse> Decode(ByteSpan b) {
+    BinaryReader r(b);
+    S3SizeResponse resp;
+    GLIDER_ASSIGN_OR_RETURN(resp.bytes, r.U64());
+    return resp;
+  }
+};
+
+}  // namespace glider::faas

@@ -1,0 +1,53 @@
+#include "faas/s3_service.h"
+
+namespace glider::faas {
+
+S3Service::S3Service(S3Like* store, std::shared_ptr<Metrics> metrics)
+    : net::ServiceRouter("s3", metrics.get()),
+      store_(store), metrics_(std::move(metrics)) {
+  Route<S3PutRequest>(kS3Put, "S3Put",
+                      [this](const S3PutRequest& req) -> Result<Buffer> {
+                        GLIDER_RETURN_IF_ERROR(
+                            store_->Put(req.key, req.value, nullptr));
+                        return Buffer{};
+                      });
+  Route<S3KeyRequest>(kS3Get, "S3Get",
+                      [this](const S3KeyRequest& req) -> Result<Buffer> {
+                        GLIDER_ASSIGN_OR_RETURN(auto value,
+                                                store_->Get(req.key, nullptr));
+                        return Buffer::FromString(value);
+                      });
+  Route<S3SelectSampleRequest>(
+      kS3SelectSample, "S3SelectSample",
+      [this](const S3SelectSampleRequest& req) -> Result<Buffer> {
+        GLIDER_ASSIGN_OR_RETURN(
+            auto value,
+            store_->SelectSample(req.key,
+                                 static_cast<std::size_t>(req.stride),
+                                 nullptr));
+        return Buffer::FromString(value);
+      });
+  Route<S3KeyRequest>(kS3Delete, "S3Delete",
+                      [this](const S3KeyRequest& req) -> Result<Buffer> {
+                        GLIDER_RETURN_IF_ERROR(store_->Delete(req.key));
+                        return Buffer{};
+                      });
+  Route<S3KeyRequest>(kS3Size, "S3Size",
+                      [this](const S3KeyRequest& req) -> Result<S3SizeResponse> {
+                        GLIDER_ASSIGN_OR_RETURN(auto bytes,
+                                                store_->Size(req.key));
+                        return S3SizeResponse{bytes};
+                      });
+}
+
+Status S3Service::Start(net::Transport& transport,
+                        std::string preferred_address) {
+  auto listener =
+      transport.Listen(std::move(preferred_address), shared_from_this());
+  if (!listener.ok()) return listener.status();
+  listener_ = std::move(listener).value();
+  address_ = listener_->address();
+  return Status::Ok();
+}
+
+}  // namespace glider::faas

@@ -1,0 +1,82 @@
+// RPC front for S3Like, putting the object-storage substitute on the same
+// service substrate as the metadata/storage/active servers: workers on
+// other processes (or behind a shaped transport link) reach it through
+// S3Client instead of a shared in-process pointer.
+//
+// Payload bytes are shaped and attributed by the caller's connection
+// LinkModel (as with every other service), so handlers invoke S3Like with
+// no link; S3Like's own op-latency and scan-bandwidth modelling still
+// applies server-side.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/metrics.h"
+#include "faas/s3_protocol.h"
+#include "faas/s3like.h"
+#include "net/rpc_client.h"
+#include "net/service_router.h"
+
+namespace glider::faas {
+
+class S3Service : public net::ServiceRouter,
+                  public std::enable_shared_from_this<S3Service> {
+ public:
+  // `store` must outlive the service (and its listener).
+  S3Service(S3Like* store, std::shared_ptr<Metrics> metrics);
+
+  // Binds on `transport`; must be called once before clients connect.
+  Status Start(net::Transport& transport, std::string preferred_address = "");
+
+  // Stops listening. Idempotent. Owners must call this: the listener keeps
+  // a shared_ptr back to the service, so the destructor alone never runs
+  // while it is listening.
+  void Stop() { listener_.reset(); }
+
+  const std::string& address() const { return address_; }
+
+ private:
+  S3Like* store_;
+  std::shared_ptr<Metrics> metrics_;
+  std::unique_ptr<net::Listener> listener_;
+  std::string address_;
+};
+
+// Typed client stub over one connection to an S3Service.
+class S3Client {
+ public:
+  explicit S3Client(std::shared_ptr<net::Connection> conn)
+      : conn_(std::move(conn)) {}
+
+  Status Put(const std::string& key, std::string value) {
+    return net::CallVoid(*conn_, kS3Put,
+                         S3PutRequest{key, std::move(value)});
+  }
+  Result<std::string> Get(const std::string& key) {
+    GLIDER_ASSIGN_OR_RETURN(
+        auto payload, net::Call<Buffer>(*conn_, kS3Get, S3KeyRequest{key}));
+    return std::string(AsText(payload.span()));
+  }
+  Result<std::string> SelectSample(const std::string& key,
+                                   std::uint64_t stride) {
+    GLIDER_ASSIGN_OR_RETURN(
+        auto payload, net::Call<Buffer>(*conn_, kS3SelectSample,
+                                        S3SelectSampleRequest{key, stride}));
+    return std::string(AsText(payload.span()));
+  }
+  Status Delete(const std::string& key) {
+    return net::CallVoid(*conn_, kS3Delete, S3KeyRequest{key});
+  }
+  Result<std::uint64_t> Size(const std::string& key) {
+    GLIDER_ASSIGN_OR_RETURN(
+        auto resp,
+        net::Call<S3SizeResponse>(*conn_, kS3Size, S3KeyRequest{key}));
+    return resp.bytes;
+  }
+
+ private:
+  std::shared_ptr<net::Connection> conn_;
+};
+
+}  // namespace glider::faas

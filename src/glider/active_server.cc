@@ -8,21 +8,33 @@
 #include "common/metrics_registry.h"
 #include "common/trace.h"
 #include "net/link_model.h"
-#include "net/rpc_obs.h"
+#include "net/rpc_client.h"
 
 namespace glider::core {
 
 // One action slot: the unit of active-server capacity. Holds the live
 // action object, its execution monitor, and its creation config.
+//
+// Locking: method execution (and with it every mutation of interleave/
+// action_type/config) is serialized by `monitor`. The live-object pointer
+// is additionally guarded by `obj_mu` so network workers can check/observe
+// it without entering the monitor (which would queue them behind running
+// methods).
 struct ActiveServer::Slot {
   std::uint32_t index = 0;
   // shared_ptr (not unique_ptr) because handler lambdas captured into
   // std::function must stay copyable.
   std::shared_ptr<Action> object;
+  mutable std::mutex obj_mu;
   ActionMonitor monitor;
   bool interleave = false;
   std::string action_type;
   Buffer config;
+
+  std::shared_ptr<Action> LiveObject() const {
+    std::scoped_lock lock(obj_mu);
+    return object;
+  }
 };
 
 // One open I/O stream on an action.
@@ -169,33 +181,123 @@ struct MethodTrace {
 ActiveServer::ActiveServer(Options options,
                            std::shared_ptr<ActionRegistry> registry,
                            std::shared_ptr<Metrics> metrics)
-    : options_(std::move(options)),
+    : net::ServiceRouter("active", metrics.get()),
+      options_(std::move(options)),
       registry_(std::move(registry)),
-      metrics_(std::move(metrics)) {}
+      metrics_(std::move(metrics)) {
+  slots_.reserve(options_.num_slots);
+  for (std::uint32_t i = 0; i < options_.num_slots; ++i) {
+    auto slot = std::make_shared<Slot>();
+    slot->index = i;
+    slots_.push_back(std::move(slot));
+  }
+  RouteDeferred<ActionCreateRequest>(
+      kActionCreate, "ActionCreate",
+      [this](ActionCreateRequest req, net::Message request,
+             net::Responder responder) {
+        DoActionCreate(std::move(req), std::move(request),
+                       std::move(responder));
+      });
+  RouteDeferred<SlotRequest>(
+      kActionDelete, "ActionDelete",
+      [this](SlotRequest req, net::Message request, net::Responder responder) {
+        DoActionDelete(req, std::move(request), std::move(responder));
+      });
+  RouteDeferred<SlotRequest>(
+      kActionStat, "ActionStat",
+      [this](SlotRequest req, net::Message request, net::Responder responder) {
+        DoActionStat(req, std::move(request), std::move(responder));
+      });
+  RouteDeferred<StreamOpenRequest>(
+      kStreamOpen, "StreamOpen",
+      [this](StreamOpenRequest req, net::Message request,
+             net::Responder responder) {
+        DoStreamOpen(req, std::move(request), std::move(responder));
+      });
+  RouteDeferred<StreamWriteRequest>(
+      kStreamWrite, "StreamWrite",
+      [this](StreamWriteRequest req, net::Message request,
+             net::Responder responder) {
+        DoStreamWrite(std::move(req), std::move(request),
+                      std::move(responder));
+      });
+  RouteDeferred<StreamReadRequest>(
+      kStreamRead, "StreamRead",
+      [this](StreamReadRequest req, net::Message request,
+             net::Responder responder) {
+        DoStreamRead(req, std::move(request), std::move(responder));
+      });
+  RouteDeferred<StreamCloseRequest>(
+      kStreamClose, "StreamClose",
+      [this](StreamCloseRequest req, net::Message request,
+             net::Responder responder) {
+        DoStreamClose(req, std::move(request), std::move(responder));
+      });
+}
 
 Status ActiveServer::MethodRunner::Submit(std::function<void()> task) {
-  std::scoped_lock lock(mu_);
-  if (shutdown_) return Status::Closed("active server shutting down");
-  threads_.emplace_back(std::move(task));
+  std::vector<std::thread> reaped;
+  {
+    std::scoped_lock lock(mu_);
+    if (shutdown_) return Status::Closed("active server shutting down");
+    // Pull out threads whose bodies already completed; joined below,
+    // outside the lock (the join itself only waits for thread exit).
+    reaped.reserve(finished_.size());
+    for (const std::uint64_t id : finished_) {
+      auto it = threads_.find(id);
+      if (it != threads_.end()) {
+        reaped.push_back(std::move(it->second));
+        threads_.erase(it);
+      }
+    }
+    finished_.clear();
+    const std::uint64_t id = next_id_++;
+    threads_.emplace(id, std::thread([this, id, task = std::move(task)] {
+                       task();
+                       std::scoped_lock done_lock(mu_);
+                       finished_.push_back(id);
+                     }));
+  }
+  for (auto& t : reaped) {
+    if (t.joinable()) t.join();
+  }
   return Status::Ok();
 }
 
 void ActiveServer::MethodRunner::Shutdown() {
-  std::vector<std::thread> to_join;
+  std::map<std::uint64_t, std::thread> to_join;
   {
     std::scoped_lock lock(mu_);
     shutdown_ = true;
     to_join.swap(threads_);
   }
-  for (auto& t : to_join) {
+  for (auto& [id, t] : to_join) {
     if (t.joinable()) t.join();
   }
 }
 
-ActiveServer::~ActiveServer() {
-  // Stop accepting requests before tearing down action state.
+ActiveServer::~ActiveServer() { Stop(); }
+
+void ActiveServer::Stop() {
+  // Stop accepting requests before tearing down action state. Joining the
+  // method threads here (not just in the destructor) matters: the
+  // transport's listener entry holds a shared_ptr to this service, so the
+  // destructor alone can never run while the listener exists. Abort open
+  // streams first: a method blocked on a stream the client abandoned
+  // without closing would otherwise block the join forever.
   listener_.reset();
+  streams_.AbortAll();
   if (action_pool_) action_pool_->Shutdown();
+  // With the methods joined, nothing touches the internal client or the
+  // action objects any more. Release both: connections held by the client
+  // (and, transitively, by retained action state) can reference active
+  // servers — including this one — and would otherwise keep a cycle of
+  // server entries alive past shutdown.
+  internal_client_.reset();
+  for (const auto& slot : slots_) {
+    std::scoped_lock lock(slot->obj_mu);
+    slot->object.reset();
+  }
 }
 
 Status ActiveServer::Start(net::Transport& transport,
@@ -216,9 +318,7 @@ Status ActiveServer::Start(net::Transport& transport,
   req.address = address_;
   req.num_blocks = options_.num_slots;
   req.block_size = options_.slot_bytes;
-  GLIDER_ASSIGN_OR_RETURN(
-      auto payload, (*conn)->CallSync(nk::kRegisterServer, req.Encode()));
-  (void)payload;
+  GLIDER_RETURN_IF_ERROR(net::CallVoid(**conn, nk::kRegisterServer, req));
 
   // The store client actions use to reach other nodes, over the
   // storage-internal link.
@@ -235,78 +335,71 @@ Status ActiveServer::Start(net::Transport& transport,
   return Status::Ok();
 }
 
-void ActiveServer::Handle(net::Message request, net::Responder responder) {
-  if (net::TryHandleObs(request, responder, metrics_.get())) return;
-  switch (request.opcode) {
-    case kActionCreate: return HandleActionCreate(std::move(request), std::move(responder));
-    case kActionDelete: return HandleActionDelete(std::move(request), std::move(responder));
-    case kActionStat: return HandleActionStat(std::move(request), std::move(responder));
-    case kStreamOpen: return HandleStreamOpen(std::move(request), std::move(responder));
-    case kStreamWrite: return HandleStreamWrite(std::move(request), std::move(responder));
-    case kStreamRead: return HandleStreamRead(std::move(request), std::move(responder));
-    case kStreamClose: return HandleStreamClose(std::move(request), std::move(responder));
-    default:
-      responder.SendError(request, Status::Unimplemented(
-                                       "active-server opcode " +
-                                       std::to_string(request.opcode)));
-  }
+void ActiveServer::StreamTable::Insert(std::uint64_t id,
+                                       std::shared_ptr<Stream> stream) {
+  Stripe& stripe = StripeFor(id);
+  std::scoped_lock lock(stripe.mu);
+  stripe.streams[id] = std::move(stream);
 }
 
-Result<std::shared_ptr<ActiveServer::Slot>> ActiveServer::GetSlot(
-    std::uint32_t index, bool must_have_object) {
-  std::scoped_lock lock(mu_);
-  auto it = slots_.find(index);
-  if (it == slots_.end()) {
-    if (must_have_object) {
-      return Status::NotFound("no action in slot " + std::to_string(index));
-    }
-    auto slot = std::make_shared<Slot>();
-    slot->index = index;
-    slots_[index] = slot;
-    return slot;
-  }
-  if (must_have_object && it->second->object == nullptr) {
-    return Status::NotFound("no action in slot " + std::to_string(index));
-  }
-  return it->second;
-}
-
-Result<std::shared_ptr<ActiveServer::Stream>> ActiveServer::GetStream(
-    std::uint64_t id) {
-  std::scoped_lock lock(mu_);
-  auto it = streams_.find(id);
-  if (it == streams_.end()) {
+Result<std::shared_ptr<ActiveServer::Stream>> ActiveServer::StreamTable::Find(
+    std::uint64_t id) const {
+  const Stripe& stripe = StripeFor(id);
+  std::scoped_lock lock(stripe.mu);
+  auto it = stripe.streams.find(id);
+  if (it == stripe.streams.end()) {
     return Status::NotFound("unknown stream " + std::to_string(id));
   }
   return it->second;
 }
 
-void ActiveServer::HandleActionCreate(net::Message request,
-                                      net::Responder responder) {
-  auto req = ActionCreateRequest::Decode(request.payload);
-  if (!req.ok()) return responder.SendError(request, req.status());
-  if (req->slot >= options_.num_slots) {
-    return responder.SendError(request,
-                               Status::OutOfRange("slot out of range"));
+void ActiveServer::StreamTable::Erase(std::uint64_t id) {
+  Stripe& stripe = StripeFor(id);
+  std::scoped_lock lock(stripe.mu);
+  stripe.streams.erase(id);
+}
+
+void ActiveServer::StreamTable::AbortAll() {
+  for (Stripe& stripe : stripes_) {
+    std::scoped_lock lock(stripe.mu);
+    for (auto& [id, stream] : stripe.streams) stream->channel.Abort();
   }
-  auto slot_result = GetSlot(req->slot, /*must_have_object=*/false);
+}
+
+Result<std::shared_ptr<ActiveServer::Slot>> ActiveServer::GetSlot(
+    std::uint32_t index, bool must_have_object) {
+  if (index >= slots_.size()) {
+    return Status::OutOfRange("slot " + std::to_string(index) +
+                              " out of range");
+  }
+  std::shared_ptr<Slot> slot = slots_[index];
+  if (must_have_object && slot->LiveObject() == nullptr) {
+    return Status::NotFound("no action in slot " + std::to_string(index));
+  }
+  return slot;
+}
+
+void ActiveServer::DoActionCreate(ActionCreateRequest req,
+                                  net::Message request,
+                                  net::Responder responder) {
+  auto slot_result = GetSlot(req.slot, /*must_have_object=*/false);
   if (!slot_result.ok()) {
     return responder.SendError(request, slot_result.status());
   }
   auto slot = std::move(slot_result).value();
-  auto object = registry_->Create(req->action_type);
+  auto object = registry_->Create(req.action_type);
   if (!object.ok()) return responder.SendError(request, object.status());
 
   // Instantiate under the action's execution turn: onCreate is user code
   // and follows the single-threaded model like any other method.
   const MethodTrace mt = MethodTrace::Begin("onCreate");
   const Status submitted = action_pool_->Submit(
-      [this, slot, mt, req = std::move(req).value(),
+      [this, slot, mt, req = std::move(req),
        object = std::shared_ptr<Action>(std::move(object).value()),
        request, responder]() mutable {
         slot->monitor.Enter();
         const std::uint64_t run_start = mt.EnterRun();
-        if (slot->object != nullptr) {
+        if (slot->LiveObject() != nullptr) {
           slot->monitor.Exit();
           return responder.SendError(
               request, Status::AlreadyExists("slot already holds an action"));
@@ -314,7 +407,10 @@ void ActiveServer::HandleActionCreate(net::Message request,
         slot->interleave = req.interleave;
         slot->action_type = req.action_type;
         slot->config = std::move(req.config);
-        slot->object = std::move(object);
+        {
+          std::scoped_lock lock(slot->obj_mu);
+          slot->object = std::move(object);
+        }
         ServerActionContext ctx(internal_client_.get(), slot->config.span());
         try {
           slot->object->onCreate(ctx);
@@ -322,7 +418,10 @@ void ActiveServer::HandleActionCreate(net::Message request,
           mt.FinishRun(run_start);
           responder.SendOk(request);
         } catch (const std::exception& e) {
-          slot->object.reset();
+          {
+            std::scoped_lock lock(slot->obj_mu);
+            slot->object.reset();
+          }
           slot->monitor.Exit();
           mt.FinishRun(run_start);
           responder.SendError(request,
@@ -333,11 +432,9 @@ void ActiveServer::HandleActionCreate(net::Message request,
   if (!submitted.ok()) responder.SendError(request, submitted);
 }
 
-void ActiveServer::HandleActionDelete(net::Message request,
-                                      net::Responder responder) {
-  auto req = SlotRequest::Decode(request.payload.span());
-  if (!req.ok()) return responder.SendError(request, req.status());
-  auto slot_result = GetSlot(req->slot, /*must_have_object=*/true);
+void ActiveServer::DoActionDelete(SlotRequest req, net::Message request,
+                                  net::Responder responder) {
+  auto slot_result = GetSlot(req.slot, /*must_have_object=*/true);
   if (!slot_result.ok()) {
     return responder.SendError(request, slot_result.status());
   }
@@ -347,18 +444,22 @@ void ActiveServer::HandleActionDelete(net::Message request,
       action_pool_->Submit([this, slot, mt, request, responder]() mutable {
         slot->monitor.Enter();
         const std::uint64_t run_start = mt.EnterRun();
-        if (slot->object == nullptr) {
+        std::shared_ptr<Action> object = slot->LiveObject();
+        if (object == nullptr) {
           slot->monitor.Exit();
           return responder.SendError(request,
                                      Status::NotFound("slot already empty"));
         }
         ServerActionContext ctx(internal_client_.get(), slot->config.span());
         try {
-          slot->object->onDelete(ctx);
+          object->onDelete(ctx);
         } catch (const std::exception& e) {
           GLIDER_LOG(kWarn, "active") << "onDelete threw: " << e.what();
         }
-        slot->object.reset();
+        {
+          std::scoped_lock lock(slot->obj_mu);
+          slot->object.reset();
+        }
         slot->monitor.Exit();
         mt.FinishRun(run_start);
         responder.SendOk(request);
@@ -366,11 +467,9 @@ void ActiveServer::HandleActionDelete(net::Message request,
   if (!submitted.ok()) responder.SendError(request, submitted);
 }
 
-void ActiveServer::HandleActionStat(net::Message request,
-                                    net::Responder responder) {
-  auto req = SlotRequest::Decode(request.payload.span());
-  if (!req.ok()) return responder.SendError(request, req.status());
-  auto slot_result = GetSlot(req->slot, /*must_have_object=*/true);
+void ActiveServer::DoActionStat(SlotRequest req, net::Message request,
+                                net::Responder responder) {
+  auto slot_result = GetSlot(req.slot, /*must_have_object=*/true);
   if (!slot_result.ok()) {
     return responder.SendError(request, slot_result.status());
   }
@@ -379,8 +478,8 @@ void ActiveServer::HandleActionStat(net::Message request,
       action_pool_->Submit([slot, request, responder]() mutable {
         slot->monitor.Enter();
         ActionStatResponse resp;
-        if (slot->object != nullptr) {
-          resp.state_bytes = slot->object->StateBytes();
+        if (auto object = slot->LiveObject()) {
+          resp.state_bytes = object->StateBytes();
         }
         slot->monitor.Exit();
         responder.SendOk(request, resp.Encode());
@@ -388,23 +487,18 @@ void ActiveServer::HandleActionStat(net::Message request,
   if (!submitted.ok()) responder.SendError(request, submitted);
 }
 
-void ActiveServer::HandleStreamOpen(net::Message request,
-                                    net::Responder responder) {
-  auto req = StreamOpenRequest::Decode(request.payload.span());
-  if (!req.ok()) return responder.SendError(request, req.status());
-  auto slot_result = GetSlot(req->slot, /*must_have_object=*/true);
+void ActiveServer::DoStreamOpen(StreamOpenRequest req, net::Message request,
+                                net::Responder responder) {
+  auto slot_result = GetSlot(req.slot, /*must_have_object=*/true);
   if (!slot_result.ok()) {
     return responder.SendError(request, slot_result.status());
   }
   auto slot = std::move(slot_result).value();
 
   const std::uint64_t id = next_stream_id_.fetch_add(1);
-  auto stream = std::make_shared<Stream>(id, req->slot, req->mode,
+  auto stream = std::make_shared<Stream>(id, req.slot, req.mode,
                                          options_.channel_capacity);
-  {
-    std::scoped_lock lock(mu_);
-    streams_[id] = stream;
-  }
+  streams_.Insert(id, stream);
   RunMethod(std::move(slot), stream);
 
   StreamOpenResponse resp;
@@ -425,10 +519,11 @@ void ActiveServer::RunMethod(std::shared_ptr<Slot> slot,
     // originating RPC span.
     obs::TraceContextScope trace_scope(mt.parent);
     ServerActionContext ctx(internal_client_.get(), slot->config.span());
+    std::shared_ptr<Action> object = slot->LiveObject();
     if (stream->mode == StreamMode::kWrite) {
       ChannelInputStream in(&stream->channel, yield);
       try {
-        if (slot->object != nullptr) slot->object->onWrite(in, ctx);
+        if (object != nullptr) object->onWrite(in, ctx);
       } catch (const std::exception& e) {
         GLIDER_LOG(kWarn, "active") << "onWrite threw: " << e.what();
       }
@@ -455,7 +550,7 @@ void ActiveServer::RunMethod(std::shared_ptr<Slot> slot,
     } else {
       ChannelOutputStream out(&stream->channel, yield);
       try {
-        if (slot->object != nullptr) slot->object->onRead(out, ctx);
+        if (object != nullptr) object->onRead(out, ctx);
       } catch (const std::exception& e) {
         GLIDER_LOG(kWarn, "active") << "onRead threw: " << e.what();
       }
@@ -472,22 +567,20 @@ void ActiveServer::RunMethod(std::shared_ptr<Slot> slot,
   }
 }
 
-void ActiveServer::HandleStreamWrite(net::Message request,
-                                     net::Responder responder) {
-  // Zero-copy: req->data is a slice of the request payload; the DataTask
+void ActiveServer::DoStreamWrite(StreamWriteRequest req, net::Message request,
+                                 net::Responder responder) {
+  // Zero-copy: req.data is a slice of the request payload; the DataTask
   // keeps the frame's storage alive until the action consumes it.
-  auto req = StreamWriteRequest::Decode(request.payload);
-  if (!req.ok()) return responder.SendError(request, req.status());
-  auto stream = GetStream(req->stream_id);
+  auto stream = streams_.Find(req.stream_id);
   if (!stream.ok()) return responder.SendError(request, stream.status());
   if ((*stream)->mode != StreamMode::kWrite) {
     return responder.SendError(request,
                                Status::InvalidArgument("not a write stream"));
   }
   DataTask task;
-  task.data = std::move(req->data);
+  task.data = std::move(req.data);
   (*stream)->channel.AsyncPush(
-      req->seq, std::move(task),
+      req.seq, std::move(task),
       [request, responder](Status admit) mutable {
         if (admit.ok()) {
           responder.SendOk(request);
@@ -497,18 +590,16 @@ void ActiveServer::HandleStreamWrite(net::Message request,
       });
 }
 
-void ActiveServer::HandleStreamRead(net::Message request,
-                                    net::Responder responder) {
-  auto req = StreamReadRequest::Decode(request.payload.span());
-  if (!req.ok()) return responder.SendError(request, req.status());
-  auto stream = GetStream(req->stream_id);
+void ActiveServer::DoStreamRead(StreamReadRequest req, net::Message request,
+                                net::Responder responder) {
+  auto stream = streams_.Find(req.stream_id);
   if (!stream.ok()) return responder.SendError(request, stream.status());
   if ((*stream)->mode != StreamMode::kRead) {
     return responder.SendError(request,
                                Status::InvalidArgument("not a read stream"));
   }
   (*stream)->channel.AsyncPop(
-      req->seq, [request, responder](Result<DataTask> task) mutable {
+      req.seq, [request, responder](Result<DataTask> task) mutable {
         if (task.ok()) {
           responder.SendOk(request, std::move(task->data));
         } else {
@@ -518,11 +609,9 @@ void ActiveServer::HandleStreamRead(net::Message request,
       });
 }
 
-void ActiveServer::HandleStreamClose(net::Message request,
-                                     net::Responder responder) {
-  auto req = StreamCloseRequest::Decode(request.payload.span());
-  if (!req.ok()) return responder.SendError(request, req.status());
-  auto stream_result = GetStream(req->stream_id);
+void ActiveServer::DoStreamClose(StreamCloseRequest req, net::Message request,
+                                 net::Responder responder) {
+  auto stream_result = streams_.Find(req.stream_id);
   if (!stream_result.ok()) {
     // Already cleaned up; close is idempotent.
     return responder.SendOk(request);
@@ -543,7 +632,7 @@ void ActiveServer::HandleStreamClose(net::Message request,
     // End-of-stream arrives in-band after the last write (seq ordering).
     DataTask eos;
     eos.eos = true;
-    stream->channel.AsyncPush(req->seq, std::move(eos), [](Status) {});
+    stream->channel.AsyncPush(req.seq, std::move(eos), [](Status) {});
     if (already_done) {
       // Method finished early (it may not consume the whole stream).
       net::Responder r = std::move(responder);
@@ -554,24 +643,21 @@ void ActiveServer::HandleStreamClose(net::Message request,
     stream->channel.Abort();
     responder.SendOk(request);
   }
-  std::scoped_lock lock(mu_);
-  streams_.erase(req->stream_id);
+  streams_.Erase(req.stream_id);
 }
 
 std::uint64_t ActiveServer::UsedBytes() const {
-  std::scoped_lock lock(mu_);
   std::uint64_t total = 0;
-  for (const auto& [index, slot] : slots_) {
-    if (slot->object != nullptr) total += slot->object->StateBytes();
+  for (const auto& slot : slots_) {
+    if (auto object = slot->LiveObject()) total += object->StateBytes();
   }
   return total;
 }
 
 std::size_t ActiveServer::LiveActions() const {
-  std::scoped_lock lock(mu_);
   std::size_t count = 0;
-  for (const auto& [index, slot] : slots_) {
-    if (slot->object != nullptr) ++count;
+  for (const auto& slot : slots_) {
+    if (slot->LiveObject() != nullptr) ++count;
   }
   return count;
 }

@@ -5,14 +5,21 @@
 // dedicated active storage class, so the storage kernel allocates action
 // nodes only here. Each slot hosts one live action object.
 //
-// Two decoupled thread pools, as in the paper:
+// Execution follows the paper's decoupling of network work from action work:
 //   * network workers (the transport's handler pool) decode stream
 //     operations and move them onto per-stream channels — never blocking;
-//   * action threads consume the channels by running action methods, one
-//     method at a time per action (ActionMonitor), with optional
-//     interleaving.
+//   * action threads (one per running method, reaped as methods finish)
+//     consume the channels by running action methods, one method at a time
+//     per action (ActionMonitor), with optional interleaving.
+//
+// Locking is per-object so concurrent streams to different actions never
+// contend: the slot vector is preallocated and immutable, each slot guards
+// its live-object pointer with its own mutex (method execution order is the
+// monitor's job), and open streams live in a striped table keyed by stream
+// id. There is no server-wide lock on any request path.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <map>
 #include <memory>
@@ -26,12 +33,12 @@
 #include "glider/action.h"
 #include "glider/protocol.h"
 #include "glider/stream_channel.h"
-#include "net/transport.h"
+#include "net/service_router.h"
 #include "nodekernel/protocol.h"
 
 namespace glider::core {
 
-class ActiveServer : public net::Service,
+class ActiveServer : public net::ServiceRouter,
                      public std::enable_shared_from_this<ActiveServer> {
  public:
   struct Options {
@@ -65,7 +72,12 @@ class ActiveServer : public net::Service,
   // internal store client handed to actions.
   Status Start(net::Transport& transport, const std::string& metadata_address);
 
-  void Handle(net::Message request, net::Responder responder) override;
+  // Stops accepting requests and joins every action-method thread.
+  // Idempotent. Owners must call this (directly or via the destructor of
+  // the last external reference being unreachable — the transport's
+  // listener entry holds a shared_ptr back to the service, so the server
+  // cannot be destroyed while it is still listening).
+  void Stop();
 
   const std::string& address() const { return address_; }
 
@@ -77,17 +89,23 @@ class ActiveServer : public net::Service,
   struct Slot;
   struct Stream;
 
-  void HandleActionCreate(net::Message request, net::Responder responder);
-  void HandleActionDelete(net::Message request, net::Responder responder);
-  void HandleActionStat(net::Message request, net::Responder responder);
-  void HandleStreamOpen(net::Message request, net::Responder responder);
-  void HandleStreamWrite(net::Message request, net::Responder responder);
-  void HandleStreamRead(net::Message request, net::Responder responder);
-  void HandleStreamClose(net::Message request, net::Responder responder);
+  void DoActionCreate(ActionCreateRequest req, net::Message request,
+                      net::Responder responder);
+  void DoActionDelete(SlotRequest req, net::Message request,
+                      net::Responder responder);
+  void DoActionStat(SlotRequest req, net::Message request,
+                    net::Responder responder);
+  void DoStreamOpen(StreamOpenRequest req, net::Message request,
+                    net::Responder responder);
+  void DoStreamWrite(StreamWriteRequest req, net::Message request,
+                     net::Responder responder);
+  void DoStreamRead(StreamReadRequest req, net::Message request,
+                    net::Responder responder);
+  void DoStreamClose(StreamCloseRequest req, net::Message request,
+                     net::Responder responder);
 
   Result<std::shared_ptr<Slot>> GetSlot(std::uint32_t index,
                                         bool must_have_object);
-  Result<std::shared_ptr<Stream>> GetStream(std::uint64_t id);
 
   // Runs one stream's action method on the action pool.
   void RunMethod(std::shared_ptr<Slot> slot, std::shared_ptr<Stream> stream);
@@ -96,8 +114,9 @@ class ActiveServer : public net::Service,
   std::shared_ptr<ActionRegistry> registry_;
   std::shared_ptr<Metrics> metrics_;
 
-  // Spawns one tracked thread per action-method execution; joins all at
-  // shutdown.
+  // Spawns one tracked thread per action-method execution. Threads report
+  // completion so later Submits reap (join) them incrementally instead of
+  // accumulating one joinable thread per method until shutdown.
   class MethodRunner {
    public:
     ~MethodRunner() { Shutdown(); }
@@ -106,8 +125,36 @@ class ActiveServer : public net::Service,
 
    private:
     std::mutex mu_;
-    std::vector<std::thread> threads_;
+    std::uint64_t next_id_ = 0;
+    std::map<std::uint64_t, std::thread> threads_;
+    std::vector<std::uint64_t> finished_;  // ids whose bodies completed
     bool shutdown_ = false;
+  };
+
+  // Open streams, striped by id so concurrent lookups and inserts on
+  // different streams take different mutexes.
+  class StreamTable {
+   public:
+    void Insert(std::uint64_t id, std::shared_ptr<Stream> stream);
+    Result<std::shared_ptr<Stream>> Find(std::uint64_t id) const;
+    void Erase(std::uint64_t id);
+    // Aborts every open stream's channel, waking method threads blocked on
+    // a stream the client abandoned without closing (shutdown path).
+    void AbortAll();
+
+   private:
+    static constexpr std::size_t kStripes = 16;  // power of two
+    struct Stripe {
+      mutable std::mutex mu;
+      std::map<std::uint64_t, std::shared_ptr<Stream>> streams;
+    };
+    const Stripe& StripeFor(std::uint64_t id) const {
+      return stripes_[id & (kStripes - 1)];
+    }
+    Stripe& StripeFor(std::uint64_t id) {
+      return stripes_[id & (kStripes - 1)];
+    }
+    std::array<Stripe, kStripes> stripes_;
   };
 
   std::unique_ptr<net::Listener> listener_;
@@ -115,9 +162,10 @@ class ActiveServer : public net::Service,
   std::unique_ptr<nk::StoreClient> internal_client_;
   std::unique_ptr<MethodRunner> action_pool_;
 
-  mutable std::mutex mu_;
-  std::map<std::uint32_t, std::shared_ptr<Slot>> slots_;
-  std::map<std::uint64_t, std::shared_ptr<Stream>> streams_;
+  // Preallocated at construction, immutable afterwards: slot lookup takes
+  // no lock. Per-slot state is guarded inside Slot.
+  std::vector<std::shared_ptr<Slot>> slots_;
+  StreamTable streams_;
   std::atomic<std::uint64_t> next_stream_id_{1};
 };
 

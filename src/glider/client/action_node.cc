@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/buffer_pool.h"
+#include "net/rpc_client.h"
 
 namespace glider::core {
 
@@ -19,11 +20,11 @@ Result<ActionNode> ActionNode::Create(nk::StoreClient& client,
   req.action_type = action_type;
   req.interleave = interleave;
   req.config = Buffer(config.data(), config.size());
-  auto created = conn->CallSync(kActionCreate, req.Encode());
+  const Status created = net::CallVoid(*conn, kActionCreate, req);
   if (!created.ok()) {
     // Roll the node back so the namespace does not keep a dead action.
     (void)client.Delete(path);
-    return created.status();
+    return created;
   }
   return ActionNode(client, path, std::move(info), std::move(conn));
 }
@@ -41,10 +42,7 @@ Result<ActionNode> ActionNode::Lookup(nk::StoreClient& client,
 Status ActionNode::DeleteObject() {
   SlotRequest req;
   req.slot = info_.slot.block;
-  GLIDER_ASSIGN_OR_RETURN(auto payload,
-                          conn_->CallSync(kActionDelete, req.Encode()));
-  (void)payload;
-  return Status::Ok();
+  return net::CallVoid(*conn_, kActionDelete, req);
 }
 
 Status ActionNode::Delete(nk::StoreClient& client, const std::string& path) {
@@ -59,9 +57,8 @@ Result<std::unique_ptr<ActionWriter>> ActionNode::OpenWriter() {
   StreamOpenRequest req;
   req.slot = info_.slot.block;
   req.mode = StreamMode::kWrite;
-  GLIDER_ASSIGN_OR_RETURN(auto payload,
-                          conn_->CallSync(kStreamOpen, req.Encode()));
-  GLIDER_ASSIGN_OR_RETURN(auto resp, StreamOpenResponse::Decode(payload.span()));
+  GLIDER_ASSIGN_OR_RETURN(
+      auto resp, net::Call<StreamOpenResponse>(*conn_, kStreamOpen, req));
   client_->CountAccessIfFaas();
   return std::make_unique<ActionWriter>(*client_, conn_, resp.stream_id);
 }
@@ -70,9 +67,8 @@ Result<std::unique_ptr<ActionReader>> ActionNode::OpenReader() {
   StreamOpenRequest req;
   req.slot = info_.slot.block;
   req.mode = StreamMode::kRead;
-  GLIDER_ASSIGN_OR_RETURN(auto payload,
-                          conn_->CallSync(kStreamOpen, req.Encode()));
-  GLIDER_ASSIGN_OR_RETURN(auto resp, StreamOpenResponse::Decode(payload.span()));
+  GLIDER_ASSIGN_OR_RETURN(
+      auto resp, net::Call<StreamOpenResponse>(*conn_, kStreamOpen, req));
   client_->CountAccessIfFaas();
   return std::make_unique<ActionReader>(*client_, conn_, resp.stream_id);
 }
@@ -80,9 +76,8 @@ Result<std::unique_ptr<ActionReader>> ActionNode::OpenReader() {
 Result<std::uint64_t> ActionNode::StateBytes() {
   SlotRequest req;
   req.slot = info_.slot.block;
-  GLIDER_ASSIGN_OR_RETURN(auto payload,
-                          conn_->CallSync(kActionStat, req.Encode()));
-  GLIDER_ASSIGN_OR_RETURN(auto resp, ActionStatResponse::Decode(payload.span()));
+  GLIDER_ASSIGN_OR_RETURN(
+      auto resp, net::Call<ActionStatResponse>(*conn_, kActionStat, req));
   return resp.state_bytes;
 }
 
@@ -160,8 +155,7 @@ Status ActionWriter::Close() {
     StreamCloseRequest req;
     req.stream_id = stream_id_;
     req.seq = next_seq_;
-    auto result = conn_->CallSync(kStreamClose, req.Encode());
-    deferred_error_ = result.status();
+    deferred_error_ = net::CallVoid(*conn_, kStreamClose, req);
   }
   return deferred_error_;
 }
@@ -205,12 +199,12 @@ Status ActionReader::Close() {
   StreamCloseRequest req;
   req.stream_id = stream_id_;
   req.seq = 0;
-  auto result = conn_->CallSync(kStreamClose, req.Encode());
+  const Status result = net::CallVoid(*conn_, kStreamClose, req);
   for (auto& fut : inflight_) {
     (void)fut.get();
   }
   inflight_.clear();
-  return result.status();
+  return result;
 }
 
 }  // namespace glider::core

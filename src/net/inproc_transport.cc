@@ -15,6 +15,9 @@ struct InProcTransport::ServerEntry {
 
   std::shared_ptr<Service> service;
   ThreadPool pool;
+  // Set by the listener before the pool shuts down so the inline delivery
+  // path fails fast like Submit does.
+  std::atomic<bool> closed{false};
 };
 
 class InProcTransport::InProcListener : public Listener {
@@ -26,6 +29,7 @@ class InProcTransport::InProcListener : public Listener {
 
   ~InProcListener() override {
     transport_->Unregister(address_);
+    entry_->closed.store(true, std::memory_order_relaxed);
     entry_->pool.Shutdown();
   }
 
@@ -82,6 +86,57 @@ class ResponderFn {
   std::shared_ptr<Guard> guard_;
 };
 
+// State for the allocation-free synchronous fast path. Lives on the
+// caller's stack: CallSync waits until every responder copy is destroyed
+// (refs == 0) before returning, so no reference can dangle even when a
+// handler defers the responder to another thread.
+struct SyncCallState {
+  std::mutex mu;
+  std::condition_variable cv;
+  Message result;
+  bool responded = false;
+  int refs = 0;
+};
+
+class SyncResponder {
+ public:
+  explicit SyncResponder(SyncCallState* state) : state_(state) { AddRef(); }
+  SyncResponder(const SyncResponder& other) : state_(other.state_) {
+    if (state_ != nullptr) AddRef();
+  }
+  SyncResponder(SyncResponder&& other) noexcept : state_(other.state_) {
+    other.state_ = nullptr;
+  }
+  SyncResponder& operator=(const SyncResponder&) = delete;
+  SyncResponder& operator=(SyncResponder&&) = delete;
+  ~SyncResponder() {
+    if (state_ != nullptr) DropRef();
+  }
+
+  void operator()(Message response) const {
+    std::scoped_lock lock(state_->mu);
+    if (!state_->responded) {
+      state_->responded = true;
+      state_->result = std::move(response);
+    }
+  }
+
+ private:
+  void AddRef() {
+    std::scoped_lock lock(state_->mu);
+    ++state_->refs;
+  }
+  void DropRef() {
+    // Notify while holding the mutex: the waiting caller destroys the stack
+    // state the moment it observes refs == 0, so signalling after unlock
+    // would race with that destruction.
+    std::scoped_lock lock(state_->mu);
+    if (--state_->refs == 0) state_->cv.notify_one();
+  }
+
+  SyncCallState* state_;
+};
+
 }  // namespace
 
 class InProcTransport::InProcConnection : public Connection {
@@ -98,14 +153,29 @@ class InProcTransport::InProcConnection : public Connection {
     auto fut = state->promise.get_future();
 
     if (link_) link_->OnSend(request.WireSize());
+    const auto latency = link_ ? link_->latency() : std::chrono::microseconds(0);
+
+    Responder responder{Responder::Fn(ResponderFn(state))};
+
+    // Zero-latency links run the handler on the caller's thread: an in-proc
+    // hop with no modeled delay gains nothing from a queue handoff and the
+    // two context switches it costs. Handlers that defer their responder
+    // still complete asynchronously; handlers that block apply the same
+    // backpressure a synchronous call would.
+    if (latency == std::chrono::microseconds(0)) {
+      if (entry_->closed.load(std::memory_order_relaxed)) {
+        state->Fail(Status::Unavailable("server shut down"));
+      } else {
+        HandleWithObs(*entry_->service, std::move(request),
+                      std::move(responder), /*transport_index=*/0);
+      }
+      return fut;
+    }
+
     // Propagation latency is applied on the delivery path (the network
     // worker sleeps until the message "arrives"), so pipelined operations
     // overlap their latencies like they would on a real link.
-    const auto deliver_at =
-        std::chrono::steady_clock::now() +
-        (link_ ? link_->latency() : std::chrono::microseconds(0));
-
-    Responder responder{Responder::Fn(ResponderFn(state))};
+    const auto deliver_at = std::chrono::steady_clock::now() + latency;
     auto service = entry_->service;
     Status submitted = entry_->pool.Submit(
         [service, deliver_at, req = std::move(request),
@@ -118,6 +188,40 @@ class InProcTransport::InProcConnection : public Connection {
       state->Fail(Status::Unavailable("server shut down"));
     }
     return fut;
+  }
+
+  // Zero-latency synchronous calls run the handler on this thread against
+  // stack-held call state: no promise/future, no heap allocation for the
+  // responder plumbing. Calls on delayed links fall back to Call().
+  Result<Buffer> CallSync(std::uint16_t opcode, Buffer payload) override {
+    if ((link_ && link_->latency() != std::chrono::microseconds(0)) ||
+        entry_->closed.load(std::memory_order_relaxed)) {
+      return Connection::CallSync(opcode, std::move(payload));
+    }
+    Message request;
+    request.opcode = opcode;
+    request.payload = std::move(payload);
+    request.request_id = next_id_.fetch_add(1, std::memory_order_relaxed);
+    if (link_) link_->OnSend(request.WireSize());
+    auto trace = ClientCallTrace::Begin(request, /*transport_index=*/0);
+
+    SyncCallState state;
+    HandleWithObs(*entry_->service, std::move(request),
+                  Responder{Responder::Fn(SyncResponder(&state))},
+                  /*transport_index=*/0);
+    Message response;
+    {
+      std::unique_lock lock(state.mu);
+      state.cv.wait(lock, [&state] { return state.refs == 0; });
+      if (!state.responded) {
+        trace.Finish();
+        return Status::Unavailable("request dropped without response");
+      }
+      response = std::move(state.result);
+    }
+    if (link_) link_->OnReceive(response.WireSize());
+    trace.Finish();
+    return ToResult(std::move(response));
   }
 
  private:

@@ -1,0 +1,52 @@
+#include "net/service_router.h"
+
+#include "common/logging.h"
+#include "common/metrics_registry.h"
+
+namespace glider::net {
+
+ServiceRouter::ServiceRouter(std::string service_name, const Metrics* metrics)
+    : service_name_(std::move(service_name)), metrics_(metrics) {}
+
+void ServiceRouter::Handle(Message request, Responder responder) {
+  if (TryHandleObs(request, responder, metrics_)) return;
+  if (request.opcode < entries_.size()) {
+    const Entry& entry = entries_[request.opcode];
+    if (entry.fn) {
+      entry.fn(std::move(request), std::move(responder));
+      return;
+    }
+  }
+  if (obs::Enabled()) {
+    static obs::Counter& unroutable =
+        obs::MetricsRegistry::Global().GetCounter("rpc.unroutable");
+    unroutable.Increment();
+  }
+  responder.SendError(
+      request, Status::Unimplemented(service_name_ + " opcode " +
+                                     std::to_string(request.opcode) + " (" +
+                                     RpcOpName(request.opcode) + ")"));
+}
+
+const char* ServiceRouter::OpName(std::uint16_t opcode) const {
+  return opcode < entries_.size() ? entries_[opcode].name : nullptr;
+}
+
+Status ServiceRouter::DecodeError(const char* op_name, const Status& status) {
+  return Status(status.code(),
+                std::string(op_name) + ": bad request: " + status.message());
+}
+
+void ServiceRouter::RegisterRaw(std::uint16_t opcode, const char* op_name,
+                                RawHandler fn) {
+  if (opcode >= entries_.size() || entries_[opcode].fn) {
+    // Registration happens once, at construction, from the server's own
+    // code: colliding or out-of-range opcodes are programming errors.
+    GLIDER_LOG(kError, "rpc") << service_name_ << ": cannot route opcode "
+                              << opcode << " (" << op_name << ")";
+    return;
+  }
+  entries_[opcode] = Entry{op_name, std::move(fn)};
+}
+
+}  // namespace glider::net

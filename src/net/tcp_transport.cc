@@ -24,17 +24,19 @@
 namespace glider::net {
 namespace {
 
-// RAII file descriptor.
+// RAII file descriptor. The descriptor value is atomic because owners
+// Close()/Shutdown() from a destructor while an accept or read loop still
+// holds get()'s result — the syscalls tolerate the stale fd, but the int
+// itself must not race.
 class Fd {
  public:
   Fd() = default;
   explicit Fd(int fd) : fd_(fd) {}
-  Fd(Fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Fd(Fd&& other) noexcept : fd_(other.fd_.exchange(-1)) {}
   Fd& operator=(Fd&& other) noexcept {
     if (this != &other) {
       Close();
-      fd_ = other.fd_;
-      other.fd_ = -1;
+      fd_.store(other.fd_.exchange(-1));
     }
     return *this;
   }
@@ -42,21 +44,20 @@ class Fd {
   Fd& operator=(const Fd&) = delete;
   ~Fd() { Close(); }
 
-  int get() const { return fd_; }
-  bool valid() const { return fd_ >= 0; }
+  int get() const { return fd_.load(std::memory_order_relaxed); }
+  bool valid() const { return get() >= 0; }
   void Close() {
-    if (fd_ >= 0) {
-      ::close(fd_);
-      fd_ = -1;
-    }
+    const int fd = fd_.exchange(-1);
+    if (fd >= 0) ::close(fd);
   }
   // Closes the socket for reading and writing, unblocking any reader.
   void Shutdown() {
-    if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+    const int fd = get();
+    if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
   }
 
  private:
-  int fd_ = -1;
+  std::atomic<int> fd_{-1};
 };
 
 Status ReadAll(int fd, std::uint8_t* data, std::size_t size) {

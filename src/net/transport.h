@@ -62,8 +62,10 @@ class Connection {
   // error). Safe to call from multiple threads.
   virtual std::future<Result<Message>> Call(Message request) = 0;
 
-  // Convenience: synchronous call returning the response payload.
-  Result<Buffer> CallSync(std::uint16_t opcode, Buffer payload) {
+  // Convenience: synchronous call returning the response payload. Virtual
+  // so transports with a same-thread delivery path can skip the
+  // promise/future machinery entirely.
+  virtual Result<Buffer> CallSync(std::uint16_t opcode, Buffer payload) {
     Message m;
     m.opcode = opcode;
     m.payload = std::move(payload);

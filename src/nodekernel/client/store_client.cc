@@ -35,14 +35,6 @@ std::size_t StoreClient::PartitionOf(const std::string& path) const {
   return std::hash<std::string_view>{}(component) % meta_conns_.size();
 }
 
-Result<Buffer> StoreClient::MetaCall(std::size_t partition,
-                                     std::uint16_t opcode, Buffer payload) {
-  if (partition >= meta_conns_.size()) {
-    return Status::InvalidArgument("node id from unknown metadata partition");
-  }
-  return meta_conns_[partition]->CallSync(opcode, std::move(payload));
-}
-
 Result<NodeInfo> StoreClient::CreateNode(const std::string& path,
                                          NodeType type,
                                          StorageClassId storage_class) {
@@ -50,9 +42,9 @@ Result<NodeInfo> StoreClient::CreateNode(const std::string& path,
   req.path = path;
   req.type = type;
   req.storage_class = storage_class;
-  GLIDER_ASSIGN_OR_RETURN(auto payload,
-                          MetaCall(PartitionOf(path), kCreateNode, req.Encode()));
-  GLIDER_ASSIGN_OR_RETURN(auto resp, NodeInfoResponse::Decode(payload.span()));
+  GLIDER_ASSIGN_OR_RETURN(
+      auto resp,
+      MetaCall<NodeInfoResponse>(PartitionOf(path), kCreateNode, req));
   return resp.info;
 }
 
@@ -65,33 +57,28 @@ Result<NodeInfo> StoreClient::CreateActionNode(const std::string& path,
   req.storage_class = kActiveClass;
   req.action_type = action_type;
   req.interleave = interleave;
-  GLIDER_ASSIGN_OR_RETURN(auto payload,
-                          MetaCall(PartitionOf(path), kCreateNode, req.Encode()));
-  GLIDER_ASSIGN_OR_RETURN(auto resp, NodeInfoResponse::Decode(payload.span()));
+  GLIDER_ASSIGN_OR_RETURN(
+      auto resp,
+      MetaCall<NodeInfoResponse>(PartitionOf(path), kCreateNode, req));
   return resp.info;
 }
 
 Result<NodeInfo> StoreClient::Lookup(const std::string& path) {
-  PathRequest req{path};
-  GLIDER_ASSIGN_OR_RETURN(auto payload,
-                          MetaCall(PartitionOf(path), kLookup, req.Encode()));
-  GLIDER_ASSIGN_OR_RETURN(auto resp, NodeInfoResponse::Decode(payload.span()));
+  GLIDER_ASSIGN_OR_RETURN(auto resp,
+                          MetaCall<NodeInfoResponse>(PartitionOf(path), kLookup,
+                                                     PathRequest{path}));
   return resp.info;
 }
 
 Result<NodeInfo> StoreClient::Delete(const std::string& path) {
-  PathRequest req{path};
-  GLIDER_ASSIGN_OR_RETURN(auto payload,
-                          MetaCall(PartitionOf(path), kDelete, req.Encode()));
-  GLIDER_ASSIGN_OR_RETURN(auto resp, NodeInfoResponse::Decode(payload.span()));
+  GLIDER_ASSIGN_OR_RETURN(auto resp,
+                          MetaCall<NodeInfoResponse>(PartitionOf(path), kDelete,
+                                                     PathRequest{path}));
   return resp.info;
 }
 
 Result<ListResponse> StoreClient::List(const std::string& path) {
-  PathRequest req{path};
-  GLIDER_ASSIGN_OR_RETURN(auto payload,
-                          MetaCall(PartitionOf(path), kList, req.Encode()));
-  return ListResponse::Decode(payload.span());
+  return MetaCall<ListResponse>(PartitionOf(path), kList, PathRequest{path});
 }
 
 Status StoreClient::PutValue(const std::string& path, ByteSpan value) {
@@ -121,9 +108,8 @@ Result<BlockLoc> StoreClient::GetBlock(NodeId node, std::uint32_t index,
   req.node_id = node;
   req.block_index = index;
   req.allocate = allocate;
-  GLIDER_ASSIGN_OR_RETURN(auto payload,
-                          MetaCall(PartitionOfId(node), kGetBlock, req.Encode()));
-  GLIDER_ASSIGN_OR_RETURN(auto resp, GetBlockResponse::Decode(payload.span()));
+  GLIDER_ASSIGN_OR_RETURN(
+      auto resp, MetaCall<GetBlockResponse>(PartitionOfId(node), kGetBlock, req));
   return resp.loc;
 }
 
@@ -131,10 +117,7 @@ Status StoreClient::SetSize(NodeId node, std::uint64_t size) {
   SetSizeRequest req;
   req.node_id = node;
   req.size = size;
-  GLIDER_ASSIGN_OR_RETURN(auto payload,
-                          MetaCall(PartitionOfId(node), kSetSize, req.Encode()));
-  (void)payload;
-  return Status::Ok();
+  return MetaCallVoid(PartitionOfId(node), kSetSize, req);
 }
 
 Result<std::shared_ptr<net::Connection>> StoreClient::ConnectTo(

@@ -15,6 +15,7 @@
 
 #include "common/metrics.h"
 #include "net/link_model.h"
+#include "net/rpc_client.h"
 #include "net/transport.h"
 #include "nodekernel/protocol.h"
 
@@ -81,8 +82,20 @@ class StoreClient {
   std::size_t PartitionOf(const std::string& path) const;
   static std::size_t PartitionOfId(NodeId id) { return id >> 56; }
 
-  Result<Buffer> MetaCall(std::size_t partition, std::uint16_t opcode,
-                          Buffer payload);
+  // Typed metadata RPC to one partition's server.
+  template <typename Resp, typename Req>
+  Result<Resp> MetaCall(std::size_t partition, std::uint16_t opcode,
+                        const Req& req) {
+    if (partition >= meta_conns_.size()) {
+      return Status::InvalidArgument("node id from unknown metadata partition");
+    }
+    return net::Call<Resp>(*meta_conns_[partition], opcode, req);
+  }
+  template <typename Req>
+  Status MetaCallVoid(std::size_t partition, std::uint16_t opcode,
+                      const Req& req) {
+    return MetaCall<Buffer>(partition, opcode, req).status();
+  }
 
   Options options_;
   std::vector<std::shared_ptr<net::Connection>> meta_conns_;  // per partition

@@ -6,43 +6,37 @@
 #include "common/metrics_registry.h"
 #include "common/trace.h"
 #include "net/link_model.h"
-#include "net/rpc_obs.h"
+#include "net/rpc_client.h"
 
 namespace glider::nk {
 
 MetadataServer::MetadataServer(net::Transport* transport,
                                std::shared_ptr<Metrics> metrics,
                                std::uint32_t partition)
-    : transport_(transport), metrics_(std::move(metrics)),
-      tree_((static_cast<NodeId>(partition) << 56) + 1) {}
+    : net::ServiceRouter("metadata", metrics.get()),
+      transport_(transport), metrics_(std::move(metrics)),
+      tree_((static_cast<NodeId>(partition) << 56) + 1) {
+  Route<RegisterServerRequest>(
+      kRegisterServer, "RegisterServer",
+      [this](const RegisterServerRequest& req) { return DoRegisterServer(req); });
+  Route<CreateNodeRequest>(
+      kCreateNode, "CreateNode",
+      [this](const CreateNodeRequest& req) { return DoCreateNode(req); });
+  Route<PathRequest>(kLookup, "Lookup",
+                     [this](const PathRequest& req) { return DoLookup(req); });
+  Route<PathRequest>(kDelete, "Delete",
+                     [this](const PathRequest& req) { return DoDelete(req); });
+  Route<GetBlockRequest>(
+      kGetBlock, "GetBlock",
+      [this](const GetBlockRequest& req) { return DoGetBlock(req); });
+  Route<SetSizeRequest>(
+      kSetSize, "SetSize",
+      [this](const SetSizeRequest& req) { return DoSetSize(req); });
+  Route<PathRequest>(kList, "List",
+                     [this](const PathRequest& req) { return DoList(req); });
+}
 
 MetadataServer::~MetadataServer() = default;
-
-void MetadataServer::Handle(net::Message request, net::Responder responder) {
-  if (net::TryHandleObs(request, responder, metrics_.get())) return;
-  auto result = Dispatch(request);
-  if (result.ok()) {
-    responder.SendOk(request, std::move(result).value());
-  } else {
-    responder.SendError(request, result.status());
-  }
-}
-
-Result<Buffer> MetadataServer::Dispatch(const net::Message& request) {
-  const ByteSpan payload = request.payload.span();
-  switch (request.opcode) {
-    case kRegisterServer: return HandleRegisterServer(payload);
-    case kCreateNode: return HandleCreateNode(payload);
-    case kLookup: return HandleLookup(payload);
-    case kDelete: return HandleDelete(payload);
-    case kGetBlock: return HandleGetBlock(payload);
-    case kSetSize: return HandleSetSize(payload);
-    case kList: return HandleList(payload);
-    default:
-      return Status::Unimplemented("metadata opcode " +
-                                   std::to_string(request.opcode));
-  }
-}
 
 NodeInfo MetadataServer::ToInfo(const NodeRecord& record) const {
   NodeInfo info;
@@ -59,9 +53,9 @@ NodeInfo MetadataServer::ToInfo(const NodeRecord& record) const {
   return info;
 }
 
-Result<Buffer> MetadataServer::HandleRegisterServer(ByteSpan payload) {
-  GLIDER_ASSIGN_OR_RETURN(auto req, RegisterServerRequest::Decode(payload));
-  std::scoped_lock lock(mu_);
+Result<RegisterServerResponse> MetadataServer::DoRegisterServer(
+    const RegisterServerRequest& req) {
+  std::unique_lock lock(mu_);
   RegisterServerResponse resp;
   resp.server_id = blocks_.RegisterServer(req.storage_class, req.address,
                                           req.num_blocks, req.block_size);
@@ -69,12 +63,12 @@ Result<Buffer> MetadataServer::HandleRegisterServer(ByteSpan payload) {
       << "registered server " << resp.server_id << " class "
       << req.storage_class << " at " << req.address << " ("
       << req.num_blocks << " blocks)";
-  return resp.Encode();
+  return resp;
 }
 
-Result<Buffer> MetadataServer::HandleCreateNode(ByteSpan payload) {
-  GLIDER_ASSIGN_OR_RETURN(auto req, CreateNodeRequest::Decode(payload));
-  std::scoped_lock lock(mu_);
+Result<NodeInfoResponse> MetadataServer::DoCreateNode(
+    const CreateNodeRequest& req) {
+  std::unique_lock lock(mu_);
 
   // Action nodes always live in the active class and get their single slot
   // now; other nodes get blocks lazily as data is attached.
@@ -111,32 +105,32 @@ Result<Buffer> MetadataServer::HandleCreateNode(ByteSpan payload) {
 
   NodeInfoResponse resp;
   resp.info = ToInfo(*record);
-  return resp.Encode();
+  return resp;
 }
 
-Result<Buffer> MetadataServer::HandleLookup(ByteSpan payload) {
+Result<NodeInfoResponse> MetadataServer::DoLookup(const PathRequest& req) {
   const bool observed = obs::Enabled();
   obs::Span span("meta", "meta.lookup");
   const std::uint64_t start_us = observed ? obs::TraceNowMicros() : 0;
-  GLIDER_ASSIGN_OR_RETURN(auto req, PathRequest::Decode(payload));
-  std::scoped_lock lock(mu_);
-  GLIDER_ASSIGN_OR_RETURN(auto* record, tree_.Lookup(req.path));
   NodeInfoResponse resp;
-  resp.info = ToInfo(*record);
+  {
+    std::shared_lock lock(mu_);
+    GLIDER_ASSIGN_OR_RETURN(auto* record, tree_.Lookup(req.path));
+    resp.info = ToInfo(*record);
+  }
   if (observed) {
     static obs::LatencyHistogram& hist =
         obs::MetricsRegistry::Global().GetHistogram("meta.lookup_us");
     hist.Record(obs::TraceNowMicros() - start_us);
   }
-  return resp.Encode();
+  return resp;
 }
 
-Result<Buffer> MetadataServer::HandleDelete(ByteSpan payload) {
-  GLIDER_ASSIGN_OR_RETURN(auto req, PathRequest::Decode(payload));
+Result<NodeInfoResponse> MetadataServer::DoDelete(const PathRequest& req) {
   NodeRecord removed;
   NodeInfo info;
   {
-    std::scoped_lock lock(mu_);
+    std::unique_lock lock(mu_);
     GLIDER_ASSIGN_OR_RETURN(auto* record, tree_.Lookup(req.path));
     info = ToInfo(*record);
     GLIDER_ASSIGN_OR_RETURN(removed, tree_.Remove(req.path));
@@ -152,12 +146,36 @@ Result<Buffer> MetadataServer::HandleDelete(ByteSpan payload) {
   }
   NodeInfoResponse resp;
   resp.info = info;
-  return resp.Encode();
+  return resp;
 }
 
-Result<Buffer> MetadataServer::HandleGetBlock(ByteSpan payload) {
-  GLIDER_ASSIGN_OR_RETURN(auto req, GetBlockRequest::Decode(payload));
-  std::scoped_lock lock(mu_);
+Result<GetBlockResponse> MetadataServer::DoGetBlock(
+    const GetBlockRequest& req) {
+  // Fast path, shared: the block already exists. This is every read and
+  // every re-open of an already-written file (stream opens hit it on each
+  // chunk pipeline refill), so it must not serialize behind writers.
+  {
+    std::shared_lock lock(mu_);
+    auto idx = id_index_.find(req.node_id);
+    if (idx == id_index_.end()) {
+      return Status::NotFound("node id " + std::to_string(req.node_id));
+    }
+    const NodeRecord* record = idx->second;
+    if (!HoldsData(record->type)) {
+      return Status::WrongNodeType("node holds no data blocks");
+    }
+    if (req.block_index < record->blocks.size()) {
+      GetBlockResponse resp;
+      resp.loc = record->blocks[req.block_index];
+      return resp;
+    }
+    if (!req.allocate) {
+      return Status::OutOfRange("block index past end of node");
+    }
+  }
+  // Allocation path, exclusive. Re-check everything: another writer may
+  // have allocated the block (or deleted the node) between the locks.
+  std::unique_lock lock(mu_);
   auto idx = id_index_.find(req.node_id);
   if (idx == id_index_.end()) {
     return Status::NotFound("node id " + std::to_string(req.node_id));
@@ -169,10 +187,7 @@ Result<Buffer> MetadataServer::HandleGetBlock(ByteSpan payload) {
   if (req.block_index < record->blocks.size()) {
     GetBlockResponse resp;
     resp.loc = record->blocks[req.block_index];
-    return resp.Encode();
-  }
-  if (!req.allocate) {
-    return Status::OutOfRange("block index past end of node");
+    return resp;
   }
   if (req.block_index != record->blocks.size()) {
     return Status::InvalidArgument("blocks must be allocated in order");
@@ -181,12 +196,11 @@ Result<Buffer> MetadataServer::HandleGetBlock(ByteSpan payload) {
   record->blocks.push_back(loc);
   GetBlockResponse resp;
   resp.loc = loc;
-  return resp.Encode();
+  return resp;
 }
 
-Result<Buffer> MetadataServer::HandleSetSize(ByteSpan payload) {
-  GLIDER_ASSIGN_OR_RETURN(auto req, SetSizeRequest::Decode(payload));
-  std::scoped_lock lock(mu_);
+Result<Buffer> MetadataServer::DoSetSize(const SetSizeRequest& req) {
+  std::unique_lock lock(mu_);
   auto it = id_index_.find(req.node_id);
   if (it == id_index_.end()) {
     return Status::NotFound("node id " + std::to_string(req.node_id));
@@ -196,24 +210,25 @@ Result<Buffer> MetadataServer::HandleSetSize(ByteSpan payload) {
   return Buffer{};
 }
 
-Result<Buffer> MetadataServer::HandleList(ByteSpan payload) {
-  GLIDER_ASSIGN_OR_RETURN(auto req, PathRequest::Decode(payload));
-  std::scoped_lock lock(mu_);
+Result<ListResponse> MetadataServer::DoList(const PathRequest& req) {
+  std::shared_lock lock(mu_);
   GLIDER_ASSIGN_OR_RETURN(auto entries, tree_.List(req.path));
   ListResponse resp;
   resp.entries.reserve(entries.size());
   for (auto& [name, type] : entries) {
     resp.entries.push_back({std::move(name), type});
   }
-  return resp.Encode();
+  return resp;
 }
 
 void MetadataServer::ResetBlocks(const std::vector<BlockLoc>& blocks) {
   if (transport_ == nullptr) return;
+  static obs::Counter& failures =
+      obs::MetricsRegistry::Global().GetCounter("meta.reset_failures");
   for (const auto& loc : blocks) {
     std::shared_ptr<net::Connection> conn;
     {
-      std::scoped_lock lock(mu_);
+      std::scoped_lock lock(conns_mu_);
       auto it = server_conns_.find(loc.address);
       if (it != server_conns_.end()) {
         conn = it->second;
@@ -224,37 +239,40 @@ void MetadataServer::ResetBlocks(const std::vector<BlockLoc>& blocks) {
           loc.address,
           net::LinkModel::Unshaped(LinkClass::kControl, metrics_));
       if (!connected.ok()) {
+        failures.Increment();
         GLIDER_LOG(kWarn, "metadata")
             << "cannot reach " << loc.address << " for block reset";
         continue;
       }
       conn = std::move(connected).value();
-      std::scoped_lock lock(mu_);
+      std::scoped_lock lock(conns_mu_);
       server_conns_[loc.address] = conn;
     }
     ResetBlockRequest req;
     req.block = loc.block;
-    auto result = conn->CallSync(kResetBlock, req.Encode());
+    const Status result = net::CallVoid(*conn, kResetBlock, req);
     if (!result.ok()) {
+      failures.Increment();
       GLIDER_LOG(kWarn, "metadata")
-          << "block reset failed: " << result.status().ToString();
+          << "block reset failed for " << loc.address << " block "
+          << loc.block << ": " << result.ToString();
     }
   }
 }
 
 void MetadataServer::SetClassFallback(StorageClassId storage_class,
                                       StorageClassId fallback) {
-  std::scoped_lock lock(mu_);
+  std::unique_lock lock(mu_);
   blocks_.SetFallback(storage_class, fallback);
 }
 
 std::size_t MetadataServer::NodeCount() const {
-  std::scoped_lock lock(mu_);
+  std::shared_lock lock(mu_);
   return tree_.NodeCount();
 }
 
 std::uint32_t MetadataServer::FreeBlocks(StorageClassId storage_class) const {
-  std::scoped_lock lock(mu_);
+  std::shared_lock lock(mu_);
   return blocks_.FreeBlockCount(storage_class);
 }
 

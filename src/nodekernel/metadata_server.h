@@ -7,21 +7,28 @@
 // management (actions get exactly one block — their slot — allocated at
 // creation from the active class), and action metadata (definition name,
 // interleaving flag) in the node records.
+//
+// Concurrency: read-mostly ops (Lookup, the existing-block GetBlock path,
+// List) take `mu_` shared so concurrent clients resolving paths and block
+// locations never contend; namespace/block mutations take it exclusive.
+// Storage-server control connections live under their own `conns_mu_` so a
+// slow block reset never blocks the namespace.
 #pragma once
 
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 
 #include "common/metrics.h"
-#include "net/transport.h"
+#include "net/service_router.h"
 #include "nodekernel/block_manager.h"
 #include "nodekernel/namespace_tree.h"
 #include "nodekernel/protocol.h"
 
 namespace glider::nk {
 
-class MetadataServer : public net::Service {
+class MetadataServer : public net::ServiceRouter {
  public:
   // `transport` is used to reach storage servers for block-reset on node
   // delete (freeing ephemeral data); may be nullptr to skip resets.
@@ -30,8 +37,6 @@ class MetadataServer : public net::Service {
   MetadataServer(net::Transport* transport, std::shared_ptr<Metrics> metrics,
                  std::uint32_t partition = 0);
   ~MetadataServer() override;
-
-  void Handle(net::Message request, net::Responder responder) override;
 
   // Service-side configuration: lets `storage_class` spill to `fallback`
   // when full (tiering, §4.1). Set by the operator/deployment, not by
@@ -43,31 +48,32 @@ class MetadataServer : public net::Service {
   std::uint32_t FreeBlocks(StorageClassId storage_class) const;
 
  private:
-  Result<Buffer> Dispatch(const net::Message& request);
-
-  Result<Buffer> HandleRegisterServer(ByteSpan payload);
-  Result<Buffer> HandleCreateNode(ByteSpan payload);
-  Result<Buffer> HandleLookup(ByteSpan payload);
-  Result<Buffer> HandleDelete(ByteSpan payload);
-  Result<Buffer> HandleGetBlock(ByteSpan payload);
-  Result<Buffer> HandleSetSize(ByteSpan payload);
-  Result<Buffer> HandleList(ByteSpan payload);
+  Result<RegisterServerResponse> DoRegisterServer(
+      const RegisterServerRequest& req);
+  Result<NodeInfoResponse> DoCreateNode(const CreateNodeRequest& req);
+  Result<NodeInfoResponse> DoLookup(const PathRequest& req);
+  Result<NodeInfoResponse> DoDelete(const PathRequest& req);
+  Result<GetBlockResponse> DoGetBlock(const GetBlockRequest& req);
+  Result<Buffer> DoSetSize(const SetSizeRequest& req);
+  Result<ListResponse> DoList(const PathRequest& req);
 
   NodeInfo ToInfo(const NodeRecord& record) const;
 
-  // Sends kResetBlock for every block in the chain (best-effort).
+  // Sends kResetBlock for every block in the chain (best-effort; failures
+  // are logged and counted in meta.reset_failures).
   void ResetBlocks(const std::vector<BlockLoc>& blocks);
 
   net::Transport* transport_;
   std::shared_ptr<Metrics> metrics_;
 
-  mutable std::mutex mu_;
+  mutable std::shared_mutex mu_;
   NamespaceTree tree_;
   BlockManager blocks_;
   // id -> record index for block operations that address nodes by id.
   // Record pointers are stable: the tree stores nodes behind unique_ptr.
   std::map<NodeId, NodeRecord*> id_index_;
   // Cached control connections to storage servers, by address.
+  std::mutex conns_mu_;
   std::map<std::string, std::shared_ptr<net::Connection>> server_conns_;
 };
 

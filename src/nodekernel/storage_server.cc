@@ -6,16 +6,26 @@
 #include "common/metrics_registry.h"
 #include "common/trace.h"
 #include "net/link_model.h"
-#include "net/rpc_obs.h"
+#include "net/rpc_client.h"
 
 namespace glider::nk {
 
 StorageServer::StorageServer(Options options, std::shared_ptr<Metrics> metrics)
-    : options_(std::move(options)), metrics_(std::move(metrics)) {
+    : net::ServiceRouter("storage", metrics.get()),
+      options_(std::move(options)), metrics_(std::move(metrics)) {
   blocks_.reserve(options_.num_blocks);
   for (std::uint32_t i = 0; i < options_.num_blocks; ++i) {
     blocks_.push_back(std::make_unique<Block>());
   }
+  Route<WriteBlockRequest>(
+      kWriteBlock, "WriteBlock",
+      [this](const WriteBlockRequest& req) { return DoWrite(req); });
+  Route<ReadBlockRequest>(
+      kReadBlock, "ReadBlock",
+      [this](const ReadBlockRequest& req) { return DoRead(req); });
+  Route<ResetBlockRequest>(
+      kResetBlock, "ResetBlock",
+      [this](const ResetBlockRequest& req) { return DoReset(req); });
 }
 
 StorageServer::~StorageServer() = default;
@@ -37,32 +47,11 @@ Status StorageServer::Start(net::Transport& transport,
   req.address = address_;
   req.num_blocks = options_.num_blocks;
   req.block_size = options_.block_size;
-  GLIDER_ASSIGN_OR_RETURN(auto payload,
-                          (*conn)->CallSync(kRegisterServer, req.Encode()));
-  GLIDER_ASSIGN_OR_RETURN(auto resp,
-                          RegisterServerResponse::Decode(payload.span()));
+  GLIDER_ASSIGN_OR_RETURN(
+      auto resp,
+      net::Call<RegisterServerResponse>(**conn, kRegisterServer, req));
   server_id_ = resp.server_id;
   return Status::Ok();
-}
-
-void StorageServer::Handle(net::Message request, net::Responder responder) {
-  if (net::TryHandleObs(request, responder, metrics_.get())) return;
-  Result<Buffer> result = [&]() -> Result<Buffer> {
-    const Buffer& payload = request.payload;
-    switch (request.opcode) {
-      case kWriteBlock: return HandleWrite(payload);
-      case kReadBlock: return HandleRead(payload);
-      case kResetBlock: return HandleReset(payload);
-      default:
-        return Status::Unimplemented("storage opcode " +
-                                     std::to_string(request.opcode));
-    }
-  }();
-  if (result.ok()) {
-    responder.SendOk(request, std::move(result).value());
-  } else {
-    responder.SendError(request, result.status());
-  }
 }
 
 namespace {
@@ -107,9 +96,8 @@ class BlockOpTimer {
 
 }  // namespace
 
-Result<Buffer> StorageServer::HandleWrite(const Buffer& payload) {
+Result<Buffer> StorageServer::DoWrite(const WriteBlockRequest& req) {
   BlockOpTimer timer(WriteObs());
-  GLIDER_ASSIGN_OR_RETURN(auto req, WriteBlockRequest::Decode(payload));
   if (req.block >= blocks_.size()) {
     return Status::OutOfRange("block " + std::to_string(req.block));
   }
@@ -139,9 +127,8 @@ Result<Buffer> StorageServer::HandleWrite(const Buffer& payload) {
   return Buffer{};
 }
 
-Result<Buffer> StorageServer::HandleRead(const Buffer& payload) {
+Result<Buffer> StorageServer::DoRead(const ReadBlockRequest& req) {
   BlockOpTimer timer(ReadObs());
-  GLIDER_ASSIGN_OR_RETURN(auto req, ReadBlockRequest::Decode(payload.span()));
   if (req.block >= blocks_.size()) {
     return Status::OutOfRange("block " + std::to_string(req.block));
   }
@@ -157,9 +144,7 @@ Result<Buffer> StorageServer::HandleRead(const Buffer& payload) {
   return block.data.Slice(req.offset, req.length);
 }
 
-Result<Buffer> StorageServer::HandleReset(const Buffer& payload) {
-  GLIDER_ASSIGN_OR_RETURN(auto req,
-                          ResetBlockRequest::Decode(payload.span()));
+Result<Buffer> StorageServer::DoReset(const ResetBlockRequest& req) {
   if (req.block >= blocks_.size()) {
     return Status::OutOfRange("block " + std::to_string(req.block));
   }

@@ -14,12 +14,12 @@
 #include <vector>
 
 #include "common/metrics.h"
-#include "net/transport.h"
+#include "net/service_router.h"
 #include "nodekernel/protocol.h"
 
 namespace glider::nk {
 
-class StorageServer : public net::Service,
+class StorageServer : public net::ServiceRouter,
                       public std::enable_shared_from_this<StorageServer> {
  public:
   struct Options {
@@ -37,7 +37,10 @@ class StorageServer : public net::Service,
   // transport keeps the service alive through its listener).
   Status Start(net::Transport& transport, const std::string& metadata_address);
 
-  void Handle(net::Message request, net::Responder responder) override;
+  // Stops listening (and the listener's worker threads). Idempotent.
+  // Owners must call this: the listener keeps a shared_ptr back to the
+  // service, so the destructor alone never runs while it is listening.
+  void Stop() { listener_.reset(); }
 
   const std::string& address() const { return address_; }
   ServerId server_id() const { return server_id_; }
@@ -46,9 +49,9 @@ class StorageServer : public net::Service,
   std::uint64_t UsedBytes() const;
 
  private:
-  Result<Buffer> HandleWrite(const Buffer& payload);
-  Result<Buffer> HandleRead(const Buffer& payload);
-  Result<Buffer> HandleReset(const Buffer& payload);
+  Result<Buffer> DoWrite(const WriteBlockRequest& req);
+  Result<Buffer> DoRead(const ReadBlockRequest& req);
+  Result<Buffer> DoReset(const ResetBlockRequest& req);
 
   struct Block {
     // Shared sliceable storage, sized lazily up to block_size. Reads are

@@ -61,9 +61,13 @@ Status MiniCluster::Boot() {
 }
 
 MiniCluster::~MiniCluster() {
-  // Servers hold listeners that reference them; drop actives first so their
-  // action threads stop before data servers go away.
+  // The transport listeners hold shared_ptrs back to their services, so a
+  // server is never destroyed by dropping our reference alone — each must
+  // be stopped explicitly. Actives first: joining their method threads may
+  // issue final store RPCs, so the data and metadata tiers must still be up.
+  for (auto& server : active_) server->Stop();
   active_.clear();
+  for (auto& server : data_) server->Stop();
   data_.clear();
   metadata_listeners_.clear();
 }

@@ -1,0 +1,192 @@
+// Threaded stress of the fine-grained server concurrency model: the
+// metadata server's shared_mutex read path, the active server's striped
+// stream table and per-slot locking, and MethodRunner's thread reaping.
+// Iteration counts are sized so the suite stays fast under ASan and TSan
+// (ci/check.sh runs both); the value of these tests is the sanitizer run.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "glider/client/action_node.h"
+#include "testing/cluster.h"
+#include "workloads/actions.h"
+
+namespace glider {
+namespace {
+
+constexpr std::size_t kThreads = 8;
+constexpr int kIterations = 20;
+
+class ConcurrencyStressTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    workloads::RegisterWorkloadActions();
+    testing::ClusterOptions options;
+    options.data_servers = 2;
+    options.active_servers = 2;
+    options.slots_per_server = 32;
+    options.blocks_per_server = 256;
+    auto cluster = testing::MiniCluster::Start(options);
+    ASSERT_TRUE(cluster.ok()) << cluster.status().ToString();
+    cluster_ = std::move(cluster).value();
+  }
+
+  std::unique_ptr<nk::StoreClient> NewClient() {
+    auto client = cluster_->NewInternalClient();
+    EXPECT_TRUE(client.ok());
+    return std::move(client).value();
+  }
+
+  std::unique_ptr<testing::MiniCluster> cluster_;
+};
+
+// Readers (lookup + list) run against the shared_mutex read path while
+// writers create and delete nodes on the same server.
+TEST_F(ConcurrencyStressTest, MetadataReadersOverlapWriters) {
+  {
+    auto setup = NewClient();
+    ASSERT_TRUE(setup->CreateNode("/shared", nk::NodeType::kFile).ok());
+    ASSERT_TRUE(setup->CreateNode("/dir", nk::NodeType::kDirectory).ok());
+  }
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([this, t] {
+      auto client = NewClient();
+      for (int i = 0; i < kIterations; ++i) {
+        if (t % 2 == 0) {
+          ASSERT_TRUE(client->Lookup("/shared").ok());
+          ASSERT_TRUE(client->List("/dir").ok());
+        } else {
+          const std::string path =
+              "/dir/t" + std::to_string(t) + "_" + std::to_string(i);
+          ASSERT_TRUE(client->CreateNode(path, nk::NodeType::kFile).ok());
+          ASSERT_TRUE(client->Delete(path).ok());
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  auto client = NewClient();
+  auto listing = client->List("/dir");
+  ASSERT_TRUE(listing.ok());
+  EXPECT_TRUE(listing->entries.empty());
+}
+
+// Racing creates of one path must elect exactly one winner per round; the
+// path is deleted between rounds so every round races afresh.
+TEST_F(ConcurrencyStressTest, CreateRaceElectsOneWinner) {
+  auto cleaner = NewClient();
+  for (int round = 0; round < 6; ++round) {
+    const std::string path = "/race" + std::to_string(round);
+    std::atomic<int> winners{0};
+    std::vector<std::thread> threads;
+    for (std::size_t t = 0; t < kThreads; ++t) {
+      threads.emplace_back([this, &path, &winners] {
+        auto client = NewClient();
+        auto created = client->CreateNode(path, nk::NodeType::kFile);
+        if (created.ok()) {
+          winners.fetch_add(1);
+        } else {
+          EXPECT_EQ(created.status().code(), StatusCode::kAlreadyExists);
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    EXPECT_EQ(winners.load(), 1) << path;
+    ASSERT_TRUE(cleaner->Delete(path).ok());
+  }
+}
+
+// Each thread repeatedly creates its own action, streams through it, reads
+// the result back and deletes it. Exercises slot reuse under the per-slot
+// locks, the striped stream table, and MethodRunner reaping (every stream
+// open spawns a method thread).
+TEST_F(ConcurrencyStressTest, ActionStreamChurn) {
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([this, t] {
+      auto client = NewClient();
+      for (int i = 0; i < kIterations / 4; ++i) {
+        const std::string path =
+            "/act" + std::to_string(t) + "_" + std::to_string(i);
+        const std::string line = "1," + std::to_string(t) + "\n";
+        auto node = core::ActionNode::Create(*client, path, "glider.merge");
+        ASSERT_TRUE(node.ok()) << node.status().ToString();
+        auto writer = node->OpenWriter();
+        ASSERT_TRUE(writer.ok());
+        ASSERT_TRUE((*writer)->Write(line).ok());
+        ASSERT_TRUE((*writer)->Close().ok());
+        auto reader = node->OpenReader();
+        ASSERT_TRUE(reader.ok());
+        auto chunk = (*reader)->ReadChunk();
+        ASSERT_TRUE(chunk.ok());
+        EXPECT_EQ(chunk->ToString(), line);
+        ASSERT_TRUE((*reader)->Close().ok());
+        ASSERT_TRUE(core::ActionNode::Delete(*client, path).ok());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+// Concurrent writers to ONE interleaved action: per-slot locking must let
+// all streams make progress and deliver every chunk exactly once.
+TEST_F(ConcurrencyStressTest, SharedActionConcurrentWriters) {
+  auto setup = NewClient();
+  auto node =
+      core::ActionNode::Create(*setup, "/merge", "glider.merge",
+                               /*interleave=*/true);
+  ASSERT_TRUE(node.ok()) << node.status().ToString();
+
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([this, t] {
+      auto client = NewClient();
+      auto mine = core::ActionNode::Lookup(*client, "/merge");
+      ASSERT_TRUE(mine.ok());
+      auto writer = mine->OpenWriter();
+      ASSERT_TRUE(writer.ok());
+      for (int i = 0; i < kIterations; ++i) {
+        const std::string line =
+            std::to_string(t) + "," + std::to_string(i) + "\n";
+        ASSERT_TRUE((*writer)->Write(line).ok());
+      }
+      ASSERT_TRUE((*writer)->Close().ok());
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  auto reader = node->OpenReader();
+  ASSERT_TRUE(reader.ok());
+  std::string merged;
+  while (true) {
+    auto chunk = (*reader)->ReadChunk();
+    ASSERT_TRUE(chunk.ok());
+    if (chunk->empty()) break;
+    merged += chunk->ToString();
+  }
+  ASSERT_TRUE((*reader)->Close().ok());
+
+  // The merge aggregates per key: one line per writer, each value the sum
+  // of that writer's 0..kIterations-1. A lost or doubled chunk shows up as
+  // a wrong sum.
+  const long expected_sum = kIterations * (kIterations - 1) / 2;
+  std::size_t lines = 0;
+  std::size_t pos = 0;
+  while (pos < merged.size()) {
+    const std::size_t eol = merged.find('\n', pos);
+    ASSERT_NE(eol, std::string::npos);
+    const std::string line = merged.substr(pos, eol - pos);
+    const std::size_t comma = line.find(',');
+    ASSERT_NE(comma, std::string::npos) << line;
+    EXPECT_EQ(std::stol(line.substr(comma + 1)), expected_sum) << line;
+    ++lines;
+    pos = eol + 1;
+  }
+  EXPECT_EQ(lines, kThreads);
+}
+
+}  // namespace
+}  // namespace glider

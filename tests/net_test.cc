@@ -1,11 +1,15 @@
 // Unit tests of the network plane: message framing, both transports,
-// deferred responders, link shaping and metric attribution.
+// deferred responders, link shaping, metric attribution, and the typed
+// service router / client stub.
 #include <gtest/gtest.h>
 
 #include <thread>
 
+#include "common/serde.h"
 #include "common/stopwatch.h"
 #include "net/inproc_transport.h"
+#include "net/rpc_client.h"
+#include "net/service_router.h"
 #include "net/tcp_transport.h"
 
 namespace glider::net {
@@ -195,6 +199,136 @@ TEST(InProcTransportTest, AddressCollisionRejected) {
   l1->reset();
   auto l3 = transport.Listen("inproc://same", service);
   EXPECT_TRUE(l3.ok());
+}
+
+// ---- ServiceRouter / typed client stub --------------------------------------
+
+struct PairRequest {
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+  Buffer Encode() const {
+    BinaryWriter w;
+    w.PutU32(a);
+    w.PutU32(b);
+    return std::move(w).Finish();
+  }
+  static Result<PairRequest> Decode(ByteSpan bytes) {
+    BinaryReader r(bytes);
+    PairRequest req;
+    GLIDER_ASSIGN_OR_RETURN(req.a, r.U32());
+    GLIDER_ASSIGN_OR_RETURN(req.b, r.U32());
+    return req;
+  }
+};
+
+struct SumResponse {
+  std::uint64_t sum = 0;
+  Buffer Encode() const {
+    BinaryWriter w;
+    w.PutU64(sum);
+    return std::move(w).Finish();
+  }
+  static Result<SumResponse> Decode(ByteSpan bytes) {
+    BinaryReader r(bytes);
+    SumResponse resp;
+    GLIDER_ASSIGN_OR_RETURN(resp.sum, r.U64());
+    return resp;
+  }
+};
+
+// Four routes exercising each router path: a typed struct response, a raw
+// Buffer response, a handler error, and a deferred responder.
+class MathService : public ServiceRouter {
+ public:
+  MathService() : ServiceRouter("math") {
+    Route<PairRequest>(1, "Add", [](const PairRequest& req) -> Result<SumResponse> {
+      return SumResponse{static_cast<std::uint64_t>(req.a) + req.b};
+    });
+    Route<PairRequest>(2, "EchoRaw", [](const PairRequest& req) -> Result<Buffer> {
+      return Buffer::FromString(std::to_string(req.a));
+    });
+    Route<PairRequest>(3, "AlwaysFails", [](const PairRequest&) -> Result<Buffer> {
+      return Status::WrongNodeType("teapot");
+    });
+    RouteDeferred<PairRequest>(
+        4, "AddLater",
+        [](PairRequest req, Message request, Responder responder) {
+          std::thread([req, request, responder = std::move(responder)]() mutable {
+            responder.SendOk(request, SumResponse{req.a + req.b}.Encode());
+          }).detach();
+        });
+  }
+};
+
+class ServiceRouterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    service_ = std::make_shared<MathService>();
+    auto listener = transport_.Listen("", service_);
+    ASSERT_TRUE(listener.ok());
+    listener_ = std::move(listener).value();
+    auto conn = transport_.Connect(listener_->address(), nullptr);
+    ASSERT_TRUE(conn.ok());
+    conn_ = std::move(conn).value();
+  }
+
+  InProcTransport transport_{2};
+  std::shared_ptr<MathService> service_;
+  std::unique_ptr<Listener> listener_;
+  std::shared_ptr<Connection> conn_;
+};
+
+TEST_F(ServiceRouterTest, TypedRoundTripThroughClientStub) {
+  auto resp = Call<SumResponse>(*conn_, 1, PairRequest{40, 2});
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  EXPECT_EQ(resp->sum, 42u);
+}
+
+TEST_F(ServiceRouterTest, BufferResponsePassesThrough) {
+  auto raw = conn_->CallSync(2, PairRequest{123, 0}.Encode());
+  ASSERT_TRUE(raw.ok());
+  EXPECT_EQ(raw->ToString(), "123");
+}
+
+TEST_F(ServiceRouterTest, HandlerErrorTravelsBack) {
+  auto resp = Call<SumResponse>(*conn_, 3, PairRequest{});
+  EXPECT_EQ(resp.status().code(), StatusCode::kWrongNodeType);
+  EXPECT_EQ(resp.status().message(), "teapot");
+}
+
+TEST_F(ServiceRouterTest, DeferredRouteRespondsFromAnotherThread) {
+  auto resp = Call<SumResponse>(*conn_, 4, PairRequest{20, 22});
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->sum, 42u);
+}
+
+TEST_F(ServiceRouterTest, DecodeFailureNamesTheOpcode) {
+  // A 3-byte payload cannot hold two u32 fields.
+  auto result = conn_->CallSync(1, Buffer::FromString("xyz"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("Add"), std::string::npos)
+      << result.status().ToString();
+  EXPECT_NE(result.status().message().find("bad request"), std::string::npos);
+}
+
+TEST_F(ServiceRouterTest, UnroutedOpcodeIsUnimplemented) {
+  auto result = conn_->CallSync(9, Buffer{});
+  EXPECT_EQ(result.status().code(), StatusCode::kUnimplemented);
+  EXPECT_NE(result.status().message().find("math"), std::string::npos)
+      << result.status().ToString();
+}
+
+TEST_F(ServiceRouterTest, OpNameLookup) {
+  EXPECT_STREQ(service_->OpName(1), "Add");
+  EXPECT_EQ(service_->OpName(9), nullptr);
+  EXPECT_EQ(service_->OpName(63), nullptr);
+}
+
+TEST_F(ServiceRouterTest, ObsOpcodesAnsweredBeforeDispatch) {
+  // kStatsDump is handled by the router's shared obs interception even
+  // though MathService never registered it.
+  auto result = conn_->CallSync(kStatsDump, Buffer{});
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
 }
 
 // ---- Link model --------------------------------------------------------------

@@ -81,6 +81,54 @@ TEST_F(PartitionedMetadataTest, FileRoundTripOnEveryPartition) {
   }
 }
 
+TEST_F(PartitionedMetadataTest, HashedPartitionMatchesIdTag) {
+  // The client routes by hash(first path component) % partitions; the
+  // partition stamps its index into the top id byte. The two must agree,
+  // or block operations would route to a partition that never saw the node.
+  for (int i = 0; i < 20; ++i) {
+    const std::string component = "h" + std::to_string(i);
+    const std::size_t expected =
+        std::hash<std::string_view>{}(component) % cluster_->num_metadata();
+    auto info = client_->CreateNode("/" + component, nk::NodeType::kFile);
+    ASSERT_TRUE(info.ok());
+    EXPECT_EQ(info->id >> 56, expected) << component;
+  }
+}
+
+TEST_F(PartitionedMetadataTest, CrossPartitionDeleteFreesEverything) {
+  const std::size_t nodes_before = [&] {
+    std::size_t n = 0;
+    for (std::size_t p = 0; p < cluster_->num_metadata(); ++p) {
+      n += cluster_->metadata(p).NodeCount();
+    }
+    return n;
+  }();
+  std::size_t free_before = 0;
+  for (std::size_t p = 0; p < cluster_->num_metadata(); ++p) {
+    free_before += cluster_->metadata(p).FreeBlocks(nk::kDefaultClass);
+  }
+
+  // Files with data land blocks on whichever partition owns them.
+  for (int i = 0; i < 12; ++i) {
+    const std::string path = "/del" + std::to_string(i);
+    ASSERT_TRUE(client_->PutValue(path, Buffer::FromString("x").span()).ok());
+  }
+  for (int i = 0; i < 12; ++i) {
+    const std::string path = "/del" + std::to_string(i);
+    ASSERT_TRUE(client_->Delete(path).ok());
+    EXPECT_EQ(client_->Lookup(path).status().code(), StatusCode::kNotFound);
+  }
+
+  std::size_t nodes_after = 0;
+  std::size_t free_after = 0;
+  for (std::size_t p = 0; p < cluster_->num_metadata(); ++p) {
+    nodes_after += cluster_->metadata(p).NodeCount();
+    free_after += cluster_->metadata(p).FreeBlocks(nk::kDefaultClass);
+  }
+  EXPECT_EQ(nodes_after, nodes_before);
+  EXPECT_EQ(free_after, free_before);
+}
+
 TEST_F(PartitionedMetadataTest, SubtreeStaysTogether) {
   // Children route with their root component, so parent/child operations
   // hit the same partition.

@@ -29,6 +29,10 @@ class StorageServerTest : public ::testing::Test {
     conn_ = std::move(conn).value();
   }
 
+  // The listener holds a shared_ptr to the server; stop explicitly so the
+  // server object is actually released at the end of the test.
+  void TearDown() override { server_->Stop(); }
+
   Status Write(std::uint32_t block, std::uint32_t offset,
                std::string_view data) {
     WriteBlockRequest req;

@@ -138,5 +138,10 @@ int main(int argc, char** argv) {
   std::printf("running; Ctrl-C to stop\n");
   g_stop.acquire();
   std::printf("shutting down\n");
+  // The listeners hold shared_ptrs back to the services; stop explicitly
+  // so worker/method threads are joined before process teardown.
+  if (storage) storage->Stop();
+  if (active) active->Stop();
+  listener.reset();
   return 0;
 }
