@@ -6,6 +6,8 @@
 #include "common/blocking_queue.h"
 #include "common/buffer_pool.h"
 #include "common/serde.h"
+#include "common/time_series.h"
+#include "common/trace.h"
 #include "glider/stream_channel.h"
 #include "net/inproc_transport.h"
 #include "net/tcp_transport.h"
@@ -143,6 +145,42 @@ void BM_TcpRpc(benchmark::State& state) {
   RpcRoundTrip(state, transport);
 }
 BENCHMARK(BM_TcpRpc)->Arg(64)->Arg(4096)->Arg(262144);
+
+// Round-trip with tracing on but no sampler: the baseline the sampled
+// variant below is compared against (tracing itself costs ~2x on tiny
+// payloads; that is PR 2's known price, not the sampler's).
+void BM_InProcRpcTraced(benchmark::State& state) {
+  const bool was_enabled = obs::Enabled();
+  obs::SetEnabled(true);
+  {
+    net::InProcTransport transport(2);
+    RpcRoundTrip(state, transport);
+  }
+  obs::SetEnabled(was_enabled);
+}
+BENCHMARK(BM_InProcRpcTraced)->Arg(64)->Arg(4096)->Arg(262144);
+
+// Same round-trip with the TimeSeriesSampler snapshotting the registry in
+// the background at an aggressive 10 ms cadence — the acceptance check that
+// the sampler stays off the hot path (compare against BM_InProcRpcTraced).
+void BM_InProcRpcSampled(benchmark::State& state) {
+  const bool was_enabled = obs::Enabled();
+  obs::SetEnabled(true);
+  obs::TimeSeriesSampler::Options sopts;
+  sopts.interval = std::chrono::milliseconds(10);
+  const Status started = obs::TimeSeriesSampler::Global().Start(sopts);
+  if (!started.ok()) {
+    state.SkipWithError("sampler start failed");
+    return;
+  }
+  {
+    net::InProcTransport transport(2);
+    RpcRoundTrip(state, transport);
+  }
+  obs::TimeSeriesSampler::Global().Stop();
+  obs::SetEnabled(was_enabled);
+}
+BENCHMARK(BM_InProcRpcSampled)->Arg(64)->Arg(4096)->Arg(262144);
 
 }  // namespace
 }  // namespace glider

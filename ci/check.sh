@@ -15,6 +15,26 @@ cmake --build build -j "${JOBS}"
 ctest --test-dir build --output-on-failure -j "${JOBS}"
 
 echo
+echo "== soft perf gate: bench/contention vs committed baseline =="
+# Report-only: perf on shared CI machines is noisy, so a regression here
+# warns but never fails the run. Runs only on the tier-1 (unsanitized) build
+# — sanitizer overheads would drown the signal. The bench writes
+# BENCH_contention.json into its working directory, so run it from a scratch
+# dir to leave the committed repo-root baseline untouched. Set
+# GLIDER_SKIP_PERF_GATE=1 to skip entirely (e.g. on known-slow hosts).
+if [[ "${GLIDER_SKIP_PERF_GATE:-0}" == "1" ]]; then
+  echo "perf gate skipped (GLIDER_SKIP_PERF_GATE=1)"
+else
+  mkdir -p build/perf
+  if (cd build/perf && ../bench/contention); then
+    tools/bench_diff.py BENCH_contention.json build/perf/BENCH_contention.json \
+      || echo "perf gate: regression flagged (report-only, not failing CI)"
+  else
+    echo "perf gate: bench/contention failed to run (report-only, ignoring)"
+  fi
+fi
+
+echo
 echo "== ASan: configure + build + ctest =="
 cmake -B build-asan -S . -DGLIDER_SANITIZE=address >/dev/null
 cmake --build build-asan -j "${JOBS}"

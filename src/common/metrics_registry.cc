@@ -1,5 +1,6 @@
 #include "common/metrics_registry.h"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 
@@ -108,9 +109,113 @@ std::string MetricsRegistry::ToJson() const {
 
 void MetricsRegistry::ResetAll() {
   std::scoped_lock lock(mu_);
+  // Bump first: a sampler snapshot taken right after the reset carries the
+  // new generation even if its values race with late in-flight updates.
+  generation_.fetch_add(1, std::memory_order_relaxed);
   for (auto& [name, c] : counters_) c->Reset();
   for (auto& [name, g] : gauges_) g->Reset();
   for (auto& [name, h] : histograms_) h->Reset();
+}
+
+HistogramSnapshot LatencyHistogram::Snapshot() const {
+  HistogramSnapshot snap;
+  for (std::size_t i = 0; i < kNumBuckets; ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  snap.count = Count();
+  snap.sum = Sum();
+  snap.min = Min();
+  snap.max = Max();
+  return snap;
+}
+
+void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  for (std::size_t i = 0; i < LatencyHistogram::kNumBuckets; ++i) {
+    buckets[i] += other.buckets[i];
+  }
+  count += other.count;
+  sum += other.sum;
+  if (other.count != 0) {
+    min = count == other.count ? other.min : std::min(min, other.min);
+    max = std::max(max, other.max);
+  }
+}
+
+std::uint64_t HistogramSnapshot::Percentile(double p) const {
+  if (count == 0) return 0;
+  std::uint64_t rank =
+      static_cast<std::uint64_t>(p / 100.0 * static_cast<double>(count) + 0.5);
+  if (rank == 0) rank = 1;
+  if (rank > count) rank = count;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < LatencyHistogram::kNumBuckets; ++i) {
+    seen += buckets[i];
+    if (seen >= rank) {
+      std::uint64_t bound = LatencyHistogram::BucketUpperBound(i);
+      // Clamp to the observed extremes when they are known (delta windows
+      // report min = 0 = unknown; see DeltaSince).
+      if (min != 0 && bound < min) bound = min;
+      if (max != 0 && bound > max) bound = max;
+      return bound;
+    }
+  }
+  return max;
+}
+
+HistogramSnapshot HistogramSnapshot::DeltaSince(
+    const HistogramSnapshot& prev) const {
+  HistogramSnapshot delta;
+  for (std::size_t i = 0; i < LatencyHistogram::kNumBuckets; ++i) {
+    delta.buckets[i] =
+        buckets[i] >= prev.buckets[i] ? buckets[i] - prev.buckets[i] : 0;
+    delta.count += delta.buckets[i];
+  }
+  delta.sum = sum >= prev.sum ? sum - prev.sum : 0;
+  delta.min = 0;    // unknown for the window
+  delta.max = max;  // cumulative max: a conservative upper bound
+  return delta;
+}
+
+const HistogramSnapshot* MetricsSnapshot::FindHistogram(
+    const std::string& name) const {
+  for (const auto& [n, h] : histograms) {
+    if (n == name) return &h;
+  }
+  return nullptr;
+}
+
+const std::uint64_t* MetricsSnapshot::FindCounter(
+    const std::string& name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return &v;
+  }
+  return nullptr;
+}
+
+const std::int64_t* MetricsSnapshot::FindGauge(const std::string& name) const {
+  for (const auto& [n, v] : gauges) {
+    if (n == name) return &v;
+  }
+  return nullptr;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::scoped_lock lock(mu_);
+  MetricsSnapshot snap;
+  snap.generation = generation_.load(std::memory_order_relaxed);
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.emplace_back(name, c->value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.emplace_back(name, g->value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms.emplace_back(name, h->Snapshot());
+  }
+  return snap;
 }
 
 }  // namespace glider::obs

@@ -19,6 +19,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace glider {
@@ -138,6 +139,11 @@ class LatencyHistogram {
     return buckets_[index].load(std::memory_order_relaxed);
   }
 
+  // Consistent-enough copy of the bucket counts and aggregates (individual
+  // loads are relaxed; concurrent Records may straddle the copy, which is
+  // fine for trend sampling).
+  struct HistogramSnapshot Snapshot() const;
+
   void Reset() {
     for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
     count_.store(0, std::memory_order_relaxed);
@@ -167,6 +173,50 @@ class LatencyHistogram {
   std::atomic<std::uint64_t> max_{0};
 };
 
+// Point-in-time copy of one histogram: the log2 bucket counts plus the
+// aggregates. Value type — snapshots travel across the wire (kSeriesDump),
+// merge across servers (ClusterMonitor) and subtract across time
+// (TimeSeriesSampler windows).
+struct HistogramSnapshot {
+  std::array<std::uint64_t, LatencyHistogram::kNumBuckets> buckets{};
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+
+  // Bucket-wise sum (cluster-wide merge; same semantics as
+  // LatencyHistogram::Merge).
+  void Merge(const HistogramSnapshot& other);
+
+  // Nearest-rank percentile over the snapshot buckets, clamped to
+  // [min, max] when those are known (min <= max and count > 0).
+  std::uint64_t Percentile(double p) const;
+
+  double Mean() const {
+    return count == 0 ? 0.0 : static_cast<double>(sum) / static_cast<double>(count);
+  }
+
+  // Windowed view: what was recorded after `prev` was taken. Negative
+  // deltas (a reset between the two snapshots) clamp to zero. min is
+  // unknown for the window (reported as 0); max keeps the cumulative max
+  // as a conservative bound.
+  HistogramSnapshot DeltaSince(const HistogramSnapshot& prev) const;
+};
+
+// Full registry copy: every counter, gauge and histogram by name, plus the
+// registry generation at capture time (see MetricsRegistry::generation()).
+// Taken under the registry mutex, so it is never torn by ResetAll().
+struct MetricsSnapshot {
+  std::uint64_t generation = 0;
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, std::int64_t>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+
+  const HistogramSnapshot* FindHistogram(const std::string& name) const;
+  const std::uint64_t* FindCounter(const std::string& name) const;
+  const std::int64_t* FindGauge(const std::string& name) const;
+};
+
 class MetricsRegistry {
  public:
   static MetricsRegistry& Global();
@@ -186,11 +236,29 @@ class MetricsRegistry {
   // {count,sum,mean,min,max,p50,p95,p99}}}.
   std::string ToJson() const;
 
-  // Zeroes every registered instrument (bench runs measure deltas).
+  // Copies every instrument under the registry mutex. Because ResetAll()
+  // zeroes under the same mutex, a snapshot observes either all-pre-reset
+  // or all-post-reset values, never a mix; a generation mismatch between
+  // two snapshots tells delta consumers (the sampler) that a reset
+  // happened in between and the earlier baseline is void.
+  MetricsSnapshot Snapshot() const;
+
+  // Bumped by every ResetAll(). Relaxed read; pair with Snapshot() (which
+  // captures it consistently) rather than reading it standalone.
+  std::uint64_t generation() const {
+    return generation_.load(std::memory_order_relaxed);
+  }
+
+  // Zeroes every registered instrument (bench runs measure deltas) and
+  // advances the generation. Snapshot/reset ordering: both take `mu_`, so
+  // a concurrent TimeSeriesSampler never sees a half-reset registry — it
+  // sees the generation change and re-baselines instead of emitting
+  // negative rates.
   void ResetAll();
 
  private:
   mutable std::mutex mu_;
+  std::atomic<std::uint64_t> generation_{0};
   // node-based maps: references returned by Get* are never invalidated.
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;

@@ -1,0 +1,92 @@
+#include "common/prometheus.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace glider::obs {
+
+namespace {
+
+bool ValidStart(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+         c == ':';
+}
+
+bool ValidRest(char c) { return ValidStart(c) || (c >= '0' && c <= '9'); }
+
+void AppendU64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out += buf;
+}
+
+void AppendI64(std::string& out, std::int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string PrometheusSanitize(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    out.push_back(ValidRest(c) ? c : '_');
+  }
+  if (out.empty() || !ValidStart(out.front())) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+std::string PrometheusText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string metric = "glider_" + PrometheusSanitize(name) + "_total";
+    out += "# TYPE " + metric + " counter\n";
+    out += metric + " ";
+    AppendU64(out, value);
+    out.push_back('\n');
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string metric = "glider_" + PrometheusSanitize(name);
+    out += "# TYPE " + metric + " gauge\n";
+    out += metric + " ";
+    AppendI64(out, value);
+    out.push_back('\n');
+  }
+  for (const auto& [name, hist] : snapshot.histograms) {
+    const std::string metric = "glider_" + PrometheusSanitize(name);
+    out += "# TYPE " + metric + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < LatencyHistogram::kNumBuckets; ++i) {
+      if (hist.buckets[i] == 0) continue;  // elide empty log2 buckets
+      // The overflow bucket has no finite upper bound of its own; its
+      // events are only visible in the +Inf series below.
+      if (i >= LatencyHistogram::kNumBuckets - 1) break;
+      cumulative += hist.buckets[i];
+      out += metric + "_bucket{le=\"";
+      AppendU64(out, LatencyHistogram::BucketUpperBound(i));
+      out += "\"} ";
+      AppendU64(out, cumulative);
+      out.push_back('\n');
+    }
+    out += metric + "_bucket{le=\"+Inf\"} ";
+    AppendU64(out, hist.count);
+    out.push_back('\n');
+    out += metric + "_sum ";
+    AppendU64(out, hist.sum);
+    out.push_back('\n');
+    out += metric + "_count ";
+    AppendU64(out, hist.count);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::string PrometheusText(const MetricsRegistry& registry) {
+  return PrometheusText(registry.Snapshot());
+}
+
+}  // namespace glider::obs

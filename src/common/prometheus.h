@@ -1,0 +1,33 @@
+// Prometheus text exposition (version 0.0.4) for the MetricsRegistry, so
+// any glider process can be scraped by off-the-shelf tooling.
+//
+// Mapping:
+//   Counter            -> glider_<name>_total        (TYPE counter)
+//   Gauge              -> glider_<name>              (TYPE gauge)
+//   LatencyHistogram   -> glider_<name>_bucket{le="..."} cumulative series
+//                         over the log2 bucket upper bounds, plus an
+//                         {le="+Inf"} series, glider_<name>_sum and
+//                         glider_<name>_count        (TYPE histogram)
+//
+// Registry names use dots ("rpc.latency.Get"); Prometheus metric names
+// allow only [a-zA-Z_:][a-zA-Z0-9_:]*, so every invalid character becomes
+// '_' and a leading digit gets a '_' prefix. Empty log2 buckets are elided
+// (they add no information to a cumulative series) except the final +Inf.
+#pragma once
+
+#include <string>
+
+#include "common/metrics_registry.h"
+
+namespace glider::obs {
+
+// "rpc.latency.Get" -> "rpc_latency_Get"; never empty (falls back to "_").
+std::string PrometheusSanitize(const std::string& name);
+
+// Renders one snapshot. Ends with a trailing newline as the format requires.
+std::string PrometheusText(const MetricsSnapshot& snapshot);
+
+// Convenience: snapshot + render.
+std::string PrometheusText(const MetricsRegistry& registry);
+
+}  // namespace glider::obs

@@ -1,0 +1,139 @@
+#include "common/time_series.h"
+
+#include "common/trace.h"
+
+namespace glider::obs {
+
+TimeSeriesSampler& TimeSeriesSampler::Global() {
+  static TimeSeriesSampler* sampler = new TimeSeriesSampler();
+  return *sampler;
+}
+
+Status TimeSeriesSampler::Start(Options options) {
+  std::scoped_lock lock(thread_mu_);
+  if (running_) {
+    return Status::FailedPrecondition("sampler already running");
+  }
+  if (options.interval.count() <= 0) {
+    return Status::InvalidArgument("sampler interval must be positive");
+  }
+  stopping_ = false;
+  running_ = true;
+  {
+    std::scoped_lock slock(mu_);
+    interval_ = options.interval;
+  }
+  thread_ = std::thread([this, options] { RunLoop(options); });
+  return Status::Ok();
+}
+
+void TimeSeriesSampler::Stop() {
+  {
+    std::scoped_lock lock(thread_mu_);
+    if (!running_) return;
+    stopping_ = true;
+    stop_cv_.notify_all();
+  }
+  thread_.join();
+  std::scoped_lock lock(thread_mu_);
+  running_ = false;
+}
+
+bool TimeSeriesSampler::running() const {
+  std::scoped_lock lock(thread_mu_);
+  return running_;
+}
+
+void TimeSeriesSampler::RunLoop(Options options) {
+  std::unique_lock lock(thread_mu_);
+  while (!stopping_) {
+    // Sample outside thread_mu_ so Stop() never waits on a snapshot.
+    lock.unlock();
+    SampleOnce(TraceNowMicros(), options.ring_capacity);
+    lock.lock();
+    stop_cv_.wait_for(lock, options.interval, [this] { return stopping_; });
+  }
+}
+
+TimeSeries& TimeSeriesSampler::Ring(const std::string& name,
+                                    std::size_t capacity) {
+  auto it = series_.find(name);
+  if (it == series_.end()) {
+    it = series_.emplace(name, TimeSeries(capacity)).first;
+  }
+  return it->second;
+}
+
+void TimeSeriesSampler::SampleOnce(std::uint64_t t_us,
+                                   std::size_t ring_capacity) {
+  MetricsSnapshot now = registry_.Snapshot();
+  std::scoped_lock lock(mu_);
+  if (!has_baseline_ || now.generation != baseline_.generation ||
+      t_us <= baseline_t_us_) {
+    // First sample, a ResetAll() since the baseline, or a non-advancing
+    // clock (synthetic test timestamps): record the baseline, emit nothing.
+    if (has_baseline_ && now.generation != baseline_.generation) {
+      ++rebaselines_;
+    }
+    baseline_ = std::move(now);
+    baseline_t_us_ = t_us;
+    has_baseline_ = true;
+    return;
+  }
+  const double dt_sec =
+      static_cast<double>(t_us - baseline_t_us_) / 1e6;
+  for (const auto& [name, value] : now.counters) {
+    const std::uint64_t* prev = baseline_.FindCounter(name);
+    const std::uint64_t base = prev ? *prev : 0;
+    const std::uint64_t delta = value >= base ? value - base : 0;
+    Ring(name + ".rate", ring_capacity)
+        .Push({t_us, static_cast<double>(delta) / dt_sec});
+  }
+  for (const auto& [name, value] : now.gauges) {
+    Ring(name, ring_capacity).Push({t_us, static_cast<double>(value)});
+  }
+  for (const auto& [name, hist] : now.histograms) {
+    const HistogramSnapshot* prev = baseline_.FindHistogram(name);
+    const HistogramSnapshot window =
+        prev ? hist.DeltaSince(*prev) : hist;
+    Ring(name + ".rate", ring_capacity)
+        .Push({t_us, static_cast<double>(window.count) / dt_sec});
+    Ring(name + ".p50", ring_capacity)
+        .Push({t_us, static_cast<double>(window.Percentile(50))});
+    Ring(name + ".p99", ring_capacity)
+        .Push({t_us, static_cast<double>(window.Percentile(99))});
+  }
+  baseline_ = std::move(now);
+  baseline_t_us_ = t_us;
+}
+
+std::vector<SeriesData> TimeSeriesSampler::Snapshot() const {
+  std::scoped_lock lock(mu_);
+  std::vector<SeriesData> out;
+  out.reserve(series_.size());
+  for (const auto& [name, ring] : series_) {
+    out.push_back({name, ring.Samples()});
+  }
+  return out;
+}
+
+std::chrono::milliseconds TimeSeriesSampler::interval() const {
+  std::scoped_lock lock(mu_);
+  return interval_;
+}
+
+std::uint64_t TimeSeriesSampler::rebaselines() const {
+  std::scoped_lock lock(mu_);
+  return rebaselines_;
+}
+
+void TimeSeriesSampler::Clear() {
+  std::scoped_lock lock(mu_);
+  series_.clear();
+  has_baseline_ = false;
+  baseline_ = MetricsSnapshot{};
+  baseline_t_us_ = 0;
+  rebaselines_ = 0;
+}
+
+}  // namespace glider::obs

@@ -178,6 +178,123 @@ std::string TraceRecorder::ToChromeJson() const {
   return out;
 }
 
+// ---- slow traces ------------------------------------------------------------
+
+namespace {
+
+void AppendSpanJson(std::string& out, const SpanRecord& s) {
+  out += "{\"name\":\"";
+  for (char c : s.name) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%" PRIu64
+                ",\"dur\":%" PRIu64 ",\"pid\":1,\"tid\":%u,"
+                "\"args\":{\"trace_id\":\"%" PRIx64 "\",\"span_id\":\"%" PRIx64
+                "\",\"parent_span_id\":\"%" PRIx64 "\"}}",
+                s.category, s.start_us, s.dur_us, s.tid, s.trace_id, s.span_id,
+                s.parent_span_id);
+  out += buf;
+}
+
+}  // namespace
+
+SlowTraceStore& SlowTraceStore::Global() {
+  static SlowTraceStore* store = new SlowTraceStore();
+  return *store;
+}
+
+void SlowTraceStore::SetOptions(Options options) {
+  std::scoped_lock lock(mu_);
+  options_ = options;
+}
+
+SlowTraceStore::Options SlowTraceStore::options() const {
+  std::scoped_lock lock(mu_);
+  return options_;
+}
+
+void SlowTraceStore::OnRootSpanEnd(SpanRecord root,
+                                   const TraceRecorder* recorder) {
+  std::scoped_lock lock(mu_);
+  auto& slot = by_name_[root.name];
+  if (!slot) slot = std::make_unique<LatencyHistogram>();
+  // The threshold uses the p99 of *prior* samples: an op is judged against
+  // its history, not against a distribution it is itself part of.
+  const std::uint64_t p99 = slot->Count() == 0 ? 0 : slot->Percentile(99);
+  slot->Record(root.dur_us);
+  std::uint64_t threshold = options_.min_threshold_us;
+  if (p99 != 0) {
+    const double adaptive = options_.multiplier * static_cast<double>(p99);
+    if (adaptive > static_cast<double>(threshold)) {
+      threshold = static_cast<std::uint64_t>(adaptive);
+    }
+  }
+  if (root.dur_us <= threshold) return;
+
+  SlowTrace slow;
+  slow.threshold_us = threshold;
+  if (recorder != nullptr) {
+    // Rare path (this root was an outlier): a full recorder snapshot is
+    // acceptable here and the recorder's locks never take mu_.
+    for (SpanRecord& s : recorder->Snapshot()) {
+      if (s.trace_id == root.trace_id && s.span_id != root.span_id) {
+        slow.spans.push_back(std::move(s));
+      }
+    }
+  }
+  slow.root = std::move(root);
+  ring_.push_back(std::move(slow));
+  while (ring_.size() > options_.capacity) ring_.pop_front();
+}
+
+std::vector<SlowTraceStore::SlowTrace> SlowTraceStore::Snapshot() const {
+  std::scoped_lock lock(mu_);
+  return {ring_.begin(), ring_.end()};
+}
+
+std::size_t SlowTraceStore::size() const {
+  std::scoped_lock lock(mu_);
+  return ring_.size();
+}
+
+void SlowTraceStore::Clear() {
+  std::scoped_lock lock(mu_);
+  ring_.clear();
+  by_name_.clear();
+}
+
+std::string SlowTraceStore::ToJson() const {
+  const std::vector<SlowTrace> traces = Snapshot();
+  std::string out = "{\"slowTraces\":[";
+  char buf[128];
+  bool first = true;
+  for (const SlowTrace& t : traces) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"name\":\"";
+    for (char c : t.root.name) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "\",\"trace_id\":\"%" PRIx64 "\",\"dur_us\":%" PRIu64
+                  ",\"threshold_us\":%" PRIu64 ",\"spans\":[",
+                  t.root.trace_id, t.root.dur_us, t.threshold_us);
+    out += buf;
+    AppendSpanJson(out, t.root);
+    for (const SpanRecord& s : t.spans) {
+      out.push_back(',');
+      AppendSpanJson(out, s);
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
 // ---- spans ------------------------------------------------------------------
 
 void RecordSpan(const char* category, std::string name, TraceContext parent,
@@ -236,6 +353,13 @@ void Span::End() {
   record.dur_us = now > start_us_ ? now - start_us_ : 0;
   record.tid = LocalThreadId();
   t_context = prev_;
+  if (record.parent_span_id == 0) {
+    // Root span closing: record it first so the slow-trace tree copy (if
+    // any) sees the complete trace, then let the store judge it.
+    TraceRecorder::Global().Record(record);
+    SlowTraceStore::Global().OnRootSpanEnd(std::move(record));
+    return;
+  }
   TraceRecorder::Global().Record(std::move(record));
 }
 

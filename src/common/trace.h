@@ -16,11 +16,26 @@
 // Everything is disabled by default: when !Enabled() (one relaxed atomic
 // load), spans are inert and nothing allocates. Set GLIDER_TRACE=1 or call
 // SetEnabled(true) to turn the layer on.
+// Tail-based slow-trace retention (SlowTraceStore): full tracing keeps
+// every span of every request, which is too expensive to leave on in
+// production. The store watches only *root* spans as they close; when one
+// exceeds an adaptive per-op threshold — max(min_threshold, multiplier x
+// the op's live p99, computed from a private per-root-name histogram) —
+// the whole span tree is copied out of the TraceRecorder into a bounded
+// ring, dumpable via kSlowTraceDump / `glider_cli slow-traces`. The p99 an
+// op is judged against excludes the op itself, so the very first samples
+// are judged against min_threshold alone.
 #pragma once
 
 #include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/metrics_registry.h"
 
 namespace glider::obs {
 
@@ -93,6 +108,55 @@ class TraceRecorder {
  private:
   TraceRecorder() = default;
   ThreadBuffer& LocalBuffer();
+};
+
+class SlowTraceStore {
+ public:
+  struct Options {
+    // Spans faster than this are never slow, whatever the p99 says.
+    std::uint64_t min_threshold_us = 1000;
+    // threshold = max(min_threshold_us, multiplier * live p99 of this op).
+    double multiplier = 3.0;
+    // Retained slow traces; oldest evicted first.
+    std::size_t capacity = 64;
+  };
+
+  struct SlowTrace {
+    SpanRecord root;
+    std::uint64_t threshold_us = 0;  // the threshold the root exceeded
+    std::vector<SpanRecord> spans;   // the rest of the tree (root excluded)
+  };
+
+  // The store fed by Span::End in this process (kSlowTraceDump's source).
+  static SlowTraceStore& Global();
+
+  SlowTraceStore() = default;
+  explicit SlowTraceStore(Options options) : options_(options) {}
+
+  void SetOptions(Options options);
+  Options options() const;
+
+  // Judges one closed root span: records its duration into the per-name
+  // histogram and, if it exceeded the adaptive threshold, copies its span
+  // tree from `recorder` (pass nullptr to retain the root alone — tests
+  // feed synthetic records with no recorder backing).
+  void OnRootSpanEnd(SpanRecord root,
+                     const TraceRecorder* recorder = &TraceRecorder::Global());
+
+  std::vector<SlowTrace> Snapshot() const;
+  std::size_t size() const;
+  // Drops retained traces AND the per-op duration histograms.
+  void Clear();
+
+  // {"slowTraces":[{"name":...,"trace_id":"<hex>","dur_us":...,
+  //   "threshold_us":...,"spans":[<chrome X events>]}]}
+  std::string ToJson() const;
+
+ private:
+  mutable std::mutex mu_;
+  Options options_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> by_name_;
+  std::deque<SlowTrace> ring_;
 };
 
 // Records a span assembled manually (async paths where no RAII scope can

@@ -14,6 +14,19 @@ Status Invoker::RunStage(std::size_t n, const WorkerFn& body) {
   std::mutex status_mu;
   Status first_error;
 
+  // Invocation accounting (sampled into rates by the TimeSeriesSampler;
+  // glider_top shows cluster-wide invocations/s and in-flight workers).
+  const bool acct = obs::Enabled();
+  obs::Counter* invocations =
+      acct ? &obs::MetricsRegistry::Global().GetCounter("faas.invocations")
+           : nullptr;
+  obs::Counter* failures =
+      acct ? &obs::MetricsRegistry::Global().GetCounter("faas.failures")
+           : nullptr;
+  obs::Gauge* inflight =
+      acct ? &obs::MetricsRegistry::Global().GetGauge("faas.inflight")
+           : nullptr;
+
   for (std::size_t i = 0; i < n; ++i) {
     threads.emplace_back([&, i] {
       // Each invocation is the root of its own trace tree; the id crosses
@@ -22,8 +35,16 @@ Status Invoker::RunStage(std::size_t n, const WorkerFn& body) {
           obs::Span::Root("faas", "faas.invoke.w" + std::to_string(i));
       const std::uint64_t start_us =
           obs::Enabled() ? obs::TraceNowMicros() : 0;
+      if (acct) {
+        invocations->Increment();
+        inflight->Add(1);
+      }
       auto client = cluster_.NewFaasClient();
       if (!client.ok()) {
+        if (acct) {
+          failures->Increment();
+          inflight->Add(-1);
+        }
         std::scoped_lock lock(status_mu);
         if (first_error.ok()) first_error = client.status();
         return;
@@ -40,7 +61,9 @@ Status Invoker::RunStage(std::size_t n, const WorkerFn& body) {
             .GetHistogram("faas.invoke_us")
             .Record(obs::TraceNowMicros() - start_us);
       }
+      if (acct) inflight->Add(-1);
       if (!status.ok()) {
+        if (acct) failures->Increment();
         GLIDER_LOG(kWarn, "faas")
             << "worker " << i << " failed: " << status.ToString();
         std::scoped_lock lock(status_mu);

@@ -1,5 +1,7 @@
 #include "glider/active_server.h"
 
+#include <time.h>
+
 #include <algorithm>
 #include <utility>
 
@@ -30,6 +32,20 @@ struct ActiveServer::Slot {
   bool interleave = false;
   std::string action_type;
   Buffer config;
+
+  // Per-slot resource accounting ("active.slot<i>.*"), resolved once at
+  // server construction; updates are relaxed atomics behind the
+  // obs::Enabled() gate. `queue_depth` counts methods submitted but not
+  // yet admitted by the monitor; `cpu_us` is method thread CPU time
+  // (CLOCK_THREAD_CPUTIME_ID), the cost-attribution signal glider_top
+  // uses to blame cluster load on individual actions.
+  struct Stats {
+    obs::Counter* invocations = nullptr;
+    obs::Counter* bytes_in = nullptr;
+    obs::Counter* bytes_out = nullptr;
+    obs::Counter* cpu_us = nullptr;
+    obs::Gauge* queue_depth = nullptr;
+  } stats;
 
   std::shared_ptr<Action> LiveObject() const {
     std::scoped_lock lock(obj_mu);
@@ -132,6 +148,16 @@ class ChannelOutputStream : public ActionOutputStream {
   bool closed_ = false;
 };
 
+// CPU time of the calling thread, for per-action cost attribution: wall
+// time alone can't distinguish an action burning a core from one parked on
+// a stream pop.
+std::uint64_t ThreadCpuMicros() {
+  timespec ts{};
+  if (::clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0;
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1000000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec) / 1000u;
+}
+
 // Observability for one action-method execution. Captured on the network
 // worker at submit time (while the RPC server span is the current context),
 // then consumed on the action thread: the submit->monitor-admit gap becomes
@@ -185,10 +211,18 @@ ActiveServer::ActiveServer(Options options,
       options_(std::move(options)),
       registry_(std::move(registry)),
       metrics_(std::move(metrics)) {
+  auto& reg = obs::MetricsRegistry::Global();
+  total_queue_depth_ = &reg.GetGauge("active.queue_depth");
   slots_.reserve(options_.num_slots);
   for (std::uint32_t i = 0; i < options_.num_slots; ++i) {
     auto slot = std::make_shared<Slot>();
     slot->index = i;
+    const std::string prefix = "active.slot" + std::to_string(i) + ".";
+    slot->stats.invocations = &reg.GetCounter(prefix + "invocations");
+    slot->stats.bytes_in = &reg.GetCounter(prefix + "bytes_in");
+    slot->stats.bytes_out = &reg.GetCounter(prefix + "bytes_out");
+    slot->stats.cpu_us = &reg.GetCounter(prefix + "cpu_us");
+    slot->stats.queue_depth = &reg.GetGauge(prefix + "queue_depth");
     slots_.push_back(std::move(slot));
   }
   RouteDeferred<ActionCreateRequest>(
@@ -393,11 +427,22 @@ void ActiveServer::DoActionCreate(ActionCreateRequest req,
   // Instantiate under the action's execution turn: onCreate is user code
   // and follows the single-threaded model like any other method.
   const MethodTrace mt = MethodTrace::Begin("onCreate");
+  const bool acct = obs::Enabled();
+  if (acct) {
+    slot->stats.invocations->Increment();
+    slot->stats.queue_depth->Add(1);
+    total_queue_depth_->Add(1);
+  }
   const Status submitted = action_pool_->Submit(
-      [this, slot, mt, req = std::move(req),
+      [this, slot, mt, acct, req = std::move(req),
        object = std::shared_ptr<Action>(std::move(object).value()),
        request, responder]() mutable {
         slot->monitor.Enter();
+        if (acct) {
+          slot->stats.queue_depth->Add(-1);
+          total_queue_depth_->Add(-1);
+        }
+        const std::uint64_t cpu_start = acct ? ThreadCpuMicros() : 0;
         const std::uint64_t run_start = mt.EnterRun();
         if (slot->LiveObject() != nullptr) {
           slot->monitor.Exit();
@@ -416,6 +461,7 @@ void ActiveServer::DoActionCreate(ActionCreateRequest req,
           slot->object->onCreate(ctx);
           slot->monitor.Exit();
           mt.FinishRun(run_start);
+          if (acct) slot->stats.cpu_us->Add(ThreadCpuMicros() - cpu_start);
           responder.SendOk(request);
         } catch (const std::exception& e) {
           {
@@ -424,12 +470,19 @@ void ActiveServer::DoActionCreate(ActionCreateRequest req,
           }
           slot->monitor.Exit();
           mt.FinishRun(run_start);
+          if (acct) slot->stats.cpu_us->Add(ThreadCpuMicros() - cpu_start);
           responder.SendError(request,
                               Status::Internal(std::string("onCreate: ") +
                                                e.what()));
         }
       });
-  if (!submitted.ok()) responder.SendError(request, submitted);
+  if (!submitted.ok()) {
+    if (acct) {
+      slot->stats.queue_depth->Add(-1);
+      total_queue_depth_->Add(-1);
+    }
+    responder.SendError(request, submitted);
+  }
 }
 
 void ActiveServer::DoActionDelete(SlotRequest req, net::Message request,
@@ -440,9 +493,21 @@ void ActiveServer::DoActionDelete(SlotRequest req, net::Message request,
   }
   auto slot = std::move(slot_result).value();
   const MethodTrace mt = MethodTrace::Begin("onDelete");
+  const bool acct = obs::Enabled();
+  if (acct) {
+    slot->stats.invocations->Increment();
+    slot->stats.queue_depth->Add(1);
+    total_queue_depth_->Add(1);
+  }
   const Status submitted =
-      action_pool_->Submit([this, slot, mt, request, responder]() mutable {
+      action_pool_->Submit([this, slot, mt, acct, request,
+                            responder]() mutable {
         slot->monitor.Enter();
+        if (acct) {
+          slot->stats.queue_depth->Add(-1);
+          total_queue_depth_->Add(-1);
+        }
+        const std::uint64_t cpu_start = acct ? ThreadCpuMicros() : 0;
         const std::uint64_t run_start = mt.EnterRun();
         std::shared_ptr<Action> object = slot->LiveObject();
         if (object == nullptr) {
@@ -462,9 +527,16 @@ void ActiveServer::DoActionDelete(SlotRequest req, net::Message request,
         }
         slot->monitor.Exit();
         mt.FinishRun(run_start);
+        if (acct) slot->stats.cpu_us->Add(ThreadCpuMicros() - cpu_start);
         responder.SendOk(request);
       });
-  if (!submitted.ok()) responder.SendError(request, submitted);
+  if (!submitted.ok()) {
+    if (acct) {
+      slot->stats.queue_depth->Add(-1);
+      total_queue_depth_->Add(-1);
+    }
+    responder.SendError(request, submitted);
+  }
 }
 
 void ActiveServer::DoActionStat(SlotRequest req, net::Message request,
@@ -510,10 +582,24 @@ void ActiveServer::RunMethod(std::shared_ptr<Slot> slot,
                              std::shared_ptr<Stream> stream) {
   const MethodTrace mt = MethodTrace::Begin(
       stream->mode == StreamMode::kWrite ? "onWrite" : "onRead");
-  const Status submitted = action_pool_->Submit([this, slot, stream, mt] {
+  // `acct` is captured so the increment/decrement pair stays balanced even
+  // if observability is toggled while the method is queued.
+  const bool acct = obs::Enabled();
+  if (acct) {
+    slot->stats.invocations->Increment();
+    slot->stats.queue_depth->Add(1);
+    total_queue_depth_->Add(1);
+  }
+  const Status submitted = action_pool_->Submit([this, slot, stream, mt,
+                                                 acct] {
     ActionMonitor* monitor = &slot->monitor;
     ActionMonitor* yield = slot->interleave ? monitor : nullptr;
     monitor->Enter();
+    if (acct) {
+      slot->stats.queue_depth->Add(-1);
+      total_queue_depth_->Add(-1);
+    }
+    const std::uint64_t cpu_start = acct ? ThreadCpuMicros() : 0;
     const std::uint64_t run_start = mt.EnterRun();
     // Methods issue store RPCs of their own; parent those under the method's
     // originating RPC span.
@@ -529,6 +615,7 @@ void ActiveServer::RunMethod(std::shared_ptr<Slot> slot,
       }
       monitor->Exit();
       mt.FinishRun(run_start);
+      if (acct) slot->stats.cpu_us->Add(ThreadCpuMicros() - cpu_start);
       // The method may return before consuming the whole stream; drain so
       // pipelined client writes still get acknowledged, then complete the
       // client's close. Skip when the method already saw end-of-stream.
@@ -556,12 +643,17 @@ void ActiveServer::RunMethod(std::shared_ptr<Slot> slot,
       }
       monitor->Exit();
       mt.FinishRun(run_start);
+      if (acct) slot->stats.cpu_us->Add(ThreadCpuMicros() - cpu_start);
       out.Close();  // idempotent: signals end-of-stream to the reader
       std::scoped_lock lock(stream->close_mu);
       stream->method_done = true;
     }
   });
   if (!submitted.ok()) {
+    if (acct) {
+      slot->stats.queue_depth->Add(-1);
+      total_queue_depth_->Add(-1);
+    }
     GLIDER_LOG(kWarn, "active") << "action pool rejected method";
     stream->channel.Abort();
   }
@@ -576,6 +668,9 @@ void ActiveServer::DoStreamWrite(StreamWriteRequest req, net::Message request,
   if ((*stream)->mode != StreamMode::kWrite) {
     return responder.SendError(request,
                                Status::InvalidArgument("not a write stream"));
+  }
+  if (obs::Enabled()) {
+    slots_[(*stream)->slot]->stats.bytes_in->Add(req.data.size());
   }
   DataTask task;
   task.data = std::move(req.data);
@@ -598,9 +693,12 @@ void ActiveServer::DoStreamRead(StreamReadRequest req, net::Message request,
     return responder.SendError(request,
                                Status::InvalidArgument("not a read stream"));
   }
+  obs::Counter* bytes_out =
+      obs::Enabled() ? slots_[(*stream)->slot]->stats.bytes_out : nullptr;
   (*stream)->channel.AsyncPop(
-      req.seq, [request, responder](Result<DataTask> task) mutable {
+      req.seq, [request, responder, bytes_out](Result<DataTask> task) mutable {
         if (task.ok()) {
+          if (bytes_out != nullptr) bytes_out->Add(task->data.size());
           responder.SendOk(request, std::move(task->data));
         } else {
           // kClosed = end of stream; the client reader treats it as EOF.

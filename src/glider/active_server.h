@@ -167,6 +167,11 @@ class ActiveServer : public net::ServiceRouter,
   std::vector<std::shared_ptr<Slot>> slots_;
   StreamTable streams_;
   std::atomic<std::uint64_t> next_stream_id_{1};
+
+  // Server-wide action queue depth ("active.queue_depth"): methods
+  // submitted to the action pool but not yet admitted by their slot's
+  // monitor. Updated alongside the per-slot gauges.
+  obs::Gauge* total_queue_depth_ = nullptr;
 };
 
 }  // namespace glider::core

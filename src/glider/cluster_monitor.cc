@@ -1,0 +1,127 @@
+#include "glider/cluster_monitor.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "net/rpc_client.h"
+
+namespace glider {
+
+ClusterMonitor::ClusterMonitor(net::Transport* transport,
+                               std::string metadata_address,
+                               std::shared_ptr<net::LinkModel> link)
+    : transport_(transport), metadata_address_(std::move(metadata_address)),
+      link_(std::move(link)) {}
+
+Result<std::shared_ptr<net::Connection>> ClusterMonitor::Conn(
+    const std::string& address) {
+  auto it = conns_.find(address);
+  if (it != conns_.end()) return it->second;
+  GLIDER_ASSIGN_OR_RETURN(auto conn, transport_->Connect(address, link_));
+  conns_[address] = conn;
+  return conn;
+}
+
+Result<nk::ListServersResponse> ClusterMonitor::Discover() {
+  auto conn = Conn(metadata_address_);
+  if (!conn.ok()) {
+    conns_.erase(metadata_address_);
+    return conn.status();
+  }
+  auto resp = net::Call<nk::ListServersResponse>(
+      **conn, nk::kListServers, nk::EmptyRequest{});
+  if (!resp.ok()) conns_.erase(metadata_address_);
+  return resp;
+}
+
+Result<ClusterMonitor::ClusterSample> ClusterMonitor::Poll() {
+  GLIDER_ASSIGN_OR_RETURN(auto discovered, Discover());
+
+  ClusterSample sample;
+  // The metadata server first (it has no registry entry of its own), then
+  // every registered server. Servers that share one process (MiniCluster,
+  // single-daemon deployments) share one registry; polling the same
+  // address twice would double-count, so dedupe by address.
+  std::vector<std::pair<nk::ListServersResponse::Entry, bool>> targets;
+  {
+    nk::ListServersResponse::Entry meta;
+    meta.address = metadata_address_;
+    targets.emplace_back(std::move(meta), true);
+  }
+  for (auto& server : discovered.servers) {
+    targets.emplace_back(std::move(server), false);
+  }
+  std::vector<std::string> seen;
+  for (auto& [entry, is_meta] : targets) {
+    ServerSample s;
+    s.server = std::move(entry);
+    s.is_metadata = is_meta;
+    if (std::find(seen.begin(), seen.end(), s.server.address) != seen.end()) {
+      s.status = Status::AlreadyExists("address already polled");
+      sample.servers.push_back(std::move(s));
+      continue;
+    }
+    seen.push_back(s.server.address);
+    auto conn = Conn(s.server.address);
+    if (!conn.ok()) {
+      s.status = conn.status();
+      sample.servers.push_back(std::move(s));
+      continue;
+    }
+    auto dump = net::Call<net::SeriesDumpResponse>(**conn, net::kSeriesDump,
+                                                   Buffer{});
+    if (!dump.ok()) {
+      conns_.erase(s.server.address);  // reconnect on the next poll
+      s.status = dump.status();
+    } else {
+      s.dump = std::move(dump).value();
+    }
+    sample.servers.push_back(std::move(s));
+  }
+
+  std::vector<const obs::MetricsSnapshot*> snapshots;
+  for (const auto& s : sample.servers) {
+    if (s.status.ok()) snapshots.push_back(&s.dump.snapshot);
+  }
+  sample.merged = Merge(snapshots);
+  return sample;
+}
+
+obs::MetricsSnapshot ClusterMonitor::Merge(
+    const std::vector<const obs::MetricsSnapshot*>& snapshots) {
+  obs::MetricsSnapshot merged;
+  // Order-preserving name -> index maps keep the merged vectors sorted the
+  // way std::map-backed registries emit them (first-seen order).
+  std::map<std::string, std::size_t> counter_idx, gauge_idx, hist_idx;
+  for (const obs::MetricsSnapshot* snap : snapshots) {
+    for (const auto& [name, value] : snap->counters) {
+      auto [it, inserted] =
+          counter_idx.try_emplace(name, merged.counters.size());
+      if (inserted) {
+        merged.counters.emplace_back(name, value);
+      } else {
+        merged.counters[it->second].second += value;
+      }
+    }
+    for (const auto& [name, value] : snap->gauges) {
+      auto [it, inserted] = gauge_idx.try_emplace(name, merged.gauges.size());
+      if (inserted) {
+        merged.gauges.emplace_back(name, value);
+      } else {
+        merged.gauges[it->second].second += value;
+      }
+    }
+    for (const auto& [name, hist] : snap->histograms) {
+      auto [it, inserted] =
+          hist_idx.try_emplace(name, merged.histograms.size());
+      if (inserted) {
+        merged.histograms.emplace_back(name, hist);
+      } else {
+        merged.histograms[it->second].second.Merge(hist);
+      }
+    }
+  }
+  return merged;
+}
+
+}  // namespace glider

@@ -1,0 +1,72 @@
+// ClusterMonitor: the client side of the cluster observability plane
+// (DESIGN.md "Cluster observability").
+//
+// Given one metadata address it discovers every registered server via
+// kListServers, polls each (plus the metadata server itself) with the
+// typed kSeriesDump stub, and merges the per-process registry snapshots
+// into one cluster-wide MetricsSnapshot: counters and gauges sum, log2
+// histograms merge bucket-wise — percentiles over the merged buckets are
+// exact cluster percentiles, not averages of per-server percentiles.
+//
+// glider_top and `glider_cli cluster-stats` are thin views over Poll();
+// the monitor keeps cached connections so a 1-second poll loop costs one
+// RPC per server per tick.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/rpc_obs.h"
+#include "net/transport.h"
+#include "nodekernel/protocol.h"
+
+namespace glider {
+
+class ClusterMonitor {
+ public:
+  // One polled server. `status` is per-server: a dead server marks its
+  // entry unavailable without failing the whole poll.
+  struct ServerSample {
+    nk::ListServersResponse::Entry server;
+    bool is_metadata = false;
+    Status status = Status::Ok();
+    net::SeriesDumpResponse dump;  // valid when status.ok()
+  };
+
+  struct ClusterSample {
+    std::vector<ServerSample> servers;
+    obs::MetricsSnapshot merged;  // across all reachable servers
+  };
+
+  // `transport` must outlive the monitor; `link` (nullable) shapes the
+  // monitoring connections (control-class traffic).
+  ClusterMonitor(net::Transport* transport, std::string metadata_address,
+                 std::shared_ptr<net::LinkModel> link = nullptr);
+
+  // Re-reads the server list from the metadata server. Called implicitly
+  // by Poll(); exposed so tools can list without polling.
+  Result<nk::ListServersResponse> Discover();
+
+  // One poll across the cluster: discover + kSeriesDump everyone. Fails
+  // only when the metadata server itself is unreachable.
+  Result<ClusterSample> Poll();
+
+  // Bucket-wise merge of per-server snapshots (sum counters/gauges, merge
+  // histograms). Public + static: tests and offline tooling merge dumps
+  // without a live cluster.
+  static obs::MetricsSnapshot Merge(
+      const std::vector<const obs::MetricsSnapshot*>& snapshots);
+
+ private:
+  Result<std::shared_ptr<net::Connection>> Conn(const std::string& address);
+
+  net::Transport* transport_;
+  std::string metadata_address_;
+  std::shared_ptr<net::LinkModel> link_;
+  std::map<std::string, std::shared_ptr<net::Connection>> conns_;
+};
+
+}  // namespace glider

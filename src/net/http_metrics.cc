@@ -1,0 +1,170 @@
+#include "net/http_metrics.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/prometheus.h"
+
+namespace glider::net {
+
+namespace {
+
+void SendAll(int fd, const char* data, std::size_t size) {
+  std::size_t off = 0;
+  while (off < size) {
+    const ssize_t n = ::send(fd, data + off, size - off, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;  // scrape client went away; nothing to recover
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+// Reads until the end of the request head ("\r\n\r\n") and returns the
+// request line, or empty on error. Bodies are ignored — /metrics is GET.
+std::string ReadRequestLine(int fd) {
+  std::string head;
+  char buf[1024];
+  while (head.find("\r\n\r\n") == std::string::npos) {
+    if (head.size() > 16 * 1024) return {};  // oversized head: drop
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return {};
+    }
+    head.append(buf, static_cast<std::size_t>(n));
+  }
+  return head.substr(0, head.find("\r\n"));
+}
+
+}  // namespace
+
+struct HttpMetricsServer::Impl {
+  obs::MetricsRegistry* registry = nullptr;
+  int listen_fd = -1;
+  std::string address;
+  std::atomic<bool> stopping{false};
+  std::thread accept_thread;
+  std::mutex threads_mu;
+  std::vector<std::thread> conn_threads;
+
+  void Serve(int cfd) {
+    const std::string request = ReadRequestLine(cfd);
+    std::string response;
+    if (request.rfind("GET /metrics", 0) == 0 ||
+        request.rfind("GET / ", 0) == 0) {
+      const std::string body = obs::PrometheusText(*registry);
+      response =
+          "HTTP/1.1 200 OK\r\n"
+          "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+          "Content-Length: " +
+          std::to_string(body.size()) +
+          "\r\n"
+          "Connection: close\r\n\r\n" +
+          body;
+    } else {
+      response =
+          "HTTP/1.1 404 Not Found\r\n"
+          "Content-Length: 0\r\nConnection: close\r\n\r\n";
+    }
+    SendAll(cfd, response.data(), response.size());
+    ::close(cfd);
+  }
+
+  void AcceptLoop() {
+    while (!stopping.load(std::memory_order_relaxed)) {
+      const int cfd = ::accept(listen_fd, nullptr, nullptr);
+      if (cfd < 0) {
+        if (stopping.load(std::memory_order_relaxed)) return;
+        if (errno == EINTR) continue;
+        return;
+      }
+      std::scoped_lock lock(threads_mu);
+      conn_threads.emplace_back([this, cfd] { Serve(cfd); });
+    }
+  }
+
+  ~Impl() {
+    stopping.store(true, std::memory_order_relaxed);
+    // shutdown() wakes the blocked accept() (EINVAL on Linux); the fd is
+    // written only after the accept thread is joined, so the loop never
+    // reads a closed/reused descriptor.
+    if (listen_fd >= 0) ::shutdown(listen_fd, SHUT_RDWR);
+    if (accept_thread.joinable()) accept_thread.join();
+    if (listen_fd >= 0) {
+      ::close(listen_fd);
+      listen_fd = -1;
+    }
+    std::scoped_lock lock(threads_mu);
+    for (auto& t : conn_threads) {
+      if (t.joinable()) t.join();
+    }
+  }
+};
+
+HttpMetricsServer::HttpMetricsServer(std::unique_ptr<Impl> impl)
+    : impl_(std::move(impl)) {}
+
+HttpMetricsServer::~HttpMetricsServer() = default;
+
+std::string HttpMetricsServer::address() const { return impl_->address; }
+
+Result<std::unique_ptr<HttpMetricsServer>> HttpMetricsServer::Listen(
+    const std::string& address, obs::MetricsRegistry& registry) {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  const auto colon = address.rfind(':');
+  if (colon != std::string::npos) {
+    if (colon != 0) host = address.substr(0, colon);
+    port = std::atoi(address.c_str() + colon + 1);
+  }
+  if (port < 0 || port > 65535) {
+    return Status::InvalidArgument("bad port in " + address);
+  }
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::Internal("socket() failed");
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad host: " + host);
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::Unavailable("bind failed: " + err);
+  }
+  if (::listen(fd, 16) != 0) {
+    ::close(fd);
+    return Status::Unavailable("listen failed");
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len);
+
+  auto impl = std::make_unique<Impl>();
+  impl->registry = &registry;
+  impl->listen_fd = fd;
+  impl->address = host + ":" + std::to_string(ntohs(bound.sin_port));
+  impl->accept_thread = std::thread([raw = impl.get()] { raw->AcceptLoop(); });
+  return std::unique_ptr<HttpMetricsServer>(
+      new HttpMetricsServer(std::move(impl)));
+}
+
+}  // namespace glider::net

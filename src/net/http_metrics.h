@@ -1,0 +1,41 @@
+// Minimal HTTP/1.1 responder serving GET /metrics in Prometheus text
+// exposition format, so off-the-shelf scrapers can pull the process
+// registry without speaking the glider RPC framing.
+//
+// Deliberately tiny: one accept thread, one short-lived thread per request,
+// reads until the request-head terminator, answers, closes. That is all a
+// pull-based scraper at a multi-second scrape interval needs; the RPC data
+// plane keeps its own listener and is untouched by scrapes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/metrics_registry.h"
+#include "common/status.h"
+
+namespace glider::net {
+
+class HttpMetricsServer {
+ public:
+  // Binds host:port ("127.0.0.1:0" picks an ephemeral port; see address()).
+  // The registry must outlive the server.
+  static Result<std::unique_ptr<HttpMetricsServer>> Listen(
+      const std::string& address,
+      obs::MetricsRegistry& registry = obs::MetricsRegistry::Global());
+
+  ~HttpMetricsServer();
+  HttpMetricsServer(const HttpMetricsServer&) = delete;
+  HttpMetricsServer& operator=(const HttpMetricsServer&) = delete;
+
+  // The bound address, with the real port filled in.
+  std::string address() const;
+
+ private:
+  struct Impl;
+  explicit HttpMetricsServer(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace glider::net

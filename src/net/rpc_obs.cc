@@ -5,6 +5,7 @@
 
 #include "common/bytes.h"
 #include "common/metrics.h"
+#include "common/serde.h"
 
 namespace glider::net {
 
@@ -32,8 +33,11 @@ const char* RpcOpName(std::uint16_t opcode) {
     case 52: return "S3SelectSample";
     case 53: return "S3Delete";
     case 54: return "S3Size";
+    case 8: return "ListServers";
     case kStatsDump: return "StatsDump";
     case kTraceDump: return "TraceDump";
+    case kSeriesDump: return "SeriesDump";
+    case kSlowTraceDump: return "SlowTraceDump";
     default: return "OpOther";
   }
 }
@@ -108,7 +112,7 @@ void HandleWithObs(Service& service, Message request, Responder responder,
       ->Record(obs::TraceNowMicros() - start_us);
 }
 
-std::string StatsJson(const Metrics* metrics) {
+void RefreshMirroredGauges(const Metrics* metrics) {
   auto& registry = obs::MetricsRegistry::Global();
   if (metrics != nullptr) registry.MirrorLinkCounters(*metrics);
   registry.GetGauge("data_plane.allocs")
@@ -119,7 +123,130 @@ std::string StatsJson(const Metrics* metrics) {
       .Set(static_cast<std::int64_t>(data_plane::PoolHits()));
   registry.GetGauge("data_plane.pool_misses")
       .Set(static_cast<std::int64_t>(data_plane::PoolMisses()));
-  return registry.ToJson();
+}
+
+std::string StatsJson(const Metrics* metrics) {
+  RefreshMirroredGauges(metrics);
+  return obs::MetricsRegistry::Global().ToJson();
+}
+
+// --- kSeriesDump wire format -------------------------------------------------
+//
+// Histograms as sparse (u8 bucket index, u64 count) pairs: log2 histograms
+// populate a handful of the 64 buckets, so sparse beats dense ~8x.
+
+namespace {
+
+void PutHistogram(BinaryWriter& w, const obs::HistogramSnapshot& h) {
+  w.PutU64(h.count);
+  w.PutU64(h.sum);
+  w.PutU64(h.min);
+  w.PutU64(h.max);
+  std::uint8_t populated = 0;
+  for (std::size_t i = 0; i < obs::LatencyHistogram::kNumBuckets; ++i) {
+    if (h.buckets[i] != 0) ++populated;
+  }
+  w.PutU8(populated);
+  for (std::size_t i = 0; i < obs::LatencyHistogram::kNumBuckets; ++i) {
+    if (h.buckets[i] == 0) continue;
+    w.PutU8(static_cast<std::uint8_t>(i));
+    w.PutU64(h.buckets[i]);
+  }
+}
+
+Result<obs::HistogramSnapshot> GetHistogram(BinaryReader& r) {
+  obs::HistogramSnapshot h;
+  GLIDER_ASSIGN_OR_RETURN(h.count, r.U64());
+  GLIDER_ASSIGN_OR_RETURN(h.sum, r.U64());
+  GLIDER_ASSIGN_OR_RETURN(h.min, r.U64());
+  GLIDER_ASSIGN_OR_RETURN(h.max, r.U64());
+  GLIDER_ASSIGN_OR_RETURN(auto populated, r.U8());
+  for (std::uint8_t i = 0; i < populated; ++i) {
+    GLIDER_ASSIGN_OR_RETURN(auto idx, r.U8());
+    GLIDER_ASSIGN_OR_RETURN(auto count, r.U64());
+    if (idx >= obs::LatencyHistogram::kNumBuckets) {
+      return Status::OutOfRange("histogram bucket index out of range");
+    }
+    h.buckets[idx] = count;
+  }
+  return h;
+}
+
+}  // namespace
+
+Buffer SeriesDumpResponse::Encode() const {
+  BinaryWriter w;
+  w.PutU64(snapshot.generation);
+  w.PutU32(static_cast<std::uint32_t>(snapshot.counters.size()));
+  for (const auto& [name, value] : snapshot.counters) {
+    w.PutString(name);
+    w.PutU64(value);
+  }
+  w.PutU32(static_cast<std::uint32_t>(snapshot.gauges.size()));
+  for (const auto& [name, value] : snapshot.gauges) {
+    w.PutString(name);
+    w.PutI64(value);
+  }
+  w.PutU32(static_cast<std::uint32_t>(snapshot.histograms.size()));
+  for (const auto& [name, hist] : snapshot.histograms) {
+    w.PutString(name);
+    PutHistogram(w, hist);
+  }
+  w.PutU32(static_cast<std::uint32_t>(series.size()));
+  for (const auto& s : series) {
+    w.PutString(s.name);
+    w.PutU32(static_cast<std::uint32_t>(s.samples.size()));
+    for (const auto& sample : s.samples) {
+      w.PutU64(sample.t_us);
+      w.PutDouble(sample.value);
+    }
+  }
+  w.PutU64(sampler_interval_ms);
+  return std::move(w).Finish();
+}
+
+Result<SeriesDumpResponse> SeriesDumpResponse::Decode(ByteSpan payload) {
+  BinaryReader r(payload);
+  SeriesDumpResponse resp;
+  GLIDER_ASSIGN_OR_RETURN(resp.snapshot.generation, r.U64());
+  GLIDER_ASSIGN_OR_RETURN(auto n_counters, r.U32());
+  resp.snapshot.counters.reserve(n_counters);
+  for (std::uint32_t i = 0; i < n_counters; ++i) {
+    GLIDER_ASSIGN_OR_RETURN(auto name, r.String());
+    GLIDER_ASSIGN_OR_RETURN(auto value, r.U64());
+    resp.snapshot.counters.emplace_back(std::move(name), value);
+  }
+  GLIDER_ASSIGN_OR_RETURN(auto n_gauges, r.U32());
+  resp.snapshot.gauges.reserve(n_gauges);
+  for (std::uint32_t i = 0; i < n_gauges; ++i) {
+    GLIDER_ASSIGN_OR_RETURN(auto name, r.String());
+    GLIDER_ASSIGN_OR_RETURN(auto value, r.I64());
+    resp.snapshot.gauges.emplace_back(std::move(name), value);
+  }
+  GLIDER_ASSIGN_OR_RETURN(auto n_hists, r.U32());
+  resp.snapshot.histograms.reserve(n_hists);
+  for (std::uint32_t i = 0; i < n_hists; ++i) {
+    GLIDER_ASSIGN_OR_RETURN(auto name, r.String());
+    GLIDER_ASSIGN_OR_RETURN(auto hist, GetHistogram(r));
+    resp.snapshot.histograms.emplace_back(std::move(name), hist);
+  }
+  GLIDER_ASSIGN_OR_RETURN(auto n_series, r.U32());
+  resp.series.reserve(n_series);
+  for (std::uint32_t i = 0; i < n_series; ++i) {
+    obs::SeriesData s;
+    GLIDER_ASSIGN_OR_RETURN(s.name, r.String());
+    GLIDER_ASSIGN_OR_RETURN(auto n_samples, r.U32());
+    s.samples.reserve(n_samples);
+    for (std::uint32_t j = 0; j < n_samples; ++j) {
+      obs::TimeSeries::Sample sample;
+      GLIDER_ASSIGN_OR_RETURN(sample.t_us, r.U64());
+      GLIDER_ASSIGN_OR_RETURN(sample.value, r.Double());
+      s.samples.push_back(sample);
+    }
+    resp.series.push_back(std::move(s));
+  }
+  GLIDER_ASSIGN_OR_RETURN(resp.sampler_interval_ms, r.U64());
+  return resp;
 }
 
 bool TryHandleObs(Message& request, Responder& responder,
@@ -135,6 +262,29 @@ bool TryHandleObs(Message& request, Responder& responder,
       // Payload byte 0 == 1 requests a clear-after-dump.
       if (request.payload.size() >= 1 && request.payload.data()[0] == 1) {
         recorder.Clear();
+      }
+      responder.SendOk(request, Buffer::FromString(json));
+      return true;
+    }
+    case kSeriesDump: {
+      RefreshMirroredGauges(metrics);
+      SeriesDumpResponse resp;
+      auto& sampler = obs::TimeSeriesSampler::Global();
+      resp.snapshot = obs::MetricsRegistry::Global().Snapshot();
+      resp.series = sampler.Snapshot();
+      resp.sampler_interval_ms = sampler.running()
+                                     ? static_cast<std::uint64_t>(
+                                           sampler.interval().count())
+                                     : 0;
+      responder.SendOk(request, resp.Encode());
+      return true;
+    }
+    case kSlowTraceDump: {
+      auto& store = obs::SlowTraceStore::Global();
+      std::string json = store.ToJson();
+      // Same clear-after-dump convention as kTraceDump.
+      if (request.payload.size() >= 1 && request.payload.data()[0] == 1) {
+        store.Clear();
       }
       responder.SendOk(request, Buffer::FromString(json));
       return true;

@@ -13,8 +13,10 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/metrics_registry.h"
+#include "common/time_series.h"
 #include "common/trace.h"
 #include "net/transport.h"
 
@@ -25,8 +27,10 @@ class Metrics;
 namespace glider::net {
 
 // Management opcodes, outside every service's protocol range.
-inline constexpr std::uint16_t kStatsDump = 990;  // -> MetricsRegistry JSON
-inline constexpr std::uint16_t kTraceDump = 991;  // -> Chrome trace JSON
+inline constexpr std::uint16_t kStatsDump = 990;      // -> MetricsRegistry JSON
+inline constexpr std::uint16_t kTraceDump = 991;      // -> Chrome trace JSON
+inline constexpr std::uint16_t kSeriesDump = 992;     // -> SeriesDumpResponse
+inline constexpr std::uint16_t kSlowTraceDump = 993;  // -> slow-trace JSON
 
 // Human-readable opcode name ("Lookup", "StreamWrite", ...). The table
 // duplicates the per-service protocol enums on purpose: the net layer can't
@@ -75,5 +79,23 @@ bool TryHandleObs(Message& request, Responder& responder,
 // The stats JSON served by kStatsDump: MetricsRegistry::ToJson() after
 // mirroring `metrics` (nullable) and the data-plane/buffer-pool counters.
 std::string StatsJson(const Metrics* metrics);
+
+// Republishes `metrics` (nullable) and the data-plane counters into the
+// global registry without rendering anything — shared by the JSON and
+// binary dump paths so both see identical gauges.
+void RefreshMirroredGauges(const Metrics* metrics);
+
+// kSeriesDump payload: the full registry snapshot (binary, mergeable — the
+// JSON stats dump has no bucket counts) plus every sampler ring. Histograms
+// travel as sparse (bucket index, count) pairs; log2 histograms are mostly
+// empty so this keeps cluster polling cheap.
+struct SeriesDumpResponse {
+  obs::MetricsSnapshot snapshot;
+  std::vector<obs::SeriesData> series;
+  std::uint64_t sampler_interval_ms = 0;  // 0 = sampler not running
+
+  Buffer Encode() const;
+  static Result<SeriesDumpResponse> Decode(ByteSpan payload);
+};
 
 }  // namespace glider::net

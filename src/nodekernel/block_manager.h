@@ -50,6 +50,14 @@ class BlockManager {
 
   Result<const ServerEntry*> GetServer(ServerId id) const;
 
+  // Every registered server, in id order (kListServers discovery).
+  std::vector<const ServerEntry*> ListServers() const {
+    std::vector<const ServerEntry*> out;
+    out.reserve(servers_.size());
+    for (const auto& [id, entry] : servers_) out.push_back(&entry);
+    return out;
+  }
+
   std::uint64_t BlockSizeOf(StorageClassId storage_class) const;
 
   std::uint32_t FreeBlockCount(StorageClassId storage_class) const;

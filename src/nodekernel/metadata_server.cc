@@ -34,6 +34,8 @@ MetadataServer::MetadataServer(net::Transport* transport,
       [this](const SetSizeRequest& req) { return DoSetSize(req); });
   Route<PathRequest>(kList, "List",
                      [this](const PathRequest& req) { return DoList(req); });
+  Route<EmptyRequest>(kListServers, "ListServers",
+                      [this](const EmptyRequest&) { return DoListServers(); });
 }
 
 MetadataServer::~MetadataServer() = default;
@@ -217,6 +219,22 @@ Result<ListResponse> MetadataServer::DoList(const PathRequest& req) {
   resp.entries.reserve(entries.size());
   for (auto& [name, type] : entries) {
     resp.entries.push_back({std::move(name), type});
+  }
+  return resp;
+}
+
+Result<ListServersResponse> MetadataServer::DoListServers() {
+  std::shared_lock lock(mu_);
+  ListServersResponse resp;
+  for (const auto* entry : blocks_.ListServers()) {
+    ListServersResponse::Entry e;
+    e.id = entry->id;
+    e.address = entry->address;
+    e.storage_class = entry->storage_class;
+    e.num_blocks = entry->total_blocks;
+    e.used_blocks = entry->total_blocks -
+                    static_cast<std::uint32_t>(entry->free_blocks.size());
+    resp.servers.push_back(std::move(e));
   }
   return resp;
 }

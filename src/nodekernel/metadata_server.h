@@ -56,6 +56,7 @@ class MetadataServer : public net::ServiceRouter {
   Result<GetBlockResponse> DoGetBlock(const GetBlockRequest& req);
   Result<Buffer> DoSetSize(const SetSizeRequest& req);
   Result<ListResponse> DoList(const PathRequest& req);
+  Result<ListServersResponse> DoListServers();
 
   NodeInfo ToInfo(const NodeRecord& record) const;
 

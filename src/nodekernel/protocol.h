@@ -25,6 +25,7 @@ enum Opcode : std::uint16_t {
   kGetBlock = 5,
   kSetSize = 6,
   kList = 7,
+  kListServers = 8,
 
   // Storage server.
   kWriteBlock = 20,
@@ -268,6 +269,56 @@ struct ListResponse {
       GLIDER_ASSIGN_OR_RETURN(auto type_raw, r.U8());
       e.type = static_cast<NodeType>(type_raw);
       resp.entries.push_back(std::move(e));
+    }
+    return resp;
+  }
+};
+
+struct EmptyRequest {  // kListServers
+  Buffer Encode() const { return {}; }
+  static Result<EmptyRequest> Decode(ByteSpan) { return EmptyRequest{}; }
+};
+
+// Response to kListServers: every server registered with the metadata
+// server, so monitoring tools (ClusterMonitor, glider_top) can discover
+// the whole cluster from the one address they are given. The metadata
+// server itself is not in the list (it has no RegisterServer entry); the
+// caller already knows its address.
+struct ListServersResponse {
+  struct Entry {
+    ServerId id = 0;
+    std::string address;
+    StorageClassId storage_class = kDefaultClass;
+    std::uint32_t num_blocks = 0;   // 0 for active servers
+    std::uint32_t used_blocks = 0;  // blocks currently allocated
+  };
+  std::vector<Entry> servers;
+
+  Buffer Encode() const {
+    BinaryWriter w;
+    w.PutU32(static_cast<std::uint32_t>(servers.size()));
+    for (const auto& s : servers) {
+      w.PutU32(s.id);
+      w.PutString(s.address);
+      w.PutU32(s.storage_class);
+      w.PutU32(s.num_blocks);
+      w.PutU32(s.used_blocks);
+    }
+    return std::move(w).Finish();
+  }
+  static Result<ListServersResponse> Decode(ByteSpan b) {
+    BinaryReader r(b);
+    ListServersResponse resp;
+    GLIDER_ASSIGN_OR_RETURN(auto n, r.U32());
+    resp.servers.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      Entry e;
+      GLIDER_ASSIGN_OR_RETURN(e.id, r.U32());
+      GLIDER_ASSIGN_OR_RETURN(e.address, r.String());
+      GLIDER_ASSIGN_OR_RETURN(e.storage_class, r.U32());
+      GLIDER_ASSIGN_OR_RETURN(e.num_blocks, r.U32());
+      GLIDER_ASSIGN_OR_RETURN(e.used_blocks, r.U32());
+      resp.servers.push_back(std::move(e));
     }
     return resp;
   }

@@ -1,5 +1,8 @@
 #include "testing/cluster.h"
 
+#include "common/time_series.h"
+#include "common/trace.h"
+
 namespace glider::testing {
 
 Result<std::unique_ptr<MiniCluster>> MiniCluster::Start(
@@ -16,6 +19,13 @@ Result<std::unique_ptr<MiniCluster>> MiniCluster::Start(
 }
 
 Status MiniCluster::Boot() {
+  if (options_.sample_interval.count() > 0) {
+    obs::SetEnabled(true);
+    obs::TimeSeriesSampler::Options sopts;
+    sopts.interval = options_.sample_interval;
+    GLIDER_RETURN_IF_ERROR(obs::TimeSeriesSampler::Global().Start(sopts));
+    started_sampler_ = true;
+  }
   metrics_ = std::make_shared<Metrics>();
   if (options_.use_tcp) {
     transport_ = std::make_unique<net::TcpTransport>(options_.net_workers);
@@ -61,6 +71,8 @@ Status MiniCluster::Boot() {
 }
 
 MiniCluster::~MiniCluster() {
+  // Stop the sampler first so no snapshot races the servers' teardown.
+  if (started_sampler_) obs::TimeSeriesSampler::Global().Stop();
   // The transport listeners hold shared_ptrs back to their services, so a
   // server is never destroyed by dropping our reference alone — each must
   // be stopped explicitly. Actives first: joining their method threads may

@@ -49,6 +49,11 @@ struct ClusterOptions {
   std::size_t chunk_size = 256 * 1024;
   std::size_t inflight_window = 4;
 
+  // Nonzero starts the process-wide TimeSeriesSampler at this cadence (and
+  // enables tracing so histograms populate); the cluster stops it on
+  // teardown. Drives kSeriesDump / glider_top against a MiniCluster.
+  std::chrono::milliseconds sample_interval{0};
+
   std::shared_ptr<core::ActionRegistry> registry;  // default: Global()
 };
 
@@ -98,6 +103,7 @@ class MiniCluster {
   Status Boot();
 
   ClusterOptions options_;
+  bool started_sampler_ = false;
   std::shared_ptr<Metrics> metrics_;
   std::unique_ptr<net::Transport> transport_;
   std::vector<std::shared_ptr<nk::MetadataServer>> metadata_;

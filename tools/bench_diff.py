@@ -3,12 +3,17 @@
 and flag regressions.
 
 Usage: tools/bench_diff.py BASELINE.json CANDIDATE.json [--threshold 0.10]
+                           [--json]
 
 Scalars and histogram percentiles are compared pairwise. A metric counts as a
 regression when the candidate is worse than the baseline by more than the
 threshold (default 10%): larger for time/latency/bytes-like metrics, where
 "worse" means bigger. Throughput-like metrics (gbps/bps/speedup) regress when
-they shrink. Exit code is 1 if any regression is flagged, else 0.
+they shrink. Metrics present in only one snapshot are reported in a
+"missing/new metrics" section (renames and dropped instrumentation are easy
+to miss otherwise) but never flagged. With --json the full report is emitted
+as one JSON object on stdout for CI annotation. Exit code is 1 if any
+regression is flagged, else 0.
 """
 
 import argparse
@@ -47,6 +52,8 @@ def main() -> int:
     parser.add_argument("--threshold", type=float, default=0.10,
                         help="relative change that counts as a regression "
                              "(default 0.10 = 10%%)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the report as a JSON object on stdout")
     args = parser.parse_args()
 
     with open(args.baseline) as f:
@@ -55,6 +62,8 @@ def main() -> int:
         cand = flatten(json.load(f))
 
     common = sorted(set(base) & set(cand))
+    baseline_only = sorted(set(base) - set(cand))
+    candidate_only = sorted(set(cand) - set(base))
     if not common:
         print("no common metrics between the two snapshots", file=sys.stderr)
         return 2
@@ -69,14 +78,36 @@ def main() -> int:
             rel = -rel  # shrinking throughput is the regression
         if rel > args.threshold:
             regressions.append((name, b, c, rel))
+    regressions.sort(key=lambda r: -r[3])
+
+    if args.json:
+        report = {
+            "threshold": args.threshold,
+            "compared": len(common),
+            "regressions": [
+                {"name": name, "baseline": b, "candidate": c, "relative": rel}
+                for name, b, c, rel in regressions
+            ],
+            "missing_metrics": baseline_only,
+            "new_metrics": candidate_only,
+        }
+        json.dump(report, sys.stdout, indent=2)
+        print()
+        return 1 if regressions else 0
 
     print(f"compared {len(common)} metrics "
-          f"({len(base) - len(common)} baseline-only, "
-          f"{len(cand) - len(common)} candidate-only)")
+          f"({len(baseline_only)} baseline-only, "
+          f"{len(candidate_only)} candidate-only)")
+    if baseline_only or candidate_only:
+        print("\nmissing/new metrics (not compared):")
+        for name in baseline_only:
+            print(f"  - {name}  (baseline only: dropped or renamed?)")
+        for name in candidate_only:
+            print(f"  + {name}  (candidate only: new instrumentation)")
     if regressions:
         print(f"\n{len(regressions)} regression(s) over "
               f"{args.threshold:.0%} threshold:")
-        for name, b, c, rel in sorted(regressions, key=lambda r: -r[3]):
+        for name, b, c, rel in regressions:
             print(f"  {name}: {b:g} -> {c:g}  ({rel:+.1%})")
         return 1
     print("no regressions flagged")

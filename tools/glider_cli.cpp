@@ -17,6 +17,11 @@
 //   stats <address>                  print a server's metrics as JSON
 //   trace-dump <address> [clear]     print a server's Chrome trace JSON
 //                                    (load in Perfetto / chrome://tracing)
+//   slow-traces <address> [clear]    print a server's retained slow traces
+//   series <address>                 print a server's time-series rings
+//   cluster-stats                    poll every server via the metadata
+//                                    server and print merged metrics
+#include <cinttypes>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -25,6 +30,8 @@
 
 #include "common/trace.h"
 #include "glider/client/action_node.h"
+#include "glider/cluster_monitor.h"
+#include "net/rpc_client.h"
 #include "net/rpc_obs.h"
 #include "net/tcp_transport.h"
 #include "nodekernel/client/store_client.h"
@@ -52,8 +59,8 @@ int Usage() {
   std::fprintf(stderr,
                "usage: glider_cli --metadata host:port "
                "<mkdir|put|get|ls|rm|stat|action-create|action-write|"
-               "action-read|action-rm|stats|trace-dump> <path|address> "
-               "[args]\n");
+               "action-read|action-rm|stats|trace-dump|slow-traces|series|"
+               "cluster-stats> [path|address] [args]\n");
   return 2;
 }
 
@@ -76,6 +83,68 @@ int DumpFromServer(net::TcpTransport& transport, const std::string& address,
   return 0;
 }
 
+// Fetches one server's time-series rings (kSeriesDump) and prints each
+// series' latest window: `<name> n=<samples> last=<value>`.
+int PrintSeries(net::TcpTransport& transport, const std::string& address) {
+  auto conn = transport.Connect(
+      address, net::LinkModel::Unshaped(LinkClass::kControl, nullptr));
+  if (!conn.ok()) return Fail(conn.status());
+  auto dump = net::Call<net::SeriesDumpResponse>(**conn, net::kSeriesDump,
+                                                 Buffer{});
+  if (!dump.ok()) return Fail(dump.status());
+  if (dump->sampler_interval_ms == 0) {
+    std::printf("# sampler not running (start the daemon with --sample-ms)\n");
+  } else {
+    std::printf("# sampler interval: %" PRIu64 " ms\n",
+                dump->sampler_interval_ms);
+  }
+  for (const auto& series : dump->series) {
+    const double last =
+        series.samples.empty() ? 0.0 : series.samples.back().value;
+    std::printf("%-48s n=%-4zu last=%.2f\n", series.name.c_str(),
+                series.samples.size(), last);
+  }
+  return 0;
+}
+
+// Polls every server via the metadata server and prints the merged view.
+int ClusterStats(net::TcpTransport& transport, const std::string& metadata) {
+  ClusterMonitor monitor(&transport, metadata,
+                         net::LinkModel::Unshaped(LinkClass::kControl,
+                                                  nullptr));
+  auto sample = monitor.Poll();
+  if (!sample.ok()) return Fail(sample.status());
+  std::printf("servers:\n");
+  for (const auto& server : sample->servers) {
+    if (server.status.ok()) {
+      std::printf("  %-21s %-8s counters=%zu histograms=%zu\n",
+                  server.server.address.c_str(),
+                  server.is_metadata ? "metadata" : "storage",
+                  server.dump.snapshot.counters.size(),
+                  server.dump.snapshot.histograms.size());
+    } else {
+      std::printf("  %-21s %-8s [%s]\n", server.server.address.c_str(),
+                  server.is_metadata ? "metadata" : "storage",
+                  server.status.ToString().c_str());
+    }
+  }
+  std::printf("merged counters:\n");
+  for (const auto& [name, value] : sample->merged.counters) {
+    std::printf("  %-48s %" PRIu64 "\n", name.c_str(), value);
+  }
+  std::printf("merged gauges:\n");
+  for (const auto& [name, value] : sample->merged.gauges) {
+    std::printf("  %-48s %" PRId64 "\n", name.c_str(), value);
+  }
+  std::printf("merged histograms (count / p50 / p99):\n");
+  for (const auto& [name, hist] : sample->merged.histograms) {
+    std::printf("  %-48s %" PRIu64 " / %" PRIu64 " / %" PRIu64 "\n",
+                name.c_str(), hist.count, hist.Percentile(50),
+                hist.Percentile(99));
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -90,11 +159,16 @@ int main(int argc, char** argv) {
       break;
     }
   }
-  if (metadata.empty() || args.size() < 2) return Usage();
+  if (metadata.empty() || args.empty()) return Usage();
   const std::string command = args[0];
-  const std::string path = args[1];
 
   net::TcpTransport transport(4);
+  // cluster-stats needs only the metadata address; everything else takes a
+  // <path|address> argument.
+  if (command == "cluster-stats") return ClusterStats(transport, metadata);
+  if (args.size() < 2) return Usage();
+  const std::string path = args[1];
+
   // Observability verbs talk to one server directly (the <path> argument is
   // its host:port), no store client needed.
   if (command == "stats") {
@@ -104,6 +178,11 @@ int main(int argc, char** argv) {
     const bool clear = args.size() > 2 && args[2] == "clear";
     return DumpFromServer(transport, path, net::kTraceDump, clear);
   }
+  if (command == "slow-traces") {
+    const bool clear = args.size() > 2 && args[2] == "clear";
+    return DumpFromServer(transport, path, net::kSlowTraceDump, clear);
+  }
+  if (command == "series") return PrintSeries(transport, path);
 
   // With GLIDER_TRACE=1 every other command becomes a trace root, so the
   // servers' trace-dump shows its RPCs; inert otherwise.

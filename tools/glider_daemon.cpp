@@ -16,8 +16,10 @@
 #include <semaphore>
 #include <string>
 
+#include "common/time_series.h"
 #include "common/trace.h"
 #include "glider/active_server.h"
+#include "net/http_metrics.h"
 #include "net/tcp_transport.h"
 #include "nodekernel/metadata_server.h"
 #include "nodekernel/storage_server.h"
@@ -51,7 +53,8 @@ int Usage() {
   std::fprintf(stderr,
                "usage: glider_daemon <metadata|storage|active> [--listen "
                "host:port] [--metadata host:port] [--blocks N] [--block-size "
-               "B] [--class C] [--slots N] [--partition P] [--trace 1]\n");
+               "B] [--class C] [--slots N] [--partition P] [--trace 1] "
+               "[--sample-ms N] [--metrics-listen host:port]\n");
   return 2;
 }
 
@@ -69,6 +72,34 @@ int main(int argc, char** argv) {
   // --trace 1 turns on span recording + latency histograms (GLIDER_TRACE=1
   // in the environment does the same); dump via glider_cli stats/trace-dump.
   if (FlagOr(flags, "trace", "0") == "1") obs::SetEnabled(true);
+  // --sample-ms N starts the in-process time-series sampler (kSeriesDump /
+  // glider_top read its rings). Implies --trace: rates over disabled
+  // histograms would be all zeros.
+  const long sample_ms = std::stol(FlagOr(flags, "sample-ms", "0"));
+  if (sample_ms > 0) {
+    obs::SetEnabled(true);
+    obs::TimeSeriesSampler::Options sopts;
+    sopts.interval = std::chrono::milliseconds(sample_ms);
+    const Status started = obs::TimeSeriesSampler::Global().Start(sopts);
+    if (!started.ok()) {
+      std::fprintf(stderr, "sampler: %s\n", started.ToString().c_str());
+      return 1;
+    }
+  }
+  // --metrics-listen host:port serves GET /metrics (Prometheus text).
+  std::unique_ptr<net::HttpMetricsServer> metrics_http;
+  const std::string metrics_listen = FlagOr(flags, "metrics-listen", "");
+  if (!metrics_listen.empty()) {
+    auto http = net::HttpMetricsServer::Listen(metrics_listen);
+    if (!http.ok()) {
+      std::fprintf(stderr, "metrics-listen: %s\n",
+                   http.status().ToString().c_str());
+      return 1;
+    }
+    metrics_http = std::move(http).value();
+    std::printf("metrics at http://%s/metrics\n",
+                metrics_http->address().c_str());
+  }
   auto metrics = std::make_shared<Metrics>();
   net::TcpTransport transport(16);
   const std::string listen = FlagOr(flags, "listen", "127.0.0.1:0");
