@@ -1,10 +1,17 @@
 // google-benchmark micro-benchmarks of the building blocks: message
 // framing, serde, blocking queue, stream channel, and RPC round-trips over
-// both transports.
+// both transports. main() additionally emits BENCH_profiler_overhead.json
+// (tools/bench_diff.py format) comparing the traced RPC round-trip with and
+// without the 99 Hz sampling profiler.
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <utility>
+#include <vector>
 
 #include "common/blocking_queue.h"
 #include "common/buffer_pool.h"
+#include "common/profiler.h"
 #include "common/serde.h"
 #include "common/time_series.h"
 #include "common/trace.h"
@@ -182,7 +189,97 @@ void BM_InProcRpcSampled(benchmark::State& state) {
 }
 BENCHMARK(BM_InProcRpcSampled)->Arg(64)->Arg(4096)->Arg(262144);
 
+// Same round-trip with the 99 Hz SamplingProfiler interrupting the process:
+// the acceptance check that continuous profiling is cheap enough to leave
+// on (compare against BM_InProcRpcTraced; target is within ~5%).
+void BM_InProcRpcProfiled(benchmark::State& state) {
+  const bool was_enabled = obs::Enabled();
+  obs::SetEnabled(true);
+  obs::SamplingProfiler::Options popts;
+  popts.hz = 99;
+  const Status started = obs::SamplingProfiler::Global().Start(popts);
+  if (!started.ok()) {
+    state.SkipWithError("profiler start failed");
+    return;
+  }
+  {
+    net::InProcTransport transport(2);
+    RpcRoundTrip(state, transport);
+  }
+  state.counters["profile.samples"] = benchmark::Counter(static_cast<double>(
+      obs::SamplingProfiler::Global().SampleCount()));
+  obs::SamplingProfiler::Global().Stop();
+  obs::SetEnabled(was_enabled);
+}
+BENCHMARK(BM_InProcRpcProfiled)->Arg(64)->Arg(4096)->Arg(262144);
+
+// Console output plus a capture of every finished run's adjusted real time,
+// so main() can diff the traced vs profiled variants after the fact.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const auto& run : runs) {
+      if (run.error_occurred) continue;
+      results_.emplace_back(run.benchmark_name(), run.GetAdjustedRealTime());
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  double Find(const std::string& name) const {
+    for (const auto& [n, v] : results_) {
+      if (n == name) return v;
+    }
+    return 0.0;
+  }
+
+ private:
+  std::vector<std::pair<std::string, double>> results_;
+};
+
+// BENCH_profiler_overhead.json, hand-rolled in the BenchJsonWriter format
+// (bench/harness.h) because the micros deliberately do not link the cluster
+// harness. Scalars: per-payload traced/profiled ns and overhead percent.
+void WriteProfilerOverheadJson(const CapturingReporter& reporter) {
+  std::string json = "{\"bench\":\"profiler_overhead\",\"scalars\":{";
+  bool first = true;
+  for (const int arg : {64, 4096, 262144}) {
+    const double traced =
+        reporter.Find("BM_InProcRpcTraced/" + std::to_string(arg));
+    const double profiled =
+        reporter.Find("BM_InProcRpcProfiled/" + std::to_string(arg));
+    if (traced <= 0.0 || profiled <= 0.0) continue;
+    const double overhead_pct = (profiled / traced - 1.0) * 100.0;
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "%s\"traced_ns_%d\":%.9g,\"profiled_ns_%d\":%.9g,"
+                  "\"overhead_pct_%d\":%.9g",
+                  first ? "" : ",", arg, traced, arg, profiled, arg,
+                  overhead_pct);
+    json += buf;
+    first = false;
+  }
+  json += "},\"metrics\":";
+  json += obs::MetricsRegistry::Global().ToJson();
+  json += "}\n";
+  if (first) return;  // neither variant ran (e.g. --benchmark_filter)
+  std::FILE* f = std::fopen("BENCH_profiler_overhead.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_profiler_overhead.json\n");
+    return;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("wrote BENCH_profiler_overhead.json\n");
+}
+
 }  // namespace
 }  // namespace glider
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  glider::CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  glider::WriteProfilerOverheadJson(reporter);
+  return 0;
+}

@@ -24,6 +24,10 @@ echo "== soft perf gate: bench/contention vs committed baseline =="
 # GLIDER_SKIP_PERF_GATE=1 to skip entirely (e.g. on known-slow hosts).
 if [[ "${GLIDER_SKIP_PERF_GATE:-0}" == "1" ]]; then
   echo "perf gate skipped (GLIDER_SKIP_PERF_GATE=1)"
+elif [[ ! -f BENCH_contention.json ]]; then
+  # Fresh checkouts / branches without a committed baseline get a report,
+  # not a failure: there is nothing to diff against.
+  echo "perf gate: no committed BENCH_contention.json baseline (report-only, skipping diff)"
 else
   mkdir -p build/perf
   if (cd build/perf && ../bench/contention); then
@@ -33,6 +37,62 @@ else
     echo "perf gate: bench/contention failed to run (report-only, ignoring)"
   fi
 fi
+
+echo
+echo "== profiler smoke: daemon --profile + workload + glider_cli profile =="
+# Boots a minimal TCP deployment with continuous profiling on, streams a
+# merge workload through an action, then pulls collapsed stacks off the
+# active server with `glider_cli profile`. Fails if the folded output is
+# empty. Artifacts (daemon logs + folded stacks) land in
+# build/profile-smoke/ for the CI system to archive.
+SMOKE_DIR="build/profile-smoke"
+rm -rf "${SMOKE_DIR}"
+mkdir -p "${SMOKE_DIR}"
+SMOKE_PIDS=()
+cleanup_smoke() { kill "${SMOKE_PIDS[@]}" 2>/dev/null || true; }
+trap cleanup_smoke EXIT
+
+build/tools/glider_daemon metadata --listen 127.0.0.1:0 \
+  >"${SMOKE_DIR}/metadata.log" 2>&1 &
+SMOKE_PIDS+=($!)
+META_ADDR=""
+for _ in $(seq 100); do
+  META_ADDR="$(sed -n 's/^metadata server listening at \(.*\)$/\1/p' \
+    "${SMOKE_DIR}/metadata.log")"
+  [[ -n "${META_ADDR}" ]] && break
+  sleep 0.1
+done
+[[ -n "${META_ADDR}" ]] || { echo "metadata daemon did not come up"; exit 1; }
+
+build/tools/glider_daemon storage --metadata "${META_ADDR}" --blocks 256 \
+  >"${SMOKE_DIR}/storage.log" 2>&1 &
+SMOKE_PIDS+=($!)
+# 997 Hz (vs the 99 Hz default) so even this short workload lands enough
+# samples for a deterministic non-empty dump.
+build/tools/glider_daemon active --metadata "${META_ADDR}" --profile-hz 997 \
+  >"${SMOKE_DIR}/active.log" 2>&1 &
+SMOKE_PIDS+=($!)
+ACTIVE_ADDR=""
+for _ in $(seq 100); do
+  ACTIVE_ADDR="$(sed -n 's/^active server (.*) at \([^,]*\), registered .*$/\1/p' \
+    "${SMOKE_DIR}/active.log")"
+  [[ -n "${ACTIVE_ADDR}" ]] && break
+  sleep 0.1
+done
+[[ -n "${ACTIVE_ADDR}" ]] || { echo "active daemon did not come up"; exit 1; }
+
+build/tools/glider_cli --metadata "${META_ADDR}" action-create /smoke glider.merge
+for _ in $(seq 10); do
+  seq 1 2000 | sed 's/$/,1/' \
+    | build/tools/glider_cli --metadata "${META_ADDR}" action-write /smoke
+done
+build/tools/glider_cli --metadata "${META_ADDR}" profile "${ACTIVE_ADDR}" \
+  --seconds 1 --folded "${SMOKE_DIR}/active.folded"
+[[ -s "${SMOKE_DIR}/active.folded" ]] \
+  || { echo "profiler smoke: empty folded output"; exit 1; }
+echo "profiler smoke: $(wc -l <"${SMOKE_DIR}/active.folded") folded stacks (archived in ${SMOKE_DIR})"
+cleanup_smoke
+trap - EXIT
 
 echo
 echo "== ASan: configure + build + ctest =="

@@ -26,6 +26,28 @@ void AppendI64(std::string& out, std::int64_t v) {
   out += buf;
 }
 
+// Renders `labels` as a brace block, optionally appending `extra` (the
+// histogram `le` label, already escaped) last. Empty when there is nothing
+// to render.
+std::string LabelBlock(const PrometheusLabels& labels,
+                       const std::string& extra = {}) {
+  if (labels.empty() && extra.empty()) return {};
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, value] : labels) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += PrometheusSanitize(name) + "=\"" + PrometheusEscapeLabelValue(value) +
+           "\"";
+  }
+  if (!extra.empty()) {
+    if (!first) out.push_back(',');
+    out += extra;
+  }
+  out.push_back('}');
+  return out;
+}
+
 }  // namespace
 
 std::string PrometheusSanitize(const std::string& name) {
@@ -40,25 +62,49 @@ std::string PrometheusSanitize(const std::string& name) {
   return out;
 }
 
-std::string PrometheusText(const MetricsSnapshot& snapshot) {
+std::string PrometheusEscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string PrometheusText(const MetricsSnapshot& snapshot,
+                           const PrometheusLabels& labels) {
+  const std::string label_block = LabelBlock(labels);
   std::string out;
   for (const auto& [name, value] : snapshot.counters) {
     const std::string metric = "glider_" + PrometheusSanitize(name) + "_total";
     out += "# TYPE " + metric + " counter\n";
-    out += metric + " ";
+    out += metric + label_block + " ";
     AppendU64(out, value);
     out.push_back('\n');
   }
   for (const auto& [name, value] : snapshot.gauges) {
     const std::string metric = "glider_" + PrometheusSanitize(name);
     out += "# TYPE " + metric + " gauge\n";
-    out += metric + " ";
+    out += metric + label_block + " ";
     AppendI64(out, value);
     out.push_back('\n');
   }
   for (const auto& [name, hist] : snapshot.histograms) {
     const std::string metric = "glider_" + PrometheusSanitize(name);
     out += "# TYPE " + metric + " histogram\n";
+    // The snapshot's count and per-bucket counts are sampled with relaxed
+    // loads, so under concurrent recording they can disagree. Every series
+    // derives from one reconciled total: +Inf == _count >= any finite le.
+    std::uint64_t bucket_total = 0;
+    for (std::size_t i = 0; i < LatencyHistogram::kNumBuckets; ++i) {
+      bucket_total += hist.buckets[i];
+    }
+    const std::uint64_t total = std::max(hist.count, bucket_total);
     std::uint64_t cumulative = 0;
     for (std::size_t i = 0; i < LatencyHistogram::kNumBuckets; ++i) {
       if (hist.buckets[i] == 0) continue;  // elide empty log2 buckets
@@ -66,27 +112,29 @@ std::string PrometheusText(const MetricsSnapshot& snapshot) {
       // events are only visible in the +Inf series below.
       if (i >= LatencyHistogram::kNumBuckets - 1) break;
       cumulative += hist.buckets[i];
-      out += metric + "_bucket{le=\"";
-      AppendU64(out, LatencyHistogram::BucketUpperBound(i));
-      out += "\"} ";
+      std::string le = "le=\"";
+      AppendU64(le, LatencyHistogram::BucketUpperBound(i));
+      le.push_back('"');
+      out += metric + "_bucket" + LabelBlock(labels, le) + " ";
       AppendU64(out, cumulative);
       out.push_back('\n');
     }
-    out += metric + "_bucket{le=\"+Inf\"} ";
-    AppendU64(out, hist.count);
+    out += metric + "_bucket" + LabelBlock(labels, "le=\"+Inf\"") + " ";
+    AppendU64(out, total);
     out.push_back('\n');
-    out += metric + "_sum ";
+    out += metric + "_sum" + label_block + " ";
     AppendU64(out, hist.sum);
     out.push_back('\n');
-    out += metric + "_count ";
-    AppendU64(out, hist.count);
+    out += metric + "_count" + label_block + " ";
+    AppendU64(out, total);
     out.push_back('\n');
   }
   return out;
 }
 
-std::string PrometheusText(const MetricsRegistry& registry) {
-  return PrometheusText(registry.Snapshot());
+std::string PrometheusText(const MetricsRegistry& registry,
+                           const PrometheusLabels& labels) {
+  return PrometheusText(registry.Snapshot(), labels);
 }
 
 }  // namespace glider::obs

@@ -16,6 +16,8 @@
 #pragma once
 
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/metrics_registry.h"
 
@@ -24,10 +26,25 @@ namespace glider::obs {
 // "rpc.latency.Get" -> "rpc_latency_Get"; never empty (falls back to "_").
 std::string PrometheusSanitize(const std::string& name);
 
+// Escapes a label VALUE per the 0.0.4 text format: backslash, double quote
+// and newline become \\, \" and \n (everything else passes through).
+std::string PrometheusEscapeLabelValue(const std::string& value);
+
+// Labels attached to every exported series ({role="active",...}); values
+// are escaped, names sanitized.
+using PrometheusLabels = std::vector<std::pair<std::string, std::string>>;
+
 // Renders one snapshot. Ends with a trailing newline as the format requires.
-std::string PrometheusText(const MetricsSnapshot& snapshot);
+//
+// Histogram consistency: the cumulative le series, the +Inf bucket and
+// _count all derive from the same total — max(count, sum of bucket counts)
+// — so a snapshot torn across relaxed per-bucket loads still satisfies
+// "+Inf == _count >= every finite le bucket".
+std::string PrometheusText(const MetricsSnapshot& snapshot,
+                           const PrometheusLabels& labels = {});
 
 // Convenience: snapshot + render.
-std::string PrometheusText(const MetricsRegistry& registry);
+std::string PrometheusText(const MetricsRegistry& registry,
+                           const PrometheusLabels& labels = {});
 
 }  // namespace glider::obs

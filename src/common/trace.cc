@@ -250,6 +250,15 @@ void SlowTraceStore::OnRootSpanEnd(SpanRecord root,
   while (ring_.size() > options_.capacity) ring_.pop_front();
 }
 
+void SlowTraceStore::Flag(SpanRecord root, std::uint64_t threshold_us) {
+  std::scoped_lock lock(mu_);
+  SlowTrace slow;
+  slow.threshold_us = threshold_us;
+  slow.root = std::move(root);
+  ring_.push_back(std::move(slow));
+  while (ring_.size() > options_.capacity) ring_.pop_front();
+}
+
 std::vector<SlowTraceStore::SlowTrace> SlowTraceStore::Snapshot() const {
   std::scoped_lock lock(mu_);
   return {ring_.begin(), ring_.end()};

@@ -143,6 +143,11 @@ class SlowTraceStore {
   void OnRootSpanEnd(SpanRecord root,
                      const TraceRecorder* recorder = &TraceRecorder::Global());
 
+  // Retains `root` unconditionally, bypassing the adaptive judgement — the
+  // entry point for out-of-band flaggers (the active server's slot-stall
+  // watchdog). `threshold_us` is reported as the bound that was exceeded.
+  void Flag(SpanRecord root, std::uint64_t threshold_us);
+
   std::vector<SlowTrace> Snapshot() const;
   std::size_t size() const;
   // Drops retained traces AND the per-op duration histograms.

@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/metrics_registry.h"
+#include "common/profiler.h"
 #include "common/trace.h"
 
 namespace glider::faas {
@@ -33,6 +34,8 @@ Status Invoker::RunStage(std::size_t n, const WorkerFn& body) {
       // the wire with every RPC the worker's clients issue.
       obs::Span invoke_span =
           obs::Span::Root("faas", "faas.invoke.w" + std::to_string(i));
+      const std::string profile_tag = "faas.w" + std::to_string(i);
+      obs::ProfileTagScope profile_scope(profile_tag.c_str());
       const std::uint64_t start_us =
           obs::Enabled() ? obs::TraceNowMicros() : 0;
       if (acct) {

@@ -1,5 +1,6 @@
 #include "glider/active_server.h"
 
+#include <pthread.h>
 #include <time.h>
 
 #include <algorithm>
@@ -8,11 +9,77 @@
 #include "common/buffer_pool.h"
 #include "common/logging.h"
 #include "common/metrics_registry.h"
+#include "common/profiler.h"
 #include "common/trace.h"
 #include "net/link_model.h"
 #include "net/rpc_client.h"
 
 namespace glider::core {
+
+// CPU time of the calling thread, for per-action cost attribution: wall
+// time alone can't distinguish an action burning a core from one parked on
+// a stream pop.
+static std::uint64_t ThreadCpuMicros() {
+  timespec ts{};
+  if (::clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0;
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1000000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec) / 1000u;
+}
+
+// Watchdog view of a slot's in-flight method. run_start_us != 0 publishes
+// the rest (written by the method thread before it, read by the watchdog
+// thread). `cpu_clock` is the method thread's CPU clock: the watchdog
+// measures CPU burnt since `cpu_at_progress_us` (bumped on every channel
+// touch), so "stalled" means burning CPU without yielding — a method parked
+// on a channel accrues no CPU and is never flagged. If the thread exits
+// between the run_start check and the clock read, clock_gettime fails and
+// the scan skips the slot.
+struct SlotRunState {
+  std::atomic<std::uint64_t> run_start_us{0};  // wall clock; 0 = idle
+  std::atomic<std::uint64_t> cpu_at_progress_us{0};
+  std::atomic<clockid_t> cpu_clock{CLOCK_THREAD_CPUTIME_ID};
+  std::atomic<const char*> method{""};
+  std::atomic<bool> flagged{false};  // one warning per stall episode
+
+  // Called by the method thread whenever it touches its stream channel —
+  // the watchdog's definition of "yield/progress".
+  void BumpProgress() {
+    cpu_at_progress_us.store(ThreadCpuMicros(), std::memory_order_relaxed);
+    flagged.store(false, std::memory_order_relaxed);
+  }
+};
+
+// Marks a slot's method as running for the watchdog, for the lifetime of
+// the method body on the action thread.
+class MethodRunScope {
+ public:
+  MethodRunScope(SlotRunState* run, const char* method) : run_(run) {
+    clockid_t clock = CLOCK_THREAD_CPUTIME_ID;
+    ::pthread_getcpuclockid(::pthread_self(), &clock);
+    run_->cpu_clock.store(clock, std::memory_order_relaxed);
+    run_->cpu_at_progress_us.store(ThreadCpuMicros(),
+                                   std::memory_order_relaxed);
+    run_->method.store(method, std::memory_order_relaxed);
+    run_->flagged.store(false, std::memory_order_relaxed);
+    start_ = obs::TraceNowMicros();
+    run_->run_start_us.store(start_, std::memory_order_release);
+  }
+  ~MethodRunScope() {
+    // The scope outlives the monitor hand-off (it unwinds after Exit), so
+    // the next method on this slot may already have published its own
+    // start. Clear only our own mark.
+    std::uint64_t expected = start_;
+    run_->run_start_us.compare_exchange_strong(expected, 0,
+                                               std::memory_order_release,
+                                               std::memory_order_relaxed);
+  }
+  MethodRunScope(const MethodRunScope&) = delete;
+  MethodRunScope& operator=(const MethodRunScope&) = delete;
+
+ private:
+  SlotRunState* run_;
+  std::uint64_t start_ = 0;
+};
 
 // One action slot: the unit of active-server capacity. Holds the live
 // action object, its execution monitor, and its creation config.
@@ -44,8 +111,11 @@ struct ActiveServer::Slot {
     obs::Counter* bytes_in = nullptr;
     obs::Counter* bytes_out = nullptr;
     obs::Counter* cpu_us = nullptr;
+    obs::Counter* stalls = nullptr;
     obs::Gauge* queue_depth = nullptr;
   } stats;
+
+  SlotRunState run;
 
   std::shared_ptr<Action> LiveObject() const {
     std::scoped_lock lock(obj_mu);
@@ -92,12 +162,15 @@ class ServerActionContext : public ActionContext {
 // becomes the empty end-of-stream chunk.
 class ChannelInputStream : public ActionInputStream {
  public:
-  ChannelInputStream(StreamChannel* channel, ActionMonitor* monitor)
-      : channel_(channel), monitor_(monitor) {}
+  ChannelInputStream(StreamChannel* channel, ActionMonitor* monitor,
+                     SlotRunState* run)
+      : channel_(channel), monitor_(monitor), run_(run) {}
 
   Result<Buffer> ReadChunk() override {
     if (eos_) return Buffer{};
+    run_->BumpProgress();
     auto task = channel_->BlockingPop(monitor_);
+    run_->BumpProgress();
     if (!task.ok()) {
       // Teardown while reading: surface as end of stream.
       eos_ = true;
@@ -115,17 +188,20 @@ class ChannelInputStream : public ActionInputStream {
  private:
   StreamChannel* channel_;
   ActionMonitor* monitor_;
+  SlotRunState* run_;
   bool eos_ = false;
 };
 
 // Output stream over a read-stream channel.
 class ChannelOutputStream : public ActionOutputStream {
  public:
-  ChannelOutputStream(StreamChannel* channel, ActionMonitor* monitor)
-      : channel_(channel), monitor_(monitor) {}
+  ChannelOutputStream(StreamChannel* channel, ActionMonitor* monitor,
+                      SlotRunState* run)
+      : channel_(channel), monitor_(monitor), run_(run) {}
 
   Status Write(ByteSpan data) override {
     if (closed_) return Status::Closed("output stream closed");
+    run_->BumpProgress();
     DataTask task;
     // One copy, into pooled chunk storage; the network worker later ships
     // this buffer to the wire without copying it again.
@@ -133,7 +209,9 @@ class ChannelOutputStream : public ActionOutputStream {
     std::copy(data.begin(), data.end(), chunk.mutable_span().begin());
     data_plane::RecordCopy(data.size());
     task.data = std::move(chunk);
-    return channel_->BlockingPush(std::move(task), monitor_);
+    const Status admitted = channel_->BlockingPush(std::move(task), monitor_);
+    run_->BumpProgress();
+    return admitted;
   }
 
   void Close() override {
@@ -145,18 +223,9 @@ class ChannelOutputStream : public ActionOutputStream {
  private:
   StreamChannel* channel_;
   ActionMonitor* monitor_;
+  SlotRunState* run_;
   bool closed_ = false;
 };
-
-// CPU time of the calling thread, for per-action cost attribution: wall
-// time alone can't distinguish an action burning a core from one parked on
-// a stream pop.
-std::uint64_t ThreadCpuMicros() {
-  timespec ts{};
-  if (::clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0;
-  return static_cast<std::uint64_t>(ts.tv_sec) * 1000000ull +
-         static_cast<std::uint64_t>(ts.tv_nsec) / 1000u;
-}
 
 // Observability for one action-method execution. Captured on the network
 // worker at submit time (while the RPC server span is the current context),
@@ -180,9 +249,13 @@ struct MethodTrace {
   }
 
   // Call once the monitor admits the method; returns the run start time.
+  // Call with the method's profile tag installed: the queue wait becomes an
+  // off-CPU sample attributed to the method that was kept waiting.
   std::uint64_t EnterRun() const {
     if (!active) return 0;
     const std::uint64_t now = obs::TraceNowMicros();
+    obs::SamplingProfiler::Global().AddWaitSample("action.queue",
+                                                  now - submit_us);
     obs::RecordSpan("action", std::string("action.") + method + ".queue",
                     parent, obs::NewSpanId(), submit_us, now);
     obs::MetricsRegistry::Global()
@@ -213,6 +286,7 @@ ActiveServer::ActiveServer(Options options,
       metrics_(std::move(metrics)) {
   auto& reg = obs::MetricsRegistry::Global();
   total_queue_depth_ = &reg.GetGauge("active.queue_depth");
+  total_stalls_ = &reg.GetCounter("active.stalls");
   slots_.reserve(options_.num_slots);
   for (std::uint32_t i = 0; i < options_.num_slots; ++i) {
     auto slot = std::make_shared<Slot>();
@@ -222,6 +296,7 @@ ActiveServer::ActiveServer(Options options,
     slot->stats.bytes_in = &reg.GetCounter(prefix + "bytes_in");
     slot->stats.bytes_out = &reg.GetCounter(prefix + "bytes_out");
     slot->stats.cpu_us = &reg.GetCounter(prefix + "cpu_us");
+    slot->stats.stalls = &reg.GetCounter(prefix + "stalls");
     slot->stats.queue_depth = &reg.GetGauge(prefix + "queue_depth");
     slots_.push_back(std::move(slot));
   }
@@ -320,6 +395,12 @@ void ActiveServer::Stop() {
   // streams first: a method blocked on a stream the client abandoned
   // without closing would otherwise block the join forever.
   listener_.reset();
+  {
+    std::scoped_lock lock(watchdog_mu_);
+    watchdog_stop_ = true;
+  }
+  watchdog_cv_.notify_all();
+  if (watchdog_.joinable()) watchdog_.join();
   streams_.AbortAll();
   if (action_pool_) action_pool_->Shutdown();
   // With the methods joined, nothing touches the internal client or the
@@ -366,7 +447,62 @@ Status ActiveServer::Start(net::Transport& transport,
                           nk::StoreClient::Connect(std::move(copts)));
 
   action_pool_ = std::make_unique<MethodRunner>();
+
+  if (options_.stall_multiple > 0 && options_.interleave_quantum.count() > 0 &&
+      !watchdog_.joinable()) {
+    {
+      std::scoped_lock lock(watchdog_mu_);
+      watchdog_stop_ = false;
+    }
+    watchdog_ = std::thread([this] { WatchdogLoop(); });
+  }
   return Status::Ok();
+}
+
+void ActiveServer::WatchdogLoop() {
+  const std::uint64_t threshold_us = static_cast<std::uint64_t>(
+      options_.stall_multiple *
+      static_cast<double>(options_.interleave_quantum.count()) * 1000.0);
+  std::unique_lock lock(watchdog_mu_);
+  while (!watchdog_stop_) {
+    watchdog_cv_.wait_for(lock, options_.watchdog_interval,
+                          [&] { return watchdog_stop_; });
+    if (watchdog_stop_) return;
+    for (const auto& slot : slots_) {
+      SlotRunState& run = slot->run;
+      const std::uint64_t run_start =
+          run.run_start_us.load(std::memory_order_acquire);
+      if (run_start == 0) continue;  // idle
+      if (run.flagged.load(std::memory_order_relaxed)) continue;
+      // CPU burnt by the method thread since it last touched a channel. A
+      // clock_gettime failure means the thread already exited — skip.
+      timespec ts{};
+      const clockid_t clock = run.cpu_clock.load(std::memory_order_relaxed);
+      if (::clock_gettime(clock, &ts) != 0) continue;
+      const std::uint64_t cpu_now =
+          static_cast<std::uint64_t>(ts.tv_sec) * 1000000ull +
+          static_cast<std::uint64_t>(ts.tv_nsec) / 1000u;
+      const std::uint64_t cpu_base =
+          run.cpu_at_progress_us.load(std::memory_order_relaxed);
+      if (cpu_now <= cpu_base || cpu_now - cpu_base <= threshold_us) continue;
+      const std::uint64_t stalled_us = cpu_now - cpu_base;
+      run.flagged.store(true, std::memory_order_relaxed);  // once per episode
+      const char* method = run.method.load(std::memory_order_relaxed);
+      total_stalls_->Increment();
+      slot->stats.stalls->Increment();
+      GLIDER_LOG(kWarn, "active")
+          << "slot " << slot->index << " method " << method << " on-CPU "
+          << stalled_us << "us without yielding (threshold " << threshold_us
+          << "us = " << options_.stall_multiple << " x "
+          << options_.interleave_quantum.count() << "ms quantum)";
+      obs::SpanRecord record;
+      record.name = "stall.slot" + std::to_string(slot->index) + "." + method;
+      record.category = "active";
+      record.start_us = run_start;
+      record.dur_us = stalled_us;
+      obs::SlowTraceStore::Global().Flag(std::move(record), threshold_us);
+    }
+  }
 }
 
 void ActiveServer::StreamTable::Insert(std::uint64_t id,
@@ -442,6 +578,14 @@ void ActiveServer::DoActionCreate(ActionCreateRequest req,
           slot->stats.queue_depth->Add(-1);
           total_queue_depth_->Add(-1);
         }
+        std::string profile_tag;
+        if (obs::SamplingProfiler::ActiveFast()) {
+          profile_tag = "slot" + std::to_string(slot->index) + ":" +
+                        req.action_type + ".onCreate";
+        }
+        obs::ProfileTagScope ptag(profile_tag.empty() ? nullptr
+                                                      : profile_tag.c_str());
+        MethodRunScope run_scope(&slot->run, "onCreate");
         const std::uint64_t cpu_start = acct ? ThreadCpuMicros() : 0;
         const std::uint64_t run_start = mt.EnterRun();
         if (slot->LiveObject() != nullptr) {
@@ -507,6 +651,14 @@ void ActiveServer::DoActionDelete(SlotRequest req, net::Message request,
           slot->stats.queue_depth->Add(-1);
           total_queue_depth_->Add(-1);
         }
+        std::string profile_tag;
+        if (obs::SamplingProfiler::ActiveFast()) {
+          profile_tag = "slot" + std::to_string(slot->index) + ":" +
+                        slot->action_type + ".onDelete";
+        }
+        obs::ProfileTagScope ptag(profile_tag.empty() ? nullptr
+                                                      : profile_tag.c_str());
+        MethodRunScope run_scope(&slot->run, "onDelete");
         const std::uint64_t cpu_start = acct ? ThreadCpuMicros() : 0;
         const std::uint64_t run_start = mt.EnterRun();
         std::shared_ptr<Action> object = slot->LiveObject();
@@ -592,6 +744,8 @@ void ActiveServer::RunMethod(std::shared_ptr<Slot> slot,
   }
   const Status submitted = action_pool_->Submit([this, slot, stream, mt,
                                                  acct] {
+    const char* method_name =
+        stream->mode == StreamMode::kWrite ? "onWrite" : "onRead";
     ActionMonitor* monitor = &slot->monitor;
     ActionMonitor* yield = slot->interleave ? monitor : nullptr;
     monitor->Enter();
@@ -599,6 +753,17 @@ void ActiveServer::RunMethod(std::shared_ptr<Slot> slot,
       slot->stats.queue_depth->Add(-1);
       total_queue_depth_->Add(-1);
     }
+    // Attribution tag for the profiler: every CPU sample taken on this
+    // thread while the method runs lands under the slot it is serving.
+    // Built only when the profiler is on (string concat on the hot path).
+    std::string profile_tag;
+    if (obs::SamplingProfiler::ActiveFast()) {
+      profile_tag = "slot" + std::to_string(slot->index) + ":" +
+                    slot->action_type + "." + method_name;
+    }
+    obs::ProfileTagScope ptag(profile_tag.empty() ? nullptr
+                                                  : profile_tag.c_str());
+    MethodRunScope run_scope(&slot->run, method_name);
     const std::uint64_t cpu_start = acct ? ThreadCpuMicros() : 0;
     const std::uint64_t run_start = mt.EnterRun();
     // Methods issue store RPCs of their own; parent those under the method's
@@ -607,7 +772,7 @@ void ActiveServer::RunMethod(std::shared_ptr<Slot> slot,
     ServerActionContext ctx(internal_client_.get(), slot->config.span());
     std::shared_ptr<Action> object = slot->LiveObject();
     if (stream->mode == StreamMode::kWrite) {
-      ChannelInputStream in(&stream->channel, yield);
+      ChannelInputStream in(&stream->channel, yield, &slot->run);
       try {
         if (object != nullptr) object->onWrite(in, ctx);
       } catch (const std::exception& e) {
@@ -635,7 +800,7 @@ void ActiveServer::RunMethod(std::shared_ptr<Slot> slot,
         close_responder.SendOk(close_request);
       }
     } else {
-      ChannelOutputStream out(&stream->channel, yield);
+      ChannelOutputStream out(&stream->channel, yield, &slot->run);
       try {
         if (object != nullptr) object->onRead(out, ctx);
       } catch (const std::exception& e) {

@@ -21,6 +21,8 @@
 
 #include <array>
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -62,6 +64,16 @@ class ActiveServer : public net::ServiceRouter,
     LinkClass internal_link_class = LinkClass::kInternal;
     // Bandwidth of the internal link (0 = unshaped).
     std::uint64_t internal_link_bps = 0;
+
+    // Slot-stall watchdog (DESIGN.md "Continuous profiling"): a method that
+    // burns more than stall_multiple × interleave_quantum of CPU without
+    // yielding (touching its stream channel) is flagged — "active.stalls"
+    // counter + slow-trace entry + kWarn log. The stall measure is the
+    // method thread's CPU clock, so a method legitimately parked on a
+    // channel is never flagged. stall_multiple = 0 disables the watchdog.
+    std::chrono::milliseconds interleave_quantum{50};
+    double stall_multiple = 8.0;
+    std::chrono::milliseconds watchdog_interval{10};
   };
 
   ActiveServer(Options options, std::shared_ptr<ActionRegistry> registry,
@@ -109,6 +121,10 @@ class ActiveServer : public net::ServiceRouter,
 
   // Runs one stream's action method on the action pool.
   void RunMethod(std::shared_ptr<Slot> slot, std::shared_ptr<Stream> stream);
+
+  // Slot-stall watchdog body: scans slots every watchdog_interval and flags
+  // methods that exceeded the CPU budget without yielding.
+  void WatchdogLoop();
 
   const Options options_;
   std::shared_ptr<ActionRegistry> registry_;
@@ -172,6 +188,13 @@ class ActiveServer : public net::ServiceRouter,
   // submitted to the action pool but not yet admitted by their slot's
   // monitor. Updated alongside the per-slot gauges.
   obs::Gauge* total_queue_depth_ = nullptr;
+
+  // Stall watchdog state; the thread runs between Start() and Stop().
+  obs::Counter* total_stalls_ = nullptr;
+  std::thread watchdog_;
+  std::mutex watchdog_mu_;
+  std::condition_variable watchdog_cv_;
+  bool watchdog_stop_ = false;
 };
 
 }  // namespace glider::core

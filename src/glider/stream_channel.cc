@@ -3,11 +3,25 @@
 #include <utility>
 
 #include "common/metrics_registry.h"
+#include "common/profiler.h"
 #include "common/trace.h"
 
 namespace glider::core {
 
 namespace {
+
+// Off-CPU attribution: reports one channel-block episode to the profiler as
+// a wait sample under the blocking thread's tag. `start_us` is 0 when the
+// profiler was inactive at block time.
+void ReportChannelWait(const char* kind, std::uint64_t start_us) {
+  if (start_us == 0) return;
+  obs::SamplingProfiler::Global().AddWaitSample(
+      kind, obs::TraceNowMicros() - start_us);
+}
+
+std::uint64_t WaitStart() {
+  return obs::SamplingProfiler::ActiveFast() ? obs::TraceNowMicros() : 0;
+}
 
 // Counts monitor-yield events (the action gave up its execution turn while
 // blocked on channel capacity/data — the interleaving mechanism of §4.3).
@@ -141,6 +155,7 @@ Result<DataTask> StreamChannel::BlockingPop(ActionMonitor* monitor) {
       // closed means teardown.
       return Status::Closed("stream closed");
     }
+    const std::uint64_t wait_start = WaitStart();
     if (monitor != nullptr) {
       if (obs::Enabled()) YieldCounter().Increment();
       monitor->Exit();
@@ -151,6 +166,7 @@ Result<DataTask> StreamChannel::BlockingPop(ActionMonitor* monitor) {
     } else {
       cv_.wait(lock);
     }
+    ReportChannelWait("channel.pop", wait_start);
   }
 }
 
@@ -167,6 +183,7 @@ Status StreamChannel::BlockingPush(DataTask task, ActionMonitor* monitor) {
       fire.FireAll();
       return Status::Ok();
     }
+    const std::uint64_t wait_start = WaitStart();
     if (monitor != nullptr) {
       if (obs::Enabled()) YieldCounter().Increment();
       monitor->Exit();
@@ -177,6 +194,7 @@ Status StreamChannel::BlockingPush(DataTask task, ActionMonitor* monitor) {
     } else {
       cv_.wait(lock);
     }
+    ReportChannelWait("channel.push", wait_start);
   }
 }
 

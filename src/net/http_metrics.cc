@@ -52,6 +52,7 @@ std::string ReadRequestLine(int fd) {
 
 struct HttpMetricsServer::Impl {
   obs::MetricsRegistry* registry = nullptr;
+  obs::PrometheusLabels labels;
   int listen_fd = -1;
   std::string address;
   std::atomic<bool> stopping{false};
@@ -64,7 +65,7 @@ struct HttpMetricsServer::Impl {
     std::string response;
     if (request.rfind("GET /metrics", 0) == 0 ||
         request.rfind("GET / ", 0) == 0) {
-      const std::string body = obs::PrometheusText(*registry);
+      const std::string body = obs::PrometheusText(*registry, labels);
       response =
           "HTTP/1.1 200 OK\r\n"
           "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
@@ -121,7 +122,8 @@ HttpMetricsServer::~HttpMetricsServer() = default;
 std::string HttpMetricsServer::address() const { return impl_->address; }
 
 Result<std::unique_ptr<HttpMetricsServer>> HttpMetricsServer::Listen(
-    const std::string& address, obs::MetricsRegistry& registry) {
+    const std::string& address, obs::MetricsRegistry& registry,
+    obs::PrometheusLabels labels) {
   std::string host = "127.0.0.1";
   int port = 0;
   const auto colon = address.rfind(':');
@@ -160,6 +162,7 @@ Result<std::unique_ptr<HttpMetricsServer>> HttpMetricsServer::Listen(
 
   auto impl = std::make_unique<Impl>();
   impl->registry = &registry;
+  impl->labels = std::move(labels);
   impl->listen_fd = fd;
   impl->address = host + ":" + std::to_string(ntohs(bound.sin_port));
   impl->accept_thread = std::thread([raw = impl.get()] { raw->AcceptLoop(); });

@@ -13,6 +13,7 @@
 #include <string>
 
 #include "common/metrics_registry.h"
+#include "common/prometheus.h"
 #include "common/status.h"
 
 namespace glider::net {
@@ -20,10 +21,13 @@ namespace glider::net {
 class HttpMetricsServer {
  public:
   // Binds host:port ("127.0.0.1:0" picks an ephemeral port; see address()).
-  // The registry must outlive the server.
+  // The registry must outlive the server. `labels` are attached to every
+  // exported series (e.g. {{"role", "active"}}) so scrapes from several
+  // daemons on one host stay distinguishable.
   static Result<std::unique_ptr<HttpMetricsServer>> Listen(
       const std::string& address,
-      obs::MetricsRegistry& registry = obs::MetricsRegistry::Global());
+      obs::MetricsRegistry& registry = obs::MetricsRegistry::Global(),
+      obs::PrometheusLabels labels = {});
 
   ~HttpMetricsServer();
   HttpMetricsServer(const HttpMetricsServer&) = delete;

@@ -2,9 +2,11 @@
 
 #include <array>
 #include <atomic>
+#include <cstring>
 
 #include "common/bytes.h"
 #include "common/metrics.h"
+#include "common/profiler.h"
 #include "common/serde.h"
 
 namespace glider::net {
@@ -38,6 +40,7 @@ const char* RpcOpName(std::uint16_t opcode) {
     case kTraceDump: return "TraceDump";
     case kSeriesDump: return "SeriesDump";
     case kSlowTraceDump: return "SlowTraceDump";
+    case kProfileDump: return "ProfileDump";
     default: return "OpOther";
   }
 }
@@ -65,6 +68,36 @@ obs::LatencyHistogram* RpcHistogram(bool server_side, int transport_index,
   }
   return hist;
 }
+
+namespace {
+
+// Profiler attribution tags for server-side dispatch, interned per opcode so
+// the hot path hands ProfileTagScope a stable const char* (no per-request
+// string build). Same atomic-pointer-table idiom as RpcHistogram.
+const char* RpcProfileTag(std::uint16_t opcode) {
+  constexpr std::size_t kSlots = 64;
+  const std::size_t slot = opcode < kSlots - 1 ? opcode : kSlots - 1;
+  static std::array<std::atomic<const char*>, kSlots> table{};
+  const char* tag = table[slot].load(std::memory_order_acquire);
+  if (tag == nullptr) {
+    // Interned for the process lifetime; a raw char block (not a std::string)
+    // so the table's pointer is the allocation base and LeakSanitizer sees it
+    // as reachable.
+    const std::string name = std::string("rpc.") + RpcOpName(opcode);
+    char* owned = new char[name.size() + 1];
+    std::memcpy(owned, name.c_str(), name.size() + 1);
+    tag = owned;
+    const char* expected = nullptr;
+    if (!table[slot].compare_exchange_strong(expected, tag,
+                                             std::memory_order_acq_rel)) {
+      delete[] owned;
+      tag = expected;
+    }
+  }
+  return tag;
+}
+
+}  // namespace
 
 ClientCallTrace ClientCallTrace::Begin(Message& request, int transport_index) {
   ClientCallTrace t;
@@ -104,6 +137,7 @@ void HandleWithObs(Service& service, Message request, Responder responder,
   {
     obs::TraceContextScope scope(
         obs::TraceContext{request.trace_id, request.span_id});
+    obs::ProfileTagScope tag(RpcProfileTag(opcode));
     obs::Span span("rpc.server",
                    std::string("handle.") + RpcOpName(opcode));
     service.Handle(std::move(request), std::move(responder));
@@ -288,6 +322,45 @@ bool TryHandleObs(Message& request, Responder& responder,
       }
       responder.SendOk(request, Buffer::FromString(json));
       return true;
+    }
+    case kProfileDump: {
+      auto& profiler = obs::SamplingProfiler::Global();
+      ProfileCmd cmd = ProfileCmd::kDump;
+      std::uint32_t hz = 0;
+      if (request.payload.size() >= 1) {
+        cmd = static_cast<ProfileCmd>(request.payload.data()[0]);
+        if (cmd == ProfileCmd::kStart && request.payload.size() >= 5) {
+          std::memcpy(&hz, request.payload.data() + 1, sizeof(hz));
+        }
+      }
+      switch (cmd) {
+        case ProfileCmd::kStart: {
+          obs::SamplingProfiler::Options opts;
+          if (hz != 0) opts.hz = static_cast<int>(hz);
+          const Status s = profiler.Start(opts);
+          // Byte 1 = "this request started the profiler"; kAlreadyExists
+          // maps to 0 so the caller knows not to stop someone else's run.
+          Buffer reply = Buffer::FromString(std::string(1, s.ok() ? 1 : 0));
+          if (!s.ok() && s.code() != StatusCode::kAlreadyExists) {
+            responder.SendError(request, s);
+          } else {
+            responder.SendOk(request, std::move(reply));
+          }
+          return true;
+        }
+        case ProfileCmd::kStop:
+          profiler.Stop();
+          responder.SendOk(request, Buffer());
+          return true;
+        case ProfileCmd::kDumpClear:
+        case ProfileCmd::kDump:
+        default: {
+          std::string folded =
+              profiler.CollectFolded(cmd == ProfileCmd::kDumpClear);
+          responder.SendOk(request, Buffer::FromString(std::move(folded)));
+          return true;
+        }
+      }
     }
     default:
       return false;

@@ -31,6 +31,19 @@ inline constexpr std::uint16_t kStatsDump = 990;      // -> MetricsRegistry JSON
 inline constexpr std::uint16_t kTraceDump = 991;      // -> Chrome trace JSON
 inline constexpr std::uint16_t kSeriesDump = 992;     // -> SeriesDumpResponse
 inline constexpr std::uint16_t kSlowTraceDump = 993;  // -> slow-trace JSON
+inline constexpr std::uint16_t kProfileDump = 994;    // -> collapsed stacks
+
+// kProfileDump request payload: empty = dump collapsed stacks; otherwise a
+// u8 command from this enum (kStart is followed by a u32 hz, 0 = default).
+// kStart replies with one byte: 1 = started by this request, 0 = a profiler
+// was already running (callers use it to avoid stopping someone else's
+// session). kDump/kDumpClear reply with the folded text, kStop with empty.
+enum class ProfileCmd : std::uint8_t {
+  kDump = 0,
+  kDumpClear = 1,
+  kStart = 2,
+  kStop = 3,
+};
 
 // Human-readable opcode name ("Lookup", "StreamWrite", ...). The table
 // duplicates the per-service protocol enums on purpose: the net layer can't

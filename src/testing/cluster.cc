@@ -1,5 +1,6 @@
 #include "testing/cluster.h"
 
+#include "common/profiler.h"
 #include "common/time_series.h"
 #include "common/trace.h"
 
@@ -25,6 +26,13 @@ Status MiniCluster::Boot() {
     sopts.interval = options_.sample_interval;
     GLIDER_RETURN_IF_ERROR(obs::TimeSeriesSampler::Global().Start(sopts));
     started_sampler_ = true;
+  }
+  if (options_.profile_hz > 0) {
+    obs::SetEnabled(true);
+    obs::SamplingProfiler::Options popts;
+    popts.hz = options_.profile_hz;
+    GLIDER_RETURN_IF_ERROR(obs::SamplingProfiler::Global().Start(popts));
+    started_profiler_ = true;
   }
   metrics_ = std::make_shared<Metrics>();
   if (options_.use_tcp) {
@@ -61,6 +69,9 @@ Status MiniCluster::Boot() {
     aopts.channel_capacity = options_.channel_capacity;
     aopts.internal_link_class = options_.internal_link_class;
     aopts.internal_link_bps = options_.internal_bandwidth_bps;
+    aopts.interleave_quantum = options_.interleave_quantum;
+    aopts.stall_multiple = options_.stall_multiple;
+    aopts.watchdog_interval = options_.watchdog_interval;
     auto server = std::make_shared<core::ActiveServer>(
         aopts, options_.registry, metrics_);
     GLIDER_RETURN_IF_ERROR(server->Start(
@@ -71,8 +82,9 @@ Status MiniCluster::Boot() {
 }
 
 MiniCluster::~MiniCluster() {
-  // Stop the sampler first so no snapshot races the servers' teardown.
+  // Stop the sampler/profiler first so neither races the servers' teardown.
   if (started_sampler_) obs::TimeSeriesSampler::Global().Stop();
+  if (started_profiler_) obs::SamplingProfiler::Global().Stop();
   // The transport listeners hold shared_ptrs back to their services, so a
   // server is never destroyed by dropping our reference alone — each must
   // be stopped explicitly. Actives first: joining their method threads may

@@ -37,6 +37,12 @@ struct ClusterOptions {
   std::size_t action_threads = 4;
   std::size_t channel_capacity = 8;
 
+  // Slot-stall watchdog knobs, forwarded to ActiveServer::Options (see
+  // there for semantics; stall_multiple = 0 disables).
+  std::chrono::milliseconds interleave_quantum{50};
+  double stall_multiple = 8.0;
+  std::chrono::milliseconds watchdog_interval{10};
+
   // Per-worker FaaS link shaping (0 bps = unshaped).
   std::uint64_t faas_bandwidth_bps = 0;
   std::chrono::microseconds faas_latency{0};
@@ -53,6 +59,12 @@ struct ClusterOptions {
   // enables tracing so histograms populate); the cluster stops it on
   // teardown. Drives kSeriesDump / glider_top against a MiniCluster.
   std::chrono::milliseconds sample_interval{0};
+
+  // Nonzero starts the process-wide SamplingProfiler at this rate (and
+  // enables tracing so dispatch sites install attribution tags); the
+  // cluster stops it on teardown. Drives kProfileDump / glider_cli profile
+  // against a MiniCluster.
+  int profile_hz = 0;
 
   std::shared_ptr<core::ActionRegistry> registry;  // default: Global()
 };
@@ -104,6 +116,7 @@ class MiniCluster {
 
   ClusterOptions options_;
   bool started_sampler_ = false;
+  bool started_profiler_ = false;
   std::shared_ptr<Metrics> metrics_;
   std::unique_ptr<net::Transport> transport_;
   std::vector<std::shared_ptr<nk::MetadataServer>> metadata_;

@@ -10,6 +10,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstring>
 #include <string>
@@ -84,6 +85,58 @@ TEST(PrometheusTest, HistogramExpositionIsCumulative) {
   // Empty buckets are elided: nothing between le=1 and le=15.
   EXPECT_FALSE(Contains(text, "le=\"3\""));
   EXPECT_FALSE(Contains(text, "le=\"7\""));
+}
+
+TEST(PrometheusTest, LabelValuesAreEscaped) {
+  EXPECT_EQ(obs::PrometheusEscapeLabelValue("plain"), "plain");
+  EXPECT_EQ(obs::PrometheusEscapeLabelValue("a\\b"), "a\\\\b");
+  EXPECT_EQ(obs::PrometheusEscapeLabelValue("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(obs::PrometheusEscapeLabelValue("line\nbreak"), "line\\nbreak");
+
+  MetricsRegistry registry;
+  registry.GetCounter("test.ops").Add(1);
+  registry.GetGauge("test.depth").Set(2);
+  registry.GetHistogram("test.lat").Record(1);
+  const std::string text = obs::PrometheusText(
+      registry, {{"role", "active"}, {"note", "a\"b\\c\nd"}});
+  const std::string block = "{role=\"active\",note=\"a\\\"b\\\\c\\nd\"}";
+  EXPECT_TRUE(Contains(text, "glider_test_ops_total" + block + " 1\n"));
+  EXPECT_TRUE(Contains(text, "glider_test_depth" + block + " 2\n"));
+  // Histogram series carry the labels too; le is appended last so the
+  // shared label prefix stays byte-identical across the family.
+  EXPECT_TRUE(Contains(text, "glider_test_lat_bucket{role=\"active\",note="
+                             "\"a\\\"b\\\\c\\nd\",le=\"1\"} 1\n"));
+  EXPECT_TRUE(Contains(text, ",le=\"+Inf\"} 1\n"));
+  EXPECT_TRUE(Contains(text, "glider_test_lat_sum" + block + " 1\n"));
+  EXPECT_TRUE(Contains(text, "glider_test_lat_count" + block + " 1\n"));
+  // TYPE comments name the bare metric, never a labeled series.
+  EXPECT_TRUE(Contains(text, "# TYPE glider_test_ops_total counter\n"));
+}
+
+TEST(PrometheusTest, HistogramInfStaysConsistentWithBuckets) {
+  // An event beyond the last finite bound lands in the overflow bucket: it
+  // appears only in the +Inf series, which must still equal _count.
+  MetricsRegistry registry;
+  auto& hist = registry.GetHistogram("test.big");
+  hist.Record(std::uint64_t{1} << 63);
+  hist.Record(1);
+  std::string text = obs::PrometheusText(registry);
+  EXPECT_TRUE(Contains(text, "glider_test_big_bucket{le=\"1\"} 1\n"));
+  EXPECT_TRUE(Contains(text, "glider_test_big_bucket{le=\"+Inf\"} 2\n"));
+  EXPECT_TRUE(Contains(text, "glider_test_big_count 2\n"));
+
+  // A snapshot torn across relaxed loads (buckets incremented, count not
+  // yet) must still satisfy +Inf == _count >= every finite le bucket.
+  obs::MetricsSnapshot snapshot;
+  obs::HistogramSnapshot torn;
+  torn.buckets[1] = 3;  // three events visible in the le="1" bucket...
+  torn.count = 1;       // ...but the count load saw only one
+  torn.sum = 3;
+  snapshot.histograms = {{"torn", torn}};
+  text = obs::PrometheusText(snapshot);
+  EXPECT_TRUE(Contains(text, "glider_torn_bucket{le=\"1\"} 3\n"));
+  EXPECT_TRUE(Contains(text, "glider_torn_bucket{le=\"+Inf\"} 3\n"));
+  EXPECT_TRUE(Contains(text, "glider_torn_count 3\n"));
 }
 
 // ---- TimeSeries ring --------------------------------------------------------
@@ -323,6 +376,74 @@ TEST(SlowTraceStoreTest, JsonContainsOnlyRetainedTraces) {
   store.Clear();
   EXPECT_EQ(store.size(), 0u);
   EXPECT_FALSE(Contains(store.ToJson(), "slow_op"));
+}
+
+// The watchdog path: Flag() retains unconditionally, bypassing both the
+// floor and the adaptive threshold, but honors the same ring bound.
+TEST(SlowTraceStoreTest, FlagBypassesAdaptiveJudgement) {
+  SlowTraceStore::Options options;
+  options.min_threshold_us = 1'000'000;  // nothing qualifies organically
+  options.capacity = 2;
+  SlowTraceStore store(options);
+
+  store.OnRootSpanEnd(MakeRoot("fast", 5, 1), nullptr);
+  EXPECT_EQ(store.size(), 0u);
+  store.Flag(MakeRoot("stall.slot0.run", 777, 2), /*threshold_us=*/123);
+  ASSERT_EQ(store.size(), 1u);
+  const auto traces = store.Snapshot();
+  EXPECT_EQ(traces[0].root.name, "stall.slot0.run");
+  EXPECT_EQ(traces[0].threshold_us, 123u);
+  EXPECT_TRUE(Contains(store.ToJson(), "stall.slot0.run"));
+
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    store.Flag(MakeRoot("s" + std::to_string(i), 10, 10 + i), 1);
+  }
+  EXPECT_EQ(store.size(), 2u);  // ring bound applies to flagged entries too
+}
+
+// Hammer record/Flag from several threads while dump/clear readers run: the
+// per-op threshold histograms adapt under the same mutex as retention, the
+// ring must never exceed capacity, and no dump may observe a torn trace.
+TEST(SlowTraceStoreTest, ConcurrentRecordAndDumpStaysBounded) {
+  SlowTraceStore::Options options;
+  options.min_threshold_us = 1;
+  options.multiplier = 2.0;  // adaptive: recording also mutates histograms
+  options.capacity = 16;
+  SlowTraceStore store(options);
+
+  std::atomic<bool> stop{false};
+  std::thread dumper([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const auto traces = store.Snapshot();
+      EXPECT_LE(traces.size(), 16u);
+      for (const auto& trace : traces) {
+        EXPECT_FALSE(trace.root.name.empty());
+      }
+      const std::string json = store.ToJson();
+      EXPECT_TRUE(Contains(json, "\"slowTraces\""));
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&store, t] {
+      for (std::uint64_t i = 0; i < 2000; ++i) {
+        const std::uint64_t id = static_cast<std::uint64_t>(t) * 100000 + i;
+        if (i % 3 == 0) {
+          store.Flag(MakeRoot("flagged" + std::to_string(t), 50, id), 42);
+        } else {
+          // Durations spread across buckets so each op's p99 keeps moving
+          // while other threads read it.
+          store.OnRootSpanEnd(
+              MakeRoot("op" + std::to_string(t), 1 + (i % 512), id), nullptr);
+        }
+      }
+    });
+  }
+  for (auto& writer : writers) writer.join();
+  stop.store(true, std::memory_order_relaxed);
+  dumper.join();
+  EXPECT_LE(store.size(), 16u);
+  EXPECT_GT(store.size(), 0u);  // flagged entries guarantee retention
 }
 
 // End-to-end: a real traced span over the global store. Root spans flow

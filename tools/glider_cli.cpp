@@ -21,11 +21,18 @@
 //   series <address>                 print a server's time-series rings
 //   cluster-stats                    poll every server via the metadata
 //                                    server and print merged metrics
+//   profile <address> [--seconds N] [--hz H] [--folded out.txt]
+//                                    sample the server for N seconds (default
+//                                    2) and print/write collapsed stacks —
+//                                    pipe through flamegraph.pl for an SVG
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/trace.h"
@@ -60,7 +67,7 @@ int Usage() {
                "usage: glider_cli --metadata host:port "
                "<mkdir|put|get|ls|rm|stat|action-create|action-write|"
                "action-read|action-rm|stats|trace-dump|slow-traces|series|"
-               "cluster-stats> [path|address] [args]\n");
+               "cluster-stats|profile> [path|address] [args]\n");
   return 2;
 }
 
@@ -103,6 +110,64 @@ int PrintSeries(net::TcpTransport& transport, const std::string& address) {
         series.samples.empty() ? 0.0 : series.samples.back().value;
     std::printf("%-48s n=%-4zu last=%.2f\n", series.name.c_str(),
                 series.samples.size(), last);
+  }
+  return 0;
+}
+
+// Profiles the server at `address` for `seconds`: starts its sampling
+// profiler (unless one is already running — then we only observe), waits,
+// and dumps collapsed stacks. Stops/clears only the session we started, so
+// concurrent operators don't tear down each other's windows.
+int Profile(net::TcpTransport& transport, const std::string& address,
+            int seconds, std::uint32_t hz, const std::string& folded_path) {
+  auto conn = transport.Connect(
+      address, net::LinkModel::Unshaped(LinkClass::kControl, nullptr));
+  if (!conn.ok()) return Fail(conn.status());
+
+  Buffer start_payload;
+  start_payload.Resize(5);
+  start_payload.mutable_span()[0] =
+      static_cast<std::uint8_t>(net::ProfileCmd::kStart);
+  std::memcpy(start_payload.mutable_span().data() + 1, &hz, sizeof(hz));
+  auto started = (*conn)->CallSync(net::kProfileDump, std::move(start_payload));
+  if (!started.ok()) return Fail(started.status());
+  const bool we_started = started->size() >= 1 && started->data()[0] == 1;
+  if (!we_started) {
+    std::fprintf(stderr,
+                 "profiler already running on %s; dumping its window\n",
+                 address.c_str());
+  }
+
+  std::this_thread::sleep_for(std::chrono::seconds(seconds));
+
+  if (we_started) {
+    Buffer stop_payload;
+    stop_payload.Resize(1);
+    stop_payload.mutable_span()[0] =
+        static_cast<std::uint8_t>(net::ProfileCmd::kStop);
+    auto stopped = (*conn)->CallSync(net::kProfileDump, std::move(stop_payload));
+    if (!stopped.ok()) return Fail(stopped.status());
+  }
+
+  Buffer dump_payload;
+  dump_payload.Resize(1);
+  dump_payload.mutable_span()[0] = static_cast<std::uint8_t>(
+      we_started ? net::ProfileCmd::kDumpClear : net::ProfileCmd::kDump);
+  auto dump = (*conn)->CallSync(net::kProfileDump, std::move(dump_payload));
+  if (!dump.ok()) return Fail(dump.status());
+
+  if (!folded_path.empty()) {
+    std::ofstream out(folded_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", folded_path.c_str());
+      return 1;
+    }
+    out.write(reinterpret_cast<const char*>(dump->data()),
+              static_cast<std::streamsize>(dump->size()));
+    std::fprintf(stderr, "wrote %zu bytes of folded stacks to %s\n",
+                 dump->size(), folded_path.c_str());
+  } else {
+    std::fwrite(dump->data(), 1, dump->size(), stdout);
   }
   return 0;
 }
@@ -183,6 +248,23 @@ int main(int argc, char** argv) {
     return DumpFromServer(transport, path, net::kSlowTraceDump, clear);
   }
   if (command == "series") return PrintSeries(transport, path);
+  if (command == "profile") {
+    int seconds = 2;
+    std::uint32_t hz = 0;  // 0 = server default (99)
+    std::string folded_path;
+    for (std::size_t i = 2; i + 1 < args.size(); i += 2) {
+      if (args[i] == "--seconds") {
+        seconds = std::stoi(args[i + 1]);
+      } else if (args[i] == "--hz") {
+        hz = static_cast<std::uint32_t>(std::stoul(args[i + 1]));
+      } else if (args[i] == "--folded") {
+        folded_path = args[i + 1];
+      } else {
+        return Usage();
+      }
+    }
+    return Profile(transport, path, seconds, hz, folded_path);
+  }
 
   // With GLIDER_TRACE=1 every other command becomes a trace root, so the
   // servers' trace-dump shows its RPCs; inert otherwise.

@@ -16,6 +16,7 @@
 #include <semaphore>
 #include <string>
 
+#include "common/profiler.h"
 #include "common/time_series.h"
 #include "common/trace.h"
 #include "glider/active_server.h"
@@ -54,7 +55,8 @@ int Usage() {
                "usage: glider_daemon <metadata|storage|active> [--listen "
                "host:port] [--metadata host:port] [--blocks N] [--block-size "
                "B] [--class C] [--slots N] [--partition P] [--trace 1] "
-               "[--sample-ms N] [--metrics-listen host:port]\n");
+               "[--sample-ms N] [--metrics-listen host:port] [--profile 1] "
+               "[--profile-hz N]\n");
   return 2;
 }
 
@@ -86,11 +88,30 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
+  // --profile 1 arms the sampling profiler at boot (--profile-hz overrides
+  // the 99 Hz default; setting it implies --profile). Implies --trace so
+  // dispatch sites install attribution tags. Dump via glider_cli profile.
+  const long profile_hz = std::stol(FlagOr(flags, "profile-hz", "0"));
+  if (FlagOr(flags, "profile", "0") == "1" || profile_hz > 0) {
+    obs::SetEnabled(true);
+    obs::SamplingProfiler::Options popts;
+    if (profile_hz > 0) popts.hz = static_cast<int>(profile_hz);
+    const Status started = obs::SamplingProfiler::Global().Start(popts);
+    if (!started.ok()) {
+      std::fprintf(stderr, "profiler: %s\n", started.ToString().c_str());
+      return 1;
+    }
+    std::printf("profiler sampling at %d Hz%s\n", popts.hz,
+                obs::SamplingProfiler::SignalSamplingSupported()
+                    ? ""
+                    : " (signal sampling unavailable: wait samples only)");
+  }
   // --metrics-listen host:port serves GET /metrics (Prometheus text).
   std::unique_ptr<net::HttpMetricsServer> metrics_http;
   const std::string metrics_listen = FlagOr(flags, "metrics-listen", "");
   if (!metrics_listen.empty()) {
-    auto http = net::HttpMetricsServer::Listen(metrics_listen);
+    auto http = net::HttpMetricsServer::Listen(
+        metrics_listen, obs::MetricsRegistry::Global(), {{"role", role}});
     if (!http.ok()) {
       std::fprintf(stderr, "metrics-listen: %s\n",
                    http.status().ToString().c_str());
@@ -167,6 +188,9 @@ int main(int argc, char** argv) {
   }
 
   std::printf("running; Ctrl-C to stop\n");
+  // Scripts poll the log for the bound addresses; don't sit on them in the
+  // stdio buffer while blocked below.
+  std::fflush(stdout);
   g_stop.acquire();
   std::printf("shutting down\n");
   // The listeners hold shared_ptrs back to the services; stop explicitly
