@@ -92,9 +92,14 @@ inline std::string Fmt(double v, int precision = 2) {
 // MetricsRegistry dump (counters, gauges, and latency-histogram
 // p50/p95/p99). Written to BENCH_<name>.json in the working directory;
 // tools/bench_diff.py compares two such files and flags regressions.
+//
+// Pass include_metrics=false for benches that run with observability off:
+// the registry would only contribute blocks of all-zero counters (metrics
+// that never incremented), which read like real measurements but are not.
 class BenchJsonWriter {
  public:
-  explicit BenchJsonWriter(std::string name) : name_(std::move(name)) {}
+  explicit BenchJsonWriter(std::string name, bool include_metrics = true)
+      : name_(std::move(name)), include_metrics_(include_metrics) {}
 
   void AddScalar(const std::string& key, double value) {
     scalars_.emplace_back(key, value);
@@ -108,9 +113,13 @@ class BenchJsonWriter {
       if (i > 0) json += ",";
       json += "\"" + scalars_[i].first + "\":" + buf;
     }
-    json += "},\"metrics\":";
-    json += obs::MetricsRegistry::Global().ToJson();
-    json += "}\n";
+    if (include_metrics_) {
+      json += "},\"metrics\":";
+      json += obs::MetricsRegistry::Global().ToJson();
+      json += "}\n";
+    } else {
+      json += "}}\n";
+    }
 
     const std::string path = "BENCH_" + name_ + ".json";
     std::FILE* f = std::fopen(path.c_str(), "w");
@@ -126,6 +135,7 @@ class BenchJsonWriter {
 
  private:
   std::string name_;
+  bool include_metrics_;
   std::vector<std::pair<std::string, double>> scalars_;
 };
 

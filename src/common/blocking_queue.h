@@ -1,8 +1,20 @@
 // Bounded MPMC blocking queue with close semantics.
 //
-// This is the backbone of the active server: per-stream task queues and the
-// read-side output queues are BlockingQueues. Close() lets producers signal
-// end-of-stream; consumers drain remaining items and then observe kClosed.
+// This is the generic task-queue building block (tests, benches, tools);
+// the active server's per-stream queues are StreamChannels, which share the
+// same wakeup discipline. Close() lets producers signal end-of-stream;
+// consumers drain remaining items and then observe kClosed.
+//
+// Wakeup discipline (the hot-path contract, see DESIGN.md "Hot-path
+// batching & wakeup"):
+//   * condvars are notified AFTER the mutex is released, so a woken thread
+//     never immediately blocks on the lock the notifier still holds;
+//   * notifies are gated on a waiter count maintained under the lock, so
+//     uncontended pushes/pops skip the notify call entirely;
+//   * PushAll/PopAll amortize the lock and the wakeup over a whole batch —
+//     one acquisition, one notify, however many items ("doorbell" submit);
+//   * blocking calls spin adaptively (common/spin_park.h) on an atomic
+//     readiness hint before parking.
 #pragma once
 
 #include <condition_variable>
@@ -11,7 +23,9 @@
 #include <mutex>
 #include <optional>
 #include <utility>
+#include <vector>
 
+#include "common/spin_park.h"
 #include "common/status.h"
 
 namespace glider {
@@ -28,54 +42,147 @@ class BlockingQueue {
 
   // Blocks while full. Returns kClosed if the queue was closed.
   Status Push(T item) {
-    std::unique_lock lock(mu_);
-    not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
-    if (closed_) return Status::Closed("queue closed");
-    items_.push_back(std::move(item));
-    not_empty_.notify_one();
+    bool wake = false;
+    {
+      std::unique_lock lock(mu_);
+      WaitNotFull(lock, 1);
+      if (closed_) return Status::Closed("queue closed");
+      items_.push_back(std::move(item));
+      PublishSize();
+      wake = pop_waiters_ > 0;
+    }
+    if (wake) not_empty_.notify_one();
+    return Status::Ok();
+  }
+
+  // Pushes the whole batch, blocking while the queue lacks space; items are
+  // admitted in waves when the batch exceeds free capacity. One lock
+  // acquisition and at most one consumer wakeup per wave, not per item.
+  // Returns kClosed (remaining items dropped) if the queue was closed.
+  Status PushAll(std::vector<T> items) {
+    std::size_t at = 0;
+    while (at < items.size()) {
+      bool wake_one = false;
+      bool wake_all = false;
+      {
+        std::unique_lock lock(mu_);
+        WaitNotFull(lock, 1);
+        if (closed_) return Status::Closed("queue closed");
+        std::size_t room = capacity_ - items_.size();
+        while (at < items.size() && room > 0) {
+          items_.push_back(std::move(items[at]));
+          ++at;
+          --room;
+        }
+        PublishSize();
+        wake_all = pop_waiters_ > 1;
+        wake_one = pop_waiters_ == 1;
+      }
+      if (wake_all) {
+        not_empty_.notify_all();
+      } else if (wake_one) {
+        not_empty_.notify_one();
+      }
+    }
     return Status::Ok();
   }
 
   // Non-blocking push; kResourceExhausted when full.
   Status TryPush(T item) {
-    std::scoped_lock lock(mu_);
-    if (closed_) return Status::Closed("queue closed");
-    if (items_.size() >= capacity_) {
-      return Status::ResourceExhausted("queue full");
+    bool wake = false;
+    {
+      std::scoped_lock lock(mu_);
+      if (closed_) return Status::Closed("queue closed");
+      if (items_.size() >= capacity_) {
+        return Status::ResourceExhausted("queue full");
+      }
+      items_.push_back(std::move(item));
+      PublishSize();
+      wake = pop_waiters_ > 0;
     }
-    items_.push_back(std::move(item));
-    not_empty_.notify_one();
+    if (wake) not_empty_.notify_one();
     return Status::Ok();
   }
 
   // Blocks while empty. After Close(), drains remaining items, then kClosed.
   Result<T> Pop() {
-    std::unique_lock lock(mu_);
-    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
-    if (items_.empty()) return Status::Closed("queue closed");
-    T item = std::move(items_.front());
-    items_.pop_front();
-    not_full_.notify_one();
+    SpinForItems();
+    T item;
+    bool wake = false;
+    {
+      std::unique_lock lock(mu_);
+      WaitNotEmpty(lock);
+      if (items_.empty()) return Status::Closed("queue closed");
+      item = std::move(items_.front());
+      items_.pop_front();
+      PublishSize();
+      wake = push_waiters_ > 0;
+    }
+    if (wake) not_full_.notify_one();
     return item;
+  }
+
+  // Pops every queued item (at least one; blocks while empty), up to
+  // `max_items`. One lock acquisition and at most one producer wakeup for
+  // the whole batch. Empty result means closed-and-drained.
+  Result<std::vector<T>> PopAll(
+      std::size_t max_items = std::numeric_limits<std::size_t>::max()) {
+    SpinForItems();
+    std::vector<T> batch;
+    bool wake_one = false;
+    bool wake_all = false;
+    {
+      std::unique_lock lock(mu_);
+      WaitNotEmpty(lock);
+      if (items_.empty()) return Status::Closed("queue closed");
+      const std::size_t take = items_.size() < max_items
+                                   ? items_.size()
+                                   : max_items;
+      batch.reserve(take);
+      for (std::size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(items_.front()));
+        items_.pop_front();
+      }
+      PublishSize();
+      // Freeing `take` slots can unblock that many parked producers.
+      wake_all = push_waiters_ > 1 && take > 1;
+      wake_one = push_waiters_ > 0 && !wake_all;
+    }
+    if (wake_all) {
+      not_full_.notify_all();
+    } else if (wake_one) {
+      not_full_.notify_one();
+    }
+    return batch;
   }
 
   // Non-blocking pop; kUnavailable when currently empty but open.
   Result<T> TryPop() {
-    std::scoped_lock lock(mu_);
-    if (items_.empty()) {
-      return closed_ ? Status::Closed("queue closed")
-                     : Status::Unavailable("queue empty");
+    T item;
+    bool wake = false;
+    {
+      std::scoped_lock lock(mu_);
+      if (items_.empty()) {
+        return closed_ ? Status::Closed("queue closed")
+                       : Status::Unavailable("queue empty");
+      }
+      item = std::move(items_.front());
+      items_.pop_front();
+      PublishSize();
+      wake = push_waiters_ > 0;
     }
-    T item = std::move(items_.front());
-    items_.pop_front();
-    not_full_.notify_one();
+    if (wake) not_full_.notify_one();
     return item;
   }
 
   // After Close, pushes fail; pops drain then report kClosed.
   void Close() {
-    std::scoped_lock lock(mu_);
-    closed_ = true;
+    {
+      std::scoped_lock lock(mu_);
+      closed_ = true;
+      ready_hint_.store(kClosedHint, std::memory_order_release);
+    }
+    // Teardown path: wake everyone unconditionally.
     not_empty_.notify_all();
     not_full_.notify_all();
   }
@@ -101,11 +208,49 @@ class BlockingQueue {
   }
 
  private:
+  static constexpr std::size_t kClosedHint =
+      std::numeric_limits<std::size_t>::max();
+
+  // Size mirror readable without the lock; kClosedHint once closed. Only a
+  // spin hint — every real decision re-checks under mu_.
+  void PublishSize() {
+    ready_hint_.store(closed_ ? kClosedHint : items_.size(),
+                      std::memory_order_release);
+  }
+
+  void SpinForItems() {
+    spin_.SpinUntil([this] {
+      return ready_hint_.load(std::memory_order_acquire) > 0;
+    });
+  }
+
+  void WaitNotEmpty(std::unique_lock<std::mutex>& lock) {
+    if (!closed_ && items_.empty()) {
+      ++pop_waiters_;
+      not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+      --pop_waiters_;
+    }
+  }
+
+  void WaitNotFull(std::unique_lock<std::mutex>& lock, std::size_t need) {
+    if (!closed_ && capacity_ - items_.size() < need) {
+      ++push_waiters_;
+      not_full_.wait(lock, [&] {
+        return closed_ || capacity_ - items_.size() >= need;
+      });
+      --push_waiters_;
+    }
+  }
+
   const std::size_t capacity_;
   mutable std::mutex mu_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
   std::deque<T> items_;
+  std::size_t pop_waiters_ = 0;
+  std::size_t push_waiters_ = 0;
+  std::atomic<std::size_t> ready_hint_{0};
+  AdaptiveSpin spin_;
   bool closed_ = false;
 };
 

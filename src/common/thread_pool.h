@@ -8,28 +8,46 @@
 // handoff, not the handlers, becomes the throughput ceiling. Sharding keeps
 // the common case (producer -> its round-robin home worker) contention-free.
 //
+// Handoff discipline (see DESIGN.md "Hot-path batching & wakeup"):
+//   * SubmitAll is the doorbell: a whole batch of decoded frames lands in
+//     one shard under one lock acquisition with one wakeup, then idle peers
+//     are poked to come steal the surplus;
+//   * workers spin adaptively on the shards' pending-size hints before
+//     parking, so short gaps between requests never pay a futex round trip;
+//   * parking is purely event-driven — the park predicate is
+//     (tasks | closed | poked) and every producer path that can leave a
+//     task invisible to a parked worker sets `poked` under that worker's
+//     mutex, which closes the lost-wakeup window the old 100ms timed poll
+//     papered over.
+//
 // Global FIFO order across Submits is NOT preserved (per-shard order is).
 // RPC dispatch is insensitive to this by design: stream operations carry
 // sequence numbers and the per-stream channels release them in order.
 #pragma once
 
 #include <atomic>
-#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
+#include "common/spin_park.h"
 #include "common/status.h"
 
 namespace glider {
 
 class ThreadPool {
  public:
-  explicit ThreadPool(std::size_t num_threads) {
+  // `spin_budget` caps the adaptive pre-park spin (see spin_park.h); 0
+  // forces every idle worker straight to the condvar (tests use this to
+  // exercise the park/poke protocol).
+  explicit ThreadPool(std::size_t num_threads,
+                      std::uint32_t spin_budget = AdaptiveSpin::kDefaultMaxSpins)
+      : spin_budget_(spin_budget) {
     const std::size_t n = num_threads == 0 ? 1 : num_threads;
     shards_.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {
@@ -51,23 +69,52 @@ class ThreadPool {
     const std::size_t n = shards_.size();
     const std::size_t home = rr_.fetch_add(1, std::memory_order_relaxed) % n;
     Shard& shard = *shards_[home];
+    bool wake_home = false;
     {
       std::scoped_lock lock(shard.mu);
       if (shard.closed) return Status::Closed("thread pool shut down");
       shard.tasks.push_back(std::move(task));
+      shard.PublishPending();
+      // `parked` only flips under shard.mu, so this read is exact: either
+      // the worker parked before the enqueue (notify it), or it has not
+      // parked yet and its park predicate will see the task.
+      wake_home = shard.parked;
     }
-    shard.cv.notify_one();
-    if (!shard.idle.load(std::memory_order_relaxed)) {
-      // Home worker is busy in a task; poke one sleeping peer so the task is
-      // stolen instead of waiting out the peer's fallback timeout.
-      for (std::size_t k = 1; k < n; ++k) {
-        Shard& other = *shards_[(home + k) % n];
-        if (other.idle.load(std::memory_order_relaxed)) {
-          other.cv.notify_one();
-          break;
-        }
-      }
+    if (wake_home) {
+      shard.cv.notify_one();
+    } else {
+      // Home worker is busy in a task; poke one parked peer so the task is
+      // stolen instead of waiting for the home worker to resurface.
+      PokeParkedPeers(home, 1);
     }
+    return Status::Ok();
+  }
+
+  // Doorbell submit: enqueues the whole batch into one shard under a single
+  // lock acquisition with at most one home wakeup, then pokes up to
+  // batch-1 parked peers to steal the surplus. Returns kClosed (batch
+  // dropped) after Shutdown().
+  Status SubmitAll(std::vector<std::function<void()>> batch) {
+    if (batch.empty()) return Status::Ok();
+    const std::size_t n = shards_.size();
+    const std::size_t home = rr_.fetch_add(1, std::memory_order_relaxed) % n;
+    Shard& shard = *shards_[home];
+    bool wake_home = false;
+    {
+      std::scoped_lock lock(shard.mu);
+      if (shard.closed) return Status::Closed("thread pool shut down");
+      for (auto& task : batch) shard.tasks.push_back(std::move(task));
+      shard.PublishPending();
+      wake_home = shard.parked;
+    }
+    std::size_t helpers = batch.size() - 1;
+    if (wake_home) {
+      shard.cv.notify_one();
+    } else {
+      // Home worker is busy; the batch itself still needs a first runner.
+      ++helpers;
+    }
+    if (helpers > 0) PokeParkedPeers(home, helpers);
     return Status::Ok();
   }
 
@@ -76,6 +123,7 @@ class ThreadPool {
     for (auto& shard : shards_) {
       std::scoped_lock lock(shard->mu);
       shard->closed = true;
+      shard->PublishPending();
     }
     for (auto& shard : shards_) shard->cv.notify_all();
     for (auto& t : threads_) {
@@ -91,49 +139,103 @@ class ThreadPool {
     std::condition_variable cv;
     std::deque<std::function<void()>> tasks;
     bool closed = false;
-    // True while this shard's worker sleeps on cv; lets Submit find a
-    // stealer without taking any peer lock.
-    std::atomic<bool> idle{false};
+    // Set under mu while this shard's worker waits on cv; producers read it
+    // under mu to gate the notify. The park predicate also covers `poked`,
+    // set by peers that enqueued elsewhere and want this worker stealing.
+    bool parked = false;
+    bool poked = false;
+    // Lock-free mirrors for the peer-scan and the pre-park spin. Hints
+    // only — every real decision re-reads under mu.
+    std::atomic<bool> parked_hint{false};
+    std::atomic<std::size_t> pending{0};
+
+    void PublishPending() {
+      pending.store(tasks.size(), std::memory_order_release);
+    }
   };
+
+  // Wake up to `want` parked peers of `home` (cheap atomic pre-check, then
+  // poked-flag handshake under the peer's mutex — never a lost wakeup).
+  void PokeParkedPeers(std::size_t home, std::size_t want) {
+    const std::size_t n = shards_.size();
+    for (std::size_t k = 1; k < n && want > 0; ++k) {
+      Shard& other = *shards_[(home + k) % n];
+      if (!other.parked_hint.load(std::memory_order_relaxed)) continue;
+      bool wake = false;
+      {
+        std::scoped_lock lock(other.mu);
+        if (other.parked && !other.poked) {
+          other.poked = true;
+          wake = true;
+        }
+      }
+      if (wake) {
+        other.cv.notify_one();
+        --want;
+      }
+    }
+  }
 
   bool TryPopFrom(std::size_t index, std::function<void()>& out) {
     Shard& shard = *shards_[index];
+    // Peer steal probes skip the lock when the shard advertises empty; the
+    // home worker always takes the lock (its own hint may lag its cv wake).
     std::scoped_lock lock(shard.mu);
     if (shard.tasks.empty()) return false;
     out = std::move(shard.tasks.front());
     shard.tasks.pop_front();
+    shard.PublishPending();
     return true;
+  }
+
+  bool AnyPending(std::size_t me) const {
+    const std::size_t n = shards_.size();
+    for (std::size_t k = 0; k < n; ++k) {
+      if (shards_[(me + k) % n]->pending.load(std::memory_order_acquire) > 0) {
+        return true;
+      }
+    }
+    return false;
   }
 
   void RunWorker(std::size_t me) {
     const std::size_t n = shards_.size();
+    Shard& own = *shards_[me];
+    AdaptiveSpin spin(spin_budget_);
     std::function<void()> task;
     while (true) {
       bool got = TryPopFrom(me, task);
       for (std::size_t k = 1; !got && k < n; ++k) {
-        got = TryPopFrom((me + k) % n, task);
+        const std::size_t peer = (me + k) % n;
+        if (shards_[peer]->pending.load(std::memory_order_acquire) == 0) {
+          continue;
+        }
+        got = TryPopFrom(peer, task);
       }
       if (got) {
         task();
         task = nullptr;
         continue;
       }
-      Shard& own = *shards_[me];
+      // Nothing anywhere: spin briefly on the pending hints before parking.
+      if (spin.SpinUntil([&] { return AnyPending(me); })) continue;
       std::unique_lock lock(own.mu);
       if (!own.tasks.empty()) continue;
       // Each shard drains through its own worker before that worker exits,
       // so tasks queued before Shutdown still run to completion.
       if (own.closed) return;
-      // Wakeups are normally event-driven (Submit notifies the home worker,
-      // or an idle peer when the home worker is busy). The timed fallback
-      // only covers the window where Submit reads idle=false just before
-      // this worker parks — bounded staleness, no hot polling.
-      own.idle.store(true, std::memory_order_relaxed);
-      own.cv.wait_for(lock, std::chrono::milliseconds(100));
-      own.idle.store(false, std::memory_order_relaxed);
+      own.parked = true;
+      own.parked_hint.store(true, std::memory_order_relaxed);
+      own.cv.wait(lock, [&] {
+        return !own.tasks.empty() || own.closed || own.poked;
+      });
+      own.poked = false;
+      own.parked = false;
+      own.parked_hint.store(false, std::memory_order_relaxed);
     }
   }
 
+  const std::uint32_t spin_budget_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::vector<std::thread> threads_;
   std::atomic<std::size_t> rr_{0};

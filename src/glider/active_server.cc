@@ -4,6 +4,7 @@
 #include <time.h>
 
 #include <algorithm>
+#include <deque>
 #include <utility>
 
 #include "common/buffer_pool.h"
@@ -168,27 +169,63 @@ class ChannelInputStream : public ActionInputStream {
 
   Result<Buffer> ReadChunk() override {
     if (eos_) return Buffer{};
-    run_->BumpProgress();
-    auto task = channel_->BlockingPop(monitor_);
-    run_->BumpProgress();
-    if (!task.ok()) {
-      // Teardown while reading: surface as end of stream.
+    if (pending_.empty()) {
+      run_->BumpProgress();
+      // Drain every queued task with a single channel lock/wakeup: doorbell
+      // batches arrive together, so one wake serves many ReadChunk calls.
+      auto batch = channel_->BlockingPopAll(monitor_, kDrainMax);
+      run_->BumpProgress();
+      if (!batch.ok()) {
+        // Teardown while reading: surface as end of stream.
+        eos_ = true;
+        return Buffer{};
+      }
+      for (auto& task : *batch) pending_.push_back(std::move(task));
+    }
+    DataTask task = std::move(pending_.front());
+    pending_.pop_front();
+    if (task.eos) {
       eos_ = true;
       return Buffer{};
     }
-    if (task->eos) {
-      eos_ = true;
-      return Buffer{};
-    }
-    return std::move(task->data);
+    return std::move(task.data);
   }
 
   bool saw_eos() const { return eos_; }
 
+  // Consumes the rest of the stream — local stash first, then the channel —
+  // WITHOUT monitor yields: used after the method returned or threw, when
+  // the action's execution turn has already been released. Terminates on
+  // the eos task or channel teardown.
+  void DrainUntilEos() {
+    while (!eos_) {
+      while (!pending_.empty()) {
+        DataTask task = std::move(pending_.front());
+        pending_.pop_front();
+        if (task.eos) {
+          eos_ = true;
+          break;
+        }
+      }
+      if (eos_) break;
+      auto batch = channel_->BlockingPopAll(nullptr, kDrainMax);
+      if (!batch.ok()) {
+        eos_ = true;
+        break;
+      }
+      for (auto& task : *batch) pending_.push_back(std::move(task));
+    }
+  }
+
  private:
+  // Bounds the local stash so channel capacity (and thus client admission
+  // windows) keeps functioning as backpressure.
+  static constexpr std::size_t kDrainMax = 16;
+
   StreamChannel* channel_;
   ActionMonitor* monitor_;
   SlotRunState* run_;
+  std::deque<DataTask> pending_;
   bool eos_ = false;
 };
 
@@ -329,6 +366,13 @@ ActiveServer::ActiveServer(Options options,
              net::Responder responder) {
         DoStreamWrite(std::move(req), std::move(request),
                       std::move(responder));
+      });
+  RouteDeferred<StreamWriteBatchRequest>(
+      kStreamWriteBatch, "StreamWriteBatch",
+      [this](StreamWriteBatchRequest req, net::Message request,
+             net::Responder responder) {
+        DoStreamWriteBatch(std::move(req), std::move(request),
+                           std::move(responder));
       });
   RouteDeferred<StreamReadRequest>(
       kStreamRead, "StreamRead",
@@ -783,11 +827,10 @@ void ActiveServer::RunMethod(std::shared_ptr<Slot> slot,
       if (acct) slot->stats.cpu_us->Add(ThreadCpuMicros() - cpu_start);
       // The method may return before consuming the whole stream; drain so
       // pipelined client writes still get acknowledged, then complete the
-      // client's close. Skip when the method already saw end-of-stream.
-      while (!in.saw_eos()) {
-        auto task = stream->channel.BlockingPop(nullptr);
-        if (!task.ok() || task->eos) break;
-      }
+      // client's close. Must go through `in`, not the channel directly: the
+      // input stream may hold batch-drained tasks (eos included) in its
+      // local stash.
+      in.DrainUntilEos();
       net::Responder close_responder;
       net::Message close_request;
       {
@@ -841,6 +884,41 @@ void ActiveServer::DoStreamWrite(StreamWriteRequest req, net::Message request,
   task.data = std::move(req.data);
   (*stream)->channel.AsyncPush(
       req.seq, std::move(task),
+      [request, responder](Status admit) mutable {
+        if (admit.ok()) {
+          responder.SendOk(request);
+        } else {
+          responder.SendError(request, admit);
+        }
+      });
+}
+
+void ActiveServer::DoStreamWriteBatch(StreamWriteBatchRequest req,
+                                      net::Message request,
+                                      net::Responder responder) {
+  // Doorbell write: the whole batch enters the channel under one lock with
+  // one wakeup; the single response acks the batch once its last chunk is
+  // admitted. Chunks are zero-copy slices of the request payload.
+  auto stream = streams_.Find(req.stream_id);
+  if (!stream.ok()) return responder.SendError(request, stream.status());
+  if ((*stream)->mode != StreamMode::kWrite) {
+    return responder.SendError(request,
+                               Status::InvalidArgument("not a write stream"));
+  }
+  if (obs::Enabled()) {
+    std::uint64_t total = 0;
+    for (const auto& c : req.chunks) total += c.size();
+    slots_[(*stream)->slot]->stats.bytes_in->Add(total);
+  }
+  std::vector<DataTask> tasks;
+  tasks.reserve(req.chunks.size());
+  for (auto& chunk : req.chunks) {
+    DataTask task;
+    task.data = std::move(chunk);
+    tasks.push_back(std::move(task));
+  }
+  (*stream)->channel.AsyncPushAll(
+      req.first_seq, std::move(tasks),
       [request, responder](Status admit) mutable {
         if (admit.ok()) {
           responder.SendOk(request);

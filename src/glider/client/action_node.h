@@ -10,6 +10,7 @@
 #include <deque>
 #include <future>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "glider/protocol.h"
@@ -87,6 +88,9 @@ class ActionWriter {
 
  private:
   Status SendChunk(ByteSpan chunk);
+  // Ships the gathered doorbell batch (if any) as one kStreamWriteBatch
+  // RPC and counts it as a single in-flight unit.
+  Status FlushBatch();
   Status DrainInflight(bool all);
 
   nk::StoreClient* client_;
@@ -95,6 +99,10 @@ class ActionWriter {
   std::uint64_t next_seq_ = 0;
   std::uint64_t bytes_written_ = 0;
   Buffer pending_;
+  // Doorbell gathering (write_batch_chunks > 1): chunks are serialized
+  // straight into this frame-in-progress; FlushBatch ships it.
+  std::optional<BinaryWriter> batch_;
+  std::size_t batch_count_ = 0;
   std::deque<std::future<Result<net::Message>>> inflight_;
   Status deferred_error_;
   bool closed_ = false;

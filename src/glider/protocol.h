@@ -23,6 +23,7 @@ enum Opcode : std::uint16_t {
   kStreamRead = 34,
   kStreamClose = 35,
   kActionStat = 36,
+  kStreamWriteBatch = 37,
 };
 
 enum class StreamMode : std::uint8_t { kRead = 0, kWrite = 1 };
@@ -154,6 +155,57 @@ struct StreamWriteRequest {
     GLIDER_ASSIGN_OR_RETURN(req.stream_id, r.U64());
     GLIDER_ASSIGN_OR_RETURN(req.seq, r.U64());
     GLIDER_ASSIGN_OR_RETURN(req.data, GetBytesSlice(r, b));
+    return req;
+  }
+};
+
+// Doorbell write: N contiguous stream operations (first_seq .. first_seq +
+// chunks.size() - 1) in one frame, admitted to the stream channel under one
+// lock with one wakeup and acknowledged as a unit once the LAST chunk is
+// admitted. Client-side batching gathers small writes into this (see
+// StoreClient::Options::write_batch_chunks); the chunk count is implicit —
+// decoders read length-prefixed chunks until the payload ends, so encoders
+// can stream chunks straight into the frame without backpatching a count.
+struct StreamWriteBatchRequest {
+  std::uint64_t stream_id = 0;
+  std::uint64_t first_seq = 0;
+  std::vector<Buffer> chunks;
+
+  std::size_t WireBytes() const {
+    std::size_t total = 8 + 8;
+    for (const auto& c : chunks) total += 4 + c.size();
+    return total;
+  }
+
+  Buffer Encode() const {
+    BinaryWriter w(WireBytes());
+    w.PutU64(stream_id);
+    w.PutU64(first_seq);
+    for (const auto& c : chunks) w.PutBytes(c.span());
+    return std::move(w).Finish();
+  }
+  // Zero-copy decode: every chunk becomes a slice of the request payload,
+  // riding the stream channel to the action without further copies.
+  static Result<StreamWriteBatchRequest> Decode(const Buffer& b) {
+    BinaryReader r(b.span());
+    StreamWriteBatchRequest req;
+    GLIDER_ASSIGN_OR_RETURN(req.stream_id, r.U64());
+    GLIDER_ASSIGN_OR_RETURN(req.first_seq, r.U64());
+    while (!r.AtEnd()) {
+      GLIDER_ASSIGN_OR_RETURN(auto chunk, GetBytesSlice(r, b));
+      req.chunks.push_back(std::move(chunk));
+    }
+    return req;
+  }
+  static Result<StreamWriteBatchRequest> Decode(ByteSpan b) {
+    BinaryReader r(b);
+    StreamWriteBatchRequest req;
+    GLIDER_ASSIGN_OR_RETURN(req.stream_id, r.U64());
+    GLIDER_ASSIGN_OR_RETURN(req.first_seq, r.U64());
+    while (!r.AtEnd()) {
+      GLIDER_ASSIGN_OR_RETURN(auto chunk, r.Bytes());
+      req.chunks.emplace_back(chunk.data(), chunk.size());
+    }
     return req;
   }
 };

@@ -45,6 +45,15 @@ struct FireList {
   std::vector<std::pair<StreamChannel::AdmitFn, Status>> admits;
   std::vector<std::pair<StreamChannel::ConsumeFn, Result<DataTask>>> deliveries;
 
+  // Null admit fns (batch interiors — only the last task of an
+  // AsyncPushAll carries the ack) are dropped here, not earlier: the
+  // promote fixpoint counts promoted items, not callbacks.
+  void Add(std::vector<StreamChannel::AdmitFn> admit_fns) {
+    for (auto& fn : admit_fns) {
+      if (fn) admits.emplace_back(std::move(fn), Status::Ok());
+    }
+  }
+
   void FireAll() {
     for (auto& [fn, status] : admits) fn(status);
     for (auto& [fn, result] : deliveries) fn(std::move(result));
@@ -54,6 +63,8 @@ struct FireList {
 }  // namespace
 
 std::vector<StreamChannel::AdmitFn> StreamChannel::PromoteLocked() {
+  // One entry per promoted item (entries may be null batch interiors), so
+  // callers can use emptiness as the fixpoint progress signal.
   std::vector<AdmitFn> fired;
   while (!aborted_) {
     auto it = pushes_.find(next_push_seq_);
@@ -98,11 +109,22 @@ StreamChannel::MatchLocked() {
 void StreamChannel::AsyncPush(std::uint64_t seq, DataTask task,
                               AdmitFn on_admitted) {
   FireList fire;
+  bool wake = false;
   {
     std::scoped_lock lock(mu_);
     if (aborted_) {
       fire.admits.emplace_back(std::move(on_admitted),
                                Status::Closed("stream aborted"));
+    } else if (seq == next_push_seq_ && pushes_.empty() &&
+               (items_.size() < capacity_ ||
+                consumers_.contains(next_pop_seq_))) {
+      // In-order fast path (the expected case): admit directly, skipping
+      // the out-of-order buffering map.
+      items_.push_back(std::move(task));
+      if (obs::Enabled()) OccupancyHist().Record(items_.size());
+      ++next_push_seq_;
+      fire.admits.emplace_back(std::move(on_admitted), Status::Ok());
+      for (auto& d : MatchLocked()) fire.deliveries.push_back(std::move(d));
     } else {
       pushes_.emplace(seq, PendingPush{std::move(task), std::move(on_admitted)});
       // Alternate promote/match until nothing moves.
@@ -110,17 +132,84 @@ void StreamChannel::AsyncPush(std::uint64_t seq, DataTask task,
         auto admits = PromoteLocked();
         auto deliveries = MatchLocked();
         if (admits.empty() && deliveries.empty()) break;
-        for (auto& fn : admits) fire.admits.emplace_back(std::move(fn), Status::Ok());
+        fire.Add(std::move(admits));
         for (auto& d : deliveries) fire.deliveries.push_back(std::move(d));
       }
     }
-    cv_.notify_all();
+    PublishHintLocked();
+    wake = waiters_ > 0;
   }
+  if (wake) cv_.notify_all();
+  fire.FireAll();
+}
+
+void StreamChannel::AsyncPushAll(std::uint64_t first_seq,
+                                 std::vector<DataTask> tasks,
+                                 AdmitFn on_admitted) {
+  if (tasks.empty()) {
+    if (on_admitted) on_admitted(Status::Ok());
+    return;
+  }
+  FireList fire;
+  bool wake = false;
+  {
+    std::scoped_lock lock(mu_);
+    if (aborted_) {
+      fire.admits.emplace_back(std::move(on_admitted),
+                               Status::Closed("stream aborted"));
+    } else {
+      std::size_t i = 0;
+      if (first_seq == next_push_seq_ && pushes_.empty()) {
+        // In-order fast path: admit the prefix that fits directly.
+        while (i < tasks.size() &&
+               (items_.size() < capacity_ ||
+                consumers_.contains(next_pop_seq_))) {
+          items_.push_back(std::move(tasks[i]));
+          if (obs::Enabled()) OccupancyHist().Record(items_.size());
+          ++next_push_seq_;
+          ++i;
+          if (items_.size() >= capacity_) {
+            // Drain into parked consumers before admitting more.
+            for (auto& d : MatchLocked()) {
+              fire.deliveries.push_back(std::move(d));
+            }
+          }
+        }
+      }
+      if (i == tasks.size()) {
+        if (on_admitted) {
+          fire.admits.emplace_back(std::move(on_admitted), Status::Ok());
+        }
+      } else {
+        // Defer the remainder; only the batch's last task carries the ack,
+        // which therefore fires once the WHOLE batch is admitted.
+        for (; i < tasks.size(); ++i) {
+          const bool last = i + 1 == tasks.size();
+          pushes_.emplace(
+              first_seq + i,
+              PendingPush{std::move(tasks[i]),
+                          last ? std::move(on_admitted) : AdmitFn{}});
+        }
+        while (true) {
+          auto admits = PromoteLocked();
+          auto deliveries = MatchLocked();
+          if (admits.empty() && deliveries.empty()) break;
+          fire.Add(std::move(admits));
+          for (auto& d : deliveries) fire.deliveries.push_back(std::move(d));
+        }
+      }
+      for (auto& d : MatchLocked()) fire.deliveries.push_back(std::move(d));
+    }
+    PublishHintLocked();
+    wake = waiters_ > 0;
+  }
+  if (wake) cv_.notify_all();
   fire.FireAll();
 }
 
 void StreamChannel::AsyncPop(std::uint64_t seq, ConsumeFn consumer) {
   FireList fire;
+  bool wake = false;
   {
     std::scoped_lock lock(mu_);
     consumers_.emplace(seq, std::move(consumer));
@@ -128,24 +217,45 @@ void StreamChannel::AsyncPop(std::uint64_t seq, ConsumeFn consumer) {
       auto deliveries = MatchLocked();
       auto admits = PromoteLocked();
       if (admits.empty() && deliveries.empty()) break;
-      for (auto& fn : admits) fire.admits.emplace_back(std::move(fn), Status::Ok());
+      fire.Add(std::move(admits));
       for (auto& d : deliveries) fire.deliveries.push_back(std::move(d));
     }
-    cv_.notify_all();
+    PublishHintLocked();
+    wake = waiters_ > 0;
   }
+  if (wake) cv_.notify_all();
   fire.FireAll();
 }
 
+void StreamChannel::ParkLocked(std::unique_lock<std::mutex>& lock,
+                               ActionMonitor* monitor, const char* wait_kind) {
+  const std::uint64_t wait_start = WaitStart();
+  ++waiters_;
+  if (monitor != nullptr) {
+    if (obs::Enabled()) YieldCounter().Increment();
+    monitor->Exit();
+    cv_.wait(lock);
+    --waiters_;
+    lock.unlock();
+    monitor->Enter();
+    lock.lock();
+  } else {
+    cv_.wait(lock);
+    --waiters_;
+  }
+  ReportChannelWait(wait_kind, wait_start);
+}
+
 Result<DataTask> StreamChannel::BlockingPop(ActionMonitor* monitor) {
+  SpinForItems();
   std::unique_lock lock(mu_);
   while (true) {
     if (!items_.empty()) {
       DataTask task = std::move(items_.front());
       items_.pop_front();
       FireList fire;
-      for (auto& fn : PromoteLocked()) {
-        fire.admits.emplace_back(std::move(fn), Status::Ok());
-      }
+      fire.Add(PromoteLocked());
+      PublishHintLocked();
       lock.unlock();
       fire.FireAll();
       return task;
@@ -155,22 +265,48 @@ Result<DataTask> StreamChannel::BlockingPop(ActionMonitor* monitor) {
       // closed means teardown.
       return Status::Closed("stream closed");
     }
-    const std::uint64_t wait_start = WaitStart();
-    if (monitor != nullptr) {
-      if (obs::Enabled()) YieldCounter().Increment();
-      monitor->Exit();
-      cv_.wait(lock);
+    ParkLocked(lock, monitor, "channel.pop");
+  }
+}
+
+Result<std::vector<DataTask>> StreamChannel::BlockingPopAll(
+    ActionMonitor* monitor, std::size_t max_items) {
+  if (max_items == 0) max_items = 1;
+  SpinForItems();
+  std::unique_lock lock(mu_);
+  while (true) {
+    if (!items_.empty()) {
+      std::vector<DataTask> batch;
+      const std::size_t take =
+          items_.size() < max_items ? items_.size() : max_items;
+      batch.reserve(take);
+      for (std::size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(items_.front()));
+        items_.pop_front();
+      }
+      FireList fire;
+      fire.Add(PromoteLocked());
+      PublishHintLocked();
       lock.unlock();
-      monitor->Enter();
-      lock.lock();
-    } else {
-      cv_.wait(lock);
+      fire.FireAll();
+      return batch;
     }
-    ReportChannelWait("channel.pop", wait_start);
+    if (aborted_ || producer_closed_) {
+      return Status::Closed("stream closed");
+    }
+    ParkLocked(lock, monitor, "channel.pop");
   }
 }
 
 Status StreamChannel::BlockingPush(DataTask task, ActionMonitor* monitor) {
+  // Spin hint: wait for space (or closure) before taking the lock.
+  if (const std::size_t h = size_hint_.load(std::memory_order_acquire);
+      h >= capacity_ && h != kClosedHint) {
+    spin_.SpinUntil([this] {
+      const std::size_t hint = size_hint_.load(std::memory_order_acquire);
+      return hint < capacity_ || hint == kClosedHint;
+    });
+  }
   std::unique_lock lock(mu_);
   while (true) {
     if (aborted_) return Status::Closed("reader abandoned the stream");
@@ -179,44 +315,42 @@ Status StreamChannel::BlockingPush(DataTask task, ActionMonitor* monitor) {
       if (obs::Enabled()) OccupancyHist().Record(items_.size());
       FireList fire;
       for (auto& d : MatchLocked()) fire.deliveries.push_back(std::move(d));
+      PublishHintLocked();
+      const bool wake = waiters_ > 0;
       lock.unlock();
+      if (wake) cv_.notify_all();
       fire.FireAll();
       return Status::Ok();
     }
-    const std::uint64_t wait_start = WaitStart();
-    if (monitor != nullptr) {
-      if (obs::Enabled()) YieldCounter().Increment();
-      monitor->Exit();
-      cv_.wait(lock);
-      lock.unlock();
-      monitor->Enter();
-      lock.lock();
-    } else {
-      cv_.wait(lock);
-    }
-    ReportChannelWait("channel.push", wait_start);
+    ParkLocked(lock, monitor, "channel.push");
   }
 }
 
 void StreamChannel::CloseProducer() {
   FireList fire;
+  bool wake = false;
   {
     std::scoped_lock lock(mu_);
     producer_closed_ = true;
     for (auto& d : MatchLocked()) fire.deliveries.push_back(std::move(d));
-    cv_.notify_all();
+    PublishHintLocked();
+    wake = waiters_ > 0;
   }
+  if (wake) cv_.notify_all();
   fire.FireAll();
 }
 
 void StreamChannel::Abort() {
   FireList fire;
+  bool wake = false;
   {
     std::scoped_lock lock(mu_);
     aborted_ = true;
     for (auto& [seq, push] : pushes_) {
-      fire.admits.emplace_back(std::move(push.on_admitted),
-                               Status::Closed("stream aborted"));
+      if (push.on_admitted) {
+        fire.admits.emplace_back(std::move(push.on_admitted),
+                                 Status::Closed("stream aborted"));
+      }
     }
     pushes_.clear();
     for (auto& [seq, consumer] : consumers_) {
@@ -224,8 +358,10 @@ void StreamChannel::Abort() {
                                    Status::Closed("stream aborted"));
     }
     consumers_.clear();
-    cv_.notify_all();
+    PublishHintLocked();
+    wake = waiters_ > 0;
   }
+  if (wake) cv_.notify_all();
   fire.FireAll();
 }
 

@@ -15,12 +15,24 @@
 // fleet of blocked network workers from starving unrelated streams — e.g.
 // actions writing to other actions on the same server.
 //
+// Hot-path discipline (see DESIGN.md "Hot-path batching & wakeup"):
+//   * AsyncPushAll is the doorbell: a whole batch of contiguous chunks is
+//     admitted under one lock acquisition with one admission ack and at
+//     most one consumer wakeup;
+//   * the expected case (in-order arrival, queue open) skips the
+//     out-of-order buffering map entirely;
+//   * the action-side cv is only notified when a waiter is parked, and
+//     always after the lock is released;
+//   * action-side blocking calls spin adaptively on an atomic size hint
+//     before parking (common/spin_park.h).
+//
 // Action-side blocking calls take an ActionMonitor*: non-null (interleaving
 // enabled) releases the action's execution turn while waiting, so another
 // method of the same action may run (paper §4.2 "action interleaving",
 // applied like Orleans turns).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -30,6 +42,7 @@
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/spin_park.h"
 #include "common/status.h"
 
 namespace glider::core {
@@ -80,6 +93,14 @@ class StreamChannel {
   // queue (immediately or once space frees).
   void AsyncPush(std::uint64_t seq, DataTask task, AdmitFn on_admitted);
 
+  // Doorbell push: admits `tasks` as operations first_seq .. first_seq +
+  // tasks.size() - 1 under one lock acquisition with at most one consumer
+  // wakeup. `on_admitted` acks the batch as a whole — it fires once the
+  // LAST task has entered the queue (so a client window counts the batch
+  // as one in-flight unit).
+  void AsyncPushAll(std::uint64_t first_seq, std::vector<DataTask> tasks,
+                    AdmitFn on_admitted);
+
   // Requests the item for read operation `seq`. The consumer fires with the
   // task, or with kClosed at end-of-stream / teardown.
   void AsyncPop(std::uint64_t seq, ConsumeFn consumer);
@@ -89,6 +110,13 @@ class StreamChannel {
   // Pops the next task in order; blocks while empty. With a monitor, the
   // wait yields the action's turn. kClosed after Abort().
   Result<DataTask> BlockingPop(ActionMonitor* monitor);
+
+  // Pops every queued in-order task (at least one; blocks while empty), up
+  // to `max_items`, under one lock acquisition. Write-stream consumers use
+  // this to drain a doorbell batch at the cost of a single wakeup. The
+  // batch may contain the eos task (always last: nothing follows eos).
+  Result<std::vector<DataTask>> BlockingPopAll(ActionMonitor* monitor,
+                                               std::size_t max_items);
 
   // Pushes the next chunk; blocks while full. With a monitor, the wait
   // yields the action's turn. kClosed if the consumer went away.
@@ -112,7 +140,7 @@ class StreamChannel {
  private:
   struct PendingPush {
     DataTask task;
-    AdmitFn on_admitted;
+    AdmitFn on_admitted;  // may be null (interior of a batch)
   };
 
   // Moves in-order pending pushes into the queue while space remains.
@@ -121,9 +149,34 @@ class StreamChannel {
   // Matches queued items with parked consumers. Returns deliveries to fire.
   std::vector<std::pair<ConsumeFn, Result<DataTask>>> MatchLocked();
 
+  // Mirrors queue state into the lock-free spin hint: item count, or
+  // kClosedHint once closed/aborted.
+  void PublishHintLocked() {
+    size_hint_.store(
+        (aborted_ || producer_closed_) ? kClosedHint : items_.size(),
+        std::memory_order_release);
+  }
+
+  // Adaptive spin on the size hint before an action-side pop parks.
+  void SpinForItems() {
+    if (size_hint_.load(std::memory_order_acquire) != 0) return;
+    spin_.SpinUntil([this] {
+      return size_hint_.load(std::memory_order_acquire) != 0;
+    });
+  }
+
+  // One action-side park iteration: cv wait (yielding the monitor turn when
+  // interleaving), waiter-counted so producers can gate their notifies.
+  void ParkLocked(std::unique_lock<std::mutex>& lock, ActionMonitor* monitor,
+                  const char* wait_kind);
+
+  static constexpr std::size_t kClosedHint =
+      static_cast<std::size_t>(-1);
+
   const std::size_t capacity_;
   mutable std::mutex mu_;
   std::condition_variable cv_;  // wakes action-side blocking calls
+  std::size_t waiters_ = 0;     // action-side threads parked on cv_
 
   std::deque<DataTask> items_;
   std::uint64_t next_push_seq_ = 0;  // next op admitted to the queue
@@ -131,6 +184,9 @@ class StreamChannel {
 
   std::uint64_t next_pop_seq_ = 0;  // next read op to serve
   std::map<std::uint64_t, ConsumeFn> consumers_;  // parked read ops
+
+  std::atomic<std::size_t> size_hint_{0};
+  AdaptiveSpin spin_;
 
   bool producer_closed_ = false;
   bool aborted_ = false;

@@ -134,12 +134,28 @@ void HandleWithObs(Service& service, Message request, Responder responder,
   }
   const std::uint16_t opcode = request.opcode;
   const std::uint64_t start_us = obs::TraceNowMicros();
+  const obs::TraceContext parent{request.trace_id, request.span_id};
+  std::uint64_t span_id = parent.span_id;
+  if (parent.trace_id != 0) {
+    // The server span is recorded when the RESPONSE is sent, not when the
+    // handler returns: the record is then guaranteed to be in the recorder
+    // before the client can observe the reply, and deferred responders
+    // (stream ops parked in channels) get spans covering the full request
+    // lifetime. RecordSpan never touches thread-local trace state, so the
+    // send may fire on any thread.
+    span_id = obs::NewSpanId();
+    responder = Responder(
+        [inner = std::make_shared<Responder>(std::move(responder)), opcode,
+         parent, span_id, start_us](Message response) mutable {
+          obs::RecordSpan("rpc.server",
+                          std::string("handle.") + RpcOpName(opcode), parent,
+                          span_id, start_us, obs::TraceNowMicros());
+          inner->Send(std::move(response));
+        });
+  }
   {
-    obs::TraceContextScope scope(
-        obs::TraceContext{request.trace_id, request.span_id});
+    obs::TraceContextScope scope(obs::TraceContext{parent.trace_id, span_id});
     obs::ProfileTagScope tag(RpcProfileTag(opcode));
-    obs::Span span("rpc.server",
-                   std::string("handle.") + RpcOpName(opcode));
     service.Handle(std::move(request), std::move(responder));
   }
   RpcHistogram(/*server_side=*/true, transport_index, opcode)

@@ -10,6 +10,8 @@
 #include "common/buffer_pool.h"
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstring>
 #include <future>
 #include <map>
@@ -23,6 +25,8 @@
 
 namespace glider::net {
 namespace {
+
+constexpr std::uint32_t kMaxFrame = 64u << 20;  // 64 MiB sanity bound
 
 // RAII file descriptor. The descriptor value is atomic because owners
 // Close()/Shutdown() from a destructor while an accept or read loop still
@@ -75,28 +79,17 @@ Status ReadAll(int fd, std::uint8_t* data, std::size_t size) {
   return Status::Ok();
 }
 
-// Scatter-gather frame write: the 32-byte header is serialized into a stack
-// array and emitted together with the payload via writev — the payload is
-// never copied into a frame buffer (Message::Encode is off this path).
-// Wire format: the frame header (which carries the payload length) followed
-// by the payload bytes; there is no separate outer length prefix.
-Status WriteFrame(int fd, std::mutex& write_mu, const Message& message) {
-  std::uint8_t header[kFrameHeaderSize];
-  message.EncodeHeader(header);
-  const ByteSpan payload = message.payload.span();
-
-  std::scoped_lock lock(write_mu);
-  iovec iov[2];
-  iov[0].iov_base = header;
-  iov[0].iov_len = sizeof(header);
-  iov[1].iov_base = const_cast<std::uint8_t*>(payload.data());
-  iov[1].iov_len = payload.size();
-  int iov_at = 0;
-  const int iov_count = payload.empty() ? 1 : 2;
-  msghdr msg{};
-  while (iov_at < iov_count) {
-    msg.msg_iov = iov + iov_at;
-    msg.msg_iovlen = static_cast<std::size_t>(iov_count - iov_at);
+// Emits a gather list fully, advancing through partial writes. sendmsg is
+// called with at most kMaxIovPerCall entries per round (well under any
+// platform IOV_MAX); the advance loop resumes mid-entry after a short
+// write.
+Status SendIovecs(int fd, std::vector<iovec>& iov) {
+  constexpr std::size_t kMaxIovPerCall = 64;
+  std::size_t at = 0;
+  while (at < iov.size()) {
+    msghdr msg{};
+    msg.msg_iov = iov.data() + at;
+    msg.msg_iovlen = std::min(iov.size() - at, kMaxIovPerCall);
     const ssize_t n = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
@@ -104,55 +97,351 @@ Status WriteFrame(int fd, std::mutex& write_mu, const Message& message) {
                                  std::string(std::strerror(errno)));
     }
     std::size_t advanced = static_cast<std::size_t>(n);
-    while (iov_at < iov_count && advanced >= iov[iov_at].iov_len) {
-      advanced -= iov[iov_at].iov_len;
-      ++iov_at;
+    while (at < iov.size() && advanced >= iov[at].iov_len) {
+      advanced -= iov[at].iov_len;
+      ++at;
     }
-    if (iov_at < iov_count && advanced > 0) {
-      iov[iov_at].iov_base =
-          static_cast<std::uint8_t*>(iov[iov_at].iov_base) + advanced;
-      iov[iov_at].iov_len -= advanced;
+    if (at < iov.size() && advanced > 0) {
+      iov[at].iov_base =
+          static_cast<std::uint8_t*>(iov[at].iov_base) + advanced;
+      iov[at].iov_len -= advanced;
     }
   }
   return Status::Ok();
 }
 
-Result<Message> ReadFrame(int fd) {
-  std::uint8_t header[kFrameHeaderSize];
-  GLIDER_RETURN_IF_ERROR(ReadAll(fd, header, sizeof(header)));
-  auto get16 = [&](int at) {
-    return static_cast<std::uint16_t>(
-        static_cast<std::uint16_t>(header[at]) |
-        (static_cast<std::uint16_t>(header[at + 1]) << 8));
-  };
-  auto get64 = [&](int at) {
-    std::uint64_t v = 0;
-    for (int i = 0; i < 8; ++i) {
-      v |= static_cast<std::uint64_t>(header[at + i]) << (8 * i);
+// --- Send coalescing --------------------------------------------------------
+
+// Per-connection batching writer. Senders stage frames (header plus small
+// payloads copied into one contiguous buffer; large payloads referenced
+// zero-copy as their own iovec segments) under the lock, then the whole
+// backlog leaves in one sendmsg.
+//
+// Two flush disciplines (TcpOptions::flush_us):
+//   * opportunistic (0): the enqueuing thread flushes immediately unless
+//     another thread's flush is already on the wire, in which case the
+//     active flusher picks the new frames up on its next swap. Uncontended
+//     sends keep the old one-syscall latency; batches form exactly when
+//     the link is busy.
+//   * deadline (>0): frames wait up to flush_us for peers to coalesce; a
+//     dedicated flusher thread emits on deadline or when the byte/frame
+//     budget fills, whichever is first.
+// Cork()/Uncork() suppress the opportunistic flush so a caller issuing a
+// known burst shares one flush; budget overflow still flushes mid-cork.
+//
+// A send error latches into `status_`: subsequent sends fail fast, and the
+// connection's reader notices the dead socket and fails the pending calls,
+// covering frames accepted before the error surfaced.
+class SendCoalescer {
+ public:
+  SendCoalescer(int fd, const TcpOptions& options)
+      : fd_(fd), options_(options) {
+    if (options_.flush_us > 0) {
+      flusher_ = std::thread([this] { FlusherLoop(); });
     }
-    return v;
+  }
+
+  ~SendCoalescer() {
+    {
+      std::unique_lock lock(mu_);
+      // Best-effort final flush so responses staged right before teardown
+      // still reach the peer.
+      if (status_.ok() && frames_ > 0) FlushBacklogLocked(lock);
+      closed_ = true;
+    }
+    cv_.notify_all();
+    if (flusher_.joinable()) flusher_.join();
+  }
+
+  SendCoalescer(const SendCoalescer&) = delete;
+  SendCoalescer& operator=(const SendCoalescer&) = delete;
+
+  Status Send(const Message& message) {
+    std::unique_lock lock(mu_);
+    // Backpressure: past the byte budget with a flush already in flight,
+    // wait for the swap instead of staging without bound.
+    cv_.wait(lock, [&] {
+      return closed_ || !status_.ok() || !flushing_ ||
+             staged_bytes_ < options_.coalesce_bytes;
+    });
+    if (closed_) return Status::Closed("connection closed");
+    if (!status_.ok()) return status_;
+    StageLocked(message);
+    const bool over_budget = staged_bytes_ >= options_.coalesce_bytes ||
+                             frames_ >= options_.coalesce_frames;
+    if (options_.flush_us > 0) {
+      // Deadline mode: wake the flusher on the first frame (arms its
+      // deadline) and when the budget fills (flush now).
+      if (frames_ == 1 || over_budget) {
+        lock.unlock();
+        cv_.notify_all();
+      }
+      return Status::Ok();
+    }
+    if (cork_depth_ > 0 && !over_budget) return Status::Ok();
+    return FlushBacklogLocked(lock);
+  }
+
+  void Cork() {
+    std::scoped_lock lock(mu_);
+    ++cork_depth_;
+  }
+
+  void Uncork() {
+    std::unique_lock lock(mu_);
+    if (cork_depth_ == 0 || --cork_depth_ > 0) return;
+    if (frames_ == 0) return;
+    if (options_.flush_us > 0) {
+      lock.unlock();
+      cv_.notify_all();
+      return;
+    }
+    if (status_.ok()) FlushBacklogLocked(lock);
+  }
+
+ private:
+  // One element of the gather list: either a [stage_off, stage_off +
+  // stage_len) window of the staging buffer, or a large payload held
+  // zero-copy (`large` non-empty; its frame header still goes through the
+  // staging buffer, so the wire order is preserved by segment order).
+  struct Segment {
+    std::size_t stage_off = 0;
+    std::size_t stage_len = 0;
+    Buffer large;
   };
-  Message m;
-  m.opcode = get16(0);
-  m.status = static_cast<StatusCode>(get16(2));
-  m.request_id = get64(4);
-  m.trace_id = get64(12);
-  m.span_id = get64(20);
-  std::uint32_t len = 0;
-  for (int i = 0; i < 4; ++i) {
-    len |= static_cast<std::uint32_t>(header[28 + i]) << (8 * i);
+
+  void StageLocked(const Message& message) {
+    std::uint8_t header[kFrameHeaderSize];
+    message.EncodeHeader(header);
+    AppendStageLocked(header, sizeof(header));
+    const ByteSpan payload = message.payload.span();
+    if (payload.size() <= options_.inline_copy_bytes) {
+      AppendStageLocked(payload.data(), payload.size());
+    } else {
+      Segment seg;
+      seg.large = message.payload;  // refcount keeps the bytes alive
+      segments_.push_back(std::move(seg));
+    }
+    ++frames_;
+    staged_bytes_ += kFrameHeaderSize + payload.size();
   }
-  constexpr std::uint32_t kMaxFrame = 64u << 20;  // 64 MiB sanity bound
-  if (len > kMaxFrame) return Status::InvalidArgument("oversized frame");
-  if (len > 0) {
-    // One pooled allocation per frame; the payload buffer is handed to the
-    // message as-is — downstream decoders slice it without copying.
-    Buffer payload = BufferPool::Global().Acquire(len);
-    GLIDER_RETURN_IF_ERROR(ReadAll(fd, payload.data(), len));
-    m.payload = std::move(payload);
+
+  void AppendStageLocked(const std::uint8_t* data, std::size_t size) {
+    if (size == 0) return;
+    if (!segments_.empty() && segments_.back().large.empty() &&
+        segments_.back().stage_off + segments_.back().stage_len ==
+            stage_.size()) {
+      segments_.back().stage_len += size;  // extend the open stage window
+    } else {
+      segments_.push_back(Segment{stage_.size(), size, {}});
+    }
+    stage_.insert(stage_.end(), data, data + size);
   }
-  return m;
-}
+
+  // Emits the staged backlog, looping until it is empty: frames staged by
+  // other threads while this one was inside sendmsg go out on the next
+  // swap. At most one thread flushes at a time (`flushing_`); the lock is
+  // dropped around the syscall so senders keep staging meanwhile.
+  Status FlushBacklogLocked(std::unique_lock<std::mutex>& lock) {
+    if (flushing_) return status_;  // active flusher will emit our frames
+    flushing_ = true;
+    while (status_.ok() && frames_ > 0) {
+      std::vector<std::uint8_t> stage = std::move(stage_);
+      std::vector<Segment> segments = std::move(segments_);
+      stage_.clear();
+      segments_.clear();
+      frames_ = 0;
+      staged_bytes_ = 0;
+      lock.unlock();
+      cv_.notify_all();  // budget waiters may stage the next batch
+      std::vector<iovec> iov;
+      iov.reserve(segments.size());
+      for (const Segment& seg : segments) {
+        iovec v;
+        if (seg.large.empty()) {
+          v.iov_base = stage.data() + seg.stage_off;
+          v.iov_len = seg.stage_len;
+        } else {
+          v.iov_base = const_cast<std::uint8_t*>(seg.large.data());
+          v.iov_len = seg.large.size();
+        }
+        iov.push_back(v);
+      }
+      const Status sent = SendIovecs(fd_, iov);
+      lock.lock();
+      if (!sent.ok()) status_ = sent;
+    }
+    flushing_ = false;
+    if (!status_.ok()) cv_.notify_all();
+    return status_;
+  }
+
+  void FlusherLoop() {
+    std::unique_lock lock(mu_);
+    while (!closed_) {
+      cv_.wait(lock, [&] { return closed_ || frames_ > 0; });
+      if (closed_) return;
+      const auto deadline = std::chrono::steady_clock::now() +
+                            std::chrono::microseconds(options_.flush_us);
+      cv_.wait_until(lock, deadline, [&] {
+        return closed_ || staged_bytes_ >= options_.coalesce_bytes ||
+               frames_ >= options_.coalesce_frames;
+      });
+      if (closed_) return;
+      if (status_.ok()) FlushBacklogLocked(lock);
+      if (!status_.ok()) {
+        // Dead socket: nothing further will flush; park until teardown so
+        // the loop does not spin on the armed frames_ > 0 predicate.
+        cv_.wait(lock, [&] { return closed_; });
+        return;
+      }
+    }
+  }
+
+  const int fd_;
+  const TcpOptions options_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::uint8_t> stage_;
+  std::vector<Segment> segments_;
+  std::size_t frames_ = 0;
+  std::size_t staged_bytes_ = 0;
+  int cork_depth_ = 0;
+  bool flushing_ = false;
+  bool closed_ = false;
+  Status status_ = Status::Ok();
+  std::thread flusher_;  // deadline mode only
+};
+
+// --- Buffered receive -------------------------------------------------------
+
+// Buffered frame decoder: each recv fills a pooled window (often with many
+// frames — the peer coalesces), and Next() peels frames off as zero-copy
+// slices of that window. A frame torn across the window boundary is
+// reassembled by copying only the partial remainder into a fresh window
+// (the old storage stays alive through the slices already handed out);
+// payloads too large for a window bypass the buffering and read straight
+// into their own pooled allocation.
+class FrameReader {
+ public:
+  explicit FrameReader(int fd) : fd_(fd) {}
+
+  // Blocking: decodes the next frame, refilling from the socket as needed.
+  Result<Message> Next() {
+    for (;;) {
+      const std::size_t avail = filled_ - pos_;
+      if (avail < kFrameHeaderSize) {
+        GLIDER_RETURN_IF_ERROR(Refill(kFrameHeaderSize));
+        continue;
+      }
+      Message m;
+      std::uint32_t len = 0;
+      GLIDER_RETURN_IF_ERROR(ParseHeader(base_ + pos_, m, len));
+      const std::size_t total = kFrameHeaderSize + len;
+      if (avail >= total) {
+        if (len > 0) m.payload = buf_.Slice(pos_ + kFrameHeaderSize, len);
+        pos_ += total;
+        return m;
+      }
+      if (total > window_) {
+        // Oversized frame: copy what is buffered of the payload, then read
+        // the rest of it directly into its own exact-size allocation.
+        Buffer payload = BufferPool::Global().Acquire(len);
+        const std::size_t have = avail - kFrameHeaderSize;
+        std::memcpy(payload.data(), base_ + pos_ + kFrameHeaderSize, have);
+        pos_ = filled_;
+        GLIDER_RETURN_IF_ERROR(ReadAll(fd_, payload.data() + have, len - have));
+        m.payload = std::move(payload);
+        return m;
+      }
+      GLIDER_RETURN_IF_ERROR(Refill(total));
+    }
+  }
+
+  // True when the next whole frame is already buffered, i.e. Next() will
+  // not touch the socket. The server loop uses this to size its dispatch
+  // batches without risking a block mid-batch.
+  bool FrameBuffered() const {
+    const std::size_t avail = filled_ - pos_;
+    if (avail < kFrameHeaderSize) return false;
+    std::uint32_t len = 0;
+    for (int i = 0; i < 4; ++i) {
+      len |= static_cast<std::uint32_t>(base_[pos_ + 28 + i]) << (8 * i);
+    }
+    return avail >= kFrameHeaderSize + len;
+  }
+
+ private:
+  static constexpr std::size_t kWindowBytes = 64 * 1024;
+
+  static Status ParseHeader(const std::uint8_t* header, Message& m,
+                            std::uint32_t& len) {
+    auto get16 = [&](int at) {
+      return static_cast<std::uint16_t>(
+          static_cast<std::uint16_t>(header[at]) |
+          (static_cast<std::uint16_t>(header[at + 1]) << 8));
+    };
+    auto get64 = [&](int at) {
+      std::uint64_t v = 0;
+      for (int i = 0; i < 8; ++i) {
+        v |= static_cast<std::uint64_t>(header[at + i]) << (8 * i);
+      }
+      return v;
+    };
+    m.opcode = get16(0);
+    m.status = static_cast<StatusCode>(get16(2));
+    m.request_id = get64(4);
+    m.trace_id = get64(12);
+    m.span_id = get64(20);
+    len = 0;
+    for (int i = 0; i < 4; ++i) {
+      len |= static_cast<std::uint32_t>(header[28 + i]) << (8 * i);
+    }
+    if (len > kMaxFrame) return Status::InvalidArgument("oversized frame");
+    return Status::Ok();
+  }
+
+  // One recv into the window tail (first making sure the current frame can
+  // complete there: `need` bytes from pos_). Swapping to a fresh window
+  // copies only the unconsumed partial-frame remainder; outstanding payload
+  // slices keep the old storage alive on their own.
+  //
+  // The window is written through `base_`, captured once while the Buffer
+  // was provably unique: recv only ever fills [filled_, window_), which no
+  // handed-out slice views (slices end at filled_), so the writes can never
+  // show through a slice. Going through Buffer::data() here instead would
+  // trigger its copy-on-write detach the moment a slice exists.
+  Status Refill(std::size_t need) {
+    if (window_ - pos_ < need) {
+      const std::size_t remain = filled_ - pos_;
+      Buffer fresh = BufferPool::Global().Acquire(
+          need > kWindowBytes ? need : kWindowBytes);
+      std::uint8_t* fresh_base = fresh.data();  // unique here, no detach
+      if (remain > 0) std::memcpy(fresh_base, base_ + pos_, remain);
+      buf_ = std::move(fresh);
+      base_ = fresh_base;
+      window_ = buf_.size();
+      pos_ = 0;
+      filled_ = remain;
+    }
+    const ssize_t n = ::recv(fd_, base_ + filled_, window_ - filled_, 0);
+    if (n == 0) return Status::Closed("peer closed connection");
+    if (n < 0) {
+      if (errno == EINTR) return Status::Ok();  // caller loops
+      return Status::Unavailable("recv failed: " +
+                                 std::string(std::strerror(errno)));
+    }
+    filled_ += static_cast<std::size_t>(n);
+    return Status::Ok();
+  }
+
+  const int fd_;
+  Buffer buf_;
+  std::uint8_t* base_ = nullptr;
+  std::size_t window_ = 0;
+  std::size_t pos_ = 0;
+  std::size_t filled_ = 0;
+};
 
 Result<std::pair<std::string, std::uint16_t>> SplitHostPort(
     const std::string& address) {
@@ -179,9 +468,10 @@ void SetNoDelay(int fd) {
 class TcpListener : public Listener {
  public:
   TcpListener(Fd listen_fd, std::string address,
-              std::shared_ptr<Service> service, std::size_t num_workers)
+              std::shared_ptr<Service> service, std::size_t num_workers,
+              TcpOptions options)
       : listen_fd_(std::move(listen_fd)), address_(std::move(address)),
-        service_(std::move(service)), pool_(num_workers) {
+        service_(std::move(service)), options_(options), pool_(num_workers) {
     accept_thread_ = std::thread([this] { AcceptLoop(); });
   }
 
@@ -204,8 +494,10 @@ class TcpListener : public Listener {
 
  private:
   struct ServerConn {
+    ServerConn(int fd_value, const TcpOptions& options)
+        : fd(fd_value), writer(fd.get(), options) {}
     Fd fd;
-    std::mutex write_mu;
+    SendCoalescer writer;
   };
 
   void AcceptLoop() {
@@ -217,8 +509,7 @@ class TcpListener : public Listener {
         return;
       }
       SetNoDelay(cfd);
-      auto conn = std::make_shared<ServerConn>();
-      conn->fd = Fd(cfd);
+      auto conn = std::make_shared<ServerConn>(cfd, options_);
       {
         std::scoped_lock lock(conns_mu_);
         conns_.push_back(conn);
@@ -227,32 +518,52 @@ class TcpListener : public Listener {
     }
   }
 
+  std::function<void()> MakeTask(const std::shared_ptr<ServerConn>& conn,
+                                 Message request) {
+    auto service = service_;
+    Responder responder(Responder::Fn([conn](Message response) {
+      const Status s = conn->writer.Send(response);
+      if (!s.ok()) {
+        GLIDER_LOG(kDebug, "tcp") << "response write: " << s.ToString();
+      }
+    }));
+    return [service, req = std::move(request),
+            resp = std::move(responder)]() mutable {
+      HandleWithObs(*service, std::move(req), std::move(resp),
+                    /*transport_index=*/1);
+    };
+  }
+
+  // Reads frames and rings the worker-pool doorbell: all the frames the
+  // last recv buffered dispatch as one SubmitAll batch (one shard lock,
+  // one wakeup, peers poked for the surplus) instead of one Submit each.
   void ConnLoop(std::shared_ptr<ServerConn> conn) {
+    FrameReader reader(conn->fd.get());
     while (!stopping_) {
-      auto request = ReadFrame(conn->fd.get());
-      if (!request.ok()) return;
-      auto service = service_;
-      Responder responder(Responder::Fn(
-          [conn](Message response) {
-            const Status s =
-                WriteFrame(conn->fd.get(), conn->write_mu, response);
-            if (!s.ok()) {
-              GLIDER_LOG(kDebug, "tcp") << "response write: " << s.ToString();
-            }
-          }));
-      const Status submitted = pool_.Submit(
-          [service, req = std::move(request).value(),
-           resp = std::move(responder)]() mutable {
-            HandleWithObs(*service, std::move(req), std::move(resp),
-                          /*transport_index=*/1);
-          });
-      if (!submitted.ok()) return;
+      auto first = reader.Next();
+      if (!first.ok()) return;
+      std::vector<std::function<void()>> batch;
+      Status read_status = Status::Ok();
+      Message request = std::move(first).value();
+      for (;;) {
+        batch.push_back(MakeTask(conn, std::move(request)));
+        if (!reader.FrameBuffered()) break;
+        auto next = reader.Next();
+        if (!next.ok()) {
+          read_status = next.status();
+          break;
+        }
+        request = std::move(next).value();
+      }
+      if (!pool_.SubmitAll(std::move(batch)).ok()) return;
+      if (!read_status.ok()) return;
     }
   }
 
   Fd listen_fd_;
   std::string address_;
   std::shared_ptr<Service> service_;
+  const TcpOptions options_;
   ThreadPool pool_;
   std::thread accept_thread_;
   std::atomic<bool> stopping_{false};
@@ -265,8 +576,9 @@ class TcpListener : public Listener {
 
 class TcpConnection : public Connection {
  public:
-  TcpConnection(Fd fd, std::shared_ptr<LinkModel> link)
-      : fd_(std::move(fd)), link_(std::move(link)) {}
+  TcpConnection(Fd fd, std::shared_ptr<LinkModel> link, TcpOptions options)
+      : fd_(std::move(fd)), link_(std::move(link)),
+        writer_(fd_.get(), options) {}
 
   // The reader captures `this`, not a shared_ptr: owning itself would make
   // the final release happen on the reader thread, which then joins itself.
@@ -303,17 +615,21 @@ class TcpConnection : public Connection {
         std::this_thread::sleep_for(link_->latency());
       }
     }
-    const Status s = WriteFrame(fd_.get(), write_mu_, request);
+    const Status s = writer_.Send(request);
     if (!s.ok()) {
       TakePending(request.request_id, s);
     }
     return fut;
   }
 
+  void Cork() override { writer_.Cork(); }
+  void Uncork() override { writer_.Uncork(); }
+
  private:
   void ReadLoop() {
+    FrameReader reader(fd_.get());
     while (true) {
-      auto response = ReadFrame(fd_.get());
+      auto response = reader.Next();
       if (!response.ok()) {
         FailAllPending(response.status());
         return;
@@ -369,7 +685,7 @@ class TcpConnection : public Connection {
 
   Fd fd_;
   std::shared_ptr<LinkModel> link_;
-  std::mutex write_mu_;
+  SendCoalescer writer_;
   std::mutex pending_mu_;
   std::map<std::uint64_t, PendingCall> pending_;
   std::atomic<std::uint64_t> next_id_{1};
@@ -379,8 +695,8 @@ class TcpConnection : public Connection {
 
 }  // namespace
 
-TcpTransport::TcpTransport(std::size_t num_workers)
-    : num_workers_(num_workers) {}
+TcpTransport::TcpTransport(std::size_t num_workers, TcpOptions options)
+    : num_workers_(num_workers), options_(options) {}
 
 TcpTransport::~TcpTransport() = default;
 
@@ -419,7 +735,7 @@ Result<std::unique_ptr<Listener>> TcpTransport::Listen(
       host + ":" + std::to_string(ntohs(bound.sin_port));
 
   return std::unique_ptr<Listener>(new TcpListener(
-      std::move(fd), address, std::move(service), num_workers_));
+      std::move(fd), address, std::move(service), num_workers_, options_));
 }
 
 Result<std::shared_ptr<Connection>> TcpTransport::Connect(
@@ -440,7 +756,8 @@ Result<std::shared_ptr<Connection>> TcpTransport::Connect(
                                std::string(std::strerror(errno)));
   }
   SetNoDelay(fd.get());
-  auto conn = std::make_shared<TcpConnection>(std::move(fd), std::move(link));
+  auto conn = std::make_shared<TcpConnection>(std::move(fd), std::move(link),
+                                              options_);
   conn->StartReader();
   return std::shared_ptr<Connection>(conn);
 }

@@ -62,6 +62,14 @@ class Connection {
   // error). Safe to call from multiple threads.
   virtual std::future<Result<Message>> Call(Message request) = 0;
 
+  // Pipelining hint: between Cork() and Uncork() the transport may hold
+  // outgoing frames in its send coalescer and emit the whole burst in one
+  // batched write at Uncork(). Nestable (a depth counter); budget overflow
+  // still flushes mid-cork. No-op on transports without a framing layer
+  // (in-process calls run inline, there is nothing to batch).
+  virtual void Cork() {}
+  virtual void Uncork() {}
+
   // Convenience: synchronous call returning the response payload. Virtual
   // so transports with a same-thread delivery path can skip the
   // promise/future machinery entirely.

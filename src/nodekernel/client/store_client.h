@@ -40,6 +40,11 @@ class StoreClient {
     std::shared_ptr<net::LinkModel> control_link;
     std::size_t chunk_size = 256 * 1024;  // stream operation size
     std::size_t inflight_window = 4;      // async stream ops kept in flight
+    // Action stream writes gathered per doorbell RPC (kStreamWriteBatch).
+    // 1 = unbatched: every chunk is its own RPC as soon as it is full, so
+    // interactive flows never wait on a partially filled batch. Raise for
+    // small-chunk bulk streams; ActionWriter::Close always flushes.
+    std::size_t write_batch_chunks = 1;
   };
 
   static Result<std::unique_ptr<StoreClient>> Connect(Options options);

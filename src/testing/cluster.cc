@@ -106,6 +106,7 @@ Result<std::unique_ptr<nk::StoreClient>> MiniCluster::NewFaasClient() {
       metrics_);
   copts.chunk_size = options_.chunk_size;
   copts.inflight_window = options_.inflight_window;
+  copts.write_batch_chunks = options_.write_batch_chunks;
   return nk::StoreClient::Connect(std::move(copts));
 }
 
@@ -117,6 +118,7 @@ Result<std::unique_ptr<nk::StoreClient>> MiniCluster::NewInternalClient() {
   copts.data_link = net::LinkModel::Unshaped(LinkClass::kInternal, metrics_);
   copts.chunk_size = options_.chunk_size;
   copts.inflight_window = options_.inflight_window;
+  copts.write_batch_chunks = options_.write_batch_chunks;
   return nk::StoreClient::Connect(std::move(copts));
 }
 

@@ -2,6 +2,8 @@
 // thread pool, rate limiter, metrics, generators' building blocks.
 #include <gtest/gtest.h>
 
+#include <future>
+#include <numeric>
 #include <thread>
 
 #include "common/blocking_queue.h"
@@ -321,6 +323,69 @@ TEST(BlockingQueueTest, TryVariantsReportState) {
   EXPECT_EQ(*q.TryPop(), 1);
 }
 
+TEST(BlockingQueueTest, PushAllPopAllRoundTrip) {
+  BlockingQueue<int> q(8);
+  ASSERT_TRUE(q.PushAll({1, 2, 3, 4, 5}).ok());
+  auto batch = q.PopAll();
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(*batch, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(BlockingQueueTest, PopAllHonorsMaxItems) {
+  BlockingQueue<int> q(8);
+  ASSERT_TRUE(q.PushAll({1, 2, 3, 4, 5}).ok());
+  auto first = q.PopAll(/*max_items=*/2);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(*first, (std::vector<int>{1, 2}));
+  auto rest = q.PopAll(/*max_items=*/16);
+  ASSERT_TRUE(rest.ok());
+  EXPECT_EQ(*rest, (std::vector<int>{3, 4, 5}));
+}
+
+TEST(BlockingQueueTest, PushAllLargerThanCapacityAdmitsInWaves) {
+  BlockingQueue<int> q(4);
+  std::vector<int> items(200);
+  std::iota(items.begin(), items.end(), 0);
+  std::thread producer([&] {
+    EXPECT_TRUE(q.PushAll(items).ok());
+    q.Close();
+  });
+  std::vector<int> got;
+  while (true) {
+    auto batch = q.PopAll();
+    if (!batch.ok()) {
+      EXPECT_EQ(batch.status().code(), StatusCode::kClosed);
+      break;
+    }
+    got.insert(got.end(), batch->begin(), batch->end());
+  }
+  producer.join();
+  EXPECT_EQ(got, items);  // FIFO survives the wave-by-wave admission
+}
+
+TEST(BlockingQueueTest, PopAllBlocksUntilItemsArrive) {
+  BlockingQueue<int> q(8);
+  std::atomic<bool> popped{false};
+  std::thread consumer([&] {
+    auto batch = q.PopAll();
+    popped = true;
+    ASSERT_TRUE(batch.ok());
+    EXPECT_FALSE(batch->empty());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(popped.load());  // empty queue: consumer parked
+  ASSERT_TRUE(q.PushAll({7, 8}).ok());
+  consumer.join();
+  EXPECT_TRUE(popped.load());
+}
+
+TEST(BlockingQueueTest, PushAllAfterCloseReportsClosed) {
+  BlockingQueue<int> q(4);
+  q.Close();
+  EXPECT_EQ(q.PushAll({1, 2}).code(), StatusCode::kClosed);
+  EXPECT_EQ(q.PopAll().status().code(), StatusCode::kClosed);
+}
+
 TEST(BlockingQueueTest, WouldBlockOnPopPredicate) {
   BlockingQueue<int> q(4);
   EXPECT_TRUE(q.WouldBlockOnPop());
@@ -349,6 +414,57 @@ TEST(ThreadPoolTest, SubmitAfterShutdownFails) {
   ThreadPool pool(1);
   pool.Shutdown();
   EXPECT_EQ(pool.Submit([] {}).code(), StatusCode::kClosed);
+  EXPECT_EQ(pool.SubmitAll({[] {}}).code(), StatusCode::kClosed);
+}
+
+TEST(ThreadPoolTest, SubmitAllRunsWholeBatch) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(4);
+    std::vector<std::function<void()>> batch;
+    for (int i = 0; i < 64; ++i) batch.push_back([&] { ++count; });
+    ASSERT_TRUE(pool.SubmitAll(std::move(batch)).ok());
+    pool.Shutdown();
+  }
+  EXPECT_EQ(count.load(), 64);
+}
+
+// spin_budget=0 sends every idle worker straight to its condvar, so each
+// Submit below lands on a fully parked pool: a single lost wakeup in the
+// notify-after-unlock / poked-flag protocol hangs the fut.wait() forever.
+TEST(ThreadPoolTest, ParkedWorkersWakeOnEverySubmit) {
+  ThreadPool pool(2, /*spin_budget=*/0);
+  for (int i = 0; i < 200; ++i) {
+    std::promise<void> done;
+    auto fut = done.get_future();
+    ASSERT_TRUE(pool.Submit([&] { done.set_value(); }).ok());
+    fut.wait();
+  }
+}
+
+// A doorbell batch into one shard must poke parked peers to steal the
+// surplus: with sleeping tasks, overlap proves more than one worker ran.
+TEST(ThreadPoolTest, SubmitAllPokesParkedPeersToSteal) {
+  ThreadPool pool(4, /*spin_budget=*/0);
+  // Let all four workers reach their condvar park before the doorbell, so
+  // the batch's wakeups must come from the poke protocol alone.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  std::atomic<int> running{0};
+  std::atomic<int> peak{0};
+  std::vector<std::function<void()>> batch;
+  for (int i = 0; i < 8; ++i) {
+    batch.push_back([&] {
+      const int now = ++running;
+      int prev = peak.load();
+      while (now > prev && !peak.compare_exchange_weak(prev, now)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      --running;
+    });
+  }
+  ASSERT_TRUE(pool.SubmitAll(std::move(batch)).ok());
+  pool.Shutdown();
+  EXPECT_GE(peak.load(), 2);
 }
 
 // ---- RateLimiter ------------------------------------------------------------

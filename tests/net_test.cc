@@ -3,6 +3,13 @@
 // service router / client stub.
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <map>
 #include <thread>
 
 #include "common/serde.h"
@@ -201,6 +208,239 @@ TEST(InProcTransportTest, AddressCollisionRejected) {
   EXPECT_TRUE(l3.ok());
 }
 
+// ---- TCP batching: torn frames, zero-copy bypass, deadline flush ------------
+
+// Serializes a frame the way the transport's send side does: 32-byte header
+// followed by the raw payload bytes.
+std::vector<std::uint8_t> WireFrame(std::uint16_t opcode,
+                                    std::uint64_t request_id,
+                                    const std::string& payload) {
+  Message m;
+  m.opcode = opcode;
+  m.request_id = request_id;
+  m.payload = Buffer::FromString(payload);
+  std::uint8_t header[kFrameHeaderSize];
+  m.EncodeHeader(header);
+  std::vector<std::uint8_t> out(header, header + kFrameHeaderSize);
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+// Raw client socket speaking the frame protocol directly, so tests control
+// exactly how bytes land on the server's recv boundary.
+class RawClient {
+ public:
+  explicit RawClient(const std::string& address) {
+    const auto colon = address.rfind(':');
+    const std::string host = address.substr(0, colon);
+    const int port = std::atoi(address.c_str() + colon + 1);
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    ::inet_pton(AF_INET, host.c_str(), &addr.sin_addr);
+    connected_ =
+        ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0;
+  }
+  ~RawClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool connected() const { return connected_; }
+
+  void SendBytes(const std::uint8_t* data, std::size_t size) {
+    std::size_t off = 0;
+    while (off < size) {
+      const ssize_t n = ::send(fd_, data + off, size - off, 0);
+      ASSERT_GT(n, 0);
+      off += static_cast<std::size_t>(n);
+    }
+  }
+
+  // Reads one response frame (responses may arrive coalesced or in any
+  // completion order; the caller matches by request id).
+  void ReadResponse(std::uint64_t& request_id, std::string& payload) {
+    std::uint8_t header[kFrameHeaderSize];
+    ASSERT_NO_FATAL_FAILURE(ReadExactly(header, sizeof(header)));
+    request_id = 0;
+    for (int i = 0; i < 8; ++i) {
+      request_id |= static_cast<std::uint64_t>(header[4 + i]) << (8 * i);
+    }
+    std::uint32_t len = 0;
+    for (int i = 0; i < 4; ++i) {
+      len |= static_cast<std::uint32_t>(header[28 + i]) << (8 * i);
+    }
+    payload.resize(len);
+    if (len > 0) {
+      ASSERT_NO_FATAL_FAILURE(
+          ReadExactly(reinterpret_cast<std::uint8_t*>(payload.data()), len));
+    }
+  }
+
+ private:
+  void ReadExactly(std::uint8_t* data, std::size_t size) {
+    std::size_t off = 0;
+    while (off < size) {
+      const ssize_t n = ::recv(fd_, data + off, size - off, 0);
+      ASSERT_GT(n, 0);
+      off += static_cast<std::size_t>(n);
+    }
+  }
+
+  int fd_ = -1;
+  bool connected_ = false;
+};
+
+class TcpBatchingTest : public ::testing::Test {
+ protected:
+  void StartServer(TcpOptions options = {}) {
+    transport_ = std::make_unique<TcpTransport>(4, options);
+    service_ = std::make_shared<EchoService>();
+    auto listener = transport_->Listen("", service_);
+    ASSERT_TRUE(listener.ok()) << listener.status().ToString();
+    listener_ = std::move(listener).value();
+  }
+
+  std::unique_ptr<TcpTransport> transport_;
+  std::shared_ptr<EchoService> service_;
+  std::unique_ptr<Listener> listener_;
+};
+
+// A batch of frames dribbled onto the wire in 7-byte writes lands torn
+// across every recv boundary the decoder has: each partial must be
+// reassembled and every frame answered.
+TEST_F(TcpBatchingTest, TornFramesAcrossRecvBoundaries) {
+  StartServer();
+  RawClient client(listener_->address());
+  ASSERT_TRUE(client.connected());
+
+  std::map<std::uint64_t, std::string> expected;
+  std::vector<std::uint8_t> wire;
+  for (std::uint64_t id = 1; id <= 5; ++id) {
+    const std::string payload = "torn-payload-" + std::to_string(id);
+    expected[id] = payload;
+    const auto frame = WireFrame(/*opcode=*/1, id, payload);
+    wire.insert(wire.end(), frame.begin(), frame.end());
+  }
+  for (std::size_t off = 0; off < wire.size(); off += 7) {
+    const std::size_t n = std::min<std::size_t>(7, wire.size() - off);
+    ASSERT_NO_FATAL_FAILURE(client.SendBytes(wire.data() + off, n));
+    // Yield so the server's reader observes many short recvs, not one big
+    // buffered one.
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+
+  std::map<std::uint64_t, std::string> got;
+  for (int i = 0; i < 5; ++i) {
+    std::uint64_t id = 0;
+    std::string payload;
+    ASSERT_NO_FATAL_FAILURE(client.ReadResponse(id, payload));
+    got[id] = payload;
+  }
+  EXPECT_EQ(got, expected);
+}
+
+// One send carrying many whole frames: the decode loop must drain them all
+// from the buffered recv (the server dispatches them as one doorbell batch).
+TEST_F(TcpBatchingTest, ManyFramesInOneSendAllAnswered) {
+  StartServer();
+  RawClient client(listener_->address());
+  ASSERT_TRUE(client.connected());
+
+  std::vector<std::uint8_t> wire;
+  constexpr int kFrames = 40;
+  for (std::uint64_t id = 1; id <= kFrames; ++id) {
+    const auto frame = WireFrame(1, id, "x" + std::to_string(id));
+    wire.insert(wire.end(), frame.begin(), frame.end());
+  }
+  ASSERT_NO_FATAL_FAILURE(client.SendBytes(wire.data(), wire.size()));
+  std::map<std::uint64_t, std::string> got;
+  for (int i = 0; i < kFrames; ++i) {
+    std::uint64_t id = 0;
+    std::string payload;
+    ASSERT_NO_FATAL_FAILURE(client.ReadResponse(id, payload));
+    got[id] = payload;
+  }
+  ASSERT_EQ(got.size(), static_cast<std::size_t>(kFrames));
+  for (std::uint64_t id = 1; id <= kFrames; ++id) {
+    EXPECT_EQ(got[id], "x" + std::to_string(id));
+  }
+}
+
+// Corked burst interleaving small frames with payloads above the
+// inline-copy threshold: the large ones ride the same flush as their own
+// zero-copy iovecs and every byte must survive the gather.
+TEST_F(TcpBatchingTest, InterleavedLargeZeroCopyFrames) {
+  TcpOptions options;
+  options.inline_copy_bytes = 1024;  // force the zero-copy path early
+  StartServer(options);
+  auto conn = transport_->Connect(listener_->address(), nullptr);
+  ASSERT_TRUE(conn.ok());
+
+  std::vector<Buffer> payloads;
+  for (int i = 0; i < 8; ++i) {
+    const std::size_t size = (i % 2 == 0) ? 64 : 128 * 1024;
+    Buffer b(size);
+    for (std::size_t j = 0; j < size; ++j) {
+      b.data()[j] = static_cast<std::uint8_t>(i * 31 + j * 7);
+    }
+    payloads.push_back(std::move(b));
+  }
+  std::vector<std::future<Result<Message>>> futures;
+  {
+    CorkGuard cork(**conn);
+    for (const Buffer& p : payloads) {
+      Message m;
+      m.opcode = 1;
+      m.payload = p;
+      futures.push_back((*conn)->Call(std::move(m)));
+    }
+  }
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    auto response = futures[i].get();
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_EQ(response->payload, payloads[i]) << "frame " << i;
+  }
+}
+
+// Deadline mode: a lone frame has no peers to coalesce with, so only the
+// flush_us timer can emit it — completion proves the deadline path fires.
+TEST_F(TcpBatchingTest, FlushOnDeadlineDeliversLoneFrame) {
+  TcpOptions options;
+  options.flush_us = 2000;
+  StartServer(options);
+  auto conn = transport_->Connect(listener_->address(), nullptr);
+  ASSERT_TRUE(conn.ok());
+  for (int i = 0; i < 3; ++i) {
+    auto result = (*conn)->CallSync(1, Buffer::FromString("tick"));
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(result->ToString(), "tick");
+  }
+}
+
+// Deadline mode under a pipelined burst: the frame-count budget (not the
+// timer) should flush, and every response must still match its request.
+TEST_F(TcpBatchingTest, DeadlineModePipelinedBurst) {
+  TcpOptions options;
+  options.flush_us = 50;
+  options.coalesce_frames = 8;
+  StartServer(options);
+  auto conn = transport_->Connect(listener_->address(), nullptr);
+  ASSERT_TRUE(conn.ok());
+  std::vector<std::future<Result<Message>>> futures;
+  for (int i = 0; i < 64; ++i) {
+    Message m;
+    m.opcode = 1;
+    m.payload = Buffer::FromString(std::to_string(i));
+    futures.push_back((*conn)->Call(std::move(m)));
+  }
+  for (int i = 0; i < 64; ++i) {
+    auto response = futures[i].get();
+    ASSERT_TRUE(response.ok());
+    EXPECT_EQ(response->payload.ToString(), std::to_string(i));
+  }
+}
+
 // ---- ServiceRouter / typed client stub --------------------------------------
 
 struct PairRequest {
@@ -329,6 +569,44 @@ TEST_F(ServiceRouterTest, ObsOpcodesAnsweredBeforeDispatch) {
   // though MathService never registered it.
   auto result = conn_->CallSync(kStatsDump, Buffer{});
   EXPECT_TRUE(result.ok()) << result.status().ToString();
+}
+
+// Pipelined typed stubs: all request frames share one corked flush over
+// TCP, and the decoded responses come back in request order even though
+// the pool may complete the handlers out of order.
+TEST(ServiceRouterTcpTest, CallBatchPreservesRequestOrder) {
+  TcpTransport transport(4);
+  auto service = std::make_shared<MathService>();
+  auto listener = transport.Listen("", service);
+  ASSERT_TRUE(listener.ok());
+  auto conn = transport.Connect((*listener)->address(), nullptr);
+  ASSERT_TRUE(conn.ok());
+  std::vector<PairRequest> reqs;
+  for (std::uint32_t i = 0; i < 50; ++i) reqs.push_back(PairRequest{i, 1000});
+  auto resps = CallBatch<SumResponse>(**conn, 1, reqs);
+  ASSERT_TRUE(resps.ok()) << resps.status().ToString();
+  ASSERT_EQ(resps->size(), 50u);
+  for (std::uint32_t i = 0; i < 50; ++i) {
+    EXPECT_EQ((*resps)[i].sum, i + 1000u);
+  }
+}
+
+TEST(ServiceRouterTcpTest, CallVoidBatchSurfacesHandlerError) {
+  TcpTransport transport(2);
+  auto service = std::make_shared<MathService>();
+  auto listener = transport.Listen("", service);
+  ASSERT_TRUE(listener.ok());
+  auto conn = transport.Connect((*listener)->address(), nullptr);
+  ASSERT_TRUE(conn.ok());
+  EXPECT_TRUE(CallVoidBatch(**conn, 1,
+                            std::vector<PairRequest>{{1, 2}, {3, 4}})
+                  .ok());
+  // Route 3 always fails: the batch must report it even though the other
+  // calls succeed, and every future must still have been awaited.
+  EXPECT_EQ(CallVoidBatch(**conn, 3,
+                          std::vector<PairRequest>{{1, 2}, {3, 4}})
+                .code(),
+            StatusCode::kWrongNodeType);
 }
 
 // ---- Link model --------------------------------------------------------------

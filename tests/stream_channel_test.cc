@@ -132,6 +132,104 @@ TEST(StreamChannelTest, BlockingPushRespectsCapacityAndAbort) {
   EXPECT_TRUE(third_done.load());
 }
 
+TEST(StreamChannelTest, AsyncPushAllAdmitsBatchWithSingleAck) {
+  StreamChannel channel(8);
+  int acks = 0;
+  Status last;
+  std::vector<DataTask> batch;
+  batch.push_back(Task("a"));
+  batch.push_back(Task("b"));
+  batch.push_back(Task("c"));
+  channel.AsyncPushAll(0, std::move(batch), [&](Status s) {
+    ++acks;
+    last = s;
+  });
+  EXPECT_EQ(acks, 1);  // one ack for the whole batch
+  EXPECT_TRUE(last.ok());
+  EXPECT_EQ(channel.BlockingPop(nullptr)->data.ToString(), "a");
+  EXPECT_EQ(channel.BlockingPop(nullptr)->data.ToString(), "b");
+  EXPECT_EQ(channel.BlockingPop(nullptr)->data.ToString(), "c");
+}
+
+TEST(StreamChannelTest, AsyncPushAllOutOfOrderWaitsForHole) {
+  StreamChannel channel(8);
+  int acks = 0;
+  std::vector<DataTask> tail;
+  tail.push_back(Task("b"));
+  tail.push_back(Task("c"));
+  channel.AsyncPushAll(1, std::move(tail), [&](Status) { ++acks; });
+  EXPECT_EQ(acks, 0);  // hole at seq 0: nothing admitted yet
+  channel.AsyncPush(0, Task("a"), [](Status) {});
+  EXPECT_EQ(acks, 1);
+  EXPECT_EQ(channel.BlockingPop(nullptr)->data.ToString(), "a");
+  EXPECT_EQ(channel.BlockingPop(nullptr)->data.ToString(), "b");
+  EXPECT_EQ(channel.BlockingPop(nullptr)->data.ToString(), "c");
+}
+
+TEST(StreamChannelTest, AsyncPushAllAckDeferredUntilLastAdmitted) {
+  StreamChannel channel(2);
+  int acks = 0;
+  std::vector<DataTask> batch;
+  batch.push_back(Task("a"));
+  batch.push_back(Task("b"));
+  batch.push_back(Task("c"));
+  channel.AsyncPushAll(0, std::move(batch), [&](Status) { ++acks; });
+  EXPECT_EQ(acks, 0);  // capacity 2: the last task is still waiting
+  EXPECT_EQ(channel.BlockingPop(nullptr)->data.ToString(), "a");
+  EXPECT_EQ(acks, 1);  // pop freed a slot; "c" admitted, batch acked
+  EXPECT_EQ(channel.BlockingPop(nullptr)->data.ToString(), "b");
+  EXPECT_EQ(channel.BlockingPop(nullptr)->data.ToString(), "c");
+}
+
+TEST(StreamChannelTest, AbortFailsPendingBatchAck) {
+  StreamChannel channel(1);
+  std::vector<StatusCode> codes;
+  std::vector<DataTask> batch;
+  batch.push_back(Task("a"));
+  batch.push_back(Task("b"));
+  channel.AsyncPushAll(0, std::move(batch),
+                       [&](Status s) { codes.push_back(s.code()); });
+  EXPECT_TRUE(codes.empty());  // "b" not admitted: ack pending
+  channel.Abort();
+  EXPECT_EQ(codes, (std::vector<StatusCode>{StatusCode::kClosed}));
+}
+
+TEST(StreamChannelTest, BlockingPopAllDrainsUpToMax) {
+  StreamChannel channel(8);
+  std::vector<DataTask> batch;
+  for (const char* s : {"a", "b", "c", "d"}) batch.push_back(Task(s));
+  channel.AsyncPushAll(0, std::move(batch), [](Status) {});
+  auto first = channel.BlockingPopAll(nullptr, /*max_items=*/3);
+  ASSERT_TRUE(first.ok());
+  ASSERT_EQ(first->size(), 3u);
+  EXPECT_EQ((*first)[0].data.ToString(), "a");
+  EXPECT_EQ((*first)[2].data.ToString(), "c");
+  auto rest = channel.BlockingPopAll(nullptr, /*max_items=*/16);
+  ASSERT_TRUE(rest.ok());
+  ASSERT_EQ(rest->size(), 1u);
+  EXPECT_EQ((*rest)[0].data.ToString(), "d");
+}
+
+TEST(StreamChannelTest, BlockingPopAllWaitsForFirstItem) {
+  StreamChannel channel(4);
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    channel.AsyncPush(0, Task("late"), [](Status) {});
+  });
+  auto batch = channel.BlockingPopAll(nullptr, /*max_items=*/4);
+  producer.join();
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch->size(), 1u);
+  EXPECT_EQ((*batch)[0].data.ToString(), "late");
+}
+
+TEST(StreamChannelTest, BlockingPopAllAfterAbortReportsClosed) {
+  StreamChannel channel(4);
+  channel.Abort();
+  EXPECT_EQ(channel.BlockingPopAll(nullptr, 4).status().code(),
+            StatusCode::kClosed);
+}
+
 TEST(StreamChannelTest, BlockingPopWaitsForData) {
   StreamChannel channel(4);
   std::string got;

@@ -56,7 +56,8 @@ int Usage() {
                "host:port] [--metadata host:port] [--blocks N] [--block-size "
                "B] [--class C] [--slots N] [--partition P] [--trace 1] "
                "[--sample-ms N] [--metrics-listen host:port] [--profile 1] "
-               "[--profile-hz N]\n");
+               "[--profile-hz N] [--flush-us N] [--coalesce-bytes B] "
+               "[--coalesce-frames N]\n");
   return 2;
 }
 
@@ -122,7 +123,18 @@ int main(int argc, char** argv) {
                 metrics_http->address().c_str());
   }
   auto metrics = std::make_shared<Metrics>();
-  net::TcpTransport transport(16);
+  // Send-coalescer knobs (DESIGN.md §8): --flush-us 0 (default) flushes
+  // opportunistically — batching emerges only under load; --flush-us N>0
+  // holds small frames up to N µs for bigger sendmsg batches. The byte /
+  // frame budgets cap a batch in either mode.
+  net::TcpOptions topts;
+  topts.flush_us =
+      static_cast<std::uint32_t>(std::stoul(FlagOr(flags, "flush-us", "0")));
+  topts.coalesce_bytes = std::stoul(
+      FlagOr(flags, "coalesce-bytes", std::to_string(topts.coalesce_bytes)));
+  topts.coalesce_frames = std::stoul(
+      FlagOr(flags, "coalesce-frames", std::to_string(topts.coalesce_frames)));
+  net::TcpTransport transport(16, topts);
   const std::string listen = FlagOr(flags, "listen", "127.0.0.1:0");
   const std::string metadata = FlagOr(flags, "metadata", "");
 
