@@ -366,17 +366,18 @@ void WriteBatchingJson(const CapturingReporter& reporter) {
   if (unbatched <= 0.0 || batched <= 0.0 || spin <= 0.0 || park <= 0.0) {
     return;  // filtered out (e.g. --benchmark_filter)
   }
+  // Only the two product-path measurements are gated. The unbatched and
+  // pure-park legs are references: when the optimizations work they get
+  // *relatively* slower, and derived ratios double the run-to-run noise of
+  // their operands — neither belongs under a 10% regression threshold.
+  std::printf("batching reference: framing speedup %.2fx, wake spin/park %.2fx\n",
+              unbatched / batched, park / spin);
   char buf[512];
   std::snprintf(buf, sizeof(buf),
                 "{\"bench\":\"batching\",\"scalars\":{"
-                "\"tcp_burst_unbatched_ns_per_call\":%.9g,"
                 "\"tcp_burst_batched_ns_per_call\":%.9g,"
-                "\"framing_batch_speedup\":%.9g,"
-                "\"wake_spin_then_park_ns\":%.9g,"
-                "\"wake_pure_park_ns\":%.9g,"
-                "\"wake_park_over_spin\":%.9g}}\n",
-                unbatched / kBurstCalls, batched / kBurstCalls,
-                unbatched / batched, spin, park, park / spin);
+                "\"wake_spin_then_park_ns\":%.9g}}\n",
+                batched / kBurstCalls, spin);
   std::FILE* f = std::fopen("BENCH_batching.json", "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write BENCH_batching.json\n");

@@ -11,12 +11,15 @@
 // path — so pool reuse can never alias a live slice.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/event_journal.h"
 
 namespace glider {
 
@@ -67,12 +70,19 @@ class BufferPool {
   }
 
  private:
+  // Consecutive freelist misses before one kPoolExhausted event is
+  // journaled (per episode: the streak must break before another fires).
+  // At steady state the pool serves nearly every acquire; a run this long
+  // means the working set outgrew the cache budget.
+  static constexpr std::uint64_t kExhaustionStreak = 256;
+
   struct State {
     mutable std::mutex mu;
     std::size_t max_cached_bytes = 0;
     std::size_t max_entries = 0;
     std::size_t cached_bytes = 0;
     std::vector<std::vector<std::uint8_t>> free;
+    std::atomic<std::uint64_t> miss_streak{0};
 
     void Release(std::vector<std::uint8_t> vec) {
       const std::size_t cap = vec.capacity();
@@ -99,6 +109,7 @@ class BufferPool {
           free.pop_back();
           state_->cached_bytes -= vec.capacity();
           data_plane::RecordPoolHit();
+          state_->miss_streak.store(0, std::memory_order_relaxed);
           if (resize) vec.resize(size);
           return vec;
         }
@@ -106,6 +117,16 @@ class BufferPool {
     }
     data_plane::RecordPoolMiss();
     data_plane::RecordAlloc(size);
+    // Exactly one event as the streak crosses the threshold; recording is
+    // off the lock and costs one relaxed RMW per miss.
+    if (state_->miss_streak.fetch_add(1, std::memory_order_relaxed) + 1 ==
+        kExhaustionStreak) {
+      obs::JournalEvent(obs::EventType::kPoolExhausted, "buffer_pool",
+                        "freelist missed " +
+                            std::to_string(kExhaustionStreak) +
+                            " consecutive acquires",
+                        static_cast<std::int64_t>(kExhaustionStreak));
+    }
     std::vector<std::uint8_t> vec;
     if (resize) {
       vec.resize(size);

@@ -57,12 +57,26 @@ class ThreadPool {
     for (std::size_t i = 0; i < n; ++i) {
       threads_.emplace_back([this, i] { RunWorker(i); });
     }
+    {
+      auto& registry = LiveRegistry();
+      std::scoped_lock lock(registry.mu);
+      registry.pools.push_back(this);
+    }
   }
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  ~ThreadPool() { Shutdown(); }
+  ~ThreadPool() {
+    // Deregister before any member dies so a concurrent TotalPending()
+    // never walks into a half-destroyed pool.
+    {
+      auto& registry = LiveRegistry();
+      std::scoped_lock lock(registry.mu);
+      std::erase(registry.pools, this);
+    }
+    Shutdown();
+  }
 
   // Enqueue a task. Returns kClosed after Shutdown().
   Status Submit(std::function<void()> task) {
@@ -133,7 +147,39 @@ class ThreadPool {
 
   std::size_t num_threads() const { return threads_.size(); }
 
+  // Queued-but-unstarted tasks in this pool right now (sum of the shards'
+  // lock-free pending hints — a load signal, not a synchronized count).
+  std::size_t Pending() const {
+    std::size_t total = 0;
+    for (const auto& shard : shards_) {
+      total += shard->pending.load(std::memory_order_acquire);
+    }
+    return total;
+  }
+
+  // Same, summed across every live pool in the process — the queue-depth
+  // input to the load index (obs::LoadTracker).
+  static std::size_t TotalPending() {
+    auto& registry = LiveRegistry();
+    std::scoped_lock lock(registry.mu);
+    std::size_t total = 0;
+    for (const ThreadPool* pool : registry.pools) total += pool->Pending();
+    return total;
+  }
+
  private:
+  struct LivePools {
+    std::mutex mu;
+    std::vector<const ThreadPool*> pools;
+  };
+
+  // Leaked: pools with static storage duration may destruct (and
+  // deregister) after a non-leaked registry would already be gone.
+  static LivePools& LiveRegistry() {
+    static LivePools* registry = new LivePools();
+    return *registry;
+  }
+
   struct Shard {
     std::mutex mu;
     std::condition_variable cv;

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "common/buffer_pool.h"
+#include "common/event_journal.h"
 #include "common/logging.h"
 #include "common/metrics_registry.h"
 #include "common/profiler.h"
@@ -438,6 +439,9 @@ void ActiveServer::Stop() {
   // destructor alone can never run while the listener exists. Abort open
   // streams first: a method blocked on a stream the client abandoned
   // without closing would otherwise block the join forever.
+  if (listener_) {
+    obs::JournalEvent(obs::EventType::kServerDown, address_, "active");
+  }
   listener_.reset();
   {
     std::scoped_lock lock(watchdog_mu_);
@@ -500,6 +504,7 @@ Status ActiveServer::Start(net::Transport& transport,
     }
     watchdog_ = std::thread([this] { WatchdogLoop(); });
   }
+  obs::JournalEvent(obs::EventType::kServerUp, address_, "active");
   return Status::Ok();
 }
 
@@ -545,6 +550,9 @@ void ActiveServer::WatchdogLoop() {
       record.start_us = run_start;
       record.dur_us = stalled_us;
       obs::SlowTraceStore::Global().Flag(std::move(record), threshold_us);
+      obs::JournalEvent(obs::EventType::kSlotStall,
+                        "slot" + std::to_string(slot->index), method,
+                        static_cast<std::int64_t>(stalled_us));
     }
   }
 }

@@ -9,9 +9,10 @@ namespace glider {
 
 ClusterMonitor::ClusterMonitor(net::Transport* transport,
                                std::string metadata_address,
-                               std::shared_ptr<net::LinkModel> link)
+                               std::shared_ptr<net::LinkModel> link,
+                               obs::HealthDetector::Options health_options)
     : transport_(transport), metadata_address_(std::move(metadata_address)),
-      link_(std::move(link)) {}
+      link_(std::move(link)), health_(health_options) {}
 
 Result<std::shared_ptr<net::Connection>> ClusterMonitor::Conn(
     const std::string& address) {
@@ -35,9 +36,19 @@ Result<nk::ListServersResponse> ClusterMonitor::Discover() {
 }
 
 Result<ClusterMonitor::ClusterSample> ClusterMonitor::Poll() {
-  GLIDER_ASSIGN_OR_RETURN(auto discovered, Discover());
-
   ClusterSample sample;
+  auto discovered = Discover();
+  if (discovered.ok()) {
+    last_discovered_ = std::move(discovered).value().servers;
+    has_discovered_ = true;
+  } else {
+    // Metadata down: degrade to the cached server list instead of blinding
+    // the whole round. The metadata row itself is polled below and shows
+    // up unreachable (its detector state says suspect/dead).
+    if (!has_discovered_) return discovered.status();
+    sample.stale_discovery = true;
+  }
+
   // The metadata server first (it has no registry entry of its own), then
   // every registered server. Servers that share one process (MiniCluster,
   // single-daemon deployments) share one registry; polling the same
@@ -48,8 +59,8 @@ Result<ClusterMonitor::ClusterSample> ClusterMonitor::Poll() {
     meta.address = metadata_address_;
     targets.emplace_back(std::move(meta), true);
   }
-  for (auto& server : discovered.servers) {
-    targets.emplace_back(std::move(server), false);
+  for (const auto& server : last_discovered_) {
+    targets.emplace_back(server, false);
   }
   std::vector<std::string> seen;
   for (auto& [entry, is_meta] : targets) {
@@ -65,17 +76,29 @@ Result<ClusterMonitor::ClusterSample> ClusterMonitor::Poll() {
     auto conn = Conn(s.server.address);
     if (!conn.ok()) {
       s.status = conn.status();
-      sample.servers.push_back(std::move(s));
-      continue;
-    }
-    auto dump = net::Call<net::SeriesDumpResponse>(**conn, net::kSeriesDump,
-                                                   Buffer{});
-    if (!dump.ok()) {
-      conns_.erase(s.server.address);  // reconnect on the next poll
-      s.status = dump.status();
     } else {
-      s.dump = std::move(dump).value();
+      auto dump = net::Call<net::SeriesDumpResponse>(**conn, net::kSeriesDump,
+                                                     Buffer{});
+      if (!dump.ok()) {
+        conns_.erase(s.server.address);  // reconnect on the next poll
+        s.status = dump.status();
+      } else {
+        s.dump = std::move(dump).value();
+        // A successful dump is a heartbeat; the dump's load gauges (milli
+        // scaled, published by the server's LoadTracker) ride along.
+        health_.Heartbeat(s.server.address);
+        if (const std::int64_t* li = s.dump.snapshot.FindGauge("load_index")) {
+          s.load_index = static_cast<double>(*li) / 1000.0;
+        }
+        if (const std::int64_t* hs =
+                s.dump.snapshot.FindGauge("hotspot_slots")) {
+          s.hotspot_slots = *hs;
+        }
+        health_.ReportLoad(s.server.address, s.load_index, s.hotspot_slots);
+      }
     }
+    s.health = health_.State(s.server.address);
+    s.phi = health_.Phi(s.server.address);
     sample.servers.push_back(std::move(s));
   }
 

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "common/health.h"
 #include "net/rpc_obs.h"
 #include "net/transport.h"
 #include "nodekernel/protocol.h"
@@ -34,25 +35,47 @@ class ClusterMonitor {
     bool is_metadata = false;
     Status status = Status::Ok();
     net::SeriesDumpResponse dump;  // valid when status.ok()
+    // Failure-detector view of this address (fed by every poll: a
+    // successful dump is a heartbeat). Unreachable servers keep their
+    // detector row, so glider_top can show suspect/dead instead of a bare
+    // error.
+    obs::PeerState health = obs::PeerState::kUnknown;
+    double phi = 0.0;
+    // From the dump gauges when present (milli-scaled "load_index" /
+    // "hotspot_slots" published by the server's LoadTracker).
+    double load_index = 0.0;
+    std::int64_t hotspot_slots = -1;  // -1 = not reported
   };
 
   struct ClusterSample {
     std::vector<ServerSample> servers;
     obs::MetricsSnapshot merged;  // across all reachable servers
+    // True when this round used the cached server list because the
+    // metadata server did not answer Discover().
+    bool stale_discovery = false;
   };
 
   // `transport` must outlive the monitor; `link` (nullable) shapes the
-  // monitoring connections (control-class traffic).
+  // monitoring connections (control-class traffic). `health_options`
+  // tunes the embedded failure detector.
   ClusterMonitor(net::Transport* transport, std::string metadata_address,
-                 std::shared_ptr<net::LinkModel> link = nullptr);
+                 std::shared_ptr<net::LinkModel> link = nullptr,
+                 obs::HealthDetector::Options health_options = {});
 
   // Re-reads the server list from the metadata server. Called implicitly
   // by Poll(); exposed so tools can list without polling.
   Result<nk::ListServersResponse> Discover();
 
-  // One poll across the cluster: discover + kSeriesDump everyone. Fails
-  // only when the metadata server itself is unreachable.
+  // One poll across the cluster: discover + kSeriesDump everyone. A dead
+  // metadata server degrades to the cached server list (stale_discovery)
+  // with the metadata row marked unreachable — one dead server, even that
+  // one, never blinds the whole sample. Fails only before the first
+  // successful discovery, when there is no cached list to fall back to.
   Result<ClusterSample> Poll();
+
+  // The monitor's failure detector, fed one heartbeat per reachable server
+  // per Poll(). Exposed so tools can render the board or tune thresholds.
+  obs::HealthDetector& health() { return health_; }
 
   // Bucket-wise merge of per-server snapshots (sum counters/gauges, merge
   // histograms). Public + static: tests and offline tooling merge dumps
@@ -67,6 +90,10 @@ class ClusterMonitor {
   std::string metadata_address_;
   std::shared_ptr<net::LinkModel> link_;
   std::map<std::string, std::shared_ptr<net::Connection>> conns_;
+  obs::HealthDetector health_;
+  // Last successful Discover() result, the fallback when metadata dies.
+  std::vector<nk::ListServersResponse::Entry> last_discovered_;
+  bool has_discovered_ = false;
 };
 
 }  // namespace glider

@@ -53,6 +53,7 @@ std::string ReadRequestLine(int fd) {
 struct HttpMetricsServer::Impl {
   obs::MetricsRegistry* registry = nullptr;
   obs::PrometheusLabels labels;
+  std::function<void()> refresh;
   int listen_fd = -1;
   std::string address;
   std::atomic<bool> stopping{false};
@@ -65,6 +66,7 @@ struct HttpMetricsServer::Impl {
     std::string response;
     if (request.rfind("GET /metrics", 0) == 0 ||
         request.rfind("GET / ", 0) == 0) {
+      if (refresh) refresh();
       const std::string body = obs::PrometheusText(*registry, labels);
       response =
           "HTTP/1.1 200 OK\r\n"
@@ -123,7 +125,7 @@ std::string HttpMetricsServer::address() const { return impl_->address; }
 
 Result<std::unique_ptr<HttpMetricsServer>> HttpMetricsServer::Listen(
     const std::string& address, obs::MetricsRegistry& registry,
-    obs::PrometheusLabels labels) {
+    obs::PrometheusLabels labels, std::function<void()> refresh) {
   std::string host = "127.0.0.1";
   int port = 0;
   const auto colon = address.rfind(':');
@@ -163,6 +165,7 @@ Result<std::unique_ptr<HttpMetricsServer>> HttpMetricsServer::Listen(
   auto impl = std::make_unique<Impl>();
   impl->registry = &registry;
   impl->labels = std::move(labels);
+  impl->refresh = std::move(refresh);
   impl->listen_fd = fd;
   impl->address = host + ":" + std::to_string(ntohs(bound.sin_port));
   impl->accept_thread = std::thread([raw = impl.get()] { raw->AcceptLoop(); });

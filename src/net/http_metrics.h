@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -23,11 +24,15 @@ class HttpMetricsServer {
   // Binds host:port ("127.0.0.1:0" picks an ephemeral port; see address()).
   // The registry must outlive the server. `labels` are attached to every
   // exported series (e.g. {{"role", "active"}}) so scrapes from several
-  // daemons on one host stay distinguishable.
+  // daemons on one host stay distinguishable. `refresh` (nullable) runs
+  // before every scrape renders — daemons pass RefreshMirroredGauges so
+  // mirrored link counters and the load index are current at scrape time
+  // instead of frozen at the last RPC dump.
   static Result<std::unique_ptr<HttpMetricsServer>> Listen(
       const std::string& address,
       obs::MetricsRegistry& registry = obs::MetricsRegistry::Global(),
-      obs::PrometheusLabels labels = {});
+      obs::PrometheusLabels labels = {},
+      std::function<void()> refresh = nullptr);
 
   ~HttpMetricsServer();
   HttpMetricsServer(const HttpMetricsServer&) = delete;

@@ -18,6 +18,14 @@ struct InProcTransport::ServerEntry {
   // Set by the listener before the pool shuts down so the inline delivery
   // path fails fast like Submit does.
   std::atomic<bool> closed{false};
+  // Simulated partition (SetPartitioned): calls fail while the server keeps
+  // running, so failure-detection tests can cut a node without killing it.
+  std::atomic<bool> partitioned{false};
+
+  bool Reachable() const {
+    return !closed.load(std::memory_order_relaxed) &&
+           !partitioned.load(std::memory_order_relaxed);
+  }
 };
 
 class InProcTransport::InProcListener : public Listener {
@@ -163,8 +171,8 @@ class InProcTransport::InProcConnection : public Connection {
     // still complete asynchronously; handlers that block apply the same
     // backpressure a synchronous call would.
     if (latency == std::chrono::microseconds(0)) {
-      if (entry_->closed.load(std::memory_order_relaxed)) {
-        state->Fail(Status::Unavailable("server shut down"));
+      if (!entry_->Reachable()) {
+        state->Fail(Status::Unavailable("server unreachable"));
       } else {
         HandleWithObs(*entry_->service, std::move(request),
                       std::move(responder), /*transport_index=*/0);
@@ -176,12 +184,16 @@ class InProcTransport::InProcConnection : public Connection {
     // worker sleeps until the message "arrives"), so pipelined operations
     // overlap their latencies like they would on a real link.
     const auto deliver_at = std::chrono::steady_clock::now() + latency;
-    auto service = entry_->service;
+    auto entry = entry_;
     Status submitted = entry_->pool.Submit(
-        [service, deliver_at, req = std::move(request),
+        [entry, deliver_at, req = std::move(request),
          resp = std::move(responder)]() mutable {
           std::this_thread::sleep_until(deliver_at);
-          HandleWithObs(*service, std::move(req), std::move(resp),
+          // Partition check at delivery time: frames "in flight" when the
+          // partition starts are lost too, like on a real cut link (the
+          // dropped responder fails the call with kUnavailable).
+          if (!entry->Reachable()) return;
+          HandleWithObs(*entry->service, std::move(req), std::move(resp),
                         /*transport_index=*/0);
         });
     if (!submitted.ok()) {
@@ -195,7 +207,7 @@ class InProcTransport::InProcConnection : public Connection {
   // responder plumbing. Calls on delayed links fall back to Call().
   Result<Buffer> CallSync(std::uint16_t opcode, Buffer payload) override {
     if ((link_ && link_->latency() != std::chrono::microseconds(0)) ||
-        entry_->closed.load(std::memory_order_relaxed)) {
+        !entry_->Reachable()) {
       return Connection::CallSync(opcode, std::move(payload));
     }
     Message request;
@@ -257,8 +269,22 @@ Result<std::shared_ptr<Connection>> InProcTransport::Connect(
   if (it == servers_.end()) {
     return Status::NotFound("no server at " + address);
   }
+  if (it->second->partitioned.load(std::memory_order_relaxed)) {
+    return Status::Unavailable("partitioned from " + address);
+  }
   return std::shared_ptr<Connection>(
       std::make_shared<InProcConnection>(it->second, std::move(link)));
+}
+
+Status InProcTransport::SetPartitioned(const std::string& address,
+                                       bool partitioned) {
+  std::scoped_lock lock(mu_);
+  auto it = servers_.find(address);
+  if (it == servers_.end()) {
+    return Status::NotFound("no server at " + address);
+  }
+  it->second->partitioned.store(partitioned, std::memory_order_relaxed);
+  return Status::Ok();
 }
 
 void InProcTransport::Unregister(const std::string& address) {

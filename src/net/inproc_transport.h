@@ -32,6 +32,13 @@ class InProcTransport : public Transport {
   Result<std::shared_ptr<Connection>> Connect(
       const std::string& address, std::shared_ptr<LinkModel> link) override;
 
+  // Simulated network partition for failure-detection tests: while
+  // partitioned, calls to `address` (existing connections and new ones)
+  // fail with kUnavailable and new Connects are refused, but the server —
+  // unlike a killed one — keeps running and heals when the partition
+  // lifts. Returns kNotFound for unknown addresses.
+  Status SetPartitioned(const std::string& address, bool partitioned);
+
  private:
   struct ServerEntry;
   class InProcListener;

@@ -5,6 +5,9 @@
 #include <cstring>
 
 #include "common/bytes.h"
+#include "common/event_journal.h"
+#include "common/health.h"
+#include "common/load.h"
 #include "common/metrics.h"
 #include "common/profiler.h"
 #include "common/serde.h"
@@ -41,6 +44,9 @@ const char* RpcOpName(std::uint16_t opcode) {
     case kSeriesDump: return "SeriesDump";
     case kSlowTraceDump: return "SlowTraceDump";
     case kProfileDump: return "ProfileDump";
+    case kHeartbeat: return "Heartbeat";
+    case kHealthDump: return "HealthDump";
+    case kEventDump: return "EventDump";
     default: return "OpOther";
   }
 }
@@ -173,6 +179,9 @@ void RefreshMirroredGauges(const Metrics* metrics) {
       .Set(static_cast<std::int64_t>(data_plane::PoolHits()));
   registry.GetGauge("data_plane.pool_misses")
       .Set(static_cast<std::int64_t>(data_plane::PoolMisses()));
+  // Load index + hotspot gauges ride the same refresh: every stats/series
+  // dump (and every /metrics scrape via the HTTP hook) sees fresh values.
+  obs::LoadTracker::Global().Update();
 }
 
 std::string StatsJson(const Metrics* metrics) {
@@ -299,9 +308,54 @@ Result<SeriesDumpResponse> SeriesDumpResponse::Decode(ByteSpan payload) {
   return resp;
 }
 
+Buffer HeartbeatResponse::Encode() const {
+  BinaryWriter w;
+  w.PutU64(server_time_us);
+  w.PutDouble(load_index);
+  w.PutU32(hotspot_slots);
+  return std::move(w).Finish();
+}
+
+Result<HeartbeatResponse> HeartbeatResponse::Decode(ByteSpan payload) {
+  BinaryReader r(payload);
+  HeartbeatResponse resp;
+  GLIDER_ASSIGN_OR_RETURN(resp.server_time_us, r.U64());
+  GLIDER_ASSIGN_OR_RETURN(resp.load_index, r.Double());
+  GLIDER_ASSIGN_OR_RETURN(resp.hotspot_slots, r.U32());
+  return resp;
+}
+
 bool TryHandleObs(Message& request, Responder& responder,
                   const Metrics* metrics) {
   switch (request.opcode) {
+    case kHeartbeat: {
+      // Cheapest possible liveness probe: no registry snapshot unless the
+      // LoadTracker's window elapsed (it caches inside min_window).
+      const obs::LoadTracker::LoadSnapshot load =
+          obs::LoadTracker::Global().Update();
+      HeartbeatResponse resp;
+      resp.server_time_us = obs::TraceNowMicros();
+      resp.load_index = load.load_index;
+      resp.hotspot_slots = static_cast<std::uint32_t>(load.hotspots.size());
+      responder.SendOk(request, resp.Encode());
+      return true;
+    }
+    case kHealthDump: {
+      responder.SendOk(
+          request, Buffer::FromString(obs::HealthBoard::Global().ToJson()));
+      return true;
+    }
+    case kEventDump: {
+      auto& journal = obs::EventJournal::Global();
+      std::string json = journal.ToJson();
+      // Payload byte 0 == 1 requests a clear-after-dump (same convention
+      // as kTraceDump/kSlowTraceDump).
+      if (request.payload.size() >= 1 && request.payload.data()[0] == 1) {
+        journal.Clear();
+      }
+      responder.SendOk(request, Buffer::FromString(json));
+      return true;
+    }
     case kStatsDump: {
       responder.SendOk(request, Buffer::FromString(StatsJson(metrics)));
       return true;

@@ -32,6 +32,9 @@ inline constexpr std::uint16_t kTraceDump = 991;      // -> Chrome trace JSON
 inline constexpr std::uint16_t kSeriesDump = 992;     // -> SeriesDumpResponse
 inline constexpr std::uint16_t kSlowTraceDump = 993;  // -> slow-trace JSON
 inline constexpr std::uint16_t kProfileDump = 994;    // -> collapsed stacks
+inline constexpr std::uint16_t kHeartbeat = 995;      // -> HeartbeatResponse
+inline constexpr std::uint16_t kHealthDump = 996;     // -> HealthBoard JSON
+inline constexpr std::uint16_t kEventDump = 997;      // -> EventJournal JSON
 
 // kProfileDump request payload: empty = dump collapsed stacks; otherwise a
 // u8 command from this enum (kStart is followed by a u32 hz, 0 = default).
@@ -109,6 +112,19 @@ struct SeriesDumpResponse {
 
   Buffer Encode() const;
   static Result<SeriesDumpResponse> Decode(ByteSpan payload);
+};
+
+// kHeartbeat reply: a liveness proof that also piggybacks the node's
+// self-computed load report (the handler runs LoadTracker::Update), so a
+// health poll of an otherwise idle link costs one tiny frame and still
+// refreshes the load/hotspot picture. Request payload is empty.
+struct HeartbeatResponse {
+  std::uint64_t server_time_us = 0;  // peer's TraceNowMicros at reply time
+  double load_index = 0.0;
+  std::uint32_t hotspot_slots = 0;
+
+  Buffer Encode() const;
+  static Result<HeartbeatResponse> Decode(ByteSpan payload);
 };
 
 }  // namespace glider::net

@@ -134,6 +134,9 @@ Status SendIovecs(int fd, std::vector<iovec>& iov) {
 // covering frames accepted before the error surfaced.
 class SendCoalescer {
  public:
+  // Consecutive deadline-expiry flushes before a kFlushStorm event fires.
+  static constexpr std::uint64_t kFlushStormStreak = 64;
+
   SendCoalescer(int fd, const TcpOptions& options)
       : fd_(fd), options_(options) {
     if (options_.flush_us > 0) {
@@ -277,6 +280,11 @@ class SendCoalescer {
   }
 
   void FlusherLoop() {
+    // Deadline-expiry flushes in a row without one budget-filled flush in
+    // between: a long run means flush_us is adding latency to every frame
+    // while never earning a full batch — the tuning signal the journal's
+    // kFlushStorm event surfaces.
+    std::uint64_t deadline_streak = 0;
     std::unique_lock lock(mu_);
     while (!closed_) {
       cv_.wait(lock, [&] { return closed_ || frames_ > 0; });
@@ -288,6 +296,23 @@ class SendCoalescer {
                frames_ >= options_.coalesce_frames;
       });
       if (closed_) return;
+      const bool budget_filled = staged_bytes_ >= options_.coalesce_bytes ||
+                                 frames_ >= options_.coalesce_frames;
+      if (budget_filled) {
+        deadline_streak = 0;
+      } else {
+        static obs::Counter* deadline_flushes =
+            &obs::MetricsRegistry::Global().GetCounter("net.deadline_flushes");
+        deadline_flushes->Increment();
+        // One event per storm episode, as the streak crosses the threshold.
+        if (++deadline_streak == kFlushStormStreak) {
+          obs::JournalEvent(
+              obs::EventType::kFlushStorm, "tcp",
+              "deadline flushes without a filled batch (flush_us=" +
+                  std::to_string(options_.flush_us) + ")",
+              static_cast<std::int64_t>(kFlushStormStreak));
+        }
+      }
       if (status_.ok()) FlushBacklogLocked(lock);
       if (!status_.ok()) {
         // Dead socket: nothing further will flush; park until teardown so

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/event_journal.h"
 #include "common/logging.h"
 #include "common/metrics_registry.h"
 #include "common/trace.h"
@@ -30,6 +31,13 @@ StorageServer::StorageServer(Options options, std::shared_ptr<Metrics> metrics)
 
 StorageServer::~StorageServer() = default;
 
+void StorageServer::Stop() {
+  if (listener_) {
+    obs::JournalEvent(obs::EventType::kServerDown, address_, "storage");
+  }
+  listener_.reset();
+}
+
 Status StorageServer::Start(net::Transport& transport,
                             const std::string& metadata_address) {
   auto listener = transport.Listen(options_.preferred_address,
@@ -51,6 +59,7 @@ Status StorageServer::Start(net::Transport& transport,
       auto resp,
       net::Call<RegisterServerResponse>(**conn, kRegisterServer, req));
   server_id_ = resp.server_id;
+  obs::JournalEvent(obs::EventType::kServerUp, address_, "storage");
   return Status::Ok();
 }
 

@@ -40,7 +40,7 @@ class StorageServer : public net::ServiceRouter,
   // Stops listening (and the listener's worker threads). Idempotent.
   // Owners must call this: the listener keeps a shared_ptr back to the
   // service, so the destructor alone never runs while it is listening.
-  void Stop() { listener_.reset(); }
+  void Stop();
 
   const std::string& address() const { return address_; }
   ServerId server_id() const { return server_id_; }

@@ -135,6 +135,29 @@ Result<nk::StorageServer*> MiniCluster::AddStorageServer(
   return server.get();
 }
 
+Status MiniCluster::KillActive(std::size_t i) {
+  if (i >= active_.size()) return Status::OutOfRange("no such active server");
+  active_[i]->Stop();
+  active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(i));
+  return Status::Ok();
+}
+
+Status MiniCluster::KillData(std::size_t i) {
+  if (i >= data_.size()) return Status::OutOfRange("no such data server");
+  data_[i]->Stop();
+  data_.erase(data_.begin() + static_cast<std::ptrdiff_t>(i));
+  return Status::Ok();
+}
+
+Status MiniCluster::SetPartitioned(const std::string& address,
+                                   bool partitioned) {
+  auto* inproc = dynamic_cast<net::InProcTransport*>(transport_.get());
+  if (inproc == nullptr) {
+    return Status::Unimplemented("partitions require the inproc transport");
+  }
+  return inproc->SetPartitioned(address, partitioned);
+}
+
 std::uint64_t MiniCluster::ActionStateBytes() const {
   std::uint64_t total = 0;
   for (const auto& server : active_) total += server->UsedBytes();

@@ -109,6 +109,21 @@ class MiniCluster {
                                               std::uint32_t num_blocks,
                                               std::uint64_t block_size);
 
+  // Failure-injection hooks for the health plane tests.
+  //
+  // KillActive/KillData hard-stop server `i` mid-flight (the listener
+  // drops, in-flight calls fail kUnavailable, new connects kNotFound) and
+  // remove it from the cluster's vectors — the closest a single process
+  // gets to kill -9. The metadata registration is intentionally left
+  // dangling, exactly like a real crashed node's.
+  Status KillActive(std::size_t i);
+  Status KillData(std::size_t i);
+
+  // Simulated partition of `address` (inproc transport only): calls fail
+  // while the server keeps running; heals when lifted. kUnimplemented over
+  // TCP.
+  Status SetPartitioned(const std::string& address, bool partitioned);
+
  private:
   explicit MiniCluster(ClusterOptions options)
       : options_(std::move(options)) {}

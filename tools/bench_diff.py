@@ -1,9 +1,14 @@
 #!/usr/bin/env python3
-"""Compare two BENCH_<name>.json snapshots (written by bench::BenchJsonWriter)
+"""Compare BENCH_<name>.json snapshots (written by bench::BenchJsonWriter)
 and flag regressions.
 
-Usage: tools/bench_diff.py BASELINE.json CANDIDATE.json [--threshold 0.10]
-                           [--json]
+Usage: tools/bench_diff.py BASELINE.json CANDIDATE.json
+                           [BASELINE2.json CANDIDATE2.json ...]
+                           [--threshold 0.10] [--json]
+
+Positional arguments are (baseline, candidate) pairs — one invocation can
+gate several benchmark families (e.g. BENCH_contention.json and
+BENCH_batching.json) with a single exit code.
 
 Scalars and histogram percentiles are compared pairwise. A metric counts as a
 regression when the candidate is worse than the baseline by more than the
@@ -12,8 +17,9 @@ threshold (default 10%): larger for time/latency/bytes-like metrics, where
 they shrink. Metrics present in only one snapshot are reported in a
 "missing/new metrics" section (renames and dropped instrumentation are easy
 to miss otherwise) but never flagged. With --json the full report is emitted
-as one JSON object on stdout for CI annotation. Exit code is 1 if any
-regression is flagged, else 0.
+on stdout for CI annotation: one JSON object for a single pair (backward
+compatible), {"pairs": [...]} for several. Exit code is 1 if any regression
+is flagged in any pair, else 0.
 """
 
 import argparse
@@ -21,7 +27,8 @@ import json
 import sys
 
 # Metrics where bigger is better; everything else is treated as a cost.
-GOOD_UP_MARKERS = ("gbps", "bps", "speedup", "throughput", "hits")
+GOOD_UP_MARKERS = ("gbps", "bps", "speedup", "throughput", "hits", "ops_per_s",
+                   "per_second")
 
 
 def is_good_up(name: str) -> bool:
@@ -45,28 +52,19 @@ def flatten(snapshot: dict) -> dict:
     return out
 
 
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("baseline")
-    parser.add_argument("candidate")
-    parser.add_argument("--threshold", type=float, default=0.10,
-                        help="relative change that counts as a regression "
-                             "(default 0.10 = 10%%)")
-    parser.add_argument("--json", action="store_true",
-                        help="emit the report as a JSON object on stdout")
-    args = parser.parse_args()
+def compare(baseline_path: str, candidate_path: str, threshold: float):
+    """Diffs one (baseline, candidate) pair.
 
-    with open(args.baseline) as f:
+    Returns (report_dict, exit_code): 0 clean, 1 regressions, 2 no overlap.
+    """
+    with open(baseline_path) as f:
         base = flatten(json.load(f))
-    with open(args.candidate) as f:
+    with open(candidate_path) as f:
         cand = flatten(json.load(f))
 
     common = sorted(set(base) & set(cand))
     baseline_only = sorted(set(base) - set(cand))
     candidate_only = sorted(set(cand) - set(base))
-    if not common:
-        print("no common metrics between the two snapshots", file=sys.stderr)
-        return 2
 
     regressions = []
     for name in common:
@@ -76,42 +74,88 @@ def main() -> int:
         rel = (c - b) / abs(b)
         if is_good_up(name):
             rel = -rel  # shrinking throughput is the regression
-        if rel > args.threshold:
+        if rel > threshold:
             regressions.append((name, b, c, rel))
     regressions.sort(key=lambda r: -r[3])
 
-    if args.json:
-        report = {
-            "threshold": args.threshold,
-            "compared": len(common),
-            "regressions": [
-                {"name": name, "baseline": b, "candidate": c, "relative": rel}
-                for name, b, c, rel in regressions
-            ],
-            "missing_metrics": baseline_only,
-            "new_metrics": candidate_only,
-        }
-        json.dump(report, sys.stdout, indent=2)
-        print()
-        return 1 if regressions else 0
+    report = {
+        "baseline": baseline_path,
+        "candidate": candidate_path,
+        "threshold": threshold,
+        "compared": len(common),
+        "regressions": [
+            {"name": name, "baseline": b, "candidate": c, "relative": rel}
+            for name, b, c, rel in regressions
+        ],
+        "missing_metrics": baseline_only,
+        "new_metrics": candidate_only,
+    }
+    if not common:
+        return report, 2
+    return report, 1 if regressions else 0
 
-    print(f"compared {len(common)} metrics "
-          f"({len(baseline_only)} baseline-only, "
-          f"{len(candidate_only)} candidate-only)")
-    if baseline_only or candidate_only:
+
+def print_report(report: dict, threshold: float) -> None:
+    print(f"compared {report['compared']} metrics "
+          f"({len(report['missing_metrics'])} baseline-only, "
+          f"{len(report['new_metrics'])} candidate-only)")
+    if report["missing_metrics"] or report["new_metrics"]:
         print("\nmissing/new metrics (not compared):")
-        for name in baseline_only:
+        for name in report["missing_metrics"]:
             print(f"  - {name}  (baseline only: dropped or renamed?)")
-        for name in candidate_only:
+        for name in report["new_metrics"]:
             print(f"  + {name}  (candidate only: new instrumentation)")
-    if regressions:
-        print(f"\n{len(regressions)} regression(s) over "
-              f"{args.threshold:.0%} threshold:")
-        for name, b, c, rel in regressions:
-            print(f"  {name}: {b:g} -> {c:g}  ({rel:+.1%})")
-        return 1
-    print("no regressions flagged")
-    return 0
+    if report["compared"] == 0:
+        print("no common metrics between the two snapshots", file=sys.stderr)
+    elif report["regressions"]:
+        print(f"\n{len(report['regressions'])} regression(s) over "
+              f"{threshold:.0%} threshold:")
+        for r in report["regressions"]:
+            print(f"  {r['name']}: {r['baseline']:g} -> {r['candidate']:g}"
+                  f"  ({r['relative']:+.1%})")
+    else:
+        print("no regressions flagged")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("snapshots", nargs="+",
+                        metavar="BASELINE.json CANDIDATE.json",
+                        help="one or more (baseline, candidate) pairs")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="relative change that counts as a regression "
+                             "(default 0.10 = 10%%)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the report as JSON on stdout")
+    args = parser.parse_args()
+
+    if len(args.snapshots) % 2 != 0:
+        print("expected an even number of snapshot paths "
+              "(BASELINE CANDIDATE pairs)", file=sys.stderr)
+        return 2
+    pairs = [(args.snapshots[i], args.snapshots[i + 1])
+             for i in range(0, len(args.snapshots), 2)]
+
+    reports = []
+    exit_code = 0
+    for baseline, candidate in pairs:
+        report, code = compare(baseline, candidate, args.threshold)
+        reports.append(report)
+        exit_code = max(exit_code, code)
+
+    if args.json:
+        payload = reports[0] if len(reports) == 1 else {"pairs": reports}
+        json.dump(payload, sys.stdout, indent=2)
+        print()
+        return exit_code
+
+    for i, report in enumerate(reports):
+        if len(reports) > 1:
+            if i:
+                print()
+            print(f"== {report['baseline']} vs {report['candidate']} ==")
+        print_report(report, args.threshold)
+    return exit_code
 
 
 if __name__ == "__main__":

@@ -21,6 +21,12 @@
 //   series <address>                 print a server's time-series rings
 //   cluster-stats                    poll every server via the metadata
 //                                    server and print merged metrics
+//   health [address]                 no address: poll every server and print
+//                                    a per-node health/load table; with an
+//                                    address: print that server's health
+//                                    board JSON (daemon --health-ms)
+//   events <address> [clear]         print a server's structured event
+//                                    journal as JSON
 //   profile <address> [--seconds N] [--hz H] [--folded out.txt]
 //                                    sample the server for N seconds (default
 //                                    2) and print/write collapsed stacks —
@@ -67,7 +73,7 @@ int Usage() {
                "usage: glider_cli --metadata host:port "
                "<mkdir|put|get|ls|rm|stat|action-create|action-write|"
                "action-read|action-rm|stats|trace-dump|slow-traces|series|"
-               "cluster-stats|profile> [path|address] [args]\n");
+               "cluster-stats|health|events|profile> [path|address] [args]\n");
   return 2;
 }
 
@@ -210,6 +216,59 @@ int ClusterStats(net::TcpTransport& transport, const std::string& metadata) {
   return 0;
 }
 
+// Polls every server a few times via the metadata server (so the failure
+// detector accumulates heartbeat intervals) and prints a per-node health /
+// load table. With `address` non-empty, instead dumps that server's own
+// health board JSON (populated when the daemon runs with --health-ms).
+int Health(net::TcpTransport& transport, const std::string& metadata,
+           const std::string& address) {
+  if (!address.empty()) {
+    return DumpFromServer(transport, address, net::kHealthDump,
+                          /*clear=*/false);
+  }
+  ClusterMonitor monitor(&transport, metadata,
+                         net::LinkModel::Unshaped(LinkClass::kControl,
+                                                  nullptr));
+  Result<ClusterMonitor::ClusterSample> sample = Status::Unavailable("unpolled");
+  constexpr int kPolls = 3;
+  for (int i = 0; i < kPolls; ++i) {
+    sample = monitor.Poll();
+    if (!sample.ok()) return Fail(sample.status());
+    if (i + 1 < kPolls) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    }
+  }
+  if (sample->stale_discovery) {
+    std::printf("# metadata unreachable; using last known server list\n");
+  }
+  std::printf("%-21s %-8s %-12s %8s %8s %8s\n", "ADDRESS", "ROLE", "HEALTH",
+              "PHI", "LOAD", "HOT");
+  for (const auto& server : sample->servers) {
+    const char* role = server.is_metadata ? "metadata"
+                       : server.server.storage_class == nk::kActiveClass
+                           ? "active"
+                           : "storage";
+    std::string state(obs::PeerStateName(server.health));
+    if (!server.status.ok() && server.health == obs::PeerState::kUnknown) {
+      state = "unreachable";
+    }
+    char hot[16];
+    if (server.hotspot_slots >= 0) {
+      std::snprintf(hot, sizeof(hot), "%lld",
+                    static_cast<long long>(server.hotspot_slots));
+    } else {
+      std::snprintf(hot, sizeof(hot), "-");
+    }
+    std::printf("%-21s %-8s %-12s %8.2f %8.2f %8s\n",
+                server.server.address.c_str(), role, state.c_str(),
+                server.phi, server.load_index, hot);
+    if (!server.status.ok()) {
+      std::printf("  [%s]\n", server.status.ToString().c_str());
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -231,6 +290,10 @@ int main(int argc, char** argv) {
   // cluster-stats needs only the metadata address; everything else takes a
   // <path|address> argument.
   if (command == "cluster-stats") return ClusterStats(transport, metadata);
+  // `health` takes an optional address: without one it polls the cluster.
+  if (command == "health") {
+    return Health(transport, metadata, args.size() > 1 ? args[1] : "");
+  }
   if (args.size() < 2) return Usage();
   const std::string path = args[1];
 
@@ -248,6 +311,10 @@ int main(int argc, char** argv) {
     return DumpFromServer(transport, path, net::kSlowTraceDump, clear);
   }
   if (command == "series") return PrintSeries(transport, path);
+  if (command == "events") {
+    const bool clear = args.size() > 2 && args[2] == "clear";
+    return DumpFromServer(transport, path, net::kEventDump, clear);
+  }
   if (command == "profile") {
     int seconds = 2;
     std::uint32_t hz = 0;  // 0 = server default (99)

@@ -20,7 +20,9 @@
 #include "common/time_series.h"
 #include "common/trace.h"
 #include "glider/active_server.h"
+#include "glider/health_monitor.h"
 #include "net/http_metrics.h"
+#include "net/rpc_obs.h"
 #include "net/tcp_transport.h"
 #include "nodekernel/metadata_server.h"
 #include "nodekernel/storage_server.h"
@@ -56,8 +58,8 @@ int Usage() {
                "host:port] [--metadata host:port] [--blocks N] [--block-size "
                "B] [--class C] [--slots N] [--partition P] [--trace 1] "
                "[--sample-ms N] [--metrics-listen host:port] [--profile 1] "
-               "[--profile-hz N] [--flush-us N] [--coalesce-bytes B] "
-               "[--coalesce-frames N]\n");
+               "[--profile-hz N] [--health-ms N] [--flush-us N] "
+               "[--coalesce-bytes B] [--coalesce-frames N]\n");
   return 2;
 }
 
@@ -107,12 +109,16 @@ int main(int argc, char** argv) {
                     ? ""
                     : " (signal sampling unavailable: wait samples only)");
   }
-  // --metrics-listen host:port serves GET /metrics (Prometheus text).
+  auto metrics = std::make_shared<Metrics>();
+  // --metrics-listen host:port serves GET /metrics (Prometheus text). Each
+  // scrape re-mirrors the data-plane gauges and recomputes the load index,
+  // so Prometheus sees the same values kStatsDump / kSeriesDump would.
   std::unique_ptr<net::HttpMetricsServer> metrics_http;
   const std::string metrics_listen = FlagOr(flags, "metrics-listen", "");
   if (!metrics_listen.empty()) {
     auto http = net::HttpMetricsServer::Listen(
-        metrics_listen, obs::MetricsRegistry::Global(), {{"role", role}});
+        metrics_listen, obs::MetricsRegistry::Global(), {{"role", role}},
+        [m = metrics.get()] { net::RefreshMirroredGauges(m); });
     if (!http.ok()) {
       std::fprintf(stderr, "metrics-listen: %s\n",
                    http.status().ToString().c_str());
@@ -122,7 +128,6 @@ int main(int argc, char** argv) {
     std::printf("metrics at http://%s/metrics\n",
                 metrics_http->address().c_str());
   }
-  auto metrics = std::make_shared<Metrics>();
   // Send-coalescer knobs (DESIGN.md §8): --flush-us 0 (default) flushes
   // opportunistically — batching emerges only under load; --flush-us N>0
   // holds small frames up to N µs for bigger sendmsg batches. The byte /
@@ -199,6 +204,29 @@ int main(int argc, char** argv) {
     return Usage();
   }
 
+  // --health-ms N runs an in-process HealthMonitor: heartbeat every server
+  // at this cadence, feed a phi-accrual failure detector, and publish the
+  // verdicts as "health.phi.<address>" gauges (Prometheus: glider_health_phi)
+  // plus the health board served by kHealthDump (`glider_cli health <addr>`).
+  std::unique_ptr<HealthMonitor> health;
+  const long health_ms = std::stol(FlagOr(flags, "health-ms", "0"));
+  if (health_ms > 0) {
+    HealthMonitor::Options hopts;
+    hopts.interval = std::chrono::milliseconds(health_ms);
+    // A metadata daemon discovers through itself; other roles through the
+    // metadata server they registered with.
+    const std::string hub =
+        role == "metadata" ? listener->address() : metadata;
+    health = std::make_unique<HealthMonitor>(&transport, hub, hopts);
+    const Status started = health->Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "health: %s\n", started.ToString().c_str());
+      return 1;
+    }
+    std::printf("health monitor heartbeating every %ld ms via %s\n",
+                health_ms, hub.c_str());
+  }
+
   std::printf("running; Ctrl-C to stop\n");
   // Scripts poll the log for the bound addresses; don't sit on them in the
   // stdio buffer while blocked below.
@@ -206,7 +234,9 @@ int main(int argc, char** argv) {
   g_stop.acquire();
   std::printf("shutting down\n");
   // The listeners hold shared_ptrs back to the services; stop explicitly
-  // so worker/method threads are joined before process teardown.
+  // so worker/method threads are joined before process teardown. The health
+  // monitor goes first — it holds connections into the transport.
+  if (health) health->Stop();
   if (storage) storage->Stop();
   if (active) active->Stop();
   listener.reset();

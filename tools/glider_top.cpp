@@ -7,9 +7,11 @@
 // server), diffs the snapshots against the previous tick, and repaints:
 //
 //   * per-server rows: ops/s (RPCs handled), bytes in/out per second,
-//     action queue depth, and windowed p50/p99 of server-side RPC handling;
+//     action queue depth, windowed p50/p99 of server-side RPC handling,
+//     plus the node's load index and failure-detector verdict (phi);
 //   * a per-action-slot table attributing invocations, stream bytes and
-//     CPU time to individual slots (active servers only).
+//     CPU time to individual slots (active servers only). Slots flagged by
+//     the server's hotspot detector are marked with '*'.
 //
 // Rates come from counter/histogram deltas between consecutive polls, so
 // the first tick shows only absolute values. --once prints a single
@@ -74,6 +76,7 @@ struct SlotRow {
   double cpu_per_s = 0;  // CPU-us per wall-second
   std::int64_t queue_depth = 0;
   std::uint64_t total_invocations = 0;
+  bool hot = false;  // flagged by the server's hotspot detector
 };
 
 double Rate(std::uint64_t now, std::uint64_t prev, double dt_s) {
@@ -177,8 +180,12 @@ void DigestSlots(const obs::MetricsSnapshot& snap,
   for (const auto& [name, value] : snap.gauges) {
     std::string field;
     const int slot = parse(name, &field);
-    if (slot < 0 || field != "queue_depth") continue;
-    (*slots)[{address, slot}].queue_depth = value;
+    if (slot < 0) continue;
+    if (field == "queue_depth") {
+      (*slots)[{address, slot}].queue_depth = value;
+    } else if (field == "hot") {
+      (*slots)[{address, slot}].hot = value != 0;
+    }
   }
 }
 
@@ -192,6 +199,11 @@ std::string HumanBytes(double per_s) {
     std::snprintf(buffer, sizeof(buffer), "%.0f", per_s);
   }
   return buffer;
+}
+
+const char* RoleName(const ClusterMonitor::ServerSample& server) {
+  if (server.is_metadata) return "metadata";
+  return server.server.storage_class == nk::kActiveClass ? "active" : "storage";
 }
 
 }  // namespace
@@ -240,16 +252,31 @@ int main(int argc, char** argv) {
       std::printf("glider_top  %zu server(s)  interval %ld ms%s\n\n",
                   sample->servers.size(), interval_ms,
                   dt_s == 0 ? "  (first tick: absolute values)" : "");
-      std::printf("%-21s %-8s %9s %9s %9s %5s %8s %8s\n", "ADDRESS", "ROLE",
-                  "OPS/S", "IN_B/S", "OUT_B/S", "QD", "P50_US", "P99_US");
+      if (sample->stale_discovery) {
+        std::printf("!! metadata unreachable: showing last known servers\n");
+      }
+      std::printf("%-21s %-8s %9s %9s %9s %5s %8s %8s %6s %-10s\n", "ADDRESS",
+                  "ROLE", "OPS/S", "IN_B/S", "OUT_B/S", "QD", "P50_US",
+                  "P99_US", "LOAD", "HEALTH");
       std::map<std::string, obs::MetricsSnapshot> next;
       std::map<std::pair<std::string, int>, SlotRow> slots;
       for (const auto& server : sample->servers) {
         const std::string& address = server.server.address;
+        // Failure-detector verdict, e.g. "alive 0.1" or "dead 12.4". For a
+        // server that was never reached the detector has no row — show a
+        // plain "unreachable".
+        char health[32];
+        if (server.health == obs::PeerState::kUnknown) {
+          std::snprintf(health, sizeof(health), "unreach");
+        } else {
+          std::snprintf(health, sizeof(health), "%s %.1f",
+                        std::string(obs::PeerStateName(server.health)).c_str(),
+                        server.phi);
+        }
         if (!server.status.ok()) {
-          std::printf("%-21s %-8s [%s]\n", address.c_str(),
-                      server.is_metadata ? "metadata" : "storage",
-                      server.status.ToString().c_str());
+          std::printf("%-21s %-8s %52s %6s %-10s [%s]\n", address.c_str(),
+                      RoleName(server), "",
+                      "-", health, server.status.ToString().c_str());
           continue;
         }
         auto it = prev.find(address);
@@ -259,12 +286,12 @@ int main(int argc, char** argv) {
             Digest(server.dump.snapshot, prev_snap, dt_s);
         DigestSlots(server.dump.snapshot, prev_snap, dt_s, address, &slots);
         std::printf("%-21s %-8s %9.1f %9s %9s %5" PRId64 " %8" PRIu64
-                    " %8" PRIu64 "\n",
+                    " %8" PRIu64 " %6.2f %-10s\n",
                     address.c_str(),
-                    server.is_metadata ? "metadata" : "storage",
+                    RoleName(server),
                     row.ops_per_s, HumanBytes(row.bytes_in_per_s).c_str(),
                     HumanBytes(row.bytes_out_per_s).c_str(), row.queue_depth,
-                    row.p50_us, row.p99_us);
+                    row.p50_us, row.p99_us, server.load_index, health);
         next[address] = std::move(row.snapshot);
       }
       // Per-slot attribution: only slots that have ever run a method.
@@ -276,8 +303,13 @@ int main(int argc, char** argv) {
                       "SLOT", "INV/S", "IN_B/S", "OUT_B/S", "CPU%", "QD");
           header = true;
         }
-        std::printf("%-21s %5d %9.1f %9s %9s %7.1f%% %5" PRId64 "\n",
-                    key.first.c_str(), key.second, row.invocations_per_s,
+        // A '*' after the slot number marks a hotspot (this slot's share of
+        // the node's CPU exceeds the detector's multiple of the mean).
+        char slot_label[16];
+        std::snprintf(slot_label, sizeof(slot_label), "%d%s", key.second,
+                      row.hot ? "*" : "");
+        std::printf("%-21s %5s %9.1f %9s %9s %7.1f%% %5" PRId64 "\n",
+                    key.first.c_str(), slot_label, row.invocations_per_s,
                     HumanBytes(row.bytes_in_per_s).c_str(),
                     HumanBytes(row.bytes_out_per_s).c_str(),
                     row.cpu_per_s / 1e4,  // cpu-us per s -> percent of a core
