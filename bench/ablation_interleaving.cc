@@ -64,19 +64,13 @@ int main() {
   Table table({"Writers", "Interleave OFF (s)", "Interleave ON (s)",
                "Speedup"});
   for (const std::size_t workers : {2u, 4u, 8u}) {
-    auto off = RunOnce(false, workers, kPairs);
-    auto on = RunOnce(true, workers, kPairs);
-    if (!off.ok() || !on.ok()) {
-      std::fprintf(stderr, "run failed: %s %s\n",
-                   off.status().ToString().c_str(),
-                   on.status().ToString().c_str());
-      return 1;
-    }
-    table.AddRow({std::to_string(workers), Fmt(*off, 3), Fmt(*on, 3),
-                  Fmt(*off / *on, 2) + "x"});
+    const double off = RequireOk(RunOnce(false, workers, kPairs), "off");
+    const double on = RequireOk(RunOnce(true, workers, kPairs), "on");
+    table.AddRow({std::to_string(workers), Fmt(off, 3), Fmt(on, 3),
+                  Fmt(off / on, 2) + "x"});
     const std::string prefix = "w" + std::to_string(workers) + ".";
-    bench_json.AddScalar(prefix + "interleave_off_seconds", *off);
-    bench_json.AddScalar(prefix + "interleave_on_seconds", *on);
+    bench_json.AddScalar(prefix + "interleave_off_seconds", off);
+    bench_json.AddScalar(prefix + "interleave_on_seconds", on);
   }
   table.Print();
   bench_json.Write();

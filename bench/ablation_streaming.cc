@@ -69,20 +69,16 @@ int main() {
   {
     auto options = PaperClusterOptions();
     options.faas_bandwidth_bps = 0;  // latency-bound regime
-    auto cluster = testing::MiniCluster::Start(options);
-    if (!cluster.ok()) return 1;
+    auto cluster = StartClusterOrExit(options);
     Table table({"Window", "Write (s)", "Read (s)"});
     for (const std::size_t window : {1u, 2u, 4u, 8u}) {
-      auto result = StreamOnce(**cluster, window, 256 * 1024);
-      if (!result.ok()) {
-        std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
-        return 1;
-      }
-      table.AddRow({std::to_string(window), Fmt(result->first, 3),
-                    Fmt(result->second, 3)});
+      const auto result =
+          RequireOk(StreamOnce(*cluster, window, 256 * 1024), "stream");
+      table.AddRow({std::to_string(window), Fmt(result.first, 3),
+                    Fmt(result.second, 3)});
       const std::string prefix = "win" + std::to_string(window) + ".";
-      bench_json.AddScalar(prefix + "write_seconds", result->first);
-      bench_json.AddScalar(prefix + "read_seconds", result->second);
+      bench_json.AddScalar(prefix + "write_seconds", result.first);
+      bench_json.AddScalar(prefix + "read_seconds", result.second);
     }
     table.Print();
     std::printf("\nExpected: window 1 pays one round-trip latency per op; "
@@ -96,18 +92,14 @@ int main() {
       auto options = PaperClusterOptions();
       options.use_tcp = tcp;
       options.faas_bandwidth_bps = 0;
-      auto cluster = testing::MiniCluster::Start(options);
-      if (!cluster.ok()) return 1;
-      auto result = StreamOnce(**cluster, 4, 256 * 1024);
-      if (!result.ok()) {
-        std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
-        return 1;
-      }
+      auto cluster = StartClusterOrExit(options);
+      const auto result =
+          RequireOk(StreamOnce(*cluster, 4, 256 * 1024), "stream");
       table.AddRow({tcp ? "TCP (loopback)" : "in-process",
-                    Fmt(result->first, 3), Fmt(result->second, 3)});
+                    Fmt(result.first, 3), Fmt(result.second, 3)});
       const std::string prefix = tcp ? "tcp." : "inproc.";
-      bench_json.AddScalar(prefix + "write_seconds", result->first);
-      bench_json.AddScalar(prefix + "read_seconds", result->second);
+      bench_json.AddScalar(prefix + "write_seconds", result.first);
+      bench_json.AddScalar(prefix + "read_seconds", result.second);
     }
     table.Print();
     std::printf("\nExpected: TCP adds kernel socket + framing cost; the "

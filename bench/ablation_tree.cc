@@ -104,18 +104,12 @@ int main() {
               "(%zu pairs/worker) ==\n\n", kPairsPerWorker);
   Table table({"Workers", "Single action (s)", "Tree 4 leaves (s)"});
   for (const std::size_t workers : {4u, 8u, 16u}) {
-    auto single = RunSingle(workers);
-    auto tree = RunTree(workers, 4);
-    if (!single.ok() || !tree.ok()) {
-      std::fprintf(stderr, "failed: %s %s\n",
-                   single.status().ToString().c_str(),
-                   tree.status().ToString().c_str());
-      return 1;
-    }
-    table.AddRow({std::to_string(workers), Fmt(*single, 3), Fmt(*tree, 3)});
+    const double single = RequireOk(RunSingle(workers), "single");
+    const double tree = RequireOk(RunTree(workers, 4), "tree");
+    table.AddRow({std::to_string(workers), Fmt(single, 3), Fmt(tree, 3)});
     const std::string prefix = "w" + std::to_string(workers) + ".";
-    bench_json.AddScalar(prefix + "single_seconds", *single);
-    bench_json.AddScalar(prefix + "tree_seconds", *tree);
+    bench_json.AddScalar(prefix + "single_seconds", single);
+    bench_json.AddScalar(prefix + "tree_seconds", tree);
   }
   table.Print();
   bench_json.Write();

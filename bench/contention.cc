@@ -122,15 +122,11 @@ int main() {
   double ops_at_1 = 0;
   double ops_at_8 = 0;
   for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
-    auto result = RunMixed(threads);
-    if (!result.ok()) {
-      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
-      return 1;
-    }
-    if (threads == 1) ops_at_1 = *result;
-    if (threads == 8) ops_at_8 = *result;
-    table.AddRow({std::to_string(threads), Fmt(*result, 0)});
-    bench_json.AddScalar("ops_per_s_t" + std::to_string(threads), *result);
+    const double result = RequireOk(RunMixed(threads), "mixed run");
+    if (threads == 1) ops_at_1 = result;
+    if (threads == 8) ops_at_8 = result;
+    table.AddRow({std::to_string(threads), Fmt(result, 0)});
+    bench_json.AddScalar("ops_per_s_t" + std::to_string(threads), result);
   }
   table.Print();
   if (ops_at_1 > 0) {

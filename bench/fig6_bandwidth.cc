@@ -187,33 +187,25 @@ int main() {
   options.faas_latency = std::chrono::microseconds(0);
   options.internal_bandwidth_bps = 0;
   options.blocks_per_server = 1024;
-  auto cluster = testing::MiniCluster::Start(options);
-  if (!cluster.ok()) {
-    std::fprintf(stderr, "cluster: %s\n", cluster.status().ToString().c_str());
-    return 1;
-  }
+  auto cluster = StartClusterOrExit(options);
 
   std::printf("== Figure 6 (top): access bandwidth vs buffer size (%s per "
               "stream) ==\n\n", FmtBytes(kBytesPerRun).c_str());
   Table top({"Buffer (KiB)", "File write (Gbps)", "Action write (Gbps)",
              "File read (Gbps)", "Action read (Gbps)"});
   for (const std::size_t kib : {128u, 256u, 512u, 1024u}) {
-    auto file = FileBandwidth(**cluster, kib * 1024, 1);
-    auto action = ActionBandwidth(**cluster, kib * 1024, 1);
-    if (!file.ok() || !action.ok()) {
-      std::fprintf(stderr, "bw run failed: %s %s\n",
-                   file.status().ToString().c_str(),
-                   action.status().ToString().c_str());
-      return 1;
-    }
-    top.AddRow({std::to_string(kib), Fmt(file->write_gbps),
-                Fmt(action->write_gbps), Fmt(file->read_gbps),
-                Fmt(action->read_gbps)});
+    const auto file =
+        RequireOk(FileBandwidth(*cluster, kib * 1024, 1), "file bw");
+    const auto action =
+        RequireOk(ActionBandwidth(*cluster, kib * 1024, 1), "action bw");
+    top.AddRow({std::to_string(kib), Fmt(file.write_gbps),
+                Fmt(action.write_gbps), Fmt(file.read_gbps),
+                Fmt(action.read_gbps)});
     const std::string prefix = "buf" + std::to_string(kib) + "k.";
-    bench_json.AddScalar(prefix + "file_write_gbps", file->write_gbps);
-    bench_json.AddScalar(prefix + "action_write_gbps", action->write_gbps);
-    bench_json.AddScalar(prefix + "file_read_gbps", file->read_gbps);
-    bench_json.AddScalar(prefix + "action_read_gbps", action->read_gbps);
+    bench_json.AddScalar(prefix + "file_write_gbps", file.write_gbps);
+    bench_json.AddScalar(prefix + "action_write_gbps", action.write_gbps);
+    bench_json.AddScalar(prefix + "file_read_gbps", file.read_gbps);
+    bench_json.AddScalar(prefix + "action_read_gbps", action.read_gbps);
   }
   top.Print();
 
@@ -222,17 +214,18 @@ int main() {
   Table bottom({"Parallel", "File write (Gbps)", "Action write (Gbps)",
                 "File read (Gbps)", "Action read (Gbps)"});
   for (const std::size_t parallel : {1u, 2u, 4u, 8u}) {
-    auto file = FileBandwidth(**cluster, 1 << 20, parallel);
-    auto action = ActionBandwidth(**cluster, 1 << 20, parallel);
-    if (!file.ok() || !action.ok()) return 1;
-    bottom.AddRow({std::to_string(parallel), Fmt(file->write_gbps),
-                   Fmt(action->write_gbps), Fmt(file->read_gbps),
-                   Fmt(action->read_gbps)});
+    const auto file =
+        RequireOk(FileBandwidth(*cluster, 1 << 20, parallel), "file bw");
+    const auto action =
+        RequireOk(ActionBandwidth(*cluster, 1 << 20, parallel), "action bw");
+    bottom.AddRow({std::to_string(parallel), Fmt(file.write_gbps),
+                   Fmt(action.write_gbps), Fmt(file.read_gbps),
+                   Fmt(action.read_gbps)});
     const std::string prefix = "par" + std::to_string(parallel) + ".";
-    bench_json.AddScalar(prefix + "file_write_gbps", file->write_gbps);
-    bench_json.AddScalar(prefix + "action_write_gbps", action->write_gbps);
-    bench_json.AddScalar(prefix + "file_read_gbps", file->read_gbps);
-    bench_json.AddScalar(prefix + "action_read_gbps", action->read_gbps);
+    bench_json.AddScalar(prefix + "file_write_gbps", file.write_gbps);
+    bench_json.AddScalar(prefix + "action_write_gbps", action.write_gbps);
+    bench_json.AddScalar(prefix + "file_read_gbps", file.read_gbps);
+    bench_json.AddScalar(prefix + "action_read_gbps", action.read_gbps);
   }
   bottom.Print();
   bench_json.Write();

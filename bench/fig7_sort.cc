@@ -34,52 +34,39 @@ int main() {
     opts.blocks_per_server = 4096;
     opts.slots_per_server = 32;
 
-    auto cluster = testing::MiniCluster::Start(opts);
-    if (!cluster.ok()) return 1;
-    if (auto s = SetupSortInput(**cluster, params); !s.ok()) {
-      std::fprintf(stderr, "setup: %s\n", s.ToString().c_str());
-      return 1;
-    }
-    auto baseline = RunSortBaseline(**cluster, params);
-    if (!baseline.ok()) {
-      std::fprintf(stderr, "baseline: %s\n",
-                   baseline.status().ToString().c_str());
-      return 1;
-    }
+    auto cluster = StartClusterOrExit(opts);
+    RequireOk(SetupSortInput(*cluster, params), "setup");
+    const auto baseline =
+        RequireOk(RunSortBaseline(*cluster, params), "baseline");
 
-    auto cluster2 = testing::MiniCluster::Start(opts);
-    if (!cluster2.ok()) return 1;
-    if (!SetupSortInput(**cluster2, params).ok()) return 1;
-    auto glider = RunSortGlider(**cluster2, params);
-    if (!glider.ok()) {
-      std::fprintf(stderr, "glider: %s\n", glider.status().ToString().c_str());
-      return 1;
-    }
+    auto cluster2 = StartClusterOrExit(opts);
+    RequireOk(SetupSortInput(*cluster2, params), "setup");
+    const auto glider = RequireOk(RunSortGlider(*cluster2, params), "glider");
 
-    if (!baseline->verified || !glider->verified ||
-        baseline->records != glider->records) {
+    if (!baseline.verified || !glider.verified ||
+        baseline.records != glider.records) {
       std::fprintf(stderr, "SORT VERIFICATION FAILED at %zu workers\n",
                    workers);
       return 1;
     }
 
-    table.AddRow({std::to_string(workers), Fmt(baseline->p1_seconds, 3),
-                  Fmt(baseline->p2_seconds, 3),
-                  Fmt(baseline->total_seconds, 3),
-                  Fmt(glider->p1_seconds, 3), Fmt(glider->p2_seconds, 3),
-                  Fmt(glider->total_seconds, 3),
-                  FmtBytes(baseline->transfer_bytes),
-                  FmtBytes(glider->transfer_bytes)});
+    table.AddRow({std::to_string(workers), Fmt(baseline.p1_seconds, 3),
+                  Fmt(baseline.p2_seconds, 3),
+                  Fmt(baseline.total_seconds, 3),
+                  Fmt(glider.p1_seconds, 3), Fmt(glider.p2_seconds, 3),
+                  Fmt(glider.total_seconds, 3),
+                  FmtBytes(baseline.transfer_bytes),
+                  FmtBytes(glider.transfer_bytes)});
 
     const std::string prefix = "w" + std::to_string(workers) + ".";
     bench_json.AddScalar(prefix + "base_total_seconds",
-                         baseline->total_seconds);
+                         baseline.total_seconds);
     bench_json.AddScalar(prefix + "glider_total_seconds",
-                         glider->total_seconds);
+                         glider.total_seconds);
     bench_json.AddScalar(prefix + "base_transfer_bytes",
-                         static_cast<double>(baseline->transfer_bytes));
+                         static_cast<double>(baseline.transfer_bytes));
     bench_json.AddScalar(prefix + "glider_transfer_bytes",
-                         static_cast<double>(glider->transfer_bytes));
+                         static_cast<double>(glider.transfer_bytes));
   }
 
   table.Print();

@@ -52,27 +52,18 @@ int main() {
     s3opts.op_latency = std::chrono::microseconds(15'000);
     s3opts.select_scan_bps = 100'000'000;
 
-    auto cluster = testing::MiniCluster::Start(opts);
-    if (!cluster.ok()) return 1;
-    faas::S3Like s3_base(s3opts, (*cluster)->metrics());
-    auto baseline = RunGenomicsBaseline(**cluster, s3_base, params);
-    if (!baseline.ok()) {
-      std::fprintf(stderr, "baseline: %s\n",
-                   baseline.status().ToString().c_str());
-      return 1;
-    }
+    auto cluster = StartClusterOrExit(opts);
+    faas::S3Like s3_base(s3opts, cluster->metrics());
+    const auto baseline =
+        RequireOk(RunGenomicsBaseline(*cluster, s3_base, params), "baseline");
 
-    auto cluster2 = testing::MiniCluster::Start(opts);
-    if (!cluster2.ok()) return 1;
-    faas::S3Like s3_glider(s3opts, (*cluster2)->metrics());
-    auto glider = RunGenomicsGlider(**cluster2, s3_glider, params);
-    if (!glider.ok()) {
-      std::fprintf(stderr, "glider: %s\n", glider.status().ToString().c_str());
-      return 1;
-    }
+    auto cluster2 = StartClusterOrExit(opts);
+    faas::S3Like s3_glider(s3opts, cluster2->metrics());
+    const auto glider =
+        RequireOk(RunGenomicsGlider(*cluster2, s3_glider, params), "glider");
 
-    if (glider->variants != baseline->variants ||
-        glider->records_reduced != baseline->records_reduced) {
+    if (glider.variants != baseline.variants ||
+        glider.records_reduced != baseline.records_reduced) {
       std::fprintf(stderr, "RESULT MISMATCH at %zux%zu,%zu\n", config.a,
                    config.q, config.r);
       return 1;
@@ -82,18 +73,18 @@ int main() {
                               std::to_string(config.q) + "," +
                               std::to_string(config.r);
     table.AddRow({label, std::to_string(config.a * config.q),
-                  Fmt(baseline->map_seconds, 2),
-                  Fmt(baseline->ranges_seconds, 2),
-                  Fmt(baseline->reduce_seconds, 2),
-                  Fmt(baseline->total_seconds, 2),
-                  Fmt(glider->map_seconds, 2), Fmt(glider->ranges_seconds, 2),
-                  Fmt(glider->reduce_seconds, 2),
-                  Fmt(glider->total_seconds, 2),
-                  std::to_string(glider->variants)});
+                  Fmt(baseline.map_seconds, 2),
+                  Fmt(baseline.ranges_seconds, 2),
+                  Fmt(baseline.reduce_seconds, 2),
+                  Fmt(baseline.total_seconds, 2),
+                  Fmt(glider.map_seconds, 2), Fmt(glider.ranges_seconds, 2),
+                  Fmt(glider.reduce_seconds, 2),
+                  Fmt(glider.total_seconds, 2),
+                  std::to_string(glider.variants)});
     bench_json.AddScalar(label + ".base_total_seconds",
-                         baseline->total_seconds);
+                         baseline.total_seconds);
     bench_json.AddScalar(label + ".glider_total_seconds",
-                         glider->total_seconds);
+                         glider.total_seconds);
   }
 
   table.Print();

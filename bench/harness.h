@@ -11,11 +11,14 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/metrics_registry.h"
+#include "common/status.h"
 #include "common/trace.h"
 #include "testing/cluster.h"
 
@@ -38,6 +41,30 @@ inline testing::ClusterOptions PaperClusterOptions(bool rdma = false) {
   options.chunk_size = 256 * 1024;
   options.inflight_window = 4;
   return options;
+}
+
+// Fatal-error helpers: benches and the graph runner treat setup failures as
+// immediately fatal. Unwrap with a labelled diagnostic instead of the
+// hand-rolled `if (!x.ok()) { fprintf(...); return 1; }` ladders.
+[[noreturn]] inline void ExitWith(const char* what, const Status& status) {
+  std::fprintf(stderr, "%s: %s\n", what, status.ToString().c_str());
+  std::exit(1);
+}
+
+inline void RequireOk(const Status& status, const char* what) {
+  if (!status.ok()) ExitWith(what, status);
+}
+
+template <typename T>
+T RequireOk(Result<T> result, const char* what) {
+  if (!result.ok()) ExitWith(what, result.status());
+  return std::move(result).value();
+}
+
+// Boots a MiniCluster or exits with a diagnostic — every bench starts here.
+inline std::unique_ptr<testing::MiniCluster> StartClusterOrExit(
+    const testing::ClusterOptions& options) {
+  return RequireOk(testing::MiniCluster::Start(options), "cluster boot");
 }
 
 // Fixed-width table printing.

@@ -15,7 +15,14 @@ cmake --build build -j "${JOBS}"
 ctest --test-dir build --output-on-failure -j "${JOBS}"
 
 echo
-echo "== perf gate: bench/contention + batching legs vs committed baselines =="
+echo "== workload smoke: declarative spec, open-loop, in-process cluster =="
+# One tiny spec through the whole declarative path: parse -> node registry ->
+# MiniCluster -> open-loop sweep (2 rates). Catches spec-format or runner
+# breakage in seconds, before the heavier legs below.
+build/tools/glider_load examples/specs/ci_smoke.spec
+
+echo
+echo "== perf gate: contention + batching + load-curve vs committed baselines =="
 # Enforcing: a >10% regression on any contention metric (notably the
 # 8-thread ops/s scalar) vs the committed BENCH_contention.json, or on the
 # hot-path batching legs (TCP burst framing, spin-then-park wakeups) vs the
@@ -56,6 +63,28 @@ else
     fi
   else
     echo "perf gate: no committed BENCH_batching.json baseline (skipping)"
+  fi
+  if [[ -f BENCH_load_curve.json ]]; then
+    # The open-loop latency curve from the declarative load harness. Diffed
+    # separately at a 90% threshold: millisecond-scale tail latencies on a
+    # shared CI box swing far more than the throughput scalars above, so
+    # this gate guards collapse (achieved rate falling off offered, p50/p99
+    # blowing up by an order of magnitude, shedding appearing), not
+    # percent-level drift.
+    if (cd build/perf && ../tools/glider_load --bench load_curve \
+          ../../examples/specs/load_curve.spec >/dev/null); then
+      tools/bench_diff.py --threshold 0.9 \
+          BENCH_load_curve.json build/perf/BENCH_load_curve.json \
+        || { echo "perf gate: FAIL — load-curve regression vs committed" \
+                  "baseline (rerun on a quiet host, or" \
+                  "GLIDER_SKIP_PERF_GATE=1 to bypass)";
+             exit 1; }
+    else
+      echo "perf gate: FAIL — glider_load did not run"
+      exit 1
+    fi
+  else
+    echo "perf gate: no committed BENCH_load_curve.json baseline (skipping)"
   fi
   # 25% threshold: back-to-back runs of these benches on the 1-core CI box
   # spread ±10-15% around their median, so 10% flakes on noise alone. The

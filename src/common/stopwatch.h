@@ -34,6 +34,8 @@ class SampleStats {
   }
 
   std::size_t count() const { return samples_.size(); }
+  // Insertion-ordered raw samples (merging stats across threads).
+  const std::vector<double>& samples() const { return samples_; }
   double Min() const { return *std::min_element(samples_.begin(), samples_.end()); }
   double Max() const { return *std::max_element(samples_.begin(), samples_.end()); }
   double Mean() const {

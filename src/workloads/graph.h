@@ -1,0 +1,240 @@
+// Workload-graph node registry (ROADMAP item 5, genny-style): a workload is
+// a sequence of typed nodes (generators, FaaS stages, action stages, sinks)
+// instantiated from a declarative spec (workloads/spec.h) through a factory
+// registry, and executed stage-by-stage against either an in-process
+// MiniCluster or a live TCP cluster. Each node carries its own stats
+// (wall time, ops, bytes, plus cluster metric deltas captured by the
+// runner), which flow into obs::MetricsRegistry and the BENCH json.
+//
+// Closed-loop: RunGraph executes the nodes in spec order with a stage
+// barrier between them (the PyWren-style gang stages the paper evaluates).
+// Open-loop: a [load] section names a request node; RunLoadSweep runs the
+// other nodes as setup/teardown and drives the request node from the
+// arrival-rate-driven generator in workloads/loadgen.h, sweeping offered
+// load into a latency-vs-throughput curve.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "nodekernel/client/store_client.h"
+#include "testing/cluster.h"
+#include "workloads/loadgen.h"
+#include "workloads/spec.h"
+
+namespace glider::workloads {
+
+// Where a graph runs: client factory + optional in-process extras. The
+// MiniCluster handle exposes the full simulated deployment; the remote
+// handle only mints TCP clients (per-node metric deltas read 0 there —
+// the live cluster's own observability plane covers it).
+class ClusterHandle {
+ public:
+  virtual ~ClusterHandle() = default;
+  // A FaaS-shaped client (per-worker link limits where supported).
+  virtual Result<std::unique_ptr<nk::StoreClient>> NewFaasClient() = 0;
+  // An unshaped driver/setup client.
+  virtual Result<std::unique_ptr<nk::StoreClient>> NewInternalClient() = 0;
+  virtual std::shared_ptr<Metrics> metrics() const { return nullptr; }
+  virtual testing::MiniCluster* mini() { return nullptr; }
+  virtual std::uint64_t ActionStateBytes() { return 0; }
+};
+
+class MiniClusterHandle : public ClusterHandle {
+ public:
+  explicit MiniClusterHandle(testing::MiniCluster& cluster)
+      : cluster_(&cluster) {}
+  Result<std::unique_ptr<nk::StoreClient>> NewFaasClient() override {
+    return cluster_->NewFaasClient();
+  }
+  Result<std::unique_ptr<nk::StoreClient>> NewInternalClient() override {
+    return cluster_->NewInternalClient();
+  }
+  std::shared_ptr<Metrics> metrics() const override {
+    return cluster_->metrics();
+  }
+  testing::MiniCluster* mini() override { return cluster_; }
+  std::uint64_t ActionStateBytes() override {
+    return cluster_->ActionStateBytes();
+  }
+
+ private:
+  testing::MiniCluster* cluster_;
+};
+
+// Live TCP cluster: owns its transport; clients route through the given
+// metadata partition addresses (comma-separated host:port list).
+class RemoteClusterHandle : public ClusterHandle {
+ public:
+  static Result<std::unique_ptr<RemoteClusterHandle>> Connect(
+      const std::string& metadata_csv);
+  ~RemoteClusterHandle() override;
+
+  Result<std::unique_ptr<nk::StoreClient>> NewFaasClient() override;
+  Result<std::unique_ptr<nk::StoreClient>> NewInternalClient() override;
+
+ private:
+  RemoteClusterHandle() = default;
+  std::unique_ptr<net::Transport> transport_;
+  std::vector<std::string> partitions_;
+};
+
+// Per-node stats. `seconds`/`ops`/`bytes` are filled by the node itself;
+// the metric deltas are captured around Run by the graph runner (stages are
+// sequential, so a node's delta is attributable to it).
+struct NodeStats {
+  double seconds = 0;
+  std::uint64_t ops = 0;    // node-defined unit: workers, requests, lines
+  std::uint64_t bytes = 0;  // payload bytes the node moved
+  std::uint64_t faas_bytes = 0;  // compute<->storage transfer delta
+  std::uint64_t accesses = 0;    // logical storage-access delta
+  std::int64_t peak_stored = 0;  // peak stored-bytes delta over the node
+};
+
+// Shared run state: the cluster plus a blackboard of exported results
+// ("entries", "checksum", ...) that later nodes, the [check] verifier and
+// the BENCH json consume.
+struct GraphContext {
+  ClusterHandle* cluster = nullptr;
+
+  void Export(const std::string& key, std::string value) {
+    std::scoped_lock lock(mu_);
+    blackboard_[key] = std::move(value);
+  }
+  void ExportInt(const std::string& key, std::uint64_t v) {
+    Export(key, std::to_string(v));
+  }
+  std::optional<std::string> Get(const std::string& key) const {
+    std::scoped_lock lock(mu_);
+    auto it = blackboard_.find(key);
+    if (it == blackboard_.end()) return std::nullopt;
+    return it->second;
+  }
+  std::map<std::string, std::string> Snapshot() const {
+    std::scoped_lock lock(mu_);
+    return blackboard_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::string> blackboard_;
+};
+
+// One graph node. Subclasses parse their params from the spec section in
+// the factory and implement Run (a stage) and/or RunRequest (one open-loop
+// request).
+class WorkloadNode {
+ public:
+  WorkloadNode(std::string name, std::string type, bool measured)
+      : name_(std::move(name)), type_(std::move(type)), measured_(measured) {}
+  virtual ~WorkloadNode() = default;
+
+  const std::string& name() const { return name_; }
+  const std::string& type() const { return type_; }
+  // Unmeasured nodes (setup/verification) run but stay out of the graph's
+  // aggregate seconds/transfer totals — declarative measured regions.
+  bool measured() const { return measured_; }
+
+  virtual Status Run(GraphContext& ctx) = 0;
+  // One open-loop request against a per-worker client. Default: the node
+  // type does not support open-loop driving.
+  virtual Status RunRequest(GraphContext& ctx, nk::StoreClient& client,
+                            std::uint64_t request_id);
+
+  NodeStats& stats() { return stats_; }
+  const NodeStats& stats() const { return stats_; }
+
+ private:
+  std::string name_;
+  std::string type_;
+  bool measured_;
+  NodeStats stats_;
+};
+
+using NodeFactory =
+    std::function<Result<std::unique_ptr<WorkloadNode>>(const SpecSection&)>;
+
+class NodeRegistry {
+ public:
+  static NodeRegistry& Global();
+
+  void Register(const std::string& type, NodeFactory factory);
+  // Errors name the node and its unknown type, listing what is registered.
+  Result<std::unique_ptr<WorkloadNode>> Build(const SpecSection& section) const;
+  std::vector<std::string> Types() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, NodeFactory> factories_;
+};
+
+// [load] section, validated by BuildGraph.
+struct LoadOptions {
+  std::string request_node;       // node driven per arrival
+  std::vector<double> rates;      // offered rates to sweep (>= 1)
+  bool poisson = true;            // schedule = poisson | fixed
+  double duration_s = 2;
+  double warmup_s = 0.25;
+  std::size_t workers = 16;
+  std::size_t max_backlog = 1024;
+  std::uint64_t seed = 1;
+};
+
+struct Graph {
+  std::string name;  // spec global `name` (or the file name)
+  testing::ClusterOptions cluster_options;  // from [cluster]
+  std::vector<std::unique_ptr<WorkloadNode>> nodes;
+  std::optional<LoadOptions> load;        // open-loop when present
+  std::vector<std::string> check_equal;   // [check] equal = k1,k2,...
+};
+
+// Spec -> graph: every node built through the registry, unknown node types /
+// keys and malformed values rejected with section+key+line in the message.
+// Pure construction: needs no cluster.
+Result<Graph> BuildGraph(const Spec& spec);
+
+struct GraphReport {
+  // Totals over *measured* nodes only.
+  double measured_seconds = 0;
+  std::uint64_t faas_bytes = 0;
+  std::uint64_t accesses = 0;
+  std::int64_t peak_stored = 0;
+  std::uint64_t action_state_bytes = 0;  // max observed after measured nodes
+  std::map<std::string, std::string> exports;
+};
+
+// Closed-loop: run every node in order. Per-node stats land in the nodes;
+// aggregates + the blackboard snapshot come back in the report.
+Result<GraphReport> RunGraph(Graph& graph, ClusterHandle& cluster);
+
+struct LoadCurvePoint {
+  double rate = 0;
+  OpenLoopResult result;
+};
+
+struct LoadCurve {
+  std::vector<LoadCurvePoint> points;
+  std::map<std::string, std::string> exports;
+};
+
+// Open-loop: nodes before the request node run once as setup, the request
+// node is driven at each offered rate in graph.load->rates, then the nodes
+// after it run once as teardown.
+Result<LoadCurve> RunLoadSweep(Graph& graph, ClusterHandle& cluster);
+
+// Gang-stage helper shared by the builtin FaaS-stage nodes: `workers`
+// concurrent bodies, each with its own client (faas- or internal-class).
+Status RunFaasStage(
+    GraphContext& ctx, std::size_t workers, bool internal_client,
+    const std::function<Status(std::size_t, nk::StoreClient&)>& body);
+
+// Forces registration of the builtin node types (workloads/graph_nodes.cc);
+// call before BuildGraph, like RegisterWorkloadActions for actions.
+void RegisterBuiltinNodes();
+
+}  // namespace glider::workloads

@@ -1,0 +1,153 @@
+#include "workloads/loadgen.h"
+
+#include <cmath>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/stopwatch.h"
+
+namespace glider::workloads {
+
+std::chrono::nanoseconds ArrivalSchedule::NextGap() {
+  const double mean_gap_s = 1.0 / rate_per_s_;
+  double gap_s = mean_gap_s;
+  if (poisson_) {
+    // Inverse-CDF exponential draw; clamp u away from 1 so log() is finite.
+    double u = rng_.NextDouble();
+    if (u > 0.999999999) u = 0.999999999;
+    gap_s = -std::log(1.0 - u) * mean_gap_s;
+  }
+  return std::chrono::nanoseconds(
+      static_cast<std::int64_t>(gap_s * 1e9));
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Arrival {
+  std::uint64_t id = 0;
+  Clock::time_point scheduled;  // latency clock starts here, not at pop
+  bool record = false;          // false during warmup
+};
+
+}  // namespace
+
+Result<OpenLoopResult> RunOpenLoop(const OpenLoopOptions& options,
+                                   const RequestFn& fn) {
+  if (options.rate_per_s <= 0) {
+    return Status::InvalidArgument("open-loop rate_per_s must be > 0");
+  }
+  if (options.duration_s <= 0) {
+    return Status::InvalidArgument("open-loop duration_s must be > 0");
+  }
+  if (options.workers == 0) {
+    return Status::InvalidArgument("open-loop workers must be > 0");
+  }
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<Arrival> queue;
+  bool done = false;
+
+  OpenLoopResult result;
+  std::vector<SampleStats> latencies(options.workers);
+  std::vector<std::uint64_t> completed(options.workers, 0);
+  std::vector<std::uint64_t> errors(options.workers, 0);
+
+  std::vector<std::thread> workers;
+  workers.reserve(options.workers);
+  for (std::size_t w = 0; w < options.workers; ++w) {
+    workers.emplace_back([&, w] {
+      while (true) {
+        Arrival arrival;
+        {
+          std::unique_lock lock(mu);
+          cv.wait(lock, [&] { return done || !queue.empty(); });
+          if (queue.empty()) return;  // done and drained
+          arrival = queue.front();
+          queue.pop_front();
+        }
+        const Status status = fn(w, arrival.id);
+        const auto end = Clock::now();
+        ++completed[w];
+        if (!status.ok()) ++errors[w];
+        if (arrival.record) {
+          latencies[w].Add(
+              std::chrono::duration<double, std::milli>(end - arrival.scheduled)
+                  .count());
+        }
+      }
+    });
+  }
+
+  // Pace arrivals on this thread. A late pacer (scheduling overload, or the
+  // process descheduled) does not re-time arrivals: `scheduled` stays the
+  // planned instant, so queueing delay is charged to the requests.
+  ArrivalSchedule schedule =
+      options.poisson ? ArrivalSchedule::Poisson(options.rate_per_s,
+                                                 options.seed)
+                      : ArrivalSchedule::Fixed(options.rate_per_s);
+  const auto t0 = Clock::now();
+  const auto arrivals_end =
+      t0 + std::chrono::nanoseconds(
+               static_cast<std::int64_t>(options.duration_s * 1e9));
+  const auto warmup_end =
+      t0 + std::chrono::nanoseconds(
+               static_cast<std::int64_t>(options.warmup_s * 1e9));
+  auto next = t0 + schedule.NextGap();
+  std::uint64_t next_id = 0;
+  while (next < arrivals_end) {
+    std::this_thread::sleep_until(next);
+    Arrival arrival;
+    arrival.id = next_id++;
+    arrival.scheduled = next;
+    arrival.record = next >= warmup_end;
+    {
+      std::scoped_lock lock(mu);
+      ++result.scheduled;
+      if (queue.size() >= options.max_backlog) {
+        ++result.shed;
+      } else {
+        queue.push_back(arrival);
+        result.peak_backlog = std::max(result.peak_backlog, queue.size());
+      }
+    }
+    cv.notify_one();
+    next += schedule.NextGap();
+  }
+
+  {
+    std::scoped_lock lock(mu);
+    done = true;
+  }
+  cv.notify_all();
+  for (auto& t : workers) t.join();
+  const double elapsed_s =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+
+  SampleStats all;
+  for (std::size_t w = 0; w < options.workers; ++w) {
+    result.completed += completed[w];
+    result.errors += errors[w];
+    for (double ms : latencies[w].samples()) all.Add(ms);
+  }
+  result.recorded = all.count();
+  result.offered_per_s =
+      static_cast<double>(result.scheduled) / options.duration_s;
+  result.achieved_per_s =
+      elapsed_s > 0 ? static_cast<double>(result.completed) / elapsed_s : 0;
+  if (all.count() > 0) {
+    result.p50_ms = all.Percentile(50);
+    result.p95_ms = all.Percentile(95);
+    result.p99_ms = all.Percentile(99);
+    result.mean_ms = all.Mean();
+    result.max_ms = all.Max();
+  }
+  return result;
+}
+
+}  // namespace glider::workloads

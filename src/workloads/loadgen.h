@@ -1,0 +1,82 @@
+// Open-loop load generation (ROADMAP item 5): requests arrive on a schedule
+// that does NOT depend on how fast the system serves them, and latency is
+// measured from the *scheduled* arrival time — the coordinated-omission-safe
+// discipline closed-loop benches violate (a slow response there silently
+// delays every later request's start, hiding queueing delay).
+//
+// A pacer thread releases arrivals (fixed-period or Poisson inter-arrival
+// gaps); worker threads execute them. When the system falls behind, arrivals
+// queue and their eventual latency includes the full queueing delay. The
+// queue is bounded: beyond `max_backlog` waiting arrivals, new ones are shed
+// (counted, never silently dropped) — an overloaded rate reports shed + p99
+// instead of stalling the harness forever.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace glider::workloads {
+
+// Deterministic inter-arrival gap source. Fixed: exactly 1/rate. Poisson:
+// exponential gaps with mean 1/rate (memoryless arrivals, the standard
+// open-system traffic model), seeded for reproducibility.
+class ArrivalSchedule {
+ public:
+  static ArrivalSchedule Fixed(double rate_per_s) {
+    return ArrivalSchedule(rate_per_s, /*poisson=*/false, /*seed=*/0);
+  }
+  static ArrivalSchedule Poisson(double rate_per_s, std::uint64_t seed) {
+    return ArrivalSchedule(rate_per_s, /*poisson=*/true, seed);
+  }
+
+  // Gap between the previous arrival and the next one.
+  std::chrono::nanoseconds NextGap();
+
+  double rate_per_s() const { return rate_per_s_; }
+
+ private:
+  ArrivalSchedule(double rate_per_s, bool poisson, std::uint64_t seed)
+      : rate_per_s_(rate_per_s), poisson_(poisson), rng_(seed) {}
+
+  double rate_per_s_;
+  bool poisson_;
+  SplitMix64 rng_;
+};
+
+struct OpenLoopOptions {
+  double rate_per_s = 100;     // offered arrival rate
+  bool poisson = true;         // false: fixed-period arrivals
+  double duration_s = 1;       // arrival window (drain continues past it)
+  double warmup_s = 0;         // arrivals scheduled before this are unrecorded
+  std::size_t workers = 8;     // concurrent executors
+  std::size_t max_backlog = 1024;  // waiting arrivals before shedding
+  std::uint64_t seed = 1;      // Poisson schedule seed
+};
+
+struct OpenLoopResult {
+  double offered_per_s = 0;    // scheduled arrivals / arrival window
+  double achieved_per_s = 0;   // completed / total elapsed (incl. drain)
+  std::uint64_t scheduled = 0;  // arrivals released by the pacer (incl. shed)
+  std::uint64_t completed = 0;
+  std::uint64_t shed = 0;      // dropped on a full backlog
+  std::uint64_t errors = 0;    // request fn returned !ok (still "completed")
+  std::uint64_t recorded = 0;  // latency samples (post-warmup, not shed)
+  std::size_t peak_backlog = 0;
+  // Milliseconds from scheduled arrival to completion.
+  double p50_ms = 0, p95_ms = 0, p99_ms = 0, mean_ms = 0, max_ms = 0;
+};
+
+// One request: fn(worker_id, request_id) -> Status. `worker_id` is stable
+// per executor thread (callers key per-connection clients off it);
+// `request_id` is the global arrival index (callers derive deterministic
+// payloads off it).
+using RequestFn = std::function<Status(std::size_t, std::uint64_t)>;
+
+Result<OpenLoopResult> RunOpenLoop(const OpenLoopOptions& options,
+                                   const RequestFn& fn);
+
+}  // namespace glider::workloads

@@ -1,0 +1,245 @@
+#include "workloads/spec.h"
+
+#include <charconv>
+#include <cstdio>
+
+namespace glider::workloads {
+namespace {
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t' ||
+                        s.front() == '\r')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' ||
+                        s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+}  // namespace
+
+std::string SpecSection::Describe() const {
+  std::string where = kind_.empty() ? std::string("globals")
+                                    : "[" + kind_ +
+                                          (name_.empty() ? "" : " " + name_) +
+                                          "]";
+  return where + " (" + origin_ + ":" + std::to_string(line_) + ")";
+}
+
+bool SpecSection::Has(const std::string& key) const {
+  read_.insert(key);
+  return values_.count(key) > 0;
+}
+
+Result<std::string> SpecSection::GetString(const std::string& key) const {
+  read_.insert(key);
+  auto it = values_.find(key);
+  if (it == values_.end()) {
+    return Status::InvalidArgument(Describe() + ": missing required key '" +
+                                   key + "'");
+  }
+  return it->second;
+}
+
+std::string SpecSection::GetStringOr(const std::string& key,
+                                     std::string fallback) const {
+  read_.insert(key);
+  auto it = values_.find(key);
+  return it == values_.end() ? std::move(fallback) : it->second;
+}
+
+Result<long long> SpecSection::GetInt(const std::string& key) const {
+  GLIDER_ASSIGN_OR_RETURN(auto text, GetString(key));
+  long long value = 0;
+  const auto trimmed = Trim(text);
+  const auto [ptr, ec] = std::from_chars(
+      trimmed.data(), trimmed.data() + trimmed.size(), value);
+  if (ec != std::errc() || ptr != trimmed.data() + trimmed.size()) {
+    return Status::InvalidArgument(Describe() + ": key '" + key +
+                                   "' is not an integer: '" + text + "'");
+  }
+  return value;
+}
+
+Result<long long> SpecSection::GetIntOr(const std::string& key,
+                                        long long fallback) const {
+  if (!Has(key)) return fallback;
+  return GetInt(key);
+}
+
+Result<double> SpecSection::GetDoubleOr(const std::string& key,
+                                        double fallback) const {
+  if (!Has(key)) return fallback;
+  GLIDER_ASSIGN_OR_RETURN(auto text, GetString(key));
+  const std::string trimmed(Trim(text));
+  char* end = nullptr;
+  const double value = std::strtod(trimmed.c_str(), &end);
+  if (trimmed.empty() || end != trimmed.c_str() + trimmed.size()) {
+    return Status::InvalidArgument(Describe() + ": key '" + key +
+                                   "' is not a number: '" + text + "'");
+  }
+  return value;
+}
+
+Result<bool> SpecSection::GetBoolOr(const std::string& key,
+                                    bool fallback) const {
+  if (!Has(key)) return fallback;
+  GLIDER_ASSIGN_OR_RETURN(auto text, GetString(key));
+  const auto trimmed = Trim(text);
+  if (trimmed == "1" || trimmed == "true" || trimmed == "yes") return true;
+  if (trimmed == "0" || trimmed == "false" || trimmed == "no") return false;
+  return Status::InvalidArgument(Describe() + ": key '" + key +
+                                 "' is not a boolean (0/1/true/false): '" +
+                                 text + "'");
+}
+
+std::vector<std::string> SpecSection::UnreadKeys() const {
+  std::vector<std::string> unread;
+  for (const auto& [key, value] : values_) {
+    if (read_.count(key) == 0) unread.push_back(key);
+  }
+  return unread;
+}
+
+void SpecSection::AddEntry(const std::string& key, std::string_view value,
+                           int line) {
+  auto it = values_.find(key);
+  if (it == values_.end()) {
+    values_.emplace(key, std::string(value));
+    key_lines_.emplace(key, line);
+  } else {
+    it->second += "\n";
+    it->second += value;
+  }
+}
+
+const SpecSection* Spec::Find(const std::string& kind,
+                              const std::string& name) const {
+  for (const auto& section : sections) {
+    if (section.kind() == kind && (name.empty() || section.name() == name)) {
+      return &section;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<const SpecSection*> Spec::FindAll(const std::string& kind) const {
+  std::vector<const SpecSection*> found;
+  for (const auto& section : sections) {
+    if (section.kind() == kind) found.push_back(&section);
+  }
+  return found;
+}
+
+std::string Spec::Name() const {
+  const std::string name = globals.GetStringOr("name", "");
+  return name.empty() ? origin : name;
+}
+
+Result<Spec> ParseSpec(std::string_view text, std::string origin) {
+  Spec spec(origin);
+  SpecSection* current = &spec.globals;
+  std::set<std::string> node_names;
+
+  int line_no = 0;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view raw = text.substr(start, end - start);
+    start = end + 1;
+    ++line_no;
+    const std::string_view line = Trim(raw);
+    if (line.empty() || line.front() == '#') continue;
+
+    if (line.front() == '[') {
+      if (line.back() != ']') {
+        return Status::InvalidArgument(origin + ":" + std::to_string(line_no) +
+                                       ": unterminated section header '" +
+                                       std::string(line) + "'");
+      }
+      const std::string_view header = Trim(line.substr(1, line.size() - 2));
+      const auto space = header.find(' ');
+      const std::string kind(Trim(header.substr(0, space)));
+      const std::string name(
+          space == std::string_view::npos ? "" : Trim(header.substr(space + 1)));
+      if (kind == "node") {
+        if (name.empty()) {
+          return Status::InvalidArgument(
+              origin + ":" + std::to_string(line_no) +
+              ": [node] sections need a name: '[node <name>]'");
+        }
+        if (!node_names.insert(name).second) {
+          return Status::InvalidArgument(origin + ":" +
+                                         std::to_string(line_no) +
+                                         ": duplicate node name '" + name +
+                                         "'");
+        }
+      } else if (kind == "cluster" || kind == "load" || kind == "check") {
+        if (!name.empty()) {
+          return Status::InvalidArgument(
+              origin + ":" + std::to_string(line_no) + ": section [" + kind +
+              "] takes no name (got '" + name + "')");
+        }
+        if (spec.Find(kind) != nullptr) {
+          return Status::InvalidArgument(origin + ":" +
+                                         std::to_string(line_no) +
+                                         ": duplicate [" + kind +
+                                         "] section");
+        }
+      } else {
+        return Status::InvalidArgument(
+            origin + ":" + std::to_string(line_no) + ": unknown section [" +
+            kind + "] (expected node/cluster/load/check)");
+      }
+      spec.sections.emplace_back(origin, kind, name, line_no);
+      current = &spec.sections.back();
+      continue;
+    }
+
+    const auto eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::InvalidArgument(origin + ":" + std::to_string(line_no) +
+                                     ": expected 'key = value', got '" +
+                                     std::string(line) + "'");
+    }
+    const std::string key(Trim(line.substr(0, eq)));
+    const std::string_view value = Trim(line.substr(eq + 1));
+    if (key.empty()) {
+      return Status::InvalidArgument(origin + ":" + std::to_string(line_no) +
+                                     ": empty key before '='");
+    }
+    current->AddEntry(key, value, line_no);
+  }
+  return spec;
+}
+
+Result<Spec> ParseSpecFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("cannot open spec file: " + path);
+  }
+  std::string text;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  return ParseSpec(text, path);
+}
+
+std::vector<std::string> SplitCsv(std::string_view csv) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    std::size_t end = csv.find(',', start);
+    if (end == std::string_view::npos) end = csv.size();
+    const std::string_view item = Trim(csv.substr(start, end - start));
+    if (!item.empty()) out.emplace_back(item);
+    start = end + 1;
+  }
+  return out;
+}
+
+}  // namespace glider::workloads

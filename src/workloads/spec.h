@@ -1,0 +1,106 @@
+// Declarative workload specs (ROADMAP item 5): a dependency-free, line-based
+// `key = value` format that describes a workload graph — the cluster to run
+// it on, the graph nodes to instantiate from the NodeRegistry, an optional
+// open-loop [load] section, and cross-spec result checks.
+//
+//   # Fig. 5 reduce, Glider variant
+//   name = reduce_glider
+//
+//   [cluster]
+//   slots_per_server = 64
+//
+//   [node merge]
+//   type = action.create
+//   path = /red_merge
+//   action = glider.merge
+//   interleave = 1
+//
+//   [check]
+//   equal = entries,checksum
+//
+// Sections: [cluster] (MiniCluster options), [node <name>] (one graph node),
+// [load] (open-loop generator), [check] (invariants across specs run in one
+// glider_load invocation). Keys before the first section are spec globals
+// (`name`, `bench`). Full-line comments start with '#'; a key repeated in
+// one section appends with '\n' (multi-line action configs). Every error
+// names the offending section, key and line.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace glider::workloads {
+
+// One parsed [section]. Typed getters record which keys were read so
+// BuildGraph can reject misspelled keys ("unknown key" errors).
+class SpecSection {
+ public:
+  SpecSection(std::string origin, std::string kind, std::string name, int line)
+      : origin_(std::move(origin)), kind_(std::move(kind)),
+        name_(std::move(name)), line_(line) {}
+
+  const std::string& kind() const { return kind_; }  // "node", "cluster", ...
+  const std::string& name() const { return name_; }  // node name, else empty
+  int line() const { return line_; }
+
+  // "[node writers] (spec.spec:12)" — the prefix of every error message.
+  std::string Describe() const;
+
+  bool Has(const std::string& key) const;
+  // Required string: missing key is an error naming the section and key.
+  Result<std::string> GetString(const std::string& key) const;
+  std::string GetStringOr(const std::string& key, std::string fallback) const;
+  // Typed getters error on malformed values even when a fallback exists —
+  // a mistyped number must never silently become the default.
+  Result<long long> GetInt(const std::string& key) const;
+  Result<long long> GetIntOr(const std::string& key, long long fallback) const;
+  Result<double> GetDoubleOr(const std::string& key, double fallback) const;
+  Result<bool> GetBoolOr(const std::string& key, bool fallback) const;
+
+  // Keys present in the spec that no getter ever read.
+  std::vector<std::string> UnreadKeys() const;
+
+  // Parser-side: repeated keys append as additional lines.
+  void AddEntry(const std::string& key, std::string_view value, int line);
+
+  const std::map<std::string, std::string>& entries() const { return values_; }
+
+ private:
+  std::string origin_;
+  std::string kind_;
+  std::string name_;
+  int line_ = 0;
+  std::map<std::string, std::string> values_;
+  std::map<std::string, int> key_lines_;
+  mutable std::set<std::string> read_;
+};
+
+struct Spec {
+  std::string origin;   // file name, for error messages
+  SpecSection globals;  // keys before the first section
+  std::vector<SpecSection> sections;
+
+  explicit Spec(std::string origin_name)
+      : origin(origin_name), globals(origin, "", "", 0) {}
+
+  // First section of `kind` (and `name`, when non-empty); nullptr if absent.
+  const SpecSection* Find(const std::string& kind,
+                          const std::string& name = "") const;
+  std::vector<const SpecSection*> FindAll(const std::string& kind) const;
+
+  // The spec's display name: global `name`, else the origin.
+  std::string Name() const;
+};
+
+Result<Spec> ParseSpec(std::string_view text, std::string origin = "<spec>");
+Result<Spec> ParseSpecFile(const std::string& path);
+
+// Splits "a,b,c" into trimmed, non-empty elements.
+std::vector<std::string> SplitCsv(std::string_view csv);
+
+}  // namespace glider::workloads

@@ -1,0 +1,167 @@
+// Open-loop load-generator tests: schedule accuracy, coordinated-omission
+// safety (the latency clock starts at the *scheduled* arrival time), and
+// bounded-backlog shedding.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+#include "common/random.h"
+#include "workloads/loadgen.h"
+
+namespace glider::workloads {
+namespace {
+
+TEST(ArrivalScheduleTest, FixedGapsAreExact) {
+  auto schedule = ArrivalSchedule::Fixed(1000);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(schedule.NextGap(), std::chrono::microseconds(1000));
+  }
+}
+
+TEST(ArrivalScheduleTest, PoissonGapsAverageToRate) {
+  auto schedule = ArrivalSchedule::Poisson(250, /*seed=*/3);
+  double total_s = 0;
+  constexpr int kDraws = 20'000;
+  for (int i = 0; i < kDraws; ++i) {
+    const auto gap = schedule.NextGap();
+    EXPECT_GE(gap.count(), 0);
+    total_s += std::chrono::duration<double>(gap).count();
+  }
+  // Mean gap must converge to 1/rate (= 4 ms) within a few percent.
+  const double mean_s = total_s / kDraws;
+  EXPECT_NEAR(mean_s, 1.0 / 250, 0.2 / 250);
+}
+
+TEST(ArrivalScheduleTest, PoissonIsDeterministicPerSeed) {
+  auto a = ArrivalSchedule::Poisson(100, 42);
+  auto b = ArrivalSchedule::Poisson(100, 42);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(a.NextGap(), b.NextGap());
+}
+
+TEST(OpenLoopTest, ArrivalRateUnaffectedByServiceJitter) {
+  // Open loop means the arrival schedule does NOT depend on service times:
+  // with heavy injected jitter the scheduled count must still match the
+  // rate * duration product of a jitter-free run.
+  OpenLoopOptions options;
+  options.rate_per_s = 500;
+  options.poisson = false;  // fixed: deterministic arrival count
+  options.duration_s = 0.5;
+  options.workers = 8;
+
+  SplitMix64 rng(9);
+  std::mutex mu;
+  auto jittery = RunOpenLoop(options, [&](std::size_t, std::uint64_t) {
+    std::uint64_t us;
+    {
+      std::scoped_lock lock(mu);
+      us = rng.Next() % 4000;  // 0-4 ms of service jitter
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(us));
+    return Status::Ok();
+  });
+  ASSERT_TRUE(jittery.ok()) << jittery.status().ToString();
+
+  // Fixed 2 ms gaps over 0.5 s: ~249 arrivals; allow slack for a slow,
+  // heavily-shared host where the pacer itself gets descheduled.
+  EXPECT_GE(jittery->scheduled, 200u);
+  EXPECT_LE(jittery->scheduled, 250u);
+  EXPECT_EQ(jittery->completed + jittery->shed, jittery->scheduled);
+  EXPECT_EQ(jittery->errors, 0u);
+}
+
+TEST(OpenLoopTest, LatencyIncludesQueueingDelay) {
+  // Coordinated-omission check: one worker with a 10 ms service time at an
+  // offered rate 5x its capacity. A closed-loop harness (or one that stamps
+  // latency at dequeue) would report ~10 ms; the CO-safe clock charges the
+  // queueing delay to the requests, so median latency must be far above
+  // the service time.
+  OpenLoopOptions options;
+  options.rate_per_s = 500;
+  options.poisson = false;
+  options.duration_s = 0.4;
+  options.workers = 1;
+
+  auto result = RunOpenLoop(options, [](std::size_t, std::uint64_t) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    return Status::Ok();
+  });
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_GT(result->recorded, 0u);
+  // ~200 arrivals into a 100/s server: most of the queue drains after the
+  // arrival window, so median latency is hundreds of ms, not 10.
+  EXPECT_GT(result->p50_ms, 100.0);
+  EXPECT_GT(result->max_ms, result->p50_ms * 0.99);
+  EXPECT_EQ(result->completed + result->shed, result->scheduled);
+}
+
+TEST(OpenLoopTest, BoundedBacklogShedsAndCounts) {
+  OpenLoopOptions options;
+  options.rate_per_s = 2000;
+  options.poisson = false;
+  options.duration_s = 0.3;
+  options.workers = 1;
+  options.max_backlog = 16;
+
+  auto result = RunOpenLoop(options, [](std::size_t, std::uint64_t) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    return Status::Ok();
+  });
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // ~600 arrivals into a 200/s server with a 16-deep queue: most must be
+  // shed, never silently dropped, and the backlog never exceeds the bound.
+  EXPECT_GT(result->shed, 0u);
+  EXPECT_LE(result->peak_backlog, options.max_backlog);
+  EXPECT_EQ(result->completed + result->shed, result->scheduled);
+}
+
+TEST(OpenLoopTest, ErrorsAreCountedAndStillComplete) {
+  OpenLoopOptions options;
+  options.rate_per_s = 1000;
+  options.poisson = false;
+  options.duration_s = 0.2;
+  options.workers = 4;
+
+  auto result = RunOpenLoop(options, [](std::size_t, std::uint64_t id) {
+    return id % 3 == 0 ? Status::Internal("boom") : Status::Ok();
+  });
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->errors, 0u);
+  EXPECT_LT(result->errors, result->completed);
+  EXPECT_EQ(result->completed + result->shed, result->scheduled);
+}
+
+TEST(OpenLoopTest, WarmupArrivalsAreNotRecorded) {
+  OpenLoopOptions options;
+  options.rate_per_s = 1000;
+  options.poisson = false;
+  options.duration_s = 0.4;
+  options.warmup_s = 0.2;
+  options.workers = 4;
+
+  auto result = RunOpenLoop(options,
+                            [](std::size_t, std::uint64_t) { return Status::Ok(); });
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->recorded, 0u);
+  // Roughly half the arrivals land in the warmup window.
+  EXPECT_LT(result->recorded, result->completed * 3 / 4);
+}
+
+TEST(OpenLoopTest, RejectsNonsenseOptions) {
+  OpenLoopOptions options;
+  options.rate_per_s = 0;
+  auto r = RunOpenLoop(options, [](std::size_t, std::uint64_t) {
+    return Status::Ok();
+  });
+  EXPECT_FALSE(r.ok());
+  options.rate_per_s = 10;
+  options.workers = 0;
+  r = RunOpenLoop(options, [](std::size_t, std::uint64_t) {
+    return Status::Ok();
+  });
+  EXPECT_FALSE(r.ok());
+}
+
+}  // namespace
+}  // namespace glider::workloads

@@ -6,7 +6,7 @@
 #include "glider/client/action_node.h"
 #include "testing/cluster.h"
 #include "workloads/actions.h"
-#include "workloads/reduce.h"
+#include "workloads/graph.h"
 
 namespace glider {
 namespace {
@@ -167,14 +167,59 @@ TEST_F(PartitionedMetadataTest, ActionsWorkAcrossPartitions) {
 }
 
 TEST_F(PartitionedMetadataTest, WholeWorkloadRunsPartitioned) {
-  workloads::ReduceParams params;
-  params.workers = 3;
-  params.pairs_per_worker = 5'000;
-  auto baseline = RunReduceBaseline(*cluster_, params);
-  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
-  auto glider = RunReduceGlider(*cluster_, params);
-  ASSERT_TRUE(glider.ok()) << glider.status().ToString();
-  EXPECT_EQ(glider->checksum, baseline->checksum);
+  // The Fig. 5 reduce from declarative specs, on a 3-partition namespace.
+  const auto run = [&](std::string_view text) {
+    auto spec = workloads::ParseSpec(text, "<test>");
+    EXPECT_TRUE(spec.ok()) << spec.status().ToString();
+    auto graph = workloads::BuildGraph(*spec);
+    EXPECT_TRUE(graph.ok()) << graph.status().ToString();
+    workloads::MiniClusterHandle handle(*cluster_);
+    auto report = workloads::RunGraph(*graph, handle);
+    EXPECT_TRUE(report.ok()) << report.status().ToString();
+    return report.ok() ? *report : workloads::GraphReport{};
+  };
+  constexpr std::string_view kBaseline = R"(
+[node produce]
+type = faas.generate_pairs
+workers = 3
+pairs_per_worker = 5000
+path = /red_part_{i}
+target = file
+
+[node reduce]
+type = faas.reduce_files
+input = /red_part_{i}
+inputs = 3
+output = /red_result
+
+[node verify]
+type = sink.dictionary
+measured = 0
+path = /red_result
+)";
+  constexpr std::string_view kGlider = R"(
+[node merge]
+type = action.create
+path = /red_merge
+action = glider.merge
+interleave = 1
+
+[node produce]
+type = faas.generate_pairs
+workers = 3
+pairs_per_worker = 5000
+path = /red_merge
+target = action
+
+[node verify]
+type = sink.dictionary
+measured = 0
+path = /red_merge
+source = action
+)";
+  const auto baseline = run(kBaseline);
+  const auto glider = run(kGlider);
+  EXPECT_EQ(glider.exports.at("checksum"), baseline.exports.at("checksum"));
 }
 
 }  // namespace

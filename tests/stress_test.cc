@@ -10,10 +10,82 @@
 #include "glider/client/action_node.h"
 #include "testing/cluster.h"
 #include "workloads/actions.h"
-#include "workloads/reduce.h"
+#include "workloads/graph.h"
 
 namespace glider {
 namespace {
+
+// The Fig. 5 reduce as inline graph specs (shared with the partitioned
+// metadata test): a small producer gang vs one interleaved merge action.
+constexpr std::string_view kReduceBaselineSpec = R"(
+[node produce]
+type = faas.generate_pairs
+workers = 3
+pairs_per_worker = 5000
+path = /red_part_{i}
+target = file
+
+[node reduce]
+type = faas.reduce_files
+input = /red_part_{i}
+inputs = 3
+output = /red_result
+
+[node verify]
+type = sink.dictionary
+measured = 0
+path = /red_result
+
+[node cleanup_parts]
+type = file.delete
+measured = 0
+path = /red_part_{i}
+count = 3
+
+[node cleanup_result]
+type = file.delete
+measured = 0
+path = /red_result
+)";
+
+constexpr std::string_view kReduceGliderSpec = R"(
+[node merge]
+type = action.create
+path = /red_merge
+action = glider.merge
+interleave = 1
+
+[node produce]
+type = faas.generate_pairs
+workers = 3
+pairs_per_worker = 5000
+path = /red_merge
+target = action
+
+[node verify]
+type = sink.dictionary
+measured = 0
+path = /red_merge
+source = action
+
+[node cleanup]
+type = file.delete
+measured = 0
+path = /red_merge
+action = 1
+)";
+
+workloads::GraphReport RunSpecText(testing::MiniCluster& cluster,
+                                   std::string_view text) {
+  auto spec = workloads::ParseSpec(text, "<test>");
+  EXPECT_TRUE(spec.ok()) << spec.status().ToString();
+  auto graph = workloads::BuildGraph(*spec);
+  EXPECT_TRUE(graph.ok()) << graph.status().ToString();
+  workloads::MiniClusterHandle handle(cluster);
+  auto report = workloads::RunGraph(*graph, handle);
+  EXPECT_TRUE(report.ok()) << report.status().ToString();
+  return report.ok() ? *report : workloads::GraphReport{};
+}
 
 TEST(StressTest, ConcurrentNamespaceChurn) {
   auto cluster = testing::MiniCluster::Start({});
@@ -157,20 +229,16 @@ TEST(StressTest, MixedReadersAndWritersOnInterleavedAction) {
 }
 
 TEST(StressTest, ReduceWorkloadOverTcp) {
-  // The full Fig. 5 workload, small, over real sockets.
+  // The full Fig. 5 workload, small, over real sockets, built from the
+  // declarative specs.
   testing::ClusterOptions options;
   options.use_tcp = true;
   auto cluster = testing::MiniCluster::Start(options);
   ASSERT_TRUE(cluster.ok());
-  workloads::ReduceParams params;
-  params.workers = 3;
-  params.pairs_per_worker = 5'000;
-  auto baseline = RunReduceBaseline(**cluster, params);
-  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
-  auto glider = RunReduceGlider(**cluster, params);
-  ASSERT_TRUE(glider.ok()) << glider.status().ToString();
-  EXPECT_EQ(glider->checksum, baseline->checksum);
-  EXPECT_EQ(glider->result_entries, baseline->result_entries);
+  const auto baseline = RunSpecText(**cluster, kReduceBaselineSpec);
+  const auto glider = RunSpecText(**cluster, kReduceGliderSpec);
+  EXPECT_EQ(glider.exports.at("checksum"), baseline.exports.at("checksum"));
+  EXPECT_EQ(glider.exports.at("entries"), baseline.exports.at("entries"));
 }
 
 TEST(StressTest, InvokerPropagatesWorkerFailuresAndRunsAll) {

@@ -6,9 +6,8 @@
 
 #include "faas/s3like.h"
 #include "workloads/genomics.h"
-#include "workloads/reduce.h"
+#include "workloads/graph.h"
 #include "workloads/sort.h"
-#include "workloads/wordcount.h"
 
 namespace glider {
 namespace {
@@ -28,47 +27,147 @@ std::unique_ptr<MiniCluster> SmallCluster(std::size_t active = 2) {
   return std::move(cluster).value();
 }
 
+// Builds + runs a graph from inline spec text against `cluster`.
+workloads::GraphReport RunSpecText(MiniCluster& cluster,
+                                   std::string_view text) {
+  auto spec = workloads::ParseSpec(text, "<test>");
+  EXPECT_TRUE(spec.ok()) << spec.status().ToString();
+  auto graph = workloads::BuildGraph(*spec);
+  EXPECT_TRUE(graph.ok()) << graph.status().ToString();
+  workloads::MiniClusterHandle handle(cluster);
+  auto report = workloads::RunGraph(*graph, handle);
+  EXPECT_TRUE(report.ok()) << report.status().ToString();
+  return report.ok() ? *report : workloads::GraphReport{};
+}
+
+std::uint64_t ExportInt(const workloads::GraphReport& report,
+                        const std::string& key) {
+  const auto it = report.exports.find(key);
+  EXPECT_NE(it, report.exports.end()) << "missing export " << key;
+  return it == report.exports.end() ? 0 : std::stoull(it->second);
+}
+
 TEST(WordcountWorkload, GliderMatchesBaselineAndCutsIngest) {
   auto cluster = SmallCluster();
-  workloads::WordcountParams params;
-  params.workers = 4;
-  params.bytes_per_worker = 512 * 1024;
-  params.marker_rate = 0.01;
-  ASSERT_TRUE(SetupWordcountInput(*cluster, params).ok());
+  // Shared input (skip_existing makes the second run reuse it).
+  constexpr std::string_view kInput = R"(
+[node input]
+type = text.files
+measured = 0
+mkdir = /wc
+path = /wc/in_{i}
+count = 4
+bytes_each = 524288
+marker_rate = 0.01
+seed = 7
+)";
+  const std::string baseline_spec = std::string(kInput) + R"(
+[node count]
+type = faas.count_lines
+workers = 4
+input = /wc/in_{i}
+marker = NEEDLE
+)";
+  const std::string glider_spec = std::string(kInput) + R"(
+[node filters]
+type = action.create
+path = /wc/filter_{i}
+count = 4
+action = glider.filter
+config = /wc/in_{i}
+config = NEEDLE
 
-  auto baseline = RunWordcountBaseline(*cluster, params);
-  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
-  auto glider = RunWordcountGlider(*cluster, params);
-  ASSERT_TRUE(glider.ok()) << glider.status().ToString();
+[node count]
+type = faas.count_lines
+workers = 4
+input = /wc/filter_{i}
+source = action
+raw = /wc/in_{i}
+)";
 
-  EXPECT_GT(baseline->matched_lines, 0u);
-  EXPECT_EQ(glider->matched_lines, baseline->matched_lines);
-  EXPECT_EQ(glider->total_words, baseline->total_words);
+  const auto baseline = RunSpecText(*cluster, baseline_spec);
+  const auto glider = RunSpecText(*cluster, glider_spec);
+
+  EXPECT_GT(ExportInt(baseline, "matched"), 0u);
+  EXPECT_EQ(ExportInt(glider, "matched"), ExportInt(baseline, "matched"));
+  EXPECT_EQ(ExportInt(glider, "words"), ExportInt(baseline, "words"));
   // The filter passes ~1% of lines: ingest must collapse by >10x.
-  EXPECT_LT(glider->ingested_bytes, baseline->ingested_bytes / 10);
+  EXPECT_LT(glider.faas_bytes, baseline.faas_bytes / 10);
 }
 
 TEST(ReduceWorkload, GliderMatchesBaselineAndHalvesTransfer) {
   auto cluster = SmallCluster();
-  workloads::ReduceParams params;
-  params.workers = 4;
-  params.pairs_per_worker = 20'000;
+  constexpr std::string_view kBaseline = R"(
+[node produce]
+type = faas.generate_pairs
+workers = 4
+pairs_per_worker = 20000
+path = /red_part_{i}
+target = file
 
-  auto baseline = RunReduceBaseline(*cluster, params);
-  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
-  auto glider = RunReduceGlider(*cluster, params);
-  ASSERT_TRUE(glider.ok()) << glider.status().ToString();
+[node reduce]
+type = faas.reduce_files
+input = /red_part_{i}
+inputs = 4
+output = /red_result
 
-  EXPECT_EQ(baseline->result_entries, params.distinct_keys);
-  EXPECT_EQ(glider->result_entries, baseline->result_entries);
-  EXPECT_EQ(glider->checksum, baseline->checksum);
+[node verify]
+type = sink.dictionary
+measured = 0
+path = /red_result
+
+[node cleanup_parts]
+type = file.delete
+measured = 0
+path = /red_part_{i}
+count = 4
+
+[node cleanup_result]
+type = file.delete
+measured = 0
+path = /red_result
+)";
+  constexpr std::string_view kGlider = R"(
+[node merge]
+type = action.create
+path = /red_merge
+action = glider.merge
+interleave = 1
+
+[node produce]
+type = faas.generate_pairs
+workers = 4
+pairs_per_worker = 20000
+path = /red_merge
+target = action
+
+[node verify]
+type = sink.dictionary
+measured = 0
+path = /red_merge
+source = action
+
+[node cleanup]
+type = file.delete
+measured = 0
+path = /red_merge
+action = 1
+)";
+
+  const auto baseline = RunSpecText(*cluster, kBaseline);
+  const auto glider = RunSpecText(*cluster, kGlider);
+
+  EXPECT_EQ(ExportInt(baseline, "entries"), 1024u);
+  EXPECT_EQ(ExportInt(glider, "entries"), ExportInt(baseline, "entries"));
+  EXPECT_EQ(glider.exports.at("checksum"), baseline.exports.at("checksum"));
   // Baseline ships the pairs twice (write + reduce read); Glider once.
-  EXPECT_LT(glider->transfer_bytes, baseline->transfer_bytes * 6 / 10);
+  EXPECT_LT(glider.faas_bytes, baseline.faas_bytes * 6 / 10);
   // Storage accesses halve (paper: 50%).
-  EXPECT_LT(glider->accesses, baseline->accesses);
+  EXPECT_LT(glider.accesses, baseline.accesses);
   // Utilization collapses: only the dictionary is stored.
-  EXPECT_LT(glider->intermediate_stored_bytes,
-            baseline->intermediate_stored_bytes / 50);
+  ASSERT_GT(baseline.peak_stored, 0);
+  EXPECT_LT(glider.action_state_bytes,
+            static_cast<std::uint64_t>(baseline.peak_stored) / 50);
 }
 
 TEST(SortWorkload, GliderMatchesBaselineAndIsVerifiedSorted) {

@@ -14,6 +14,7 @@
 #include <cstring>
 #include <map>
 #include <semaphore>
+#include <set>
 #include <string>
 
 #include "common/profiler.h"
@@ -36,12 +37,33 @@ std::binary_semaphore g_stop{0};
 
 void HandleSignal(int) { g_stop.release(); }
 
-std::map<std::string, std::string> ParseFlags(int argc, char** argv) {
+// Every flag the daemon understands; an argument outside this set is an
+// error naming the flag, not a silent no-op.
+const std::set<std::string>& KnownFlags() {
+  static const std::set<std::string> kFlags = {
+      "listen", "metadata", "blocks", "block-size", "class", "slots",
+      "partition", "trace", "sample-ms", "metrics-listen", "profile",
+      "profile-hz", "health-ms", "flush-us", "coalesce-bytes",
+      "coalesce-frames"};
+  return kFlags;
+}
+
+Result<std::map<std::string, std::string>> ParseFlags(int argc, char** argv) {
   std::map<std::string, std::string> flags;
-  for (int i = 2; i + 1 < argc; i += 2) {
-    if (std::strncmp(argv[i], "--", 2) == 0) {
-      flags[argv[i] + 2] = argv[i + 1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.size() < 3 || arg.compare(0, 2, "--") != 0) {
+      return Status::InvalidArgument("unexpected argument '" + arg +
+                                     "' (flags look like --name value)");
     }
+    const std::string name = arg.substr(2);
+    if (KnownFlags().count(name) == 0) {
+      return Status::InvalidArgument("unknown flag '" + arg + "'");
+    }
+    if (i + 1 >= argc) {
+      return Status::InvalidArgument("flag '" + arg + "' needs a value");
+    }
+    flags[name] = argv[++i];
   }
   return flags;
 }
@@ -53,13 +75,45 @@ std::string FlagOr(const std::map<std::string, std::string>& flags,
 }
 
 int Usage() {
-  std::fprintf(stderr,
-               "usage: glider_daemon <metadata|storage|active> [--listen "
-               "host:port] [--metadata host:port] [--blocks N] [--block-size "
-               "B] [--class C] [--slots N] [--partition P] [--trace 1] "
-               "[--sample-ms N] [--metrics-listen host:port] [--profile 1] "
-               "[--profile-hz N] [--health-ms N] [--flush-us N] "
-               "[--coalesce-bytes B] [--coalesce-frames N]\n");
+  std::fprintf(
+      stderr,
+      "usage: glider_daemon <metadata|storage|active> [flags]\n"
+      "\n"
+      "roles:\n"
+      "  metadata  namespace + block manager partition\n"
+      "            --listen host:port     bind address (default 127.0.0.1:0)\n"
+      "            --partition P          partition index (default 0)\n"
+      "  storage   block storage server\n"
+      "            --metadata host:port   metadata server to register with "
+      "(required)\n"
+      "            --listen host:port     preferred data address\n"
+      "            --blocks N             block count (default 256)\n"
+      "            --block-size B         block size in bytes (default "
+      "1048576)\n"
+      "            --class C              storage class id (default 0)\n"
+      "  active    action execution server\n"
+      "            --metadata host:port   metadata server to register with "
+      "(required)\n"
+      "            --listen host:port     preferred data address\n"
+      "            --slots N              concurrent action slots (default "
+      "16)\n"
+      "\n"
+      "observability (any role):\n"
+      "  --trace 1                enable span recording + latency histograms\n"
+      "  --sample-ms N            start the time-series sampler at this "
+      "cadence (implies --trace)\n"
+      "  --metrics-listen h:p     serve GET /metrics (Prometheus text)\n"
+      "  --profile 1              arm the sampling CPU/off-CPU profiler\n"
+      "  --profile-hz N           profiler sample rate (implies --profile; "
+      "default 99)\n"
+      "  --health-ms N            heartbeat the cluster + phi-accrual failure "
+      "detection\n"
+      "\n"
+      "transport (any role):\n"
+      "  --flush-us N             hold small frames up to N us for batched "
+      "sends (default 0)\n"
+      "  --coalesce-bytes B       max bytes per coalesced send batch\n"
+      "  --coalesce-frames N      max frames per coalesced send batch\n");
   return 2;
 }
 
@@ -68,7 +122,14 @@ int Usage() {
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string role = argv[1];
-  const auto flags = ParseFlags(argc, argv);
+  if (role == "--help" || role == "-h" || role == "help") return Usage();
+  auto parsed = ParseFlags(argc, argv);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "glider_daemon: %s\n",
+                 parsed.status().message().c_str());
+    return Usage();
+  }
+  const auto flags = std::move(parsed).value();
 
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);

@@ -1,0 +1,269 @@
+// glider_load: runs declarative workload-graph specs (workloads/spec.h).
+//
+//   glider_load [options] SPEC [SPEC ...]
+//
+// Each spec builds a graph through the node registry and runs it against a
+// fresh in-process MiniCluster shaped by its [cluster] section — or against
+// a live TCP cluster with --metadata. Specs with a [load] section run
+// open-loop: offered load is swept across the configured rates and the
+// latency curve (p50/p95/p99 from *scheduled* arrival time) is reported.
+// Results from all specs land in one BENCH_<name>.json (--bench), scalars
+// prefixed with each spec's name; the [check] section asserts invariants
+// (entries, checksums, word counts) agree across the specs of one
+// invocation — the cross-variant "RESULT MISMATCH" guard the bespoke bench
+// drivers used to hard-code.
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "common/trace.h"
+#include "workloads/graph.h"
+
+using namespace glider;         // NOLINT
+using namespace glider::bench;  // NOLINT
+using glider::workloads::Graph;
+
+namespace {
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: glider_load [options] SPEC [SPEC ...]\n"
+      "  --bench NAME       write merged results to BENCH_NAME.json\n"
+      "  --metadata ADDRS   run against a live cluster (comma-separated\n"
+      "                     metadata host:port list) instead of an\n"
+      "                     in-process MiniCluster per spec\n"
+      "  --list-nodes       print the registered node types and exit\n"
+      "  --help             this text\n");
+}
+
+// "100" for integral rates, "12.5" otherwise — stable BENCH scalar keys.
+std::string RateKey(double rate) {
+  if (rate == static_cast<double>(static_cast<long long>(rate))) {
+    return std::to_string(static_cast<long long>(rate));
+  }
+  return Fmt(rate, 1);
+}
+
+// Exports are strings; only fully-numeric ones become BENCH scalars.
+std::optional<double> AsNumber(const std::string& text) {
+  if (text.empty()) return std::nullopt;
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size()) return std::nullopt;
+  return v;
+}
+
+struct SpecRun {
+  std::string name;
+  std::vector<std::string> check_equal;
+  std::map<std::string, std::string> exports;
+};
+
+Status RunClosedLoop(const std::string& spec_name, Graph& graph,
+                     workloads::ClusterHandle& cluster,
+                     BenchJsonWriter* bench, SpecRun& run) {
+  GLIDER_ASSIGN_OR_RETURN(auto report, workloads::RunGraph(graph, cluster));
+  run.exports = report.exports;
+
+  Table table({"Node", "Type", "Time (s)", "Ops", "Bytes", "FaaS xfer",
+               "Accesses"});
+  for (const auto& node : graph.nodes) {
+    const auto& s = node->stats();
+    table.AddRow({node->name() + (node->measured() ? "" : " (unmeasured)"),
+                  node->type(), Fmt(s.seconds, 3), std::to_string(s.ops),
+                  FmtBytes(s.bytes), FmtBytes(s.faas_bytes),
+                  std::to_string(s.accesses)});
+  }
+  table.Print();
+  std::printf(
+      "measured: %.3f s, %s over the compute<->storage link, %llu accesses\n",
+      report.measured_seconds, FmtBytes(report.faas_bytes).c_str(),
+      static_cast<unsigned long long>(report.accesses));
+  for (const auto& [key, value] : report.exports) {
+    std::printf("  %s = %s\n", key.c_str(), value.c_str());
+  }
+
+  if (bench != nullptr) {
+    const std::string prefix = spec_name + ".";
+    bench->AddScalar(prefix + "seconds", report.measured_seconds);
+    bench->AddScalar(prefix + "faas_bytes",
+                     static_cast<double>(report.faas_bytes));
+    bench->AddScalar(prefix + "accesses",
+                     static_cast<double>(report.accesses));
+    const std::uint64_t stored =
+        report.action_state_bytes > 0
+            ? report.action_state_bytes
+            : (report.peak_stored > 0
+                   ? static_cast<std::uint64_t>(report.peak_stored)
+                   : 0);
+    bench->AddScalar(prefix + "stored_bytes", static_cast<double>(stored));
+    for (const auto& [key, value] : report.exports) {
+      if (const auto number = AsNumber(value)) {
+        bench->AddScalar(prefix + key, *number);
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status RunOpenLoop(const std::string& spec_name, Graph& graph,
+                   workloads::ClusterHandle& cluster, BenchJsonWriter* bench,
+                   SpecRun& run) {
+  GLIDER_ASSIGN_OR_RETURN(auto curve, workloads::RunLoadSweep(graph, cluster));
+  run.exports = curve.exports;
+
+  Table table({"Offered/s", "Achieved/s", "p50 (ms)", "p95 (ms)", "p99 (ms)",
+               "Max (ms)", "Completed", "Shed", "Errors", "Peak backlog"});
+  for (const auto& point : curve.points) {
+    const auto& r = point.result;
+    table.AddRow({Fmt(r.offered_per_s, 1), Fmt(r.achieved_per_s, 1),
+                  Fmt(r.p50_ms, 2), Fmt(r.p95_ms, 2), Fmt(r.p99_ms, 2),
+                  Fmt(r.max_ms, 2), std::to_string(r.completed),
+                  std::to_string(r.shed), std::to_string(r.errors),
+                  std::to_string(r.peak_backlog)});
+  }
+  table.Print();
+
+  if (bench != nullptr) {
+    for (const auto& point : curve.points) {
+      const auto& r = point.result;
+      const std::string prefix =
+          spec_name + ".r" + RateKey(point.rate) + ".";
+      bench->AddScalar(prefix + "offered_per_second", r.offered_per_s);
+      bench->AddScalar(prefix + "achieved_per_second", r.achieved_per_s);
+      bench->AddScalar(prefix + "p50_ms", r.p50_ms);
+      bench->AddScalar(prefix + "p95_ms", r.p95_ms);
+      bench->AddScalar(prefix + "p99_ms", r.p99_ms);
+      bench->AddScalar(prefix + "shed", static_cast<double>(r.shed));
+      bench->AddScalar(prefix + "errors", static_cast<double>(r.errors));
+    }
+  }
+  return Status::Ok();
+}
+
+Status RunSpec(const std::string& path, const std::string& metadata,
+               BenchJsonWriter* bench, SpecRun& run) {
+  GLIDER_ASSIGN_OR_RETURN(auto spec, workloads::ParseSpecFile(path));
+  GLIDER_ASSIGN_OR_RETURN(auto graph, workloads::BuildGraph(spec));
+  run.name = graph.name;
+  run.check_equal = graph.check_equal;
+
+  std::printf("== %s (%s, %s) ==\n", graph.name.c_str(), path.c_str(),
+              graph.load ? "open-loop" : "closed-loop");
+
+  if (!metadata.empty()) {
+    GLIDER_ASSIGN_OR_RETURN(auto remote,
+                            workloads::RemoteClusterHandle::Connect(metadata));
+    return graph.load ? RunOpenLoop(graph.name, graph, *remote, bench, run)
+                      : RunClosedLoop(graph.name, graph, *remote, bench, run);
+  }
+  GLIDER_ASSIGN_OR_RETURN(auto mini,
+                          testing::MiniCluster::Start(graph.cluster_options));
+  workloads::MiniClusterHandle handle(*mini);
+  return graph.load ? RunOpenLoop(graph.name, graph, handle, bench, run)
+                    : RunClosedLoop(graph.name, graph, handle, bench, run);
+}
+
+// [check] equal = k1,k2,...: every spec in this invocation that exported
+// the key must agree with every other; a disagreement is the cross-variant
+// result mismatch that fails the run.
+bool CheckInvariants(const std::vector<SpecRun>& runs) {
+  bool ok = true;
+  for (const auto& run : runs) {
+    for (const auto& key : run.check_equal) {
+      const SpecRun* first = nullptr;
+      for (const auto& other : runs) {
+        if (other.exports.find(key) == other.exports.end()) continue;
+        if (first == nullptr) {
+          first = &other;
+          continue;
+        }
+        const auto& expect = first->exports.at(key);
+        const auto& actual = other.exports.at(key);
+        if (expect != actual) {
+          std::fprintf(stderr,
+                       "RESULT MISMATCH: %s: '%s' = %s, but %s has %s\n",
+                       key.c_str(), first->name.c_str(), expect.c_str(),
+                       other.name.c_str(), actual.c_str());
+          ok = false;
+        }
+      }
+      if (first == nullptr) {
+        std::fprintf(stderr, "check: no spec exported '%s'\n", key.c_str());
+        ok = false;
+      }
+    }
+  }
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string bench_name;
+  std::string metadata;
+  std::vector<std::string> spec_paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "glider_load: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--bench") {
+      bench_name = value();
+    } else if (arg == "--metadata") {
+      metadata = value();
+    } else if (arg == "--list-nodes") {
+      workloads::RegisterBuiltinNodes();
+      for (const auto& type : workloads::NodeRegistry::Global().Types()) {
+        std::printf("%s\n", type.c_str());
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "glider_load: unknown flag '%s'\n", arg.c_str());
+      Usage();
+      return 2;
+    } else {
+      spec_paths.push_back(arg);
+    }
+  }
+  if (spec_paths.empty()) {
+    Usage();
+    return 2;
+  }
+
+  // Scalars only: open-loop runs keep observability off, and the cluster
+  // metric deltas already flow through the per-spec scalars — an obs dump
+  // here would be all-zero noise for the perf gate.
+  std::optional<BenchJsonWriter> bench;
+  if (!bench_name.empty()) bench.emplace(bench_name, /*include_metrics=*/false);
+
+  std::vector<SpecRun> runs;
+  for (const auto& path : spec_paths) {
+    SpecRun run;
+    const Status status =
+        RunSpec(path, metadata, bench ? &*bench : nullptr, run);
+    if (!status.ok()) {
+      std::fprintf(stderr, "glider_load: %s: %s\n", path.c_str(),
+                   status.ToString().c_str());
+      return 1;
+    }
+    runs.push_back(std::move(run));
+    std::printf("\n");
+  }
+
+  if (!CheckInvariants(runs)) return 1;
+  if (bench && !bench->Write()) return 1;
+  return 0;
+}
