@@ -122,6 +122,12 @@ void TraceRecorder::Record(SpanRecord record) {
   std::scoped_lock lock(buffer.mu);
   if (buffer.spans.size() >= kMaxSpansPerThread) {
     g_dropped.fetch_add(1, std::memory_order_relaxed);
+    // Cumulative registry counter (never reset by Clear, unlike g_dropped):
+    // surfaces buffer-wrap loss in `glider_cli stats` and /metrics, where a
+    // silently truncated dump would otherwise read as a complete trace.
+    static Counter& dropped =
+        MetricsRegistry::Global().GetCounter("trace.dropped_spans");
+    dropped.Increment();
     return;
   }
   buffer.spans.push_back(std::move(record));
@@ -320,6 +326,25 @@ void RecordSpan(const char* category, std::string name, TraceContext parent,
   record.dur_us = end_us > start_us ? end_us - start_us : 0;
   record.tid = LocalThreadId();
   TraceRecorder::Global().Record(std::move(record));
+}
+
+void RecordRootSpan(const char* category, std::string name,
+                    std::uint64_t trace_id, std::uint64_t span_id,
+                    std::uint64_t start_us, std::uint64_t end_us) {
+  if (!Enabled() || trace_id == 0) return;
+  SpanRecord record;
+  record.name = std::move(name);
+  record.category = category;
+  record.trace_id = trace_id;
+  record.span_id = span_id;
+  record.parent_span_id = 0;
+  record.start_us = start_us;
+  record.dur_us = end_us > start_us ? end_us - start_us : 0;
+  record.tid = LocalThreadId();
+  // Same order as Span::End for roots: record first so a slow-trace tree
+  // copy sees the complete trace, then let the store judge it.
+  TraceRecorder::Global().Record(record);
+  SlowTraceStore::Global().OnRootSpanEnd(std::move(record));
 }
 
 Span::Span(const char* category, std::string name)

@@ -170,6 +170,14 @@ void RecordSpan(const char* category, std::string name, TraceContext parent,
                 std::uint64_t span_id, std::uint64_t start_us,
                 std::uint64_t end_us);
 
+// Records a manually-assembled ROOT span and feeds it to the slow-trace
+// store for tail sampling — what Span::End does for RAII roots, for paths
+// that must backdate the start (the open-loop loadgen charges a request's
+// span from its *scheduled* arrival, before any code ran).
+void RecordRootSpan(const char* category, std::string name,
+                    std::uint64_t trace_id, std::uint64_t span_id,
+                    std::uint64_t start_us, std::uint64_t end_us);
+
 // RAII span: when tracing is enabled AND a trace is active (trace_id != 0),
 // opens a child span of the current context, installs itself as the current
 // context, and records itself on End()/destruction. Root() starts a fresh

@@ -274,6 +274,7 @@ struct MethodTrace {
   bool active = false;
   obs::TraceContext parent;
   std::uint64_t submit_us = 0;
+  std::uint64_t run_span_id = 0;  // pre-allocated: the run span's id
   const char* method = "";
 
   static MethodTrace Begin(const char* method) {
@@ -282,8 +283,18 @@ struct MethodTrace {
     t.active = true;
     t.parent = obs::CurrentTraceContext();
     t.submit_us = obs::TraceNowMicros();
+    t.run_span_id = obs::NewSpanId();
     t.method = method;
     return t;
+  }
+
+  // Context for the method body: the run span id is allocated up front so
+  // nested work (store RPCs, channel pushes/pops) parents *under* the run
+  // span — the assembled tree then decomposes run time into cpu / net /
+  // channel instead of flattening those spans beside it.
+  obs::TraceContext RunContext() const {
+    if (!active || parent.trace_id == 0) return parent;
+    return obs::TraceContext{parent.trace_id, run_span_id};
   }
 
   // Call once the monitor admits the method; returns the run start time.
@@ -306,7 +317,7 @@ struct MethodTrace {
     if (!active) return;
     const std::uint64_t now = obs::TraceNowMicros();
     obs::RecordSpan("action", std::string("action.") + method + ".run",
-                    parent, obs::NewSpanId(), run_start_us, now);
+                    parent, run_span_id, run_start_us, now);
     obs::MetricsRegistry::Global()
         .GetHistogram(std::string("action.") + method + ".run_us")
         .Record(now - run_start_us);
@@ -465,6 +476,23 @@ void ActiveServer::Stop() {
 
 Status ActiveServer::Start(net::Transport& transport,
                            const std::string& metadata_address) {
+  // Everything handler threads read (the method runner, the internal store
+  // client) must be in place before Listen: the first RPC can arrive on a
+  // listener thread with no synchronization edge back to this one.
+  action_pool_ = std::make_unique<MethodRunner>();
+
+  // The store client actions use to reach other nodes, over the
+  // storage-internal link. Connects to the metadata server, so it does not
+  // depend on our own listener being up.
+  nk::StoreClient::Options copts;
+  copts.transport = &transport;
+  copts.metadata_address = metadata_address;
+  copts.data_link = std::make_shared<net::LinkModel>(
+      options_.internal_link_class, options_.internal_link_bps,
+      std::chrono::microseconds(0), metrics_);
+  GLIDER_ASSIGN_OR_RETURN(internal_client_,
+                          nk::StoreClient::Connect(std::move(copts)));
+
   auto listener =
       transport.Listen(options_.preferred_address, shared_from_this());
   if (!listener.ok()) return listener.status();
@@ -482,19 +510,6 @@ Status ActiveServer::Start(net::Transport& transport,
   req.num_blocks = options_.num_slots;
   req.block_size = options_.slot_bytes;
   GLIDER_RETURN_IF_ERROR(net::CallVoid(**conn, nk::kRegisterServer, req));
-
-  // The store client actions use to reach other nodes, over the
-  // storage-internal link.
-  nk::StoreClient::Options copts;
-  copts.transport = &transport;
-  copts.metadata_address = metadata_address;
-  copts.data_link = std::make_shared<net::LinkModel>(
-      options_.internal_link_class, options_.internal_link_bps,
-      std::chrono::microseconds(0), metrics_);
-  GLIDER_ASSIGN_OR_RETURN(internal_client_,
-                          nk::StoreClient::Connect(std::move(copts)));
-
-  action_pool_ = std::make_unique<MethodRunner>();
 
   if (options_.stall_multiple > 0 && options_.interleave_quantum.count() > 0 &&
       !watchdog_.joinable()) {
@@ -640,6 +655,7 @@ void ActiveServer::DoActionCreate(ActionCreateRequest req,
         MethodRunScope run_scope(&slot->run, "onCreate");
         const std::uint64_t cpu_start = acct ? ThreadCpuMicros() : 0;
         const std::uint64_t run_start = mt.EnterRun();
+        obs::TraceContextScope trace_scope(mt.RunContext());
         if (slot->LiveObject() != nullptr) {
           slot->monitor.Exit();
           return responder.SendError(
@@ -713,6 +729,7 @@ void ActiveServer::DoActionDelete(SlotRequest req, net::Message request,
         MethodRunScope run_scope(&slot->run, "onDelete");
         const std::uint64_t cpu_start = acct ? ThreadCpuMicros() : 0;
         const std::uint64_t run_start = mt.EnterRun();
+        obs::TraceContextScope trace_scope(mt.RunContext());
         std::shared_ptr<Action> object = slot->LiveObject();
         if (object == nullptr) {
           slot->monitor.Exit();
@@ -818,9 +835,9 @@ void ActiveServer::RunMethod(std::shared_ptr<Slot> slot,
     MethodRunScope run_scope(&slot->run, method_name);
     const std::uint64_t cpu_start = acct ? ThreadCpuMicros() : 0;
     const std::uint64_t run_start = mt.EnterRun();
-    // Methods issue store RPCs of their own; parent those under the method's
-    // originating RPC span.
-    obs::TraceContextScope trace_scope(mt.parent);
+    // Methods issue store RPCs and block on channels; parent all of that
+    // under the method's run span (RunContext pre-allocates its id).
+    obs::TraceContextScope trace_scope(mt.RunContext());
     ServerActionContext ctx(internal_client_.get(), slot->config.span());
     std::shared_ptr<Action> object = slot->LiveObject();
     if (stream->mode == StreamMode::kWrite) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/trace_assemble.h"
 #include "net/rpc_client.h"
 
 namespace glider {
@@ -33,6 +34,77 @@ Result<nk::ListServersResponse> ClusterMonitor::Discover() {
       **conn, nk::kListServers, nk::EmptyRequest{});
   if (!resp.ok()) conns_.erase(metadata_address_);
   return resp;
+}
+
+Result<std::map<std::string, ClusterMonitor::ClockOffset>>
+ClusterMonitor::AlignClocks(int samples_per_server) {
+  if (samples_per_server < 1) samples_per_server = 1;
+  auto discovered = Discover();
+  if (discovered.ok()) {
+    last_discovered_ = std::move(discovered).value().servers;
+    has_discovered_ = true;
+  } else if (!has_discovered_) {
+    return discovered.status();
+  }
+
+  std::vector<std::string> addresses{metadata_address_};
+  for (const auto& server : last_discovered_) {
+    if (std::find(addresses.begin(), addresses.end(), server.address) ==
+        addresses.end()) {
+      addresses.push_back(server.address);
+    }
+  }
+
+  std::map<std::string, ClockOffset> offsets;
+  auto& registry = obs::MetricsRegistry::Global();
+  for (const std::string& address : addresses) {
+    auto conn = Conn(address);
+    if (!conn.ok()) continue;
+    obs::ClockOffsetEstimator estimator;
+    bool failed = false;
+    for (int i = 0; i < samples_per_server; ++i) {
+      obs::ClockSample sample;
+      sample.send_us = obs::TraceNowMicros();
+      auto resp =
+          net::Call<net::HeartbeatResponse>(**conn, net::kHeartbeat, Buffer{});
+      sample.recv_us = obs::TraceNowMicros();
+      if (!resp.ok()) {
+        conns_.erase(address);  // reconnect on the next use
+        failed = true;
+        break;
+      }
+      sample.remote_us = resp.value().server_time_us;
+      estimator.AddSample(sample);
+    }
+    if (failed || !estimator.has_estimate()) continue;
+    ClockOffset offset;
+    offset.offset_us = estimator.offset_us();
+    offset.min_rtt_us = estimator.min_rtt_us();
+    offset.samples = estimator.samples();
+    registry.GetGauge("clock.offset_us." + address).Set(offset.offset_us);
+    offsets[address] = offset;
+  }
+  if (offsets.empty()) {
+    return Status::Unavailable("no server answered clock sampling");
+  }
+  return offsets;
+}
+
+Result<std::string> ClusterMonitor::FetchTraceJson(const std::string& address,
+                                                   bool clear_after) {
+  GLIDER_ASSIGN_OR_RETURN(auto conn, Conn(address));
+  Buffer payload;
+  if (clear_after) {
+    payload.Resize(1);
+    payload.mutable_span()[0] = 1;
+  }
+  auto result = conn->CallSync(net::kTraceDump, std::move(payload));
+  if (!result.ok()) {
+    conns_.erase(address);
+    return result.status();
+  }
+  return std::string(reinterpret_cast<const char*>(result->data()),
+                     result->size());
 }
 
 Result<ClusterMonitor::ClusterSample> ClusterMonitor::Poll() {

@@ -66,6 +66,29 @@ class ClusterMonitor {
   // by Poll(); exposed so tools can list without polling.
   Result<nk::ListServersResponse> Discover();
 
+  // Per-server clock offset estimated by RTT-midpoint sampling over
+  // kHeartbeat's server_time_us (DESIGN.md §11): offset is (server clock -
+  // this process's TraceNowMicros clock), min-RTT filtered so the residual
+  // error is bounded by min_rtt / 2. Per-node trace timebases are steady
+  // clocks since *process start*, so offsets are large (whole boot-time
+  // deltas) and alignment is mandatory before merging dumps.
+  struct ClockOffset {
+    std::int64_t offset_us = 0;
+    std::uint64_t min_rtt_us = 0;  // error bound = min_rtt_us / 2
+    int samples = 0;
+  };
+
+  // Samples every discovered server (plus the metadata server) N times and
+  // publishes "clock.offset_us.<addr>" gauges into the global registry.
+  // Servers that fail mid-sampling are omitted from the result; fails only
+  // when no server answered at all.
+  Result<std::map<std::string, ClockOffset>> AlignClocks(
+      int samples_per_server = 8);
+
+  // One server's kTraceDump JSON (clear_after requests clear-after-dump).
+  Result<std::string> FetchTraceJson(const std::string& address,
+                                     bool clear_after = false);
+
   // One poll across the cluster: discover + kSeriesDump everyone. A dead
   // metadata server degrades to the cached server list (stale_discovery)
   // with the metadata row marked unreachable — one dead server, even that

@@ -62,12 +62,20 @@ void HealthMonitor::TickOnce() {
   for (const std::string& address : targets_) {
     auto conn = Conn(address);
     if (!conn.ok()) continue;  // detector's phi keeps rising on its own
+    obs::ClockSample clock_sample;
+    clock_sample.send_us = obs::TraceNowMicros();
     auto resp = net::Call<net::HeartbeatResponse>(**conn, net::kHeartbeat,
                                                   Buffer{});
+    clock_sample.recv_us = obs::TraceNowMicros();
     if (!resp.ok()) {
       conns_.erase(address);  // reconnect on the next tick
       continue;
     }
+    // Every heartbeat doubles as an RTT-midpoint clock sample: the reply
+    // already carries the peer's TraceNowMicros, so offset tracking is
+    // free and converges as min-RTT ticks accumulate.
+    clock_sample.remote_us = resp.value().server_time_us;
+    clock_[address].AddSample(clock_sample);
     detector_.Heartbeat(address);
     detector_.ReportLoad(address, resp.value().load_index,
                          static_cast<std::int64_t>(resp.value().hotspot_slots));
@@ -82,6 +90,11 @@ void HealthMonitor::Publish() {
     for (const auto& peer : peers) {
       registry.GetGauge("health.phi." + peer.address)
           .Set(static_cast<std::int64_t>(peer.phi * 1000.0));
+    }
+    for (const auto& [address, estimator] : clock_) {
+      if (!estimator.has_estimate()) continue;
+      registry.GetGauge("clock.offset_us." + address)
+          .Set(estimator.offset_us());
     }
   }
   if (options_.publish_board) {

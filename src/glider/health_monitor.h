@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "common/health.h"
+#include "common/trace_assemble.h"
 #include "net/transport.h"
 
 namespace glider {
@@ -43,7 +44,8 @@ class HealthMonitor {
     // last-known server set (a dead metadata server degrades discovery,
     // never the heartbeats themselves).
     std::uint32_t discover_every = 4;
-    // Publish "health.phi.<address>" gauges into the global registry.
+    // Publish "health.phi.<address>" and "clock.offset_us.<address>"
+    // gauges into the global registry.
     bool publish_metrics = true;
     // Publish the per-tick board to HealthBoard::Global() (kHealthDump).
     bool publish_board = true;
@@ -71,6 +73,13 @@ class HealthMonitor {
 
   obs::HealthDetector& detector() { return detector_; }
 
+  // Per-peer clock-offset estimators fed by the heartbeat loop (each tick
+  // is one RTT-midpoint sample; DESIGN.md §11). Exposed for tests.
+  const std::map<std::string, obs::ClockOffsetEstimator>& clock_offsets()
+      const {
+    return clock_;
+  }
+
  private:
   Result<std::shared_ptr<net::Connection>> Conn(const std::string& address);
   void Publish();
@@ -81,6 +90,7 @@ class HealthMonitor {
   obs::HealthDetector detector_;
 
   std::map<std::string, std::shared_ptr<net::Connection>> conns_;
+  std::map<std::string, obs::ClockOffsetEstimator> clock_;
   std::vector<std::string> targets_;  // metadata + last discovery, deduped
   std::uint32_t ticks_until_discover_ = 0;
 

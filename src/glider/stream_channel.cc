@@ -23,6 +23,26 @@ std::uint64_t WaitStart() {
   return obs::SamplingProfiler::ActiveFast() ? obs::TraceNowMicros() : 0;
 }
 
+// Stamps the producer's trace context + enqueue time onto a task about to
+// enter the queue (the push side runs under the producing span: a network
+// worker inside HandleWithObs, or an action thread under its run span).
+void StampTask(DataTask& task) {
+  if (!obs::Enabled()) return;
+  const obs::TraceContext ctx = obs::CurrentTraceContext();
+  if (ctx.trace_id == 0) return;
+  task.ctx = ctx;
+  task.enqueue_us = obs::TraceNowMicros();
+}
+
+// Dequeue side of the stamp: one "channel.wait" transit span per task,
+// parented to the producer's context, covering enqueue -> dequeue. Safe
+// from any thread (RecordSpan never touches thread-local trace state).
+void RecordTransit(const DataTask& task) {
+  if (task.enqueue_us == 0 || !obs::Enabled()) return;
+  obs::RecordSpan("channel", "channel.wait", task.ctx, obs::NewSpanId(),
+                  task.enqueue_us, obs::TraceNowMicros());
+}
+
 // Counts monitor-yield events (the action gave up its execution turn while
 // blocked on channel capacity/data — the interleaving mechanism of §4.3).
 obs::Counter& YieldCounter() {
@@ -56,7 +76,10 @@ struct FireList {
 
   void FireAll() {
     for (auto& [fn, status] : admits) fn(status);
-    for (auto& [fn, result] : deliveries) fn(std::move(result));
+    for (auto& [fn, result] : deliveries) {
+      if (result.ok()) RecordTransit(*result);
+      fn(std::move(result));
+    }
   }
 };
 
@@ -108,6 +131,7 @@ StreamChannel::MatchLocked() {
 
 void StreamChannel::AsyncPush(std::uint64_t seq, DataTask task,
                               AdmitFn on_admitted) {
+  StampTask(task);
   FireList fire;
   bool wake = false;
   {
@@ -150,6 +174,7 @@ void StreamChannel::AsyncPushAll(std::uint64_t first_seq,
     if (on_admitted) on_admitted(Status::Ok());
     return;
   }
+  for (DataTask& task : tasks) StampTask(task);
   FireList fire;
   bool wake = false;
   {
@@ -230,6 +255,13 @@ void StreamChannel::AsyncPop(std::uint64_t seq, ConsumeFn consumer) {
 void StreamChannel::ParkLocked(std::unique_lock<std::mutex>& lock,
                                ActionMonitor* monitor, const char* wait_kind) {
   const std::uint64_t wait_start = WaitStart();
+  // Blocking-wait span for the *consumer's* trace (the action's run span):
+  // an action stalled on channel data/space shows up as "channel" time on
+  // the critical path, not as opaque run time.
+  const obs::TraceContext trace_ctx =
+      obs::Enabled() ? obs::CurrentTraceContext() : obs::TraceContext{};
+  const std::uint64_t trace_start =
+      trace_ctx.trace_id != 0 ? obs::TraceNowMicros() : 0;
   ++waiters_;
   if (monitor != nullptr) {
     if (obs::Enabled()) YieldCounter().Increment();
@@ -244,6 +276,10 @@ void StreamChannel::ParkLocked(std::unique_lock<std::mutex>& lock,
     --waiters_;
   }
   ReportChannelWait(wait_kind, wait_start);
+  if (trace_start != 0) {
+    obs::RecordSpan("channel", wait_kind, trace_ctx, obs::NewSpanId(),
+                    trace_start, obs::TraceNowMicros());
+  }
 }
 
 Result<DataTask> StreamChannel::BlockingPop(ActionMonitor* monitor) {
@@ -257,6 +293,7 @@ Result<DataTask> StreamChannel::BlockingPop(ActionMonitor* monitor) {
       fire.Add(PromoteLocked());
       PublishHintLocked();
       lock.unlock();
+      RecordTransit(task);
       fire.FireAll();
       return task;
     }
@@ -288,6 +325,7 @@ Result<std::vector<DataTask>> StreamChannel::BlockingPopAll(
       fire.Add(PromoteLocked());
       PublishHintLocked();
       lock.unlock();
+      for (const DataTask& task : batch) RecordTransit(task);
       fire.FireAll();
       return batch;
     }
@@ -299,6 +337,7 @@ Result<std::vector<DataTask>> StreamChannel::BlockingPopAll(
 }
 
 Status StreamChannel::BlockingPush(DataTask task, ActionMonitor* monitor) {
+  StampTask(task);
   // Spin hint: wait for space (or closure) before taking the lock.
   if (const std::size_t h = size_hint_.load(std::memory_order_acquire);
       h >= capacity_ && h != kClosedHint) {

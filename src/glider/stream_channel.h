@@ -44,6 +44,7 @@
 #include "common/bytes.h"
 #include "common/spin_park.h"
 #include "common/status.h"
+#include "common/trace.h"
 
 namespace glider::core {
 
@@ -74,6 +75,12 @@ class ActionMonitor {
 struct DataTask {
   Buffer data;
   bool eos = false;  // write streams: the client closed the stream
+  // Producer's trace context + enqueue instant, stamped on push when a
+  // trace is active: the dequeue side records a "channel.wait" transit span
+  // parented to the producer, so stream hops appear inside the assembled
+  // trace tree instead of as orphan roots. enqueue_us == 0 = untraced.
+  obs::TraceContext ctx;
+  std::uint64_t enqueue_us = 0;
 };
 
 class StreamChannel {

@@ -179,6 +179,12 @@ void RefreshMirroredGauges(const Metrics* metrics) {
       .Set(static_cast<std::int64_t>(data_plane::PoolHits()));
   registry.GetGauge("data_plane.pool_misses")
       .Set(static_cast<std::int64_t>(data_plane::PoolMisses()));
+  // Touching the counter here materializes it even at zero, so every stats
+  // dump / /metrics scrape reports span loss explicitly instead of omitting
+  // the row until the first drop.
+  static obs::Counter& dropped =
+      obs::MetricsRegistry::Global().GetCounter("trace.dropped_spans");
+  (void)dropped;
   // Load index + hotspot gauges ride the same refresh: every stats/series
   // dump (and every /metrics scrape via the HTTP hook) sees fresh values.
   obs::LoadTracker::Global().Update();

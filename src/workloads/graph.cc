@@ -7,6 +7,7 @@
 #include "common/metrics_registry.h"
 #include "common/stopwatch.h"
 #include "common/trace.h"
+#include "common/trace_assemble.h"
 #include "net/tcp_transport.h"
 #include "workloads/stats.h"
 
@@ -422,6 +423,12 @@ Result<LoadCurve> RunLoadSweep(Graph& graph, ClusterHandle& cluster) {
                            "load." + request_node->name() + ".latency_us")
                      : nullptr;
 
+  // With tracing on, each rate's recorded arrivals root traces that are
+  // assembled in-process right after the rate finishes (single node, so no
+  // clock alignment needed) into per-component latency percentiles.
+  const bool traced = obs::Enabled();
+  const std::string trace_root = "load." + request_node->name();
+
   LoadCurve curve;
   for (const double rate : load.rates) {
     OpenLoopOptions options;
@@ -432,6 +439,12 @@ Result<LoadCurve> RunLoadSweep(Graph& graph, ClusterHandle& cluster) {
     options.workers = load.workers;
     options.max_backlog = load.max_backlog;
     options.seed = load.seed;
+    if (traced) {
+      options.trace_root = trace_root;
+      // Fresh buffer per rate so the breakdown reflects this rate only
+      // (the ring would otherwise mix rates, or overflow and drop).
+      obs::TraceRecorder::Global().Clear();
+    }
     GLIDER_ASSIGN_OR_RETURN(
         auto result,
         RunOpenLoop(options, [&](std::size_t worker, std::uint64_t id) {
@@ -445,7 +458,33 @@ Result<LoadCurve> RunLoadSweep(Graph& graph, ClusterHandle& cluster) {
           return status;
         }));
     request_node->stats().ops += result.completed;
-    curve.points.push_back({rate, result});
+    LoadCurvePoint point;
+    point.rate = rate;
+    point.result = result;
+    if (traced) {
+      obs::TraceAssembler assembler;
+      assembler.AddSpans("local", obs::TraceRecorder::Global().Snapshot(),
+                         /*offset_us=*/0);
+      static constexpr const char* kBuckets[] = {"client", "net",   "server",
+                                                 "queue",  "run",   "channel"};
+      std::map<std::string, std::vector<std::uint64_t>> samples;
+      for (const auto& trace : assembler.Assemble()) {
+        // Only this sweep's roots: the recorder may also hold spans from
+        // stray background work that never parented under an arrival.
+        if (trace.spans[trace.root].span.name != trace_root) continue;
+        for (const char* bucket : kBuckets) {
+          const auto it = trace.bucket_us.find(bucket);
+          samples[bucket].push_back(it == trace.bucket_us.end() ? 0
+                                                                : it->second);
+        }
+      }
+      for (auto& [bucket, values] : samples) {
+        if (values.empty()) continue;
+        point.breakdown[bucket + "_us_p50"] = obs::PercentileUs(values, 50);
+        point.breakdown[bucket + "_us_p99"] = obs::PercentileUs(values, 99);
+      }
+    }
+    curve.points.push_back(std::move(point));
   }
 
   // Teardown: the nodes after the request node.

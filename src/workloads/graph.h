@@ -215,6 +215,12 @@ Result<GraphReport> RunGraph(Graph& graph, ClusterHandle& cluster);
 struct LoadCurvePoint {
   double rate = 0;
   OpenLoopResult result;
+  // Per-component latency attribution, filled only when tracing is enabled:
+  // every recorded arrival is traced, assembled in-process, and its blocking
+  // critical path split into buckets. Keys are "<bucket>_us_p50" /
+  // "<bucket>_us_p99" for bucket in {client, net, server, queue, run,
+  // channel} (see obs::TraceAssembler::BucketFor), values microseconds.
+  std::map<std::string, double> breakdown;
 };
 
 struct LoadCurve {

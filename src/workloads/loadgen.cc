@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/stopwatch.h"
+#include "common/trace.h"
 
 namespace glider::workloads {
 
@@ -58,6 +59,8 @@ Result<OpenLoopResult> RunOpenLoop(const OpenLoopOptions& options,
   std::vector<std::uint64_t> completed(options.workers, 0);
   std::vector<std::uint64_t> errors(options.workers, 0);
 
+  const bool trace_arrivals = !options.trace_root.empty() && obs::Enabled();
+
   std::vector<std::thread> workers;
   workers.reserve(options.workers);
   for (std::size_t w = 0; w < options.workers; ++w) {
@@ -71,8 +74,37 @@ Result<OpenLoopResult> RunOpenLoop(const OpenLoopOptions& options,
           arrival = queue.front();
           queue.pop_front();
         }
-        const Status status = fn(w, arrival.id);
+        // Traced arrivals root a fresh trace whose span is backdated to the
+        // *scheduled* instant below: everything the request does (RPC spans,
+        // server handles, action spans) parents under root_span.
+        std::uint64_t trace_id = 0, root_span = 0, sched_us = 0;
+        const bool traced = trace_arrivals && arrival.record;
+        Status status;
+        if (traced) {
+          trace_id = obs::NewTraceId();
+          root_span = obs::NewSpanId();
+          const auto pop = Clock::now();
+          const std::uint64_t pop_us = obs::TraceNowMicros();
+          // Both clocks are steady: map the scheduled time_point onto the
+          // trace timebase by subtracting the backlog wait just observed.
+          const auto waited =
+              std::chrono::duration_cast<std::chrono::microseconds>(
+                  pop - arrival.scheduled)
+                  .count();
+          sched_us = (waited > 0 &&
+                      pop_us > static_cast<std::uint64_t>(waited))
+                         ? pop_us - static_cast<std::uint64_t>(waited)
+                         : pop_us;
+          obs::TraceContextScope scope(obs::TraceContext{trace_id, root_span});
+          status = fn(w, arrival.id);
+        } else {
+          status = fn(w, arrival.id);
+        }
         const auto end = Clock::now();
+        if (traced) {
+          obs::RecordRootSpan("load", options.trace_root, trace_id, root_span,
+                              sched_us, obs::TraceNowMicros());
+        }
         ++completed[w];
         if (!status.ok()) ++errors[w];
         if (arrival.record) {

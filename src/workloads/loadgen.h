@@ -55,6 +55,12 @@ struct OpenLoopOptions {
   std::size_t workers = 8;     // concurrent executors
   std::size_t max_backlog = 1024;  // waiting arrivals before shedding
   std::uint64_t seed = 1;      // Poisson schedule seed
+  // When non-empty and obs tracing is enabled, every recorded arrival roots
+  // a fresh trace under this span name, covering [scheduled arrival,
+  // completion] — so loadgen backlog wait lands inside the root and
+  // assembled traces charge it to the "client" bucket. Slow roots
+  // tail-sample into the SlowTraceStore automatically.
+  std::string trace_root;
 };
 
 struct OpenLoopResult {

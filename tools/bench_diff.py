@@ -5,6 +5,7 @@ and flag regressions.
 Usage: tools/bench_diff.py BASELINE.json CANDIDATE.json
                            [BASELINE2.json CANDIDATE2.json ...]
                            [--threshold 0.10] [--json]
+                           [--informational REGEX]
 
 Positional arguments are (baseline, candidate) pairs — one invocation can
 gate several benchmark families (e.g. BENCH_contention.json and
@@ -24,6 +25,7 @@ is flagged in any pair, else 0.
 
 import argparse
 import json
+import re
 import sys
 
 # Metrics where bigger is better; everything else is treated as a cost.
@@ -52,8 +54,13 @@ def flatten(snapshot: dict) -> dict:
     return out
 
 
-def compare(baseline_path: str, candidate_path: str, threshold: float):
+def compare(baseline_path: str, candidate_path: str, threshold: float,
+            informational=None):
     """Diffs one (baseline, candidate) pair.
+
+    Metrics whose name matches the `informational` regex are compared and
+    reported but never gate (attribution breakdowns, diagnostic fields —
+    useful to see, too noisy or too new to fail CI on).
 
     Returns (report_dict, exit_code): 0 clean, 1 regressions, 2 no overlap.
     """
@@ -67,6 +74,7 @@ def compare(baseline_path: str, candidate_path: str, threshold: float):
     candidate_only = sorted(set(cand) - set(base))
 
     regressions = []
+    informational_changes = []
     for name in common:
         b, c = base[name], cand[name]
         if b == 0:
@@ -75,8 +83,12 @@ def compare(baseline_path: str, candidate_path: str, threshold: float):
         if is_good_up(name):
             rel = -rel  # shrinking throughput is the regression
         if rel > threshold:
-            regressions.append((name, b, c, rel))
+            if informational is not None and informational.search(name):
+                informational_changes.append((name, b, c, rel))
+            else:
+                regressions.append((name, b, c, rel))
     regressions.sort(key=lambda r: -r[3])
+    informational_changes.sort(key=lambda r: -r[3])
 
     report = {
         "baseline": baseline_path,
@@ -86,6 +98,10 @@ def compare(baseline_path: str, candidate_path: str, threshold: float):
         "regressions": [
             {"name": name, "baseline": b, "candidate": c, "relative": rel}
             for name, b, c, rel in regressions
+        ],
+        "informational": [
+            {"name": name, "baseline": b, "candidate": c, "relative": rel}
+            for name, b, c, rel in informational_changes
         ],
         "missing_metrics": baseline_only,
         "new_metrics": candidate_only,
@@ -105,6 +121,12 @@ def print_report(report: dict, threshold: float) -> None:
             print(f"  - {name}  (baseline only: dropped or renamed?)")
         for name in report["new_metrics"]:
             print(f"  + {name}  (candidate only: new instrumentation)")
+    if report.get("informational"):
+        print(f"\n{len(report['informational'])} informational change(s) "
+              f"(reported, never gating):")
+        for r in report["informational"]:
+            print(f"  {r['name']}: {r['baseline']:g} -> {r['candidate']:g}"
+                  f"  ({r['relative']:+.1%})")
     if report["compared"] == 0:
         print("no common metrics between the two snapshots", file=sys.stderr)
     elif report["regressions"]:
@@ -127,7 +149,15 @@ def main() -> int:
                              "(default 0.10 = 10%%)")
     parser.add_argument("--json", action="store_true",
                         help="emit the report as JSON on stdout")
+    parser.add_argument("--informational", metavar="REGEX", default=None,
+                        help="metrics matching REGEX are compared and "
+                             "reported but never flagged as regressions "
+                             "(e.g. '_us_p(50|99)$' for per-component "
+                             "latency attribution fields)")
     args = parser.parse_args()
+
+    informational = (re.compile(args.informational)
+                     if args.informational else None)
 
     if len(args.snapshots) % 2 != 0:
         print("expected an even number of snapshot paths "
@@ -139,7 +169,8 @@ def main() -> int:
     reports = []
     exit_code = 0
     for baseline, candidate in pairs:
-        report, code = compare(baseline, candidate, args.threshold)
+        report, code = compare(baseline, candidate, args.threshold,
+                               informational)
         reports.append(report)
         exit_code = max(exit_code, code)
 

@@ -37,6 +37,12 @@ void Usage() {
       "  --metadata ADDRS   run against a live cluster (comma-separated\n"
       "                     metadata host:port list) instead of an\n"
       "                     in-process MiniCluster per spec\n"
+      "  --trace            enable span tracing: open-loop sweeps report a\n"
+      "                     per-component latency breakdown (client / net /\n"
+      "                     server / queue / run / channel percentiles)\n"
+      "  --trace-out FILE   write this process's span buffer as Chrome/\n"
+      "                     Perfetto JSON after all specs run (implies\n"
+      "                     --trace; feed it to glider_trace --json)\n"
       "  --list-nodes       print the registered node types and exit\n"
       "  --help             this text\n");
 }
@@ -129,6 +135,31 @@ Status RunOpenLoop(const std::string& spec_name, Graph& graph,
   }
   table.Print();
 
+  // With --trace, each point carries per-component critical-path
+  // percentiles; show the p99 split (where the tail actually goes).
+  bool any_breakdown = false;
+  for (const auto& point : curve.points) {
+    if (!point.breakdown.empty()) any_breakdown = true;
+  }
+  if (any_breakdown) {
+    static constexpr const char* kBuckets[] = {"client", "net",   "server",
+                                               "queue",  "run",   "channel"};
+    std::vector<std::string> header{"Offered/s"};
+    for (const char* bucket : kBuckets) {
+      header.push_back(std::string(bucket) + " p99 (us)");
+    }
+    Table breakdown(header);
+    for (const auto& point : curve.points) {
+      std::vector<std::string> row{Fmt(point.result.offered_per_s, 1)};
+      for (const char* bucket : kBuckets) {
+        const auto it = point.breakdown.find(std::string(bucket) + "_us_p99");
+        row.push_back(it == point.breakdown.end() ? "-" : Fmt(it->second, 0));
+      }
+      breakdown.AddRow(std::move(row));
+    }
+    breakdown.Print();
+  }
+
   if (bench != nullptr) {
     for (const auto& point : curve.points) {
       const auto& r = point.result;
@@ -141,6 +172,11 @@ Status RunOpenLoop(const std::string& spec_name, Graph& graph,
       bench->AddScalar(prefix + "p99_ms", r.p99_ms);
       bench->AddScalar(prefix + "shed", static_cast<double>(r.shed));
       bench->AddScalar(prefix + "errors", static_cast<double>(r.errors));
+      // "<bucket>_us_p50/p99" per-component attribution (only under
+      // --trace; bench_diff treats them as informational on first landing).
+      for (const auto& [key, value] : point.breakdown) {
+        bench->AddScalar(prefix + key, value);
+      }
     }
   }
   return Status::Ok();
@@ -207,6 +243,8 @@ bool CheckInvariants(const std::vector<SpecRun>& runs) {
 int main(int argc, char** argv) {
   std::string bench_name;
   std::string metadata;
+  std::string trace_out;
+  bool trace = false;
   std::vector<std::string> spec_paths;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -221,6 +259,11 @@ int main(int argc, char** argv) {
       bench_name = value();
     } else if (arg == "--metadata") {
       metadata = value();
+    } else if (arg == "--trace") {
+      trace = true;
+    } else if (arg == "--trace-out") {
+      trace_out = value();
+      trace = true;
     } else if (arg == "--list-nodes") {
       workloads::RegisterBuiltinNodes();
       for (const auto& type : workloads::NodeRegistry::Global().Types()) {
@@ -243,9 +286,11 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  // Scalars only: open-loop runs keep observability off, and the cluster
-  // metric deltas already flow through the per-spec scalars — an obs dump
-  // here would be all-zero noise for the perf gate.
+  if (trace) obs::SetEnabled(true);
+
+  // Scalars only: open-loop runs keep observability off unless --trace, and
+  // the cluster metric deltas already flow through the per-spec scalars —
+  // an obs dump here would be all-zero noise for the perf gate.
   std::optional<BenchJsonWriter> bench;
   if (!bench_name.empty()) bench.emplace(bench_name, /*include_metrics=*/false);
 
@@ -261,6 +306,20 @@ int main(int argc, char** argv) {
     }
     runs.push_back(std::move(run));
     std::printf("\n");
+  }
+
+  if (!trace_out.empty()) {
+    const std::string json = obs::TraceRecorder::Global().ToChromeJson();
+    std::FILE* f = std::fopen(trace_out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "glider_load: cannot write %s\n",
+                   trace_out.c_str());
+      return 1;
+    }
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("wrote %zu bytes of trace JSON to %s\n", json.size(),
+                trace_out.c_str());
   }
 
   if (!CheckInvariants(runs)) return 1;
