@@ -298,9 +298,87 @@ trace_smoke() {
   trap - EXIT
 }
 
+# Attribution smoke: boots a 3-daemon deployment with tracing on and the
+# metadata daemon's Prometheus endpoint exposed, drives the two-principal
+# ci_attr.spec (load workers split between tenants alpha and beta), then
+# asserts (a) `glider_cli ledger` reports BOTH principals with nonzero
+# cpu_us and nonzero bytes — the per-tenant resource ledgers survived the
+# frame encoding, cross-thread propagation and the cluster-wide merge —
+# and (b) /metrics carries at least one OpenMetrics histogram exemplar
+# ('# {trace_id=') linking a latency bucket to a live trace. Takes the
+# build dir so the sanitizer legs reuse it.
+attr_smoke() {
+  local build_dir="$1"
+  local smoke_dir="${build_dir}/attr-smoke"
+  rm -rf "${smoke_dir}"
+  mkdir -p "${smoke_dir}"
+  ATTR_PIDS=()
+  cleanup_attr() { kill "${ATTR_PIDS[@]}" 2>/dev/null || true; }
+  trap cleanup_attr EXIT
+
+  "${build_dir}/tools/glider_daemon" metadata --listen 127.0.0.1:0 --trace 1 \
+    --metrics-listen 127.0.0.1:0 >"${smoke_dir}/metadata.log" 2>&1 &
+  ATTR_PIDS+=($!)
+  local meta_addr=""
+  for _ in $(seq 100); do
+    meta_addr="$(sed -n 's/^metadata server listening at \(.*\)$/\1/p' \
+      "${smoke_dir}/metadata.log")"
+    [[ -n "${meta_addr}" ]] && break
+    sleep 0.1
+  done
+  [[ -n "${meta_addr}" ]] || { echo "attr smoke: metadata daemon did not come up"; return 1; }
+  local metrics_url
+  metrics_url="$(sed -n 's/^metrics at \(.*\)$/\1/p' "${smoke_dir}/metadata.log")"
+  [[ -n "${metrics_url}" ]] || { echo "attr smoke: metadata daemon exposed no /metrics"; return 1; }
+
+  "${build_dir}/tools/glider_daemon" storage --metadata "${meta_addr}" \
+    --blocks 256 --trace 1 >"${smoke_dir}/storage.log" 2>&1 &
+  ATTR_PIDS+=($!)
+  "${build_dir}/tools/glider_daemon" active --metadata "${meta_addr}" \
+    --trace 1 >"${smoke_dir}/active.log" 2>&1 &
+  ATTR_PIDS+=($!)
+  local active_addr=""
+  for _ in $(seq 100); do
+    active_addr="$(sed -n 's/^active server (.*) at \([^,]*\), registered .*$/\1/p' \
+      "${smoke_dir}/active.log")"
+    [[ -n "${active_addr}" ]] && break
+    sleep 0.1
+  done
+  [[ -n "${active_addr}" ]] || { echo "attr smoke: active daemon did not come up"; return 1; }
+
+  "${build_dir}/tools/glider_load" --trace --metadata "${meta_addr}" \
+    examples/specs/ci_attr.spec >"${smoke_dir}/load.log" 2>&1 \
+    || { echo "attr smoke: glider_load failed"; cat "${smoke_dir}/load.log"; return 1; }
+
+  "${build_dir}/tools/glider_cli" --metadata "${meta_addr}" ledger \
+    --by principal >"${smoke_dir}/ledger.txt" \
+    || { echo "attr smoke: glider_cli ledger failed"; return 1; }
+  local tenant
+  for tenant in alpha beta; do
+    awk -v p="${tenant}" '$1 == p && $2 > 0 && ($4 > 0 || $5 > 0) {found = 1}
+                          END {exit !found}' "${smoke_dir}/ledger.txt" \
+      || { echo "attr smoke: ledger has no nonzero cpu/bytes row for ${tenant}";
+           cat "${smoke_dir}/ledger.txt"; return 1; }
+  done
+
+  python3 -c "import urllib.request,sys; sys.stdout.write(
+      urllib.request.urlopen('${metrics_url}', timeout=10).read().decode())" \
+    >"${smoke_dir}/metrics.txt"
+  grep -q '# {trace_id=' "${smoke_dir}/metrics.txt" \
+    || { echo "attr smoke: /metrics has no histogram exemplars"; return 1; }
+  echo "attr smoke: both tenants billed, $(grep -c '# {trace_id=' \
+    "${smoke_dir}/metrics.txt") exemplar lines on /metrics (archived in ${smoke_dir})"
+  cleanup_attr
+  trap - EXIT
+}
+
 echo
 echo "== trace smoke: daemons --trace + glider_load + glider_trace --check =="
 trace_smoke build
+
+echo
+echo "== attribution smoke: two-principal load + glider_cli ledger + exemplars =="
+attr_smoke build
 
 echo
 echo "== ASan: configure + build + ctest =="
@@ -313,6 +391,10 @@ echo "== trace smoke (ASan) =="
 trace_smoke build-asan
 
 echo
+echo "== attribution smoke (ASan) =="
+attr_smoke build-asan
+
+echo
 echo "== TSan: configure + build + ctest =="
 cmake -B build-tsan -S . -DGLIDER_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "${JOBS}"
@@ -321,6 +403,10 @@ ctest --test-dir build-tsan --output-on-failure -j "${JOBS}"
 echo
 echo "== trace smoke (TSan) =="
 trace_smoke build-tsan
+
+echo
+echo "== attribution smoke (TSan) =="
+attr_smoke build-tsan
 
 echo
 echo "ci/check.sh: all checks passed"

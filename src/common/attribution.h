@@ -1,0 +1,190 @@
+// Resource attribution plane (DESIGN.md §12): who is spending the cluster.
+//
+// Three pieces:
+//
+//   * A `principal` tag — a tenant/workload id carried in the RPC frame
+//     header alongside the trace context and propagated across thread hops
+//     (network worker -> action thread, stream-channel producer ->
+//     consumer) exactly like TraceContextScope. The id is the name itself:
+//     up to 8 ASCII bytes packed little-endian into a u64, so ids are
+//     deterministic across processes and decode back to a readable name
+//     without any registry or agreement protocol. Longer names truncate;
+//     id 0 means unattributed ("-").
+//
+//   * ResourceLedger — sharded per-thread accumulators keyed by
+//     (principal, op) recording cpu_us / queue_us / bytes_in / bytes_out /
+//     invocations. Charged at the existing dispatch sites (RPC dispatch,
+//     action run/queue accounting, storage block ops, stream-channel
+//     push/pop); snapshots merge the shards exactly, and kLedgerDump
+//     merges exactly across nodes (sums are associative).
+//
+//   * SpaceSavingTopK — bounded-memory heavy-hitter sketches (Metwally et
+//     al.'s space-saving algorithm) over object keys, action methods and
+//     principals. Any key whose true count exceeds N/capacity is
+//     guaranteed present; each entry carries an `error` bound (its count
+//     overstates the truth by at most `error`). Sketches merge across
+//     nodes: union counts, then keep the top `capacity` by count.
+//
+// Everything is charged only when obs::Enabled() is true (callers gate),
+// matching the rest of the observability plane: the disabled-mode hot path
+// costs nothing.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace glider::obs {
+
+// --- Principal tag ----------------------------------------------------------
+
+using PrincipalId = std::uint64_t;  // 0 = unattributed
+
+// Packs up to 8 bytes of `name` little-endian (first char in the low
+// byte). Names longer than 8 bytes truncate — ids stay deterministic, so
+// every node derives the same id from the same spec string.
+PrincipalId PrincipalFromName(std::string_view name);
+
+// Inverse of PrincipalFromName: "-" for 0, the packed characters when all
+// printable, else "p<hex>" so a corrupt id still renders safely.
+std::string PrincipalName(PrincipalId id);
+
+// The calling thread's current principal (0 when none installed).
+PrincipalId CurrentPrincipal();
+
+// Installs `id` as the thread's current principal; restores the previous
+// one on destruction. Used at the same boundaries as TraceContextScope:
+// the RPC server side (id decoded from the frame header), the action
+// thread (id captured at submit time), and load generators.
+class PrincipalScope {
+ public:
+  explicit PrincipalScope(PrincipalId id);
+  ~PrincipalScope();
+  PrincipalScope(const PrincipalScope&) = delete;
+  PrincipalScope& operator=(const PrincipalScope&) = delete;
+
+ private:
+  PrincipalId prev_;
+};
+
+// --- Resource ledger --------------------------------------------------------
+
+// One accumulator cell; a Charge() delta uses the same shape.
+struct LedgerCell {
+  std::uint64_t cpu_us = 0;
+  std::uint64_t queue_us = 0;
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  std::uint64_t invocations = 0;
+
+  void Merge(const LedgerCell& other) {
+    cpu_us += other.cpu_us;
+    queue_us += other.queue_us;
+    bytes_in += other.bytes_in;
+    bytes_out += other.bytes_out;
+    invocations += other.invocations;
+  }
+};
+
+struct LedgerEntry {
+  PrincipalId principal = 0;
+  std::string op;  // "action.onWrite", "stream.channel", "storage.read_block"
+  LedgerCell cell;
+};
+
+// Sharded per-thread (principal, op) accumulators. A charge takes the
+// owning thread's shard mutex — uncontended except against a snapshotter —
+// so charging never serializes across threads. Shards are owned by a
+// leaked registry (the TraceRecorder idiom): a snapshot can walk buffers
+// of threads that have already exited.
+class ResourceLedger {
+ public:
+  static ResourceLedger& Global();
+
+  ResourceLedger() = default;
+  ResourceLedger(const ResourceLedger&) = delete;
+  ResourceLedger& operator=(const ResourceLedger&) = delete;
+
+  void Charge(PrincipalId principal, const std::string& op,
+              const LedgerCell& delta);
+
+  // Exact merge across shards, sorted by (principal, op).
+  std::vector<LedgerEntry> Snapshot() const;
+  void Clear();
+
+  struct Shard;  // public so the shard registry can hold them
+
+ private:
+  Shard& LocalShard();
+};
+
+// Exact merge of two ledger snapshots (cells sum per (principal, op)):
+// the cluster-wide kLedgerDump merge.
+std::vector<LedgerEntry> MergeLedgerEntries(
+    const std::vector<LedgerEntry>& a, const std::vector<LedgerEntry>& b);
+
+// Republishes per-principal rollups of the global ledger as gauges
+// ("ledger.<principal>.{cpu_us,queue_us,bytes_in,bytes_out,invocations}")
+// so kSeriesDump / Prometheus / glider_top see attribution without the
+// dedicated ledger opcode.
+void PublishLedgerRollups();
+
+// --- Heavy-hitter sketch ----------------------------------------------------
+
+// Space-saving top-k: at most `capacity` tracked keys. When a new key
+// arrives at capacity, it replaces the current minimum and inherits its
+// count (the classic over-estimate); `error` records how much of the
+// count may belong to evicted keys. Guarantees: every key with true count
+// > total/capacity is present, and true_count <= count <= true_count +
+// error. Thread-safe.
+class SpaceSavingTopK {
+ public:
+  struct Entry {
+    std::string key;
+    std::uint64_t count = 0;
+    std::uint64_t error = 0;  // count overstates truth by at most this
+  };
+
+  explicit SpaceSavingTopK(std::size_t capacity);
+
+  void Offer(std::string_view key, std::uint64_t weight = 1);
+
+  // Entries sorted by count descending (key ascending on ties, so merges
+  // are deterministic).
+  std::vector<Entry> Entries() const;
+  // The `total` stream weight observed (sum of all offered weights).
+  std::uint64_t Total() const;
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const;
+  void Clear();
+
+  // Merges another node's entries into this sketch: counts and errors sum
+  // for shared keys; new keys enter via the space-saving replacement rule.
+  void Merge(const std::vector<Entry>& other);
+
+  // Pure merge of two entry lists under a capacity bound (union counts,
+  // keep top `capacity`): the cluster-side merge for sketch dumps.
+  static std::vector<Entry> MergeEntries(const std::vector<Entry>& a,
+                                         const std::vector<Entry>& b,
+                                         std::size_t capacity);
+
+ private:
+  std::vector<Entry> EntriesLocked() const;
+
+  mutable std::mutex mu_;
+  const std::size_t capacity_;
+  std::uint64_t total_ = 0;
+  std::map<std::string, Entry, std::less<>> entries_;
+};
+
+// Process-global sketches fed by the charging sites and served by
+// kLedgerDump: object keys (metadata paths), action methods
+// ("<type>.<method>"), and principals.
+SpaceSavingTopK& KeySketch();
+SpaceSavingTopK& MethodSketch();
+SpaceSavingTopK& PrincipalSketch();
+
+}  // namespace glider::obs

@@ -121,6 +121,8 @@ HistogramSnapshot LatencyHistogram::Snapshot() const {
   HistogramSnapshot snap;
   for (std::size_t i = 0; i < kNumBuckets; ++i) {
     snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    snap.exemplar_trace[i] = exemplar_trace_[i].load(std::memory_order_relaxed);
+    snap.exemplar_value[i] = exemplar_value_[i].load(std::memory_order_relaxed);
   }
   snap.count = Count();
   snap.sum = Sum();
@@ -132,6 +134,12 @@ HistogramSnapshot LatencyHistogram::Snapshot() const {
 void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
   for (std::size_t i = 0; i < LatencyHistogram::kNumBuckets; ++i) {
     buckets[i] += other.buckets[i];
+    // Keep the first non-empty exemplar so a cluster merge is stable under
+    // server ordering; any surviving exemplar names a real trace.
+    if (exemplar_trace[i] == 0 && other.exemplar_trace[i] != 0) {
+      exemplar_trace[i] = other.exemplar_trace[i];
+      exemplar_value[i] = other.exemplar_value[i];
+    }
   }
   count += other.count;
   sum += other.sum;
@@ -142,7 +150,12 @@ void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
 }
 
 std::uint64_t HistogramSnapshot::Percentile(double p) const {
+  // Empty histograms report 0 for every percentile — never NaN or a stale
+  // bucket bound (the other exporters rely on this; see observability
+  // regression tests).
   if (count == 0) return 0;
+  if (!(p >= 0.0)) p = 0.0;
+  if (p > 100.0) p = 100.0;
   std::uint64_t rank =
       static_cast<std::uint64_t>(p / 100.0 * static_cast<double>(count) + 0.5);
   if (rank == 0) rank = 1;
@@ -169,6 +182,12 @@ HistogramSnapshot HistogramSnapshot::DeltaSince(
     delta.buckets[i] =
         buckets[i] >= prev.buckets[i] ? buckets[i] - prev.buckets[i] : 0;
     delta.count += delta.buckets[i];
+    if (delta.buckets[i] != 0) {
+      // The current exemplar is the most recent hit, so it belongs to the
+      // window whenever the bucket grew.
+      delta.exemplar_trace[i] = exemplar_trace[i];
+      delta.exemplar_value[i] = exemplar_value[i];
+    }
   }
   delta.sum = sum >= prev.sum ? sum - prev.sum : 0;
   delta.min = 0;    // unknown for the window

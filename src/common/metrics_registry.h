@@ -28,6 +28,11 @@ class Metrics;
 
 namespace obs {
 
+// The calling thread's current trace id (0 when no trace is active).
+// Declared here so LatencyHistogram::Record can capture bucket exemplars;
+// defined in trace.cc to avoid a circular include with trace.h.
+std::uint64_t ExemplarTraceId();
+
 class Counter {
  public:
   void Add(std::uint64_t delta) {
@@ -78,17 +83,35 @@ class LatencyHistogram {
   }
 
   void Record(std::uint64_t value) {
-    buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    const std::size_t idx = BucketIndex(value);
+    buckets_[idx].fetch_add(1, std::memory_order_relaxed);
     count_.fetch_add(1, std::memory_order_relaxed);
     sum_.fetch_add(value, std::memory_order_relaxed);
     UpdateMin(value);
     UpdateMax(value);
+    // Exemplar: remember the most recent traced (trace_id, value) pair per
+    // bucket so a p99 bucket links to a concrete trace. Last-writer-wins
+    // relaxed stores: a torn (trace, value) pair across two concurrent
+    // records still names a real trace that landed in this bucket.
+    const std::uint64_t trace_id = ExemplarTraceId();
+    if (trace_id != 0) {
+      exemplar_trace_[idx].store(trace_id, std::memory_order_relaxed);
+      exemplar_value_[idx].store(value, std::memory_order_relaxed);
+    }
   }
 
   void Merge(const LatencyHistogram& other) {
     for (std::size_t i = 0; i < kNumBuckets; ++i) {
       const std::uint64_t n = other.buckets_[i].load(std::memory_order_relaxed);
       if (n != 0) buckets_[i].fetch_add(n, std::memory_order_relaxed);
+      const std::uint64_t t =
+          other.exemplar_trace_[i].load(std::memory_order_relaxed);
+      if (t != 0) {
+        exemplar_trace_[i].store(t, std::memory_order_relaxed);
+        exemplar_value_[i].store(
+            other.exemplar_value_[i].load(std::memory_order_relaxed),
+            std::memory_order_relaxed);
+      }
     }
     count_.fetch_add(other.count_.load(std::memory_order_relaxed),
                      std::memory_order_relaxed);
@@ -115,9 +138,13 @@ class LatencyHistogram {
   std::uint64_t Max() const { return max_.load(std::memory_order_relaxed); }
 
   // Nearest-rank percentile (p in [0, 100]) over the current bucket counts.
+  // An empty histogram reports 0 for every percentile (never NaN or a
+  // stale bound); out-of-range p clamps into [0, 100].
   std::uint64_t Percentile(double p) const {
     const std::uint64_t total = Count();
     if (total == 0) return 0;
+    if (!(p >= 0.0)) p = 0.0;
+    if (p > 100.0) p = 100.0;
     std::uint64_t rank = static_cast<std::uint64_t>(
         p / 100.0 * static_cast<double>(total) + 0.5);
     if (rank == 0) rank = 1;
@@ -138,6 +165,12 @@ class LatencyHistogram {
   std::uint64_t BucketCount(std::size_t index) const {
     return buckets_[index].load(std::memory_order_relaxed);
   }
+  std::uint64_t ExemplarTrace(std::size_t index) const {
+    return exemplar_trace_[index].load(std::memory_order_relaxed);
+  }
+  std::uint64_t ExemplarValue(std::size_t index) const {
+    return exemplar_value_[index].load(std::memory_order_relaxed);
+  }
 
   // Consistent-enough copy of the bucket counts and aggregates (individual
   // loads are relaxed; concurrent Records may straddle the copy, which is
@@ -146,6 +179,8 @@ class LatencyHistogram {
 
   void Reset() {
     for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    for (auto& e : exemplar_trace_) e.store(0, std::memory_order_relaxed);
+    for (auto& e : exemplar_value_) e.store(0, std::memory_order_relaxed);
     count_.store(0, std::memory_order_relaxed);
     sum_.store(0, std::memory_order_relaxed);
     min_.store(~0ull, std::memory_order_relaxed);
@@ -167,6 +202,8 @@ class LatencyHistogram {
   }
 
   std::array<std::atomic<std::uint64_t>, kNumBuckets> buckets_{};
+  std::array<std::atomic<std::uint64_t>, kNumBuckets> exemplar_trace_{};
+  std::array<std::atomic<std::uint64_t>, kNumBuckets> exemplar_value_{};
   std::atomic<std::uint64_t> count_{0};
   std::atomic<std::uint64_t> sum_{0};
   std::atomic<std::uint64_t> min_{~0ull};
@@ -179,6 +216,10 @@ class LatencyHistogram {
 // (TimeSeriesSampler windows).
 struct HistogramSnapshot {
   std::array<std::uint64_t, LatencyHistogram::kNumBuckets> buckets{};
+  // Per-bucket exemplar: the most recent traced (trace_id, value) that
+  // landed in the bucket; trace_id 0 means no exemplar.
+  std::array<std::uint64_t, LatencyHistogram::kNumBuckets> exemplar_trace{};
+  std::array<std::uint64_t, LatencyHistogram::kNumBuckets> exemplar_value{};
   std::uint64_t count = 0;
   std::uint64_t sum = 0;
   std::uint64_t min = 0;

@@ -48,6 +48,33 @@ std::string LabelBlock(const PrometheusLabels& labels,
   return out;
 }
 
+// "# HELP" body: the original registry name, with newlines and backslashes
+// escaped per the exposition format.
+std::string HelpText(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 24);
+  out += "Glider metric '";
+  for (char c : name) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  out += "'.";
+  return out;
+}
+
+// OpenMetrics exemplar suffix for a bucket sample line:
+// ` # {trace_id="<hex>"} <value>`. Trace ids render like the trace JSON
+// (%PRIx64, no zero padding) so they grep/resolve against kTraceDump.
+std::string ExemplarSuffix(std::uint64_t trace_id, std::uint64_t value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), " # {trace_id=\"%" PRIx64 "\"} %" PRIu64,
+                trace_id, value);
+  return buf;
+}
+
 }  // namespace
 
 std::string PrometheusSanitize(const std::string& name) {
@@ -82,6 +109,7 @@ std::string PrometheusText(const MetricsSnapshot& snapshot,
   std::string out;
   for (const auto& [name, value] : snapshot.counters) {
     const std::string metric = "glider_" + PrometheusSanitize(name) + "_total";
+    out += "# HELP " + metric + " " + HelpText(name) + "\n";
     out += "# TYPE " + metric + " counter\n";
     out += metric + label_block + " ";
     AppendU64(out, value);
@@ -89,6 +117,7 @@ std::string PrometheusText(const MetricsSnapshot& snapshot,
   }
   for (const auto& [name, value] : snapshot.gauges) {
     const std::string metric = "glider_" + PrometheusSanitize(name);
+    out += "# HELP " + metric + " " + HelpText(name) + "\n";
     out += "# TYPE " + metric + " gauge\n";
     out += metric + label_block + " ";
     AppendI64(out, value);
@@ -96,6 +125,7 @@ std::string PrometheusText(const MetricsSnapshot& snapshot,
   }
   for (const auto& [name, hist] : snapshot.histograms) {
     const std::string metric = "glider_" + PrometheusSanitize(name);
+    out += "# HELP " + metric + " " + HelpText(name) + "\n";
     out += "# TYPE " + metric + " histogram\n";
     // The snapshot's count and per-bucket counts are sampled with relaxed
     // loads, so under concurrent recording they can disagree. Every series
@@ -117,10 +147,21 @@ std::string PrometheusText(const MetricsSnapshot& snapshot,
       le.push_back('"');
       out += metric + "_bucket" + LabelBlock(labels, le) + " ";
       AppendU64(out, cumulative);
+      if (hist.exemplar_trace[i] != 0) {
+        out += ExemplarSuffix(hist.exemplar_trace[i], hist.exemplar_value[i]);
+      }
       out.push_back('\n');
     }
     out += metric + "_bucket" + LabelBlock(labels, "le=\"+Inf\"") + " ";
     AppendU64(out, total);
+    {
+      // The +Inf line carries the overflow bucket's exemplar when present.
+      constexpr std::size_t last = LatencyHistogram::kNumBuckets - 1;
+      if (hist.exemplar_trace[last] != 0) {
+        out += ExemplarSuffix(hist.exemplar_trace[last],
+                              hist.exemplar_value[last]);
+      }
+    }
     out.push_back('\n');
     out += metric + "_sum" + label_block + " ";
     AppendU64(out, hist.sum);

@@ -57,6 +57,10 @@ void SetEnabled(bool enabled) {
 
 TraceContext CurrentTraceContext() { return t_context; }
 
+// Declared in metrics_registry.h (histogram bucket exemplars); lives here
+// because the current-trace thread-local does.
+std::uint64_t ExemplarTraceId() { return t_context.trace_id; }
+
 std::uint64_t NewTraceId() {
   static std::atomic<std::uint64_t> next{1};
   return (ProcessSalt() & 0xffffffff00000000ull) | next.fetch_add(1);

@@ -7,6 +7,7 @@
 #include <deque>
 #include <utility>
 
+#include "common/attribution.h"
 #include "common/buffer_pool.h"
 #include "common/event_journal.h"
 #include "common/logging.h"
@@ -273,6 +274,7 @@ class ChannelOutputStream : public ActionOutputStream {
 struct MethodTrace {
   bool active = false;
   obs::TraceContext parent;
+  obs::PrincipalId principal = 0;  // caller's tenant, captured at submit
   std::uint64_t submit_us = 0;
   std::uint64_t run_span_id = 0;  // pre-allocated: the run span's id
   const char* method = "";
@@ -282,6 +284,7 @@ struct MethodTrace {
     if (!obs::Enabled()) return t;
     t.active = true;
     t.parent = obs::CurrentTraceContext();
+    t.principal = obs::CurrentPrincipal();
     t.submit_us = obs::TraceNowMicros();
     t.run_span_id = obs::NewSpanId();
     t.method = method;
@@ -310,6 +313,10 @@ struct MethodTrace {
     obs::MetricsRegistry::Global()
         .GetHistogram(std::string("action.") + method + ".queue_us")
         .Record(now - submit_us);
+    obs::LedgerCell wait;
+    wait.queue_us = now - submit_us;
+    obs::ResourceLedger::Global().Charge(
+        principal, std::string("action.") + method, wait);
     return now;
   }
 
@@ -321,6 +328,19 @@ struct MethodTrace {
     obs::MetricsRegistry::Global()
         .GetHistogram(std::string("action.") + method + ".run_us")
         .Record(now - run_start_us);
+  }
+
+  // Bills `cpu_us` of action-thread CPU (the same delta the per-slot
+  // cpu_us counter receives) plus one invocation to the caller's tenant,
+  // keyed "action.<method>" — the ledger's action-plane cpu therefore sums
+  // exactly to the per-slot accounting.
+  void ChargeCpu(std::uint64_t cpu_us) const {
+    if (!active) return;
+    obs::LedgerCell cell;
+    cell.cpu_us = cpu_us;
+    cell.invocations = 1;
+    obs::ResourceLedger::Global().Charge(
+        principal, std::string("action.") + method, cell);
   }
 };
 
@@ -656,6 +676,8 @@ void ActiveServer::DoActionCreate(ActionCreateRequest req,
         const std::uint64_t cpu_start = acct ? ThreadCpuMicros() : 0;
         const std::uint64_t run_start = mt.EnterRun();
         obs::TraceContextScope trace_scope(mt.RunContext());
+        obs::PrincipalScope principal_scope(mt.principal);
+        if (acct) obs::MethodSketch().Offer(req.action_type + ".onCreate");
         if (slot->LiveObject() != nullptr) {
           slot->monitor.Exit();
           return responder.SendError(
@@ -673,7 +695,11 @@ void ActiveServer::DoActionCreate(ActionCreateRequest req,
           slot->object->onCreate(ctx);
           slot->monitor.Exit();
           mt.FinishRun(run_start);
-          if (acct) slot->stats.cpu_us->Add(ThreadCpuMicros() - cpu_start);
+          if (acct) {
+            const std::uint64_t cpu = ThreadCpuMicros() - cpu_start;
+            slot->stats.cpu_us->Add(cpu);
+            mt.ChargeCpu(cpu);
+          }
           responder.SendOk(request);
         } catch (const std::exception& e) {
           {
@@ -682,7 +708,11 @@ void ActiveServer::DoActionCreate(ActionCreateRequest req,
           }
           slot->monitor.Exit();
           mt.FinishRun(run_start);
-          if (acct) slot->stats.cpu_us->Add(ThreadCpuMicros() - cpu_start);
+          if (acct) {
+            const std::uint64_t cpu = ThreadCpuMicros() - cpu_start;
+            slot->stats.cpu_us->Add(cpu);
+            mt.ChargeCpu(cpu);
+          }
           responder.SendError(request,
                               Status::Internal(std::string("onCreate: ") +
                                                e.what()));
@@ -730,6 +760,8 @@ void ActiveServer::DoActionDelete(SlotRequest req, net::Message request,
         const std::uint64_t cpu_start = acct ? ThreadCpuMicros() : 0;
         const std::uint64_t run_start = mt.EnterRun();
         obs::TraceContextScope trace_scope(mt.RunContext());
+        obs::PrincipalScope principal_scope(mt.principal);
+        if (acct) obs::MethodSketch().Offer(slot->action_type + ".onDelete");
         std::shared_ptr<Action> object = slot->LiveObject();
         if (object == nullptr) {
           slot->monitor.Exit();
@@ -748,7 +780,11 @@ void ActiveServer::DoActionDelete(SlotRequest req, net::Message request,
         }
         slot->monitor.Exit();
         mt.FinishRun(run_start);
-        if (acct) slot->stats.cpu_us->Add(ThreadCpuMicros() - cpu_start);
+        if (acct) {
+          const std::uint64_t cpu = ThreadCpuMicros() - cpu_start;
+          slot->stats.cpu_us->Add(cpu);
+          mt.ChargeCpu(cpu);
+        }
         responder.SendOk(request);
       });
   if (!submitted.ok()) {
@@ -838,6 +874,12 @@ void ActiveServer::RunMethod(std::shared_ptr<Slot> slot,
     // Methods issue store RPCs and block on channels; parent all of that
     // under the method's run span (RunContext pre-allocates its id).
     obs::TraceContextScope trace_scope(mt.RunContext());
+    // Same hop for the principal: store RPCs and channel traffic issued by
+    // the method bill to the tenant that opened the stream.
+    obs::PrincipalScope principal_scope(mt.principal);
+    if (acct) {
+      obs::MethodSketch().Offer(slot->action_type + "." + method_name);
+    }
     ServerActionContext ctx(internal_client_.get(), slot->config.span());
     std::shared_ptr<Action> object = slot->LiveObject();
     if (stream->mode == StreamMode::kWrite) {
@@ -849,7 +891,11 @@ void ActiveServer::RunMethod(std::shared_ptr<Slot> slot,
       }
       monitor->Exit();
       mt.FinishRun(run_start);
-      if (acct) slot->stats.cpu_us->Add(ThreadCpuMicros() - cpu_start);
+      if (acct) {
+        const std::uint64_t cpu = ThreadCpuMicros() - cpu_start;
+        slot->stats.cpu_us->Add(cpu);
+        mt.ChargeCpu(cpu);
+      }
       // The method may return before consuming the whole stream; drain so
       // pipelined client writes still get acknowledged, then complete the
       // client's close. Must go through `in`, not the channel directly: the
@@ -876,7 +922,11 @@ void ActiveServer::RunMethod(std::shared_ptr<Slot> slot,
       }
       monitor->Exit();
       mt.FinishRun(run_start);
-      if (acct) slot->stats.cpu_us->Add(ThreadCpuMicros() - cpu_start);
+      if (acct) {
+        const std::uint64_t cpu = ThreadCpuMicros() - cpu_start;
+        slot->stats.cpu_us->Add(cpu);
+        mt.ChargeCpu(cpu);
+      }
       out.Close();  // idempotent: signals end-of-stream to the reader
       std::scoped_lock lock(stream->close_mu);
       stream->method_done = true;

@@ -182,6 +182,48 @@ Result<ClusterMonitor::ClusterSample> ClusterMonitor::Poll() {
   return sample;
 }
 
+Result<net::LedgerDumpResponse> ClusterMonitor::PollLedgers(bool clear_after) {
+  auto discovered = Discover();
+  if (discovered.ok()) {
+    last_discovered_ = std::move(discovered).value().servers;
+    has_discovered_ = true;
+  } else if (!has_discovered_) {
+    return discovered.status();
+  }
+
+  std::vector<std::string> addresses{metadata_address_};
+  for (const auto& server : last_discovered_) {
+    if (std::find(addresses.begin(), addresses.end(), server.address) ==
+        addresses.end()) {
+      addresses.push_back(server.address);
+    }
+  }
+
+  net::LedgerDumpResponse merged;
+  bool any = false;
+  for (const std::string& address : addresses) {
+    auto conn = Conn(address);
+    if (!conn.ok()) continue;
+    Buffer payload;
+    if (clear_after) {
+      payload.Resize(1);
+      payload.mutable_span()[0] = 1;
+    }
+    auto result = (*conn)->CallSync(net::kLedgerDump, std::move(payload));
+    if (!result.ok()) {
+      conns_.erase(address);
+      continue;
+    }
+    auto dump = net::LedgerDumpResponse::Decode(
+        ByteSpan(result->data(), result->size()));
+    if (!dump.ok()) continue;
+    merged.Merge(dump.value());
+    any = true;
+  }
+  if (!any) return Status::Unavailable("no server answered ledger dump");
+  return merged;
+}
+
 obs::MetricsSnapshot ClusterMonitor::Merge(
     const std::vector<const obs::MetricsSnapshot*>& snapshots) {
   obs::MetricsSnapshot merged;

@@ -96,6 +96,13 @@ class ClusterMonitor {
   // successful discovery, when there is no cached list to fall back to.
   Result<ClusterSample> Poll();
 
+  // One attribution poll: discover + kLedgerDump every reachable server
+  // (deduped by address, like Poll), exactly merged — ledger cells sum per
+  // (principal, op), sketches merge under the space-saving rule.
+  // `clear_after` requests clear-after-dump on every server. Fails only
+  // when no server answered.
+  Result<net::LedgerDumpResponse> PollLedgers(bool clear_after = false);
+
   // The monitor's failure detector, fed one heartbeat per reachable server
   // per Poll(). Exposed so tools can render the board or tune thresholds.
   obs::HealthDetector& health() { return health_; }

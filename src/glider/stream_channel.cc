@@ -26,21 +26,36 @@ std::uint64_t WaitStart() {
 // Stamps the producer's trace context + enqueue time onto a task about to
 // enter the queue (the push side runs under the producing span: a network
 // worker inside HandleWithObs, or an action thread under its run span).
+// The producer's principal is stamped and charged (push-side bytes) even
+// when no trace is active — attribution works untraced.
 void StampTask(DataTask& task) {
   if (!obs::Enabled()) return;
+  task.principal = obs::CurrentPrincipal();
+  task.enqueue_us = obs::TraceNowMicros();
+  obs::LedgerCell push;
+  push.bytes_in = task.data.size();
+  push.invocations = 1;
+  obs::ResourceLedger::Global().Charge(task.principal, "stream.channel", push);
   const obs::TraceContext ctx = obs::CurrentTraceContext();
   if (ctx.trace_id == 0) return;
   task.ctx = ctx;
-  task.enqueue_us = obs::TraceNowMicros();
 }
 
 // Dequeue side of the stamp: one "channel.wait" transit span per task,
-// parented to the producer's context, covering enqueue -> dequeue. Safe
-// from any thread (RecordSpan never touches thread-local trace state).
+// parented to the producer's context, covering enqueue -> dequeue (only
+// when traced). The pop-side ledger charge — transit time and delivered
+// bytes billed to the producer's tenant — happens regardless. Safe from
+// any thread (RecordSpan never touches thread-local trace state).
 void RecordTransit(const DataTask& task) {
   if (task.enqueue_us == 0 || !obs::Enabled()) return;
+  const std::uint64_t now = obs::TraceNowMicros();
+  obs::LedgerCell pop;
+  pop.queue_us = now - task.enqueue_us;
+  pop.bytes_out = task.data.size();
+  obs::ResourceLedger::Global().Charge(task.principal, "stream.channel", pop);
+  if (task.ctx.trace_id == 0) return;
   obs::RecordSpan("channel", "channel.wait", task.ctx, obs::NewSpanId(),
-                  task.enqueue_us, obs::TraceNowMicros());
+                  task.enqueue_us, now);
 }
 
 // Counts monitor-yield events (the action gave up its execution turn while

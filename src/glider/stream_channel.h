@@ -41,6 +41,7 @@
 #include <mutex>
 #include <vector>
 
+#include "common/attribution.h"
 #include "common/bytes.h"
 #include "common/spin_park.h"
 #include "common/status.h"
@@ -75,12 +76,16 @@ class ActionMonitor {
 struct DataTask {
   Buffer data;
   bool eos = false;  // write streams: the client closed the stream
-  // Producer's trace context + enqueue instant, stamped on push when a
-  // trace is active: the dequeue side records a "channel.wait" transit span
-  // parented to the producer, so stream hops appear inside the assembled
-  // trace tree instead of as orphan roots. enqueue_us == 0 = untraced.
+  // Producer's trace context + enqueue instant, stamped on push while
+  // observability is on: the dequeue side records a "channel.wait" transit
+  // span parented to the producer (when ctx carries a trace), so stream
+  // hops appear inside the assembled trace tree instead of as orphan
+  // roots. enqueue_us == 0 = pushed with observability off.
   obs::TraceContext ctx;
   std::uint64_t enqueue_us = 0;
+  // Producer's tenant, stamped whenever observability is on (independent of
+  // tracing): the pop side bills transit time and delivered bytes to it.
+  obs::PrincipalId principal = 0;
 };
 
 class StreamChannel {

@@ -2,7 +2,7 @@
 //
 // Frame layout (little-endian):
 //   u16 opcode | u16 status | u64 request_id | u64 trace_id | u64 span_id |
-//   u32 payload_len | payload
+//   u64 principal | u32 payload_len | payload
 //
 // Requests carry status=0; responses echo the request id and report the
 // outcome in `status`. Payload encoding is per-opcode (see the *Protocol*
@@ -12,6 +12,11 @@
 // (DESIGN.md "Observability"): span_id is the client-side RPC span, which
 // the server installs as the parent of its handler span. Both are 0 when no
 // trace is active.
+//
+// `principal` is the caller's tenant/workload id (DESIGN.md "Resource
+// attribution"): stamped from the client's PrincipalScope, installed by the
+// server for the handler's duration so downstream work is charged to the
+// right tenant. 0 = unattributed.
 #pragma once
 
 #include <cstdint>
@@ -23,14 +28,15 @@
 
 namespace glider::net {
 
-inline constexpr std::size_t kFrameHeaderSize = 2 + 2 + 8 + 8 + 8 + 4;
+inline constexpr std::size_t kFrameHeaderSize = 2 + 2 + 8 + 8 + 8 + 8 + 4;
 
 struct Message {
   std::uint16_t opcode = 0;
   StatusCode status = StatusCode::kOk;
   std::uint64_t request_id = 0;
-  std::uint64_t trace_id = 0;  // 0 = untraced
-  std::uint64_t span_id = 0;   // caller's RPC span (server-side parent)
+  std::uint64_t trace_id = 0;   // 0 = untraced
+  std::uint64_t span_id = 0;    // caller's RPC span (server-side parent)
+  std::uint64_t principal = 0;  // tenant/workload id; 0 = unattributed
   Buffer payload;
 
   std::size_t WireSize() const { return kFrameHeaderSize + payload.size(); }
@@ -46,11 +52,12 @@ struct Message {
     w.PutU64(request_id);
     w.PutU64(trace_id);
     w.PutU64(span_id);
+    w.PutU64(principal);
     w.PutBytes(payload.span());
     return std::move(w).Finish();
   }
 
-  // Serializes just the 32-byte frame header (including the payload length)
+  // Serializes just the 40-byte frame header (including the payload length)
   // into `out`, for scatter-gather emission alongside the payload.
   void EncodeHeader(std::uint8_t (&out)[kFrameHeaderSize]) const {
     auto put16 = [](std::uint8_t* p, std::uint16_t v) {
@@ -68,7 +75,8 @@ struct Message {
     put64(out + 4, request_id);
     put64(out + 12, trace_id);
     put64(out + 20, span_id);
-    put32(out + 28, static_cast<std::uint32_t>(payload.size()));
+    put64(out + 28, principal);
+    put32(out + 36, static_cast<std::uint32_t>(payload.size()));
   }
 
   // Decodes from a borrowed view; the payload is copied out of the frame.
@@ -81,6 +89,7 @@ struct Message {
     GLIDER_ASSIGN_OR_RETURN(m.request_id, r.U64());
     GLIDER_ASSIGN_OR_RETURN(m.trace_id, r.U64());
     GLIDER_ASSIGN_OR_RETURN(m.span_id, r.U64());
+    GLIDER_ASSIGN_OR_RETURN(m.principal, r.U64());
     GLIDER_ASSIGN_OR_RETURN(auto payload, r.Bytes());
     m.payload = Buffer(payload.data(), payload.size());
     return m;
@@ -97,6 +106,7 @@ struct Message {
     GLIDER_ASSIGN_OR_RETURN(m.request_id, r.U64());
     GLIDER_ASSIGN_OR_RETURN(m.trace_id, r.U64());
     GLIDER_ASSIGN_OR_RETURN(m.span_id, r.U64());
+    GLIDER_ASSIGN_OR_RETURN(m.principal, r.U64());
     GLIDER_ASSIGN_OR_RETURN(m.payload, GetBytesSlice(r, frame));
     return m;
   }
@@ -110,6 +120,7 @@ inline Message OkResponse(const Message& req, Buffer payload = {}) {
   m.request_id = req.request_id;
   m.trace_id = req.trace_id;
   m.span_id = req.span_id;
+  m.principal = req.principal;
   m.payload = std::move(payload);
   return m;
 }
@@ -121,6 +132,7 @@ inline Message ErrorResponse(const Message& req, const Status& status) {
   m.request_id = req.request_id;
   m.trace_id = req.trace_id;
   m.span_id = req.span_id;
+  m.principal = req.principal;
   m.payload = Buffer::FromString(status.message());
   return m;
 }

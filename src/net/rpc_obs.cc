@@ -1,5 +1,6 @@
 #include "net/rpc_obs.h"
 
+#include <algorithm>
 #include <array>
 #include <atomic>
 #include <cstring>
@@ -47,6 +48,7 @@ const char* RpcOpName(std::uint16_t opcode) {
     case kHeartbeat: return "Heartbeat";
     case kHealthDump: return "HealthDump";
     case kEventDump: return "EventDump";
+    case kLedgerDump: return "LedgerDump";
     default: return "OpOther";
   }
 }
@@ -113,6 +115,9 @@ ClientCallTrace ClientCallTrace::Begin(Message& request, int transport_index) {
   t.opcode = request.opcode;
   t.start_us = obs::TraceNowMicros();
   t.parent = obs::CurrentTraceContext();
+  // The principal rides the frame header like the trace context, but is
+  // independent of whether a trace is active: attribution works untraced.
+  request.principal = obs::CurrentPrincipal();
   if (t.parent.trace_id != 0) {
     t.span_id = obs::NewSpanId();
     request.trace_id = t.parent.trace_id;
@@ -141,6 +146,10 @@ void HandleWithObs(Service& service, Message request, Responder responder,
   const std::uint16_t opcode = request.opcode;
   const std::uint64_t start_us = obs::TraceNowMicros();
   const obs::TraceContext parent{request.trace_id, request.span_id};
+  const obs::PrincipalId principal = request.principal;
+  // Management opcodes (>= 900) stay off the ledger so monitoring polls do
+  // not pollute the attribution they are reading.
+  const bool charged = opcode < 900;
   std::uint64_t span_id = parent.span_id;
   if (parent.trace_id != 0) {
     // The server span is recorded when the RESPONSE is sent, not when the
@@ -160,12 +169,28 @@ void HandleWithObs(Service& service, Message request, Responder responder,
         });
   }
   {
+    // Install the caller's principal alongside its trace context: the
+    // handler (and any work it charges synchronously) bills to the caller.
+    // Action/channel hops re-capture it, like the trace context.
     obs::TraceContextScope scope(obs::TraceContext{parent.trace_id, span_id});
+    obs::PrincipalScope principal_scope(principal);
     obs::ProfileTagScope tag(RpcProfileTag(opcode));
     service.Handle(std::move(request), std::move(responder));
   }
+  const std::uint64_t dispatch_us = obs::TraceNowMicros() - start_us;
   RpcHistogram(/*server_side=*/true, transport_index, opcode)
-      ->Record(obs::TraceNowMicros() - start_us);
+      ->Record(dispatch_us);
+  if (charged) {
+    // Dispatch-side charge: invocation count plus the synchronous dispatch
+    // time. Data bytes are charged at the data-plane sites (stream channel
+    // push/pop, storage block ops) so no byte is billed twice.
+    obs::LedgerCell cell;
+    cell.cpu_us = dispatch_us;
+    cell.invocations = 1;
+    obs::ResourceLedger::Global().Charge(
+        principal, std::string("rpc.") + RpcOpName(opcode), cell);
+    obs::PrincipalSketch().Offer(obs::PrincipalName(principal));
+  }
 }
 
 void RefreshMirroredGauges(const Metrics* metrics) {
@@ -188,6 +213,10 @@ void RefreshMirroredGauges(const Metrics* metrics) {
   // Load index + hotspot gauges ride the same refresh: every stats/series
   // dump (and every /metrics scrape via the HTTP hook) sees fresh values.
   obs::LoadTracker::Global().Update();
+  // Per-principal ledger rollups ("ledger.<principal>.*") ride along too,
+  // so kSeriesDump / Prometheus / glider_top get attribution without the
+  // dedicated kLedgerDump opcode.
+  obs::PublishLedgerRollups();
 }
 
 std::string StatsJson(const Metrics* metrics) {
@@ -216,6 +245,10 @@ void PutHistogram(BinaryWriter& w, const obs::HistogramSnapshot& h) {
     if (h.buckets[i] == 0) continue;
     w.PutU8(static_cast<std::uint8_t>(i));
     w.PutU64(h.buckets[i]);
+    // Bucket exemplar (trace_id, value); trace_id 0 = none. Only populated
+    // buckets can carry one, so the pairs ride the sparse encoding free.
+    w.PutU64(h.exemplar_trace[i]);
+    w.PutU64(h.exemplar_value[i]);
   }
 }
 
@@ -229,10 +262,14 @@ Result<obs::HistogramSnapshot> GetHistogram(BinaryReader& r) {
   for (std::uint8_t i = 0; i < populated; ++i) {
     GLIDER_ASSIGN_OR_RETURN(auto idx, r.U8());
     GLIDER_ASSIGN_OR_RETURN(auto count, r.U64());
+    GLIDER_ASSIGN_OR_RETURN(auto exemplar_trace, r.U64());
+    GLIDER_ASSIGN_OR_RETURN(auto exemplar_value, r.U64());
     if (idx >= obs::LatencyHistogram::kNumBuckets) {
       return Status::OutOfRange("histogram bucket index out of range");
     }
     h.buckets[idx] = count;
+    h.exemplar_trace[idx] = exemplar_trace;
+    h.exemplar_value[idx] = exemplar_value;
   }
   return h;
 }
@@ -314,6 +351,93 @@ Result<SeriesDumpResponse> SeriesDumpResponse::Decode(ByteSpan payload) {
   return resp;
 }
 
+Buffer LedgerDumpResponse::Encode() const {
+  BinaryWriter w;
+  w.PutU32(static_cast<std::uint32_t>(entries.size()));
+  for (const auto& e : entries) {
+    w.PutU64(e.principal);
+    w.PutString(e.op);
+    w.PutU64(e.cell.cpu_us);
+    w.PutU64(e.cell.queue_us);
+    w.PutU64(e.cell.bytes_in);
+    w.PutU64(e.cell.bytes_out);
+    w.PutU64(e.cell.invocations);
+  }
+  w.PutU8(static_cast<std::uint8_t>(sketches.size()));
+  for (const auto& sketch : sketches) {
+    w.PutString(sketch.name);
+    w.PutU64(sketch.total);
+    w.PutU32(static_cast<std::uint32_t>(sketch.entries.size()));
+    for (const auto& e : sketch.entries) {
+      w.PutString(e.key);
+      w.PutU64(e.count);
+      w.PutU64(e.error);
+    }
+  }
+  return std::move(w).Finish();
+}
+
+Result<LedgerDumpResponse> LedgerDumpResponse::Decode(ByteSpan payload) {
+  BinaryReader r(payload);
+  LedgerDumpResponse resp;
+  GLIDER_ASSIGN_OR_RETURN(auto n_entries, r.U32());
+  resp.entries.reserve(n_entries);
+  for (std::uint32_t i = 0; i < n_entries; ++i) {
+    obs::LedgerEntry e;
+    GLIDER_ASSIGN_OR_RETURN(e.principal, r.U64());
+    GLIDER_ASSIGN_OR_RETURN(e.op, r.String());
+    GLIDER_ASSIGN_OR_RETURN(e.cell.cpu_us, r.U64());
+    GLIDER_ASSIGN_OR_RETURN(e.cell.queue_us, r.U64());
+    GLIDER_ASSIGN_OR_RETURN(e.cell.bytes_in, r.U64());
+    GLIDER_ASSIGN_OR_RETURN(e.cell.bytes_out, r.U64());
+    GLIDER_ASSIGN_OR_RETURN(e.cell.invocations, r.U64());
+    resp.entries.push_back(std::move(e));
+  }
+  GLIDER_ASSIGN_OR_RETURN(auto n_sketches, r.U8());
+  resp.sketches.reserve(n_sketches);
+  for (std::uint8_t i = 0; i < n_sketches; ++i) {
+    Sketch sketch;
+    GLIDER_ASSIGN_OR_RETURN(sketch.name, r.String());
+    GLIDER_ASSIGN_OR_RETURN(sketch.total, r.U64());
+    GLIDER_ASSIGN_OR_RETURN(auto n, r.U32());
+    sketch.entries.reserve(n);
+    for (std::uint32_t j = 0; j < n; ++j) {
+      obs::SpaceSavingTopK::Entry e;
+      GLIDER_ASSIGN_OR_RETURN(e.key, r.String());
+      GLIDER_ASSIGN_OR_RETURN(e.count, r.U64());
+      GLIDER_ASSIGN_OR_RETURN(e.error, r.U64());
+      sketch.entries.push_back(std::move(e));
+    }
+    resp.sketches.push_back(std::move(sketch));
+  }
+  return resp;
+}
+
+void LedgerDumpResponse::Merge(const LedgerDumpResponse& other) {
+  entries = obs::MergeLedgerEntries(entries, other.entries);
+  for (const auto& theirs : other.sketches) {
+    Sketch* ours = nullptr;
+    for (auto& sketch : sketches) {
+      if (sketch.name == theirs.name) {
+        ours = &sketch;
+        break;
+      }
+    }
+    if (ours == nullptr) {
+      sketches.push_back(theirs);
+      continue;
+    }
+    ours->total += theirs.total;
+    // Merged sketches keep the union's bound: capacity = the larger side.
+    const std::size_t capacity =
+        std::max<std::size_t>(64, std::max(ours->entries.size(),
+                                           theirs.entries.size()));
+    ours->entries = obs::SpaceSavingTopK::MergeEntries(ours->entries,
+                                                       theirs.entries,
+                                                       capacity);
+  }
+}
+
 Buffer HeartbeatResponse::Encode() const {
   BinaryWriter w;
   w.PutU64(server_time_us);
@@ -386,6 +510,33 @@ bool TryHandleObs(Message& request, Responder& responder,
                                      ? static_cast<std::uint64_t>(
                                            sampler.interval().count())
                                      : 0;
+      responder.SendOk(request, resp.Encode());
+      return true;
+    }
+    case kLedgerDump: {
+      LedgerDumpResponse resp;
+      resp.entries = obs::ResourceLedger::Global().Snapshot();
+      const struct {
+        const char* name;
+        obs::SpaceSavingTopK* sketch;
+      } sketches[] = {{"keys", &obs::KeySketch()},
+                      {"methods", &obs::MethodSketch()},
+                      {"principals", &obs::PrincipalSketch()}};
+      for (const auto& [name, sketch] : sketches) {
+        LedgerDumpResponse::Sketch out;
+        out.name = name;
+        out.total = sketch->Total();
+        out.entries = sketch->Entries();
+        resp.sketches.push_back(std::move(out));
+      }
+      // Payload byte 0 == 1 requests a clear-after-dump (same convention
+      // as kTraceDump).
+      if (request.payload.size() >= 1 && request.payload.data()[0] == 1) {
+        obs::ResourceLedger::Global().Clear();
+        obs::KeySketch().Clear();
+        obs::MethodSketch().Clear();
+        obs::PrincipalSketch().Clear();
+      }
       responder.SendOk(request, resp.Encode());
       return true;
     }

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "common/attribution.h"
 #include "common/metrics_registry.h"
 #include "common/time_series.h"
 #include "common/trace.h"
@@ -35,6 +36,7 @@ inline constexpr std::uint16_t kProfileDump = 994;    // -> collapsed stacks
 inline constexpr std::uint16_t kHeartbeat = 995;      // -> HeartbeatResponse
 inline constexpr std::uint16_t kHealthDump = 996;     // -> HealthBoard JSON
 inline constexpr std::uint16_t kEventDump = 997;      // -> EventJournal JSON
+inline constexpr std::uint16_t kLedgerDump = 998;     // -> LedgerDumpResponse
 
 // kProfileDump request payload: empty = dump collapsed stacks; otherwise a
 // u8 command from this enum (kStart is followed by a u32 hz, 0 = default).
@@ -112,6 +114,27 @@ struct SeriesDumpResponse {
 
   Buffer Encode() const;
   static Result<SeriesDumpResponse> Decode(ByteSpan payload);
+};
+
+// kLedgerDump payload: the node's resource-attribution state — the full
+// (principal, op) ledger plus the heavy-hitter sketches (object keys,
+// action methods, principals). Request payload byte 0 == 1 requests a
+// clear-after-dump (same convention as kTraceDump). Merge() is the exact
+// cluster-wide merge used by ClusterMonitor: ledger cells sum per key;
+// sketches merge under the space-saving rule.
+struct LedgerDumpResponse {
+  struct Sketch {
+    std::string name;  // "keys" | "methods" | "principals"
+    std::uint64_t total = 0;  // stream weight the sketch observed
+    std::vector<obs::SpaceSavingTopK::Entry> entries;
+  };
+
+  std::vector<obs::LedgerEntry> entries;
+  std::vector<Sketch> sketches;
+
+  Buffer Encode() const;
+  static Result<LedgerDumpResponse> Decode(ByteSpan payload);
+  void Merge(const LedgerDumpResponse& other);
 };
 
 // kHeartbeat reply: a liveness proof that also piggybacks the node's

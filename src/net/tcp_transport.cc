@@ -391,7 +391,7 @@ class FrameReader {
     if (avail < kFrameHeaderSize) return false;
     std::uint32_t len = 0;
     for (int i = 0; i < 4; ++i) {
-      len |= static_cast<std::uint32_t>(base_[pos_ + 28 + i]) << (8 * i);
+      len |= static_cast<std::uint32_t>(base_[pos_ + 36 + i]) << (8 * i);
     }
     return avail >= kFrameHeaderSize + len;
   }
@@ -418,9 +418,10 @@ class FrameReader {
     m.request_id = get64(4);
     m.trace_id = get64(12);
     m.span_id = get64(20);
+    m.principal = get64(28);
     len = 0;
     for (int i = 0; i < 4; ++i) {
-      len |= static_cast<std::uint32_t>(header[28 + i]) << (8 * i);
+      len |= static_cast<std::uint32_t>(header[36 + i]) << (8 * i);
     }
     if (len > kMaxFrame) return Status::InvalidArgument("oversized frame");
     return Status::Ok();

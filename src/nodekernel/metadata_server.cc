@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "common/attribution.h"
 #include "common/logging.h"
 #include "common/metrics_registry.h"
 #include "common/trace.h"
@@ -114,6 +115,9 @@ Result<NodeInfoResponse> MetadataServer::DoLookup(const PathRequest& req) {
   const bool observed = obs::Enabled();
   obs::Span span("meta", "meta.lookup");
   const std::uint64_t start_us = observed ? obs::TraceNowMicros() : 0;
+  // Hot-key attribution: every looked-up path feeds the bounded-memory
+  // heavy-hitter sketch served by kLedgerDump.
+  if (observed) obs::KeySketch().Offer(req.path);
   NodeInfoResponse resp;
   {
     std::shared_lock lock(mu_);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/attribution.h"
 #include "common/event_journal.h"
 #include "common/logging.h"
 #include "common/metrics_registry.h"
@@ -69,22 +70,26 @@ namespace {
 struct BlockOpObs {
   obs::LatencyHistogram* hist;
   const char* span_name;
+  bool is_write;  // charges bytes_in (write) vs bytes_out (read)
 };
 
 BlockOpObs WriteObs() {
   static BlockOpObs o{
       &obs::MetricsRegistry::Global().GetHistogram("storage.write_block_us"),
-      "storage.write_block"};
+      "storage.write_block", /*is_write=*/true};
   return o;
 }
 BlockOpObs ReadObs() {
   static BlockOpObs o{
       &obs::MetricsRegistry::Global().GetHistogram("storage.read_block_us"),
-      "storage.read_block"};
+      "storage.read_block", /*is_write=*/false};
   return o;
 }
 
 // Times one block operation into the histogram with a trace span around it.
+// Also the storage charging site of the resource ledger: the op's duration
+// and bytes bill to the requesting principal (installed on this thread by
+// HandleWithObs before the handler ran).
 class BlockOpTimer {
  public:
   explicit BlockOpTimer(BlockOpObs target)
@@ -93,20 +98,37 @@ class BlockOpTimer {
         span_(target.span_name, target.span_name),
         start_us_(enabled_ ? obs::TraceNowMicros() : 0) {}
   ~BlockOpTimer() {
-    if (enabled_) target_.hist->Record(obs::TraceNowMicros() - start_us_);
+    if (!enabled_) return;
+    const std::uint64_t elapsed = obs::TraceNowMicros() - start_us_;
+    target_.hist->Record(elapsed);
+    obs::LedgerCell cell;
+    cell.cpu_us = elapsed;
+    cell.invocations = 1;
+    if (target_.is_write) {
+      cell.bytes_in = bytes_;
+    } else {
+      cell.bytes_out = bytes_;
+    }
+    obs::ResourceLedger::Global().Charge(obs::CurrentPrincipal(),
+                                         target_.span_name, cell);
   }
+
+  // Bytes actually moved (0 when the op failed validation).
+  void SetBytes(std::uint64_t bytes) { bytes_ = bytes; }
 
  private:
   bool enabled_;
   BlockOpObs target_;
   obs::Span span_;
   std::uint64_t start_us_;
+  std::uint64_t bytes_ = 0;
 };
 
 }  // namespace
 
 Result<Buffer> StorageServer::DoWrite(const WriteBlockRequest& req) {
   BlockOpTimer timer(WriteObs());
+  timer.SetBytes(req.data.size());
   if (req.block >= blocks_.size()) {
     return Status::OutOfRange("block " + std::to_string(req.block));
   }
@@ -138,6 +160,7 @@ Result<Buffer> StorageServer::DoWrite(const WriteBlockRequest& req) {
 
 Result<Buffer> StorageServer::DoRead(const ReadBlockRequest& req) {
   BlockOpTimer timer(ReadObs());
+  timer.SetBytes(req.length);
   if (req.block >= blocks_.size()) {
     return Status::OutOfRange("block " + std::to_string(req.block));
   }

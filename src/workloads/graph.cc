@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <thread>
 
+#include "common/attribution.h"
 #include "common/logging.h"
 #include "common/metrics_registry.h"
 #include "common/stopwatch.h"
@@ -229,6 +230,12 @@ Result<LoadOptions> LoadOptionsFromSpec(const SpecSection& section) {
   GLIDER_ASSIGN_OR_RETURN(
       auto seed, section.GetIntOr("seed", static_cast<long long>(load.seed)));
   load.seed = static_cast<std::uint64_t>(seed);
+  // Optional tenant mix: each worker drives requests as one of these
+  // principals (round-robin by worker index).
+  const std::string principals_csv = section.GetStringOr("principals", "");
+  if (!principals_csv.empty()) {
+    load.principals = SplitCsv(principals_csv);
+  }
   const auto unread = section.UnreadKeys();
   if (!unread.empty()) {
     return Status::InvalidArgument(section.Describe() +
@@ -429,6 +436,13 @@ Result<LoadCurve> RunLoadSweep(Graph& graph, ClusterHandle& cluster) {
   const bool traced = obs::Enabled();
   const std::string trace_root = "load." + request_node->name();
 
+  // Tenant mix: workers round-robin over the spec's principals, so every
+  // request (and everything it triggers server-side) bills to one tenant.
+  std::vector<obs::PrincipalId> principals;
+  for (const auto& name : load.principals) {
+    principals.push_back(obs::PrincipalFromName(name));
+  }
+
   LoadCurve curve;
   for (const double rate : load.rates) {
     OpenLoopOptions options;
@@ -448,6 +462,9 @@ Result<LoadCurve> RunLoadSweep(Graph& graph, ClusterHandle& cluster) {
     GLIDER_ASSIGN_OR_RETURN(
         auto result,
         RunOpenLoop(options, [&](std::size_t worker, std::uint64_t id) {
+          obs::PrincipalScope principal_scope(
+              principals.empty() ? obs::CurrentPrincipal()
+                                 : principals[worker % principals.size()]);
           Stopwatch request_timer;
           const Status status =
               request_node->RunRequest(ctx, *clients[worker], id);

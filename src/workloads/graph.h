@@ -183,6 +183,10 @@ struct LoadOptions {
   std::size_t workers = 16;
   std::size_t max_backlog = 1024;
   std::uint64_t seed = 1;
+  // Multi-tenant mixes: `principals = alpha,beta` assigns each executor
+  // worker a principal round-robin; its requests carry that tag through
+  // the RPC frames and bill to its resource ledger. Empty = untagged.
+  std::vector<std::string> principals;
 };
 
 struct Graph {

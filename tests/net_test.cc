@@ -210,7 +210,7 @@ TEST(InProcTransportTest, AddressCollisionRejected) {
 
 // ---- TCP batching: torn frames, zero-copy bypass, deadline flush ------------
 
-// Serializes a frame the way the transport's send side does: 32-byte header
+// Serializes a frame the way the transport's send side does: 40-byte header
 // followed by the raw payload bytes.
 std::vector<std::uint8_t> WireFrame(std::uint16_t opcode,
                                     std::uint64_t request_id,
@@ -268,7 +268,7 @@ class RawClient {
     }
     std::uint32_t len = 0;
     for (int i = 0; i < 4; ++i) {
-      len |= static_cast<std::uint32_t>(header[28 + i]) << (8 * i);
+      len |= static_cast<std::uint32_t>(header[36 + i]) << (8 * i);
     }
     payload.resize(len);
     if (len > 0) {

@@ -27,6 +27,12 @@
 //                                    board JSON (daemon --health-ms)
 //   events <address> [clear]         print a server's structured event
 //                                    journal as JSON
+//   ledger [--by principal|action|key] [--clear]
+//                                    poll every server's resource ledger
+//                                    (kLedgerDump) via the metadata server,
+//                                    merge exactly, and print attribution
+//                                    tables (per tenant, per operation, or
+//                                    the hot-key sketch)
 //   profile <address> [--seconds N] [--hz H] [--folded out.txt]
 //                                    sample the server for N seconds (default
 //                                    2) and print/write collapsed stacks —
@@ -37,6 +43,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
@@ -68,12 +75,52 @@ std::string ReadStdin() {
   return data;
 }
 
-int Usage() {
-  std::fprintf(stderr,
-               "usage: glider_cli --metadata host:port "
-               "<mkdir|put|get|ls|rm|stat|action-create|action-write|"
-               "action-read|action-rm|stats|trace-dump|slow-traces|series|"
-               "cluster-stats|health|events|profile> [path|address] [args]\n");
+int Usage(const std::string& unknown = "") {
+  if (!unknown.empty()) {
+    std::fprintf(stderr, "glider_cli: unknown command '%s'\n\n",
+                 unknown.c_str());
+  }
+  std::fprintf(
+      stderr,
+      "usage: glider_cli --metadata host:port <command> [args]\n"
+      "\n"
+      "filesystem commands (<path> is a Glider path):\n"
+      "  mkdir <path>                    create a directory\n"
+      "  put <path>                      create/overwrite a file from stdin\n"
+      "  get <path>                      print a file to stdout\n"
+      "  ls <path>                       list a container\n"
+      "  rm <path>                       delete a node\n"
+      "  stat <path>                     show node metadata\n"
+      "\n"
+      "action commands:\n"
+      "  action-create <path> <type> [interleave]   instantiate an action\n"
+      "  action-write <path>             stream stdin into an action\n"
+      "  action-read <path>              stream an action's onRead to stdout\n"
+      "  action-rm <path>                delete an action (object + node)\n"
+      "\n"
+      "observability commands (<address> is a server's host:port):\n"
+      "  stats <address>                 print a server's metrics as JSON\n"
+      "  trace-dump <address> [clear]    print a server's Chrome trace JSON\n"
+      "  slow-traces <address> [clear]   print a server's retained slow "
+      "traces\n"
+      "  series <address>                print a server's time-series rings\n"
+      "  events <address> [clear]        print a server's event journal\n"
+      "  cluster-stats                   poll every server and print merged "
+      "metrics\n"
+      "  health [address]                per-node health/load table, or one\n"
+      "                                  server's health board JSON\n"
+      "  ledger [--by principal|action|key] [--clear]\n"
+      "                                  cluster-merged resource attribution:\n"
+      "                                  per-tenant ledger totals (principal),\n"
+      "                                  per-operation totals (action), or "
+      "the\n"
+      "                                  heavy-hitter key sketch (key).\n"
+      "                                  --clear resets ledgers after "
+      "dumping\n"
+      "  profile <address> [--seconds N] [--hz H] [--folded out.txt]\n"
+      "                                  sample the server and print "
+      "collapsed\n"
+      "                                  stacks (flamegraph.pl input)\n");
   return 2;
 }
 
@@ -216,6 +263,86 @@ int ClusterStats(net::TcpTransport& transport, const std::string& metadata) {
   return 0;
 }
 
+// Polls every server's resource ledger via the metadata server, merges the
+// dumps exactly (cells sum per (principal, op); sketches merge under the
+// space-saving rule) and prints one attribution table. `by` selects the
+// grouping: "principal" (per-tenant totals plus a per-op breakdown),
+// "action" (per-op totals across tenants), "key" (the hot-key sketch).
+int Ledger(net::TcpTransport& transport, const std::string& metadata,
+           const std::string& by, bool clear) {
+  ClusterMonitor monitor(&transport, metadata,
+                         net::LinkModel::Unshaped(LinkClass::kControl,
+                                                  nullptr));
+  auto dump = monitor.PollLedgers(clear);
+  if (!dump.ok()) return Fail(dump.status());
+
+  if (by == "key") {
+    const net::LedgerDumpResponse::Sketch* keys = nullptr;
+    for (const auto& sketch : dump->sketches) {
+      if (sketch.name == "keys") keys = &sketch;
+    }
+    if (keys == nullptr || keys->entries.empty()) {
+      std::printf("# no keys observed (is observability on?)\n");
+      return 0;
+    }
+    std::printf("# heavy-hitter keys, %" PRIu64
+                " lookups observed (count <= true + error)\n",
+                keys->total);
+    std::printf("%-48s %12s %10s\n", "KEY", "COUNT", "ERROR");
+    for (const auto& entry : keys->entries) {
+      std::printf("%-48s %12" PRIu64 " %10" PRIu64 "\n", entry.key.c_str(),
+                  entry.count, entry.error);
+    }
+    return 0;
+  }
+
+  if (dump->entries.empty()) {
+    std::printf("# ledger empty (is observability on?)\n");
+    return 0;
+  }
+
+  if (by == "action") {
+    std::map<std::string, obs::LedgerCell> per_op;
+    for (const auto& entry : dump->entries) {
+      per_op[entry.op].Merge(entry.cell);
+    }
+    std::printf("%-28s %12s %12s %12s %12s %10s\n", "OP", "CPU_US",
+                "QUEUE_US", "BYTES_IN", "BYTES_OUT", "CALLS");
+    for (const auto& [op, cell] : per_op) {
+      std::printf("%-28s %12" PRIu64 " %12" PRIu64 " %12" PRIu64
+                  " %12" PRIu64 " %10" PRIu64 "\n",
+                  op.c_str(), cell.cpu_us, cell.queue_us, cell.bytes_in,
+                  cell.bytes_out, cell.invocations);
+    }
+    return 0;
+  }
+
+  // Default: per-principal totals, then the (principal, op) breakdown.
+  std::map<obs::PrincipalId, obs::LedgerCell> per_principal;
+  for (const auto& entry : dump->entries) {
+    per_principal[entry.principal].Merge(entry.cell);
+  }
+  std::printf("%-12s %12s %12s %12s %12s %10s\n", "PRINCIPAL", "CPU_US",
+              "QUEUE_US", "BYTES_IN", "BYTES_OUT", "CALLS");
+  for (const auto& [principal, cell] : per_principal) {
+    std::printf("%-12s %12" PRIu64 " %12" PRIu64 " %12" PRIu64 " %12" PRIu64
+                " %10" PRIu64 "\n",
+                obs::PrincipalName(principal).c_str(), cell.cpu_us,
+                cell.queue_us, cell.bytes_in, cell.bytes_out,
+                cell.invocations);
+  }
+  std::printf("\n%-12s %-28s %12s %12s %12s %12s %10s\n", "PRINCIPAL", "OP",
+              "CPU_US", "QUEUE_US", "BYTES_IN", "BYTES_OUT", "CALLS");
+  for (const auto& entry : dump->entries) {
+    std::printf("%-12s %-28s %12" PRIu64 " %12" PRIu64 " %12" PRIu64
+                " %12" PRIu64 " %10" PRIu64 "\n",
+                obs::PrincipalName(entry.principal).c_str(), entry.op.c_str(),
+                entry.cell.cpu_us, entry.cell.queue_us, entry.cell.bytes_in,
+                entry.cell.bytes_out, entry.cell.invocations);
+  }
+  return 0;
+}
+
 // Polls every server a few times via the metadata server (so the failure
 // detector accumulates heartbeat intervals) and prints a per-node health /
 // load table. With `address` non-empty, instead dumps that server's own
@@ -294,6 +421,39 @@ int main(int argc, char** argv) {
   if (command == "health") {
     return Health(transport, metadata, args.size() > 1 ? args[1] : "");
   }
+  // `ledger` polls the cluster via the metadata server; no address needed.
+  if (command == "ledger") {
+    std::string by = "principal";
+    bool clear = false;
+    for (std::size_t i = 1; i < args.size(); ++i) {
+      if (args[i] == "--by" && i + 1 < args.size()) {
+        by = args[++i];
+      } else if (args[i] == "--clear") {
+        clear = true;
+      } else {
+        return Usage();
+      }
+    }
+    if (by != "principal" && by != "action" && by != "key") {
+      std::fprintf(stderr,
+                   "glider_cli: ledger --by takes principal|action|key "
+                   "(got '%s')\n",
+                   by.c_str());
+      return 2;
+    }
+    return Ledger(transport, metadata, by, clear);
+  }
+  // Reject unknown verbs by name before complaining about a missing
+  // <path|address> argument, so `glider_cli frobnicate` says which verb
+  // it did not recognize.
+  static const char* kVerbs[] = {
+      "stats",  "trace-dump",    "slow-traces",  "series",
+      "events", "profile",       "mkdir",        "put",
+      "get",    "ls",            "rm",           "stat",
+      "action-create", "action-write", "action-read", "action-rm"};
+  bool known = false;
+  for (const char* verb : kVerbs) known = known || command == verb;
+  if (!known) return Usage(command);
   if (args.size() < 2) return Usage();
   const std::string path = args[1];
 
@@ -421,7 +581,7 @@ int main(int argc, char** argv) {
       return Fail(s);
     }
   } else {
-    return Usage();
+    return Usage(command);
   }
   return 0;
 }

@@ -8,10 +8,14 @@
 //
 //   * per-server rows: ops/s (RPCs handled), bytes in/out per second,
 //     action queue depth, windowed p50/p99 of server-side RPC handling,
-//     plus the node's load index and failure-detector verdict (phi);
+//     the node's load index and failure-detector verdict (phi), plus the
+//     TENANT column: the principal with the most ledger CPU on that node
+//     (from the "ledger.<principal>.cpu_us" rollup gauges);
 //   * a per-action-slot table attributing invocations, stream bytes and
 //     CPU time to individual slots (active servers only). Slots flagged by
-//     the server's hotspot detector are marked with '*'.
+//     the server's hotspot detector are marked with '*';
+//   * a per-tenant table over the merged rollup gauges: cluster-wide CPU,
+//     queue time, bytes and invocations charged to each principal.
 //
 // Rates come from counter/histogram deltas between consecutive polls, so
 // the first tick shows only absolute values. --once prints a single
@@ -40,10 +44,25 @@ volatile std::sig_atomic_t g_stop = 0;
 
 void HandleSignal(int) { g_stop = 1; }
 
-int Usage() {
-  std::fprintf(stderr,
-               "usage: glider_top --metadata host:port [--interval ms] "
-               "[--once]\n");
+int Usage(const char* unknown = nullptr) {
+  if (unknown != nullptr) {
+    std::fprintf(stderr, "glider_top: unknown flag '%s'\n\n", unknown);
+  }
+  std::fprintf(
+      stderr,
+      "usage: glider_top --metadata host:port [--interval ms] [--once]\n"
+      "\n"
+      "  --metadata host:port   metadata server used for discovery "
+      "(required)\n"
+      "  --interval ms          poll/repaint interval (default 1000)\n"
+      "  --once                 print a single snapshot without clearing\n"
+      "                         the screen (script-friendly)\n"
+      "\n"
+      "Each tick shows per-server rates (ops/s, bytes/s, queue depth,\n"
+      "windowed p50/p99, load index, failure-detector health), the tenant\n"
+      "with the most attributed CPU per node, a per-action-slot table, and\n"
+      "a cluster-wide per-tenant attribution table from the ledger rollup\n"
+      "gauges. Use `glider_cli ledger` for exact per-operation breakdowns.\n");
   return 2;
 }
 
@@ -66,7 +85,21 @@ struct ServerRow {
   std::int64_t queue_depth = 0;
   std::uint64_t p50_us = 0;  // windowed over the tick, cumulative on tick 0
   std::uint64_t p99_us = 0;
+  // The principal with the most attributed CPU on this node, from the
+  // "ledger.<principal>.cpu_us" rollup gauges ("-" when nothing charged).
+  std::string top_principal = "-";
 };
+
+// Parses "ledger.<principal>.<field>" rollup gauge names; returns the
+// principal (empty when `name` is not a rollup gauge for `field`).
+std::string LedgerGaugePrincipal(const std::string& name, const char* field) {
+  if (!StartsWith(name, "ledger.")) return "";
+  const std::string suffix = std::string(".") + field;
+  if (!EndsWith(name, suffix.c_str())) return "";
+  const std::size_t start = std::strlen("ledger.");
+  if (name.size() <= start + suffix.size()) return "";
+  return name.substr(start, name.size() - start - suffix.size());
+}
 
 // Per-slot attribution extracted from `active.slot<i>.*` metric names.
 struct SlotRow {
@@ -111,8 +144,14 @@ ServerRow Digest(const obs::MetricsSnapshot& snap,
       row.bytes_out_per_s += Rate(value, prev_counter(name), dt_s);
     }
   }
+  std::int64_t top_cpu = 0;
   for (const auto& [name, value] : snap.gauges) {
     if (name == "active.queue_depth") row.queue_depth = value;
+    const std::string principal = LedgerGaugePrincipal(name, "cpu_us");
+    if (!principal.empty() && value > top_cpu) {
+      top_cpu = value;
+      row.top_principal = principal;
+    }
   }
   // Server-side RPC handling: sum every rpc.server.* histogram, windowed
   // against the previous tick where possible.
@@ -220,7 +259,7 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--once") == 0) {
       once = true;
     } else {
-      return Usage();
+      return Usage(argv[i]);
     }
   }
   if (metadata.empty() || interval_ms <= 0) return Usage();
@@ -255,9 +294,9 @@ int main(int argc, char** argv) {
       if (sample->stale_discovery) {
         std::printf("!! metadata unreachable: showing last known servers\n");
       }
-      std::printf("%-21s %-8s %9s %9s %9s %5s %8s %8s %6s %-10s\n", "ADDRESS",
-                  "ROLE", "OPS/S", "IN_B/S", "OUT_B/S", "QD", "P50_US",
-                  "P99_US", "LOAD", "HEALTH");
+      std::printf("%-21s %-8s %9s %9s %9s %5s %8s %8s %6s %-10s %-8s\n",
+                  "ADDRESS", "ROLE", "OPS/S", "IN_B/S", "OUT_B/S", "QD",
+                  "P50_US", "P99_US", "LOAD", "HEALTH", "TENANT");
       std::map<std::string, obs::MetricsSnapshot> next;
       std::map<std::pair<std::string, int>, SlotRow> slots;
       for (const auto& server : sample->servers) {
@@ -286,12 +325,13 @@ int main(int argc, char** argv) {
             Digest(server.dump.snapshot, prev_snap, dt_s);
         DigestSlots(server.dump.snapshot, prev_snap, dt_s, address, &slots);
         std::printf("%-21s %-8s %9.1f %9s %9s %5" PRId64 " %8" PRIu64
-                    " %8" PRIu64 " %6.2f %-10s\n",
+                    " %8" PRIu64 " %6.2f %-10s %-8s\n",
                     address.c_str(),
                     RoleName(server),
                     row.ops_per_s, HumanBytes(row.bytes_in_per_s).c_str(),
                     HumanBytes(row.bytes_out_per_s).c_str(), row.queue_depth,
-                    row.p50_us, row.p99_us, server.load_index, health);
+                    row.p50_us, row.p99_us, server.load_index, health,
+                    row.top_principal.c_str());
         next[address] = std::move(row.snapshot);
       }
       // Per-slot attribution: only slots that have ever run a method.
@@ -314,6 +354,41 @@ int main(int argc, char** argv) {
                     HumanBytes(row.bytes_out_per_s).c_str(),
                     row.cpu_per_s / 1e4,  // cpu-us per s -> percent of a core
                     row.queue_depth);
+      }
+      // Cluster-wide per-tenant attribution from the merged rollup gauges
+      // (gauges sum across servers, so these are cluster totals).
+      struct TenantRow {
+        std::int64_t cpu_us = 0, queue_us = 0;
+        std::int64_t bytes_in = 0, bytes_out = 0, invocations = 0;
+      };
+      std::map<std::string, TenantRow> tenants;
+      for (const auto& [name, value] : sample->merged.gauges) {
+        std::string principal;
+        if (!(principal = LedgerGaugePrincipal(name, "cpu_us")).empty()) {
+          tenants[principal].cpu_us = value;
+        } else if (!(principal =
+                         LedgerGaugePrincipal(name, "queue_us")).empty()) {
+          tenants[principal].queue_us = value;
+        } else if (!(principal =
+                         LedgerGaugePrincipal(name, "bytes_in")).empty()) {
+          tenants[principal].bytes_in = value;
+        } else if (!(principal =
+                         LedgerGaugePrincipal(name, "bytes_out")).empty()) {
+          tenants[principal].bytes_out = value;
+        } else if (!(principal =
+                         LedgerGaugePrincipal(name, "invocations")).empty()) {
+          tenants[principal].invocations = value;
+        }
+      }
+      if (!tenants.empty()) {
+        std::printf("\n%-12s %12s %12s %12s %12s %10s\n", "TENANT", "CPU_US",
+                    "QUEUE_US", "BYTES_IN", "BYTES_OUT", "CALLS");
+        for (const auto& [principal, t] : tenants) {
+          std::printf("%-12s %12" PRId64 " %12" PRId64 " %12" PRId64
+                      " %12" PRId64 " %10" PRId64 "\n",
+                      principal.c_str(), t.cpu_us, t.queue_us, t.bytes_in,
+                      t.bytes_out, t.invocations);
+        }
       }
       prev = std::move(next);
       prev_t_us = now_us;
