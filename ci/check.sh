@@ -304,9 +304,10 @@ trace_smoke() {
 # asserts (a) `glider_cli ledger` reports BOTH principals with nonzero
 # cpu_us and nonzero bytes — the per-tenant resource ledgers survived the
 # frame encoding, cross-thread propagation and the cluster-wide merge —
-# and (b) /metrics carries at least one OpenMetrics histogram exemplar
-# ('# {trace_id=') linking a latency bucket to a live trace. Takes the
-# build dir so the sanitizer legs reuse it.
+# and (b) an Accept-negotiated OpenMetrics scrape of /metrics carries at
+# least one histogram exemplar ('# {trace_id=') linking a latency bucket
+# to a live trace, while the classic 0.0.4 scrape stays exemplar-free.
+# Takes the build dir so the sanitizer legs reuse it.
 attr_smoke() {
   local build_dir="$1"
   local smoke_dir="${build_dir}/attr-smoke"
@@ -361,11 +362,24 @@ attr_smoke() {
            cat "${smoke_dir}/ledger.txt"; return 1; }
   done
 
+  # Exemplars are only legal in the OpenMetrics exposition format, so they
+  # are negotiated via Accept: the classic (default) scrape must stay
+  # exemplar-free or a stock Prometheus parser rejects the whole page.
   python3 -c "import urllib.request,sys; sys.stdout.write(
       urllib.request.urlopen('${metrics_url}', timeout=10).read().decode())" \
+    >"${smoke_dir}/metrics_classic.txt"
+  if grep -q '# {trace_id=' "${smoke_dir}/metrics_classic.txt"; then
+    echo "attr smoke: classic /metrics leaks OpenMetrics exemplars"; return 1
+  fi
+  python3 -c "import urllib.request,sys; sys.stdout.write(
+      urllib.request.urlopen(urllib.request.Request('${metrics_url}',
+          headers={'Accept': 'application/openmetrics-text; version=1.0.0'}),
+          timeout=10).read().decode())" \
     >"${smoke_dir}/metrics.txt"
   grep -q '# {trace_id=' "${smoke_dir}/metrics.txt" \
-    || { echo "attr smoke: /metrics has no histogram exemplars"; return 1; }
+    || { echo "attr smoke: OpenMetrics /metrics has no histogram exemplars"; return 1; }
+  grep -q '^# EOF' "${smoke_dir}/metrics.txt" \
+    || { echo "attr smoke: OpenMetrics /metrics missing # EOF terminator"; return 1; }
   echo "attr smoke: both tenants billed, $(grep -c '# {trace_id=' \
     "${smoke_dir}/metrics.txt") exemplar lines on /metrics (archived in ${smoke_dir})"
   cleanup_attr

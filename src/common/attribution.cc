@@ -239,8 +239,17 @@ void SpaceSavingTopK::Clear() {
 }
 
 void SpaceSavingTopK::Merge(const std::vector<Entry>& other) {
+  // Heaviest first (key ascending on ties) so the merge is deterministic
+  // regardless of the wire ordering, and light tail entries are the ones
+  // that pay the replacement-rule error inflation.
+  std::vector<Entry> incoming = other;
+  std::sort(incoming.begin(), incoming.end(),
+            [](const Entry& a, const Entry& b) {
+              if (a.count != b.count) return a.count > b.count;
+              return a.key < b.key;
+            });
   std::scoped_lock lock(mu_);
-  for (const auto& e : other) {
+  for (const auto& e : incoming) {
     total_ += e.count;
     auto it = entries_.find(e.key);
     if (it != entries_.end()) {
@@ -248,11 +257,17 @@ void SpaceSavingTopK::Merge(const std::vector<Entry>& other) {
       it->second.error += e.error;
       continue;
     }
-    entries_.emplace(e.key, e);
-  }
-  // Trim back to capacity, dropping the smallest counts (deterministic:
-  // ties drop the lexicographically larger key).
-  while (entries_.size() > capacity_) {
+    if (entries_.size() < capacity_) {
+      entries_.emplace(e.key, e);
+      continue;
+    }
+    // At capacity: the same space-saving replacement rule as Offer — the
+    // newcomer inherits the evicted minimum's count (folded into both its
+    // count and its error bound) instead of the victim's mass being
+    // silently discarded. This keeps sum(counts) == total_, so the
+    // presence guarantee (every key with true count > total/capacity is
+    // tracked) survives cross-node merges. Ties evict the
+    // lexicographically larger key, deterministically.
     auto victim = entries_.begin();
     for (auto i = std::next(entries_.begin()); i != entries_.end(); ++i) {
       if (i->second.count < victim->second.count ||
@@ -261,7 +276,12 @@ void SpaceSavingTopK::Merge(const std::vector<Entry>& other) {
         victim = i;
       }
     }
+    Entry merged;
+    merged.key = e.key;
+    merged.count = victim->second.count + e.count;
+    merged.error = victim->second.count + e.error;
     entries_.erase(victim);
+    entries_.emplace(merged.key, merged);
   }
 }
 

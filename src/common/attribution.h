@@ -23,7 +23,11 @@
 //     principals. Any key whose true count exceeds N/capacity is
 //     guaranteed present; each entry carries an `error` bound (its count
 //     overstates the truth by at most `error`). Sketches merge across
-//     nodes: union counts, then keep the top `capacity` by count.
+//     nodes: counts/errors sum for shared keys; unseen keys enter through
+//     the same replacement rule as a live stream (inheriting the evicted
+//     minimum's count into their error bound), so merged sketches keep
+//     the single-node presence guarantee instead of silently discarding
+//     evicted mass.
 //
 // Everything is charged only when obs::Enabled() is true (callers gate),
 // matching the rest of the observability plane: the disabled-mode hot path
@@ -162,11 +166,18 @@ class SpaceSavingTopK {
   void Clear();
 
   // Merges another node's entries into this sketch: counts and errors sum
-  // for shared keys; new keys enter via the space-saving replacement rule.
+  // for shared keys; at capacity, unseen keys enter via the space-saving
+  // replacement rule (the evicted minimum's count folds into the
+  // newcomer's count and error bound), never by silently dropping mass —
+  // so sum(counts) == Total() and the presence guarantee hold after
+  // cross-node merges. Entries are applied heaviest-first, so the result
+  // is deterministic but only approximately associative: heavy hitters
+  // with clear margins agree across merge orders, churny tail entries may
+  // differ within their error bounds.
   void Merge(const std::vector<Entry>& other);
 
-  // Pure merge of two entry lists under a capacity bound (union counts,
-  // keep top `capacity`): the cluster-side merge for sketch dumps.
+  // Pure merge of two entry lists under a capacity bound: the
+  // cluster-side merge for sketch dumps (Merge into an empty sketch).
   static std::vector<Entry> MergeEntries(const std::vector<Entry>& a,
                                          const std::vector<Entry>& b,
                                          std::size_t capacity);

@@ -68,6 +68,8 @@ std::string HelpText(const std::string& name) {
 // OpenMetrics exemplar suffix for a bucket sample line:
 // ` # {trace_id="<hex>"} <value>`. Trace ids render like the trace JSON
 // (%PRIx64, no zero padding) so they grep/resolve against kTraceDump.
+// Only legal in the OpenMetrics format — the classic 0.0.4 parser errors
+// on the suffix, so the classic renderer never calls this.
 std::string ExemplarSuffix(std::uint64_t trace_id, std::uint64_t value) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), " # {trace_id=\"%" PRIx64 "\"} %" PRIu64,
@@ -76,6 +78,12 @@ std::string ExemplarSuffix(std::uint64_t trace_id, std::uint64_t value) {
 }
 
 }  // namespace
+
+const char* PrometheusContentType(PrometheusFormat format) {
+  return format == PrometheusFormat::kOpenMetrics
+             ? "application/openmetrics-text; version=1.0.0; charset=utf-8"
+             : "text/plain; version=0.0.4; charset=utf-8";
+}
 
 std::string PrometheusSanitize(const std::string& name) {
   std::string out;
@@ -104,13 +112,19 @@ std::string PrometheusEscapeLabelValue(const std::string& value) {
 }
 
 std::string PrometheusText(const MetricsSnapshot& snapshot,
-                           const PrometheusLabels& labels) {
+                           const PrometheusLabels& labels,
+                           PrometheusFormat format) {
+  const bool openmetrics = format == PrometheusFormat::kOpenMetrics;
   const std::string label_block = LabelBlock(labels);
   std::string out;
   for (const auto& [name, value] : snapshot.counters) {
-    const std::string metric = "glider_" + PrometheusSanitize(name) + "_total";
-    out += "# HELP " + metric + " " + HelpText(name) + "\n";
-    out += "# TYPE " + metric + " counter\n";
+    const std::string family = "glider_" + PrometheusSanitize(name);
+    const std::string metric = family + "_total";
+    // OpenMetrics names the counter family without the _total suffix; the
+    // classic format documents the sample name itself.
+    const std::string& meta = openmetrics ? family : metric;
+    out += "# HELP " + meta + " " + HelpText(name) + "\n";
+    out += "# TYPE " + meta + " counter\n";
     out += metric + label_block + " ";
     AppendU64(out, value);
     out.push_back('\n');
@@ -147,7 +161,7 @@ std::string PrometheusText(const MetricsSnapshot& snapshot,
       le.push_back('"');
       out += metric + "_bucket" + LabelBlock(labels, le) + " ";
       AppendU64(out, cumulative);
-      if (hist.exemplar_trace[i] != 0) {
+      if (openmetrics && hist.exemplar_trace[i] != 0) {
         out += ExemplarSuffix(hist.exemplar_trace[i], hist.exemplar_value[i]);
       }
       out.push_back('\n');
@@ -157,7 +171,7 @@ std::string PrometheusText(const MetricsSnapshot& snapshot,
     {
       // The +Inf line carries the overflow bucket's exemplar when present.
       constexpr std::size_t last = LatencyHistogram::kNumBuckets - 1;
-      if (hist.exemplar_trace[last] != 0) {
+      if (openmetrics && hist.exemplar_trace[last] != 0) {
         out += ExemplarSuffix(hist.exemplar_trace[last],
                               hist.exemplar_value[last]);
       }
@@ -170,12 +184,14 @@ std::string PrometheusText(const MetricsSnapshot& snapshot,
     AppendU64(out, total);
     out.push_back('\n');
   }
+  if (openmetrics) out += "# EOF\n";
   return out;
 }
 
 std::string PrometheusText(const MetricsRegistry& registry,
-                           const PrometheusLabels& labels) {
-  return PrometheusText(registry.Snapshot(), labels);
+                           const PrometheusLabels& labels,
+                           PrometheusFormat format) {
+  return PrometheusText(registry.Snapshot(), labels, format);
 }
 
 }  // namespace glider::obs

@@ -1,7 +1,16 @@
-// Prometheus text exposition (version 0.0.4) for the MetricsRegistry, so
-// any glider process can be scraped by off-the-shelf tooling.
+// Prometheus text exposition for the MetricsRegistry, so any glider
+// process can be scraped by off-the-shelf tooling. Two formats:
 //
-// Mapping:
+//   * kClassic04 — the classic text format (version 0.0.4). No exemplars:
+//     the 0.0.4 parser rejects the ` # {...}` suffix, so classic output
+//     must stay exemplar-free or the whole scrape fails.
+//   * kOpenMetrics — OpenMetrics 1.0. Histogram bucket lines carry
+//     exemplars (` # {trace_id="..."} value`), counter families drop the
+//     `_total` suffix from HELP/TYPE (samples keep it), and the body ends
+//     with `# EOF`. Served when the scraper's Accept header asks for
+//     `application/openmetrics-text` (see net/http_metrics.cc).
+//
+// Mapping (both formats):
 //   Counter            -> glider_<name>_total        (TYPE counter)
 //   Gauge              -> glider_<name>              (TYPE gauge)
 //   LatencyHistogram   -> glider_<name>_bucket{le="..."} cumulative series
@@ -34,17 +43,30 @@ std::string PrometheusEscapeLabelValue(const std::string& value);
 // are escaped, names sanitized.
 using PrometheusLabels = std::vector<std::pair<std::string, std::string>>;
 
-// Renders one snapshot. Ends with a trailing newline as the format requires.
+enum class PrometheusFormat {
+  kClassic04,    // text/plain; version=0.0.4 — never emits exemplars
+  kOpenMetrics,  // application/openmetrics-text — exemplars + "# EOF"
+};
+
+// The Content-Type header value for `format`.
+const char* PrometheusContentType(PrometheusFormat format);
+
+// Renders one snapshot. Ends with a trailing newline as the format
+// requires (OpenMetrics output ends with "# EOF\n").
 //
 // Histogram consistency: the cumulative le series, the +Inf bucket and
 // _count all derive from the same total — max(count, sum of bucket counts)
 // — so a snapshot torn across relaxed per-bucket loads still satisfies
 // "+Inf == _count >= every finite le bucket".
 std::string PrometheusText(const MetricsSnapshot& snapshot,
-                           const PrometheusLabels& labels = {});
+                           const PrometheusLabels& labels = {},
+                           PrometheusFormat format =
+                               PrometheusFormat::kClassic04);
 
 // Convenience: snapshot + render.
 std::string PrometheusText(const MetricsRegistry& registry,
-                           const PrometheusLabels& labels = {});
+                           const PrometheusLabels& labels = {},
+                           PrometheusFormat format =
+                               PrometheusFormat::kClassic04);
 
 }  // namespace glider::obs

@@ -6,6 +6,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cctype>
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
@@ -32,8 +33,8 @@ void SendAll(int fd, const char* data, std::size_t size) {
 }
 
 // Reads until the end of the request head ("\r\n\r\n") and returns the
-// request line, or empty on error. Bodies are ignored — /metrics is GET.
-std::string ReadRequestLine(int fd) {
+// whole head, or empty on error. Bodies are ignored — /metrics is GET.
+std::string ReadRequestHead(int fd) {
   std::string head;
   char buf[1024];
   while (head.find("\r\n\r\n") == std::string::npos) {
@@ -45,7 +46,29 @@ std::string ReadRequestLine(int fd) {
     }
     head.append(buf, static_cast<std::size_t>(n));
   }
-  return head.substr(0, head.find("\r\n"));
+  return head;
+}
+
+// True when the request's Accept header asks for the OpenMetrics
+// exposition format. Exemplars are only legal there — the classic 0.0.4
+// parser errors on them — so the format is negotiated per scrape.
+bool AcceptsOpenMetrics(const std::string& head) {
+  std::size_t at = head.find("\r\n");
+  while (at != std::string::npos) {
+    at += 2;
+    const std::size_t end = head.find("\r\n", at);
+    std::string line = head.substr(
+        at, end == std::string::npos ? std::string::npos : end - at);
+    for (char& c : line) {
+      c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+    if (line.rfind("accept:", 0) == 0 &&
+        line.find("application/openmetrics-text") != std::string::npos) {
+      return true;
+    }
+    at = end;
+  }
+  return false;
 }
 
 }  // namespace
@@ -62,15 +85,21 @@ struct HttpMetricsServer::Impl {
   std::vector<std::thread> conn_threads;
 
   void Serve(int cfd) {
-    const std::string request = ReadRequestLine(cfd);
+    const std::string head = ReadRequestHead(cfd);
+    const std::string request = head.substr(0, head.find("\r\n"));
     std::string response;
     if (request.rfind("GET /metrics", 0) == 0 ||
         request.rfind("GET / ", 0) == 0) {
       if (refresh) refresh();
-      const std::string body = obs::PrometheusText(*registry, labels);
+      const obs::PrometheusFormat format =
+          AcceptsOpenMetrics(head) ? obs::PrometheusFormat::kOpenMetrics
+                                   : obs::PrometheusFormat::kClassic04;
+      const std::string body = obs::PrometheusText(*registry, labels, format);
       response =
           "HTTP/1.1 200 OK\r\n"
-          "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+          "Content-Type: " +
+          std::string(obs::PrometheusContentType(format)) +
+          "\r\n"
           "Content-Length: " +
           std::to_string(body.size()) +
           "\r\n"

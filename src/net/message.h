@@ -17,9 +17,18 @@
 // attribution"): stamped from the client's PrincipalScope, installed by the
 // server for the handler's duration so downstream work is charged to the
 // right tenant. 0 = unattributed.
+//
+// The frame header itself carries no magic or version — instead every TCP
+// connection opens with an 8-byte preamble ("GLDR" + u32 wire version,
+// sent by both sides before any frame) so a mixed-version peer fails fast
+// with a clear mismatch error instead of misreading payload_len at the
+// wrong offset and misframing. Bump kWireVersion whenever the header
+// layout changes (v2: the header grew from 32 to 40 bytes when
+// `principal` was added).
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <utility>
 
 #include "common/bytes.h"
@@ -29,6 +38,40 @@
 namespace glider::net {
 
 inline constexpr std::size_t kFrameHeaderSize = 2 + 2 + 8 + 8 + 8 + 8 + 4;
+
+// Connection preamble: 4 magic bytes + u32 wire version (little-endian),
+// exchanged once per TCP connection before the first frame in either
+// direction. v2 = the 40-byte header with the `principal` field.
+inline constexpr std::size_t kWirePreambleSize = 8;
+inline constexpr std::uint8_t kWireMagic[4] = {'G', 'L', 'D', 'R'};
+inline constexpr std::uint32_t kWireVersion = 2;
+
+inline void EncodeWirePreamble(std::uint8_t (&out)[kWirePreambleSize]) {
+  for (int i = 0; i < 4; ++i) out[i] = kWireMagic[i];
+  for (int i = 0; i < 4; ++i) {
+    out[4 + i] = static_cast<std::uint8_t>(kWireVersion >> (8 * i));
+  }
+}
+
+inline Status CheckWirePreamble(const std::uint8_t* preamble) {
+  for (int i = 0; i < 4; ++i) {
+    if (preamble[i] != kWireMagic[i]) {
+      return Status::InvalidArgument(
+          "not a glider frame stream (bad preamble magic)");
+    }
+  }
+  std::uint32_t version = 0;
+  for (int i = 0; i < 4; ++i) {
+    version |= static_cast<std::uint32_t>(preamble[4 + i]) << (8 * i);
+  }
+  if (version != kWireVersion) {
+    return Status::InvalidArgument(
+        "wire protocol version mismatch: peer speaks v" +
+        std::to_string(version) + ", this node speaks v" +
+        std::to_string(kWireVersion));
+  }
+  return Status::Ok();
+}
 
 struct Message {
   std::uint16_t opcode = 0;

@@ -109,15 +109,17 @@ const char* RpcProfileTag(std::uint16_t opcode) {
 
 ClientCallTrace ClientCallTrace::Begin(Message& request, int transport_index) {
   ClientCallTrace t;
+  // The principal rides the frame header like the trace context, but is
+  // independent of both the obs switch and whether a trace is active: a
+  // client with observability off must still tag its requests, or servers
+  // whose attribution IS on would bill its work to the unattributed tenant.
+  request.principal = obs::CurrentPrincipal();
   if (!obs::Enabled()) return t;
   t.active = true;
   t.transport_index_ = transport_index;
   t.opcode = request.opcode;
   t.start_us = obs::TraceNowMicros();
   t.parent = obs::CurrentTraceContext();
-  // The principal rides the frame header like the trace context, but is
-  // independent of whether a trace is active: attribution works untraced.
-  request.principal = obs::CurrentPrincipal();
   if (t.parent.trace_id != 0) {
     t.span_id = obs::NewSpanId();
     request.trace_id = t.parent.trace_id;

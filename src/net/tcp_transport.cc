@@ -64,6 +64,20 @@ class Fd {
   std::atomic<int> fd_{-1};
 };
 
+Status WriteAll(int fd, const std::uint8_t* data, std::size_t size) {
+  std::size_t off = 0;
+  while (off < size) {
+    const ssize_t n = ::send(fd, data + off, size - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable("send failed: " +
+                                 std::string(std::strerror(errno)));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return Status::Ok();
+}
+
 Status ReadAll(int fd, std::uint8_t* data, std::size_t size) {
   std::size_t off = 0;
   while (off < size) {
@@ -77,6 +91,27 @@ Status ReadAll(int fd, std::uint8_t* data, std::size_t size) {
     off += static_cast<std::size_t>(n);
   }
   return Status::Ok();
+}
+
+// Both directions of every connection open with the 8-byte wire preamble
+// (net/message.h), sent before any frame: the client in Connect() (so a
+// Call() staged before the reader thread spins up can never beat it onto
+// the wire), the server at the top of its connection loop (before any
+// handler can stage a response). Each side then validates the peer's
+// preamble at the top of its read path. Both sides send eagerly, so the
+// exchange cannot deadlock and costs no extra round trip; a mixed-version
+// or foreign peer fails fast with a clear error instead of misreading
+// payload_len at the wrong offset and misframing.
+Status SendPreamble(int fd) {
+  std::uint8_t ours[kWirePreambleSize];
+  EncodeWirePreamble(ours);
+  return WriteAll(fd, ours, sizeof(ours));
+}
+
+Status ReceivePreamble(int fd) {
+  std::uint8_t theirs[kWirePreambleSize];
+  GLIDER_RETURN_IF_ERROR(ReadAll(fd, theirs, sizeof(theirs)));
+  return CheckWirePreamble(theirs);
 }
 
 // Emits a gather list fully, advancing through partial writes. sendmsg is
@@ -391,7 +426,9 @@ class FrameReader {
     if (avail < kFrameHeaderSize) return false;
     std::uint32_t len = 0;
     for (int i = 0; i < 4; ++i) {
-      len |= static_cast<std::uint32_t>(base_[pos_ + 36 + i]) << (8 * i);
+      len |= static_cast<std::uint32_t>(
+                 base_[pos_ + kFrameHeaderSize - 4 + i])
+             << (8 * i);
     }
     return avail >= kFrameHeaderSize + len;
   }
@@ -421,7 +458,8 @@ class FrameReader {
     m.principal = get64(28);
     len = 0;
     for (int i = 0; i < 4; ++i) {
-      len |= static_cast<std::uint32_t>(header[36 + i]) << (8 * i);
+      len |= static_cast<std::uint32_t>(header[kFrameHeaderSize - 4 + i])
+             << (8 * i);
     }
     if (len > kMaxFrame) return Status::InvalidArgument("oversized frame");
     return Status::Ok();
@@ -564,6 +602,18 @@ class TcpListener : public Listener {
   // last recv buffered dispatch as one SubmitAll batch (one shard lock,
   // one wakeup, peers poked for the surplus) instead of one Submit each.
   void ConnLoop(std::shared_ptr<ServerConn> conn) {
+    // Preamble first in both directions: ours goes out before any handler
+    // can stage a response; the peer's is validated before any bytes are
+    // interpreted as a frame header. Rejected peers get an immediate
+    // shutdown so they observe a clean close instead of a hung socket
+    // (accepted connections otherwise stay registered until listener
+    // teardown).
+    if (!SendPreamble(conn->fd.get()).ok()) return;
+    if (const Status s = ReceivePreamble(conn->fd.get()); !s.ok()) {
+      GLIDER_LOG(kWarn, "tcp") << "rejecting connection: " << s.ToString();
+      conn->fd.Shutdown();
+      return;
+    }
     FrameReader reader(conn->fd.get());
     while (!stopping_) {
       auto first = reader.Next();
@@ -653,6 +703,12 @@ class TcpConnection : public Connection {
 
  private:
   void ReadLoop() {
+    // Our preamble already went out in Connect(), ahead of any staged
+    // frame; validate the server's before decoding frame headers.
+    if (const Status s = ReceivePreamble(fd_.get()); !s.ok()) {
+      FailAllPending(s);
+      return;
+    }
     FrameReader reader(fd_.get());
     while (true) {
       auto response = reader.Next();
@@ -782,6 +838,10 @@ Result<std::shared_ptr<Connection>> TcpTransport::Connect(
                                std::string(std::strerror(errno)));
   }
   SetNoDelay(fd.get());
+  // Preamble before the connection (and its coalescer) exists, so no frame
+  // can precede it on the wire; the server's preamble is validated by the
+  // reader thread.
+  GLIDER_RETURN_IF_ERROR(SendPreamble(fd.get()));
   auto conn = std::make_shared<TcpConnection>(std::move(fd), std::move(link),
                                               options_);
   conn->StartReader();

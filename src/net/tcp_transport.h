@@ -4,9 +4,12 @@
 // network stack; the shaped in-process transport is used for the benches
 // (see DESIGN.md §2).
 //
-// Frame format on the wire: the 32-byte frame header (opcode, status,
-// request id, trace context, payload length — see net/message.h) followed
-// by the payload bytes; no separate outer length prefix.
+// Wire format: each direction opens with the 8-byte preamble ("GLDR" +
+// wire version — mixed-version peers fail fast instead of misframing),
+// then a stream of frames: the fixed-size frame header (opcode, status,
+// request id, trace context, principal, payload length — see
+// net::kFrameHeaderSize in net/message.h) followed by the payload bytes;
+// no separate outer length prefix.
 //
 // Both directions batch (DESIGN.md "Hot-path batching & wakeup"): a
 // per-connection send coalescer gathers small frames into one sendmsg

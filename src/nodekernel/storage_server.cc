@@ -128,7 +128,6 @@ class BlockOpTimer {
 
 Result<Buffer> StorageServer::DoWrite(const WriteBlockRequest& req) {
   BlockOpTimer timer(WriteObs());
-  timer.SetBytes(req.data.size());
   if (req.block >= blocks_.size()) {
     return Status::OutOfRange("block " + std::to_string(req.block));
   }
@@ -137,6 +136,7 @@ Result<Buffer> StorageServer::DoWrite(const WriteBlockRequest& req) {
   if (end > options_.block_size) {
     return Status::OutOfRange("write past block end");
   }
+  timer.SetBytes(req.data.size());
   Block& block = *blocks_[req.block];
   std::int64_t growth = 0;
   {
@@ -160,7 +160,6 @@ Result<Buffer> StorageServer::DoWrite(const WriteBlockRequest& req) {
 
 Result<Buffer> StorageServer::DoRead(const ReadBlockRequest& req) {
   BlockOpTimer timer(ReadObs());
-  timer.SetBytes(req.length);
   if (req.block >= blocks_.size()) {
     return Status::OutOfRange("block " + std::to_string(req.block));
   }
@@ -171,6 +170,7 @@ Result<Buffer> StorageServer::DoRead(const ReadBlockRequest& req) {
   if (end > block.used) {
     return Status::OutOfRange("read past written extent");
   }
+  timer.SetBytes(req.length);
   // Zero-copy: the response payload is a slice of the block's shared
   // storage. Later writes detach instead of mutating these bytes.
   return block.data.Slice(req.offset, req.length);

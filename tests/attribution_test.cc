@@ -56,6 +56,22 @@ TEST(PrincipalTest, PacksAndUnpacksNames) {
   EXPECT_NE(PrincipalFromName("alpha"), PrincipalFromName("beta"));
 }
 
+TEST(PrincipalTest, StampedIntoFrameEvenWithObservabilityOff) {
+  // A client with the obs switch off must still tag its requests: servers
+  // whose attribution IS on would otherwise bill its work to "-". This is
+  // what makes `glider_load` (no --trace) bill tenants correctly against
+  // daemons started with --trace 1.
+  obs::SetEnabled(false);
+  obs::PrincipalScope scope(PrincipalFromName("alpha"));
+  net::Message request;
+  request.opcode = 1;
+  const net::ClientCallTrace trace =
+      net::ClientCallTrace::Begin(request, /*transport_index=*/0);
+  EXPECT_FALSE(trace.active);
+  EXPECT_EQ(request.principal, PrincipalFromName("alpha"));
+  EXPECT_EQ(request.trace_id, 0u);
+}
+
 TEST(PrincipalTest, NonPrintableIdsRenderAsHex) {
   // An id that decodes to non-printable bytes renders as p<hex>, never as
   // garbage bytes.
@@ -289,12 +305,22 @@ TEST(ExemplarTest, CapturedAndExposedAndResolvable) {
   EXPECT_TRUE(found);
 
   // OpenMetrics exposition: the bucket line carries the exemplar with the
-  // same hex trace id the trace JSON uses.
+  // same hex trace id the trace JSON uses, and the body is terminated by
+  // the mandatory "# EOF".
   char hex[32];
   std::snprintf(hex, sizeof(hex), "%" PRIx64, trace_id);
-  const std::string text = obs::PrometheusText(registry);
+  const std::string text = obs::PrometheusText(
+      registry, {}, obs::PrometheusFormat::kOpenMetrics);
   EXPECT_TRUE(Contains(text, "# {trace_id=\"" + std::string(hex) + "\"} 42"))
       << text;
+  EXPECT_TRUE(text.size() >= 6 && text.compare(text.size() - 6, 6, "# EOF\n") == 0)
+      << text;
+
+  // The classic 0.0.4 format must stay exemplar-free — its parser rejects
+  // the ` # {...}` suffix, which would fail the entire scrape.
+  const std::string classic = obs::PrometheusText(registry);
+  EXPECT_FALSE(Contains(classic, "# {trace_id=")) << classic;
+  EXPECT_FALSE(Contains(classic, "# EOF"));
 
   // The exemplar's trace id resolves: the recorder holds its spans.
   bool resolved = false;
@@ -347,7 +373,9 @@ TEST(ExemplarTest, NoExemplarWithoutActiveTrace) {
   for (std::size_t i = 0; i < snap.exemplar_trace.size(); ++i) {
     EXPECT_EQ(snap.exemplar_trace[i], 0u);
   }
-  EXPECT_FALSE(Contains(obs::PrometheusText(registry), "# {trace_id="));
+  EXPECT_FALSE(Contains(
+      obs::PrometheusText(registry, {}, obs::PrometheusFormat::kOpenMetrics),
+      "# {trace_id="));
   obs::SetEnabled(false);
 }
 
@@ -398,6 +426,15 @@ TEST(PrometheusHelpTest, EveryFamilyGetsHelpBeforeType) {
   EXPECT_TRUE(Contains(
       text, "# HELP glider_test_lat_us Glider metric 'test.lat_us'.\n"
             "# TYPE glider_test_lat_us histogram\n"));
+
+  // OpenMetrics names counter families without the _total suffix (samples
+  // keep it) and terminates the exposition with "# EOF".
+  const std::string om =
+      obs::PrometheusText(registry, {}, obs::PrometheusFormat::kOpenMetrics);
+  EXPECT_TRUE(Contains(om, "# TYPE glider_test_requests counter\n"
+                           "glider_test_requests_total 1\n"))
+      << om;
+  EXPECT_TRUE(om.size() >= 6 && om.compare(om.size() - 6, 6, "# EOF\n") == 0);
 }
 
 // ---- Ledger dump wire format ------------------------------------------------

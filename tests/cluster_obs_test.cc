@@ -483,7 +483,8 @@ TEST(SlowTraceStoreTest, RootSpansFeedTheGlobalStore) {
 
 // Minimal blocking HTTP GET against 127.0.0.1:<port>; returns the raw
 // response (headers + body).
-std::string HttpGet(const std::string& address, const std::string& target) {
+std::string HttpGet(const std::string& address, const std::string& target,
+                    const std::string& extra_headers = {}) {
   const auto colon = address.rfind(':');
   const std::string host = address.substr(0, colon);
   const int port = std::atoi(address.substr(colon + 1).c_str());
@@ -497,8 +498,8 @@ std::string HttpGet(const std::string& address, const std::string& target) {
     ::close(fd);
     return "";
   }
-  const std::string request =
-      "GET " + target + " HTTP/1.1\r\nHost: " + host + "\r\n\r\n";
+  const std::string request = "GET " + target + " HTTP/1.1\r\nHost: " + host +
+                              "\r\n" + extra_headers + "\r\n";
   (void)!::write(fd, request.data(), request.size());
   std::string response;
   char buffer[4096];
@@ -520,6 +521,17 @@ TEST(HttpMetricsTest, MetricsEndpointAndNotFound) {
   EXPECT_TRUE(Contains(ok, "HTTP/1.1 200"));
   EXPECT_TRUE(Contains(ok, "text/plain; version=0.0.4"));
   EXPECT_TRUE(Contains(ok, "glider_http_test_counter_total 42"));
+  EXPECT_FALSE(Contains(ok, "# EOF"));
+
+  // Scrapers that ask for OpenMetrics (the exemplar-capable format) get it,
+  // with the matching content type and the mandatory "# EOF" terminator.
+  const std::string om =
+      HttpGet((*server)->address(), "/metrics",
+              "Accept: application/openmetrics-text; version=1.0.0\r\n");
+  EXPECT_TRUE(Contains(om, "HTTP/1.1 200"));
+  EXPECT_TRUE(Contains(om, "application/openmetrics-text; version=1.0.0"));
+  EXPECT_TRUE(Contains(om, "glider_http_test_counter_total 42"));
+  EXPECT_TRUE(Contains(om, "# EOF"));
 
   const std::string missing = HttpGet((*server)->address(), "/nope");
   EXPECT_TRUE(Contains(missing, "HTTP/1.1 404"));

@@ -227,10 +227,11 @@ std::vector<std::uint8_t> WireFrame(std::uint16_t opcode,
 }
 
 // Raw client socket speaking the frame protocol directly, so tests control
-// exactly how bytes land on the server's recv boundary.
+// exactly how bytes land on the server's recv boundary. Performs the wire
+// preamble exchange on connect (unless told not to, for handshake tests).
 class RawClient {
  public:
-  explicit RawClient(const std::string& address) {
+  explicit RawClient(const std::string& address, bool send_preamble = true) {
     const auto colon = address.rfind(':');
     const std::string host = address.substr(0, colon);
     const int port = std::atoi(address.c_str() + colon + 1);
@@ -241,6 +242,11 @@ class RawClient {
     ::inet_pton(AF_INET, host.c_str(), &addr.sin_addr);
     connected_ =
         ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0;
+    if (connected_ && send_preamble) {
+      std::uint8_t preamble[kWirePreambleSize];
+      EncodeWirePreamble(preamble);
+      SendBytes(preamble, sizeof(preamble));
+    }
   }
   ~RawClient() {
     if (fd_ >= 0) ::close(fd_);
@@ -258,8 +264,15 @@ class RawClient {
   }
 
   // Reads one response frame (responses may arrive coalesced or in any
-  // completion order; the caller matches by request id).
+  // completion order; the caller matches by request id). The server's own
+  // preamble is consumed and checked before the first frame.
   void ReadResponse(std::uint64_t& request_id, std::string& payload) {
+    if (!server_preamble_read_) {
+      std::uint8_t preamble[kWirePreambleSize];
+      ASSERT_NO_FATAL_FAILURE(ReadExactly(preamble, sizeof(preamble)));
+      ASSERT_TRUE(CheckWirePreamble(preamble).ok());
+      server_preamble_read_ = true;
+    }
     std::uint8_t header[kFrameHeaderSize];
     ASSERT_NO_FATAL_FAILURE(ReadExactly(header, sizeof(header)));
     request_id = 0;
@@ -268,12 +281,23 @@ class RawClient {
     }
     std::uint32_t len = 0;
     for (int i = 0; i < 4; ++i) {
-      len |= static_cast<std::uint32_t>(header[36 + i]) << (8 * i);
+      len |= static_cast<std::uint32_t>(header[kFrameHeaderSize - 4 + i])
+             << (8 * i);
     }
     payload.resize(len);
     if (len > 0) {
       ASSERT_NO_FATAL_FAILURE(
           ReadExactly(reinterpret_cast<std::uint8_t*>(payload.data()), len));
+    }
+  }
+
+  // Blocking read of up to `size` bytes; returns recv's result (0 = the
+  // server closed the connection).
+  ssize_t ReadRaw(std::uint8_t* data, std::size_t size) {
+    for (;;) {
+      const ssize_t n = ::recv(fd_, data, size, 0);
+      if (n < 0 && errno == EINTR) continue;
+      return n;
     }
   }
 
@@ -289,6 +313,7 @@ class RawClient {
 
   int fd_ = -1;
   bool connected_ = false;
+  bool server_preamble_read_ = false;
 };
 
 class TcpBatchingTest : public ::testing::Test {
@@ -439,6 +464,66 @@ TEST_F(TcpBatchingTest, DeadlineModePipelinedBurst) {
     ASSERT_TRUE(response.ok());
     EXPECT_EQ(response->payload.ToString(), std::to_string(i));
   }
+}
+
+// ---- Wire preamble (version handshake) --------------------------------------
+
+// A peer that never sends the 8-byte preamble (e.g. an old node whose
+// frames used the 32-byte header) is rejected at connection setup: the
+// server closes the socket instead of misreading payload_len at the wrong
+// offset and hanging on a garbage frame length.
+TEST_F(TcpBatchingTest, PeerWithoutPreambleIsRejected) {
+  StartServer();
+  RawClient client(listener_->address(), /*send_preamble=*/false);
+  ASSERT_TRUE(client.connected());
+  // Looks like the start of an old-format frame, not a preamble.
+  const auto frame = WireFrame(/*opcode=*/1, /*request_id=*/1, "stale");
+  ASSERT_NO_FATAL_FAILURE(client.SendBytes(frame.data(), frame.size()));
+  // The server sends its own preamble, then detects the mismatch and
+  // closes; drain until EOF instead of ever seeing a response frame.
+  std::uint8_t buf[256];
+  ssize_t n;
+  while ((n = client.ReadRaw(buf, sizeof(buf))) > 0) {
+  }
+  EXPECT_EQ(n, 0);  // clean close, no frames
+}
+
+// A future wire version is refused with a version-mismatch error rather
+// than being misframed.
+TEST_F(TcpBatchingTest, PeerWithFutureVersionIsRejected) {
+  StartServer();
+  RawClient client(listener_->address(), /*send_preamble=*/false);
+  ASSERT_TRUE(client.connected());
+  std::uint8_t preamble[kWirePreambleSize];
+  EncodeWirePreamble(preamble);
+  preamble[4] = static_cast<std::uint8_t>(kWireVersion + 1);
+  ASSERT_NO_FATAL_FAILURE(client.SendBytes(preamble, sizeof(preamble)));
+  std::uint8_t buf[256];
+  ssize_t n;
+  while ((n = client.ReadRaw(buf, sizeof(buf))) > 0) {
+  }
+  EXPECT_EQ(n, 0);
+}
+
+TEST(WirePreambleTest, CheckReportsMagicAndVersionMismatch) {
+  std::uint8_t good[kWirePreambleSize];
+  EncodeWirePreamble(good);
+  EXPECT_TRUE(CheckWirePreamble(good).ok());
+
+  std::uint8_t bad_magic[kWirePreambleSize];
+  EncodeWirePreamble(bad_magic);
+  bad_magic[0] = 'X';
+  const Status magic = CheckWirePreamble(bad_magic);
+  EXPECT_EQ(magic.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(magic.message().find("magic"), std::string::npos);
+
+  std::uint8_t bad_version[kWirePreambleSize];
+  EncodeWirePreamble(bad_version);
+  bad_version[4] = static_cast<std::uint8_t>(kWireVersion + 1);
+  const Status version = CheckWirePreamble(bad_version);
+  EXPECT_EQ(version.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(version.message().find("version mismatch"), std::string::npos)
+      << version.ToString();
 }
 
 // ---- ServiceRouter / typed client stub --------------------------------------
